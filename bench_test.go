@@ -1,0 +1,142 @@
+package toplists
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/traffic"
+)
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation, each regenerating the artifact from a shared
+// test-scale simulation. Run with:
+//
+//	go test -bench=. -benchmem
+var (
+	benchLab  *Lab
+	benchOnce sync.Once
+)
+
+func lab(b *testing.B) *Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchLab = NewLab(TestScale())
+		if _, err := benchLab.Study(); err != nil {
+			panic(err)
+		}
+	})
+	return benchLab
+}
+
+func benchExperiment(b *testing.B, id string) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig1a(b *testing.B)  { benchExperiment(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B)  { benchExperiment(b, "fig1b") }
+func BenchmarkFig1c(b *testing.B)  { benchExperiment(b, "fig1c") }
+func BenchmarkFig2a(b *testing.B)  { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B)  { benchExperiment(b, "fig2c") }
+func BenchmarkFig3a(b *testing.B)  { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)  { benchExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)  { benchExperiment(b, "fig3c") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { benchExperiment(b, "fig7c") }
+func BenchmarkFig7d(b *testing.B)  { benchExperiment(b, "fig7d") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTTL(b *testing.B)    { benchExperiment(b, "ttl") }
+
+// BenchmarkAblationVolume flips Umbrella to query-volume ranking and
+// regenerates the Fig. 5 comparison (DESIGN.md ablation).
+func BenchmarkAblationVolume(b *testing.B) { benchExperiment(b, "ablation-volume") }
+
+// BenchmarkAggregation regenerates the §9 Tranco-style aggregation
+// extension (churn of Dowdall aggregates vs single lists).
+func BenchmarkAggregation(b *testing.B) { benchExperiment(b, "aggregation") }
+
+// BenchmarkAblationSimilarity regenerates the rank-similarity metric
+// ablation (τ vs ρ vs footrule vs RBO over the same archive).
+func BenchmarkAblationSimilarity(b *testing.B) { benchExperiment(b, "similarity") }
+
+// BenchmarkHygiene regenerates the §9.1 list-cleaning impact table.
+func BenchmarkHygiene(b *testing.B) { benchExperiment(b, "hygiene") }
+
+// BenchmarkManipulation regenerates the manipulation-cost and
+// aggregate-resistance extension (binary search over generator runs).
+func BenchmarkManipulation(b *testing.B) { benchExperiment(b, "manipulation") }
+
+// BenchmarkAblationHorizon regenerates the window-length ablation
+// (four full Alexa-mechanism regenerations).
+func BenchmarkAblationHorizon(b *testing.B) { benchExperiment(b, "ablation-horizon") }
+
+// BenchmarkSimulate measures a full end-to-end simulation (world +
+// archive generation) at test scale.
+func BenchmarkSimulate(b *testing.B) {
+	scale := TestScale()
+	scale.Population.Days = 14
+	scale.BurnInDays = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWindow compares the EMA window approximation against
+// the exact ring-buffer sliding window (DESIGN.md ablation: memory vs
+// fidelity).
+func BenchmarkAblationWindow(b *testing.B) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	n := w.Len()
+	b.Run("ema", func(b *testing.B) {
+		ema := make([]float64, n)
+		buf := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = m.Signal(traffic.AxisWeb, i%28, buf)
+			const alpha = 2.0 / 91.0
+			for j, v := range buf {
+				ema[j] = (1-alpha)*ema[j] + alpha*v
+			}
+		}
+	})
+	b.Run("ring-window", func(b *testing.B) {
+		sw := providers.NewSlidingWindow(n, 90)
+		buf := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = m.Signal(traffic.AxisWeb, i%28, buf)
+			sw.Push(buf)
+		}
+	})
+}

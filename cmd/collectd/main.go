@@ -1,0 +1,136 @@
+// Command collectd is the longitudinal collector behind the paper's
+// §4 dataset: pointed at a snapshot publisher (cmd/toplistd or any
+// server speaking the same routes), it downloads every provider's
+// daily CSV it has not stored yet and writes them to disk as
+// <provider>-<date>.csv — exactly the archive layout researchers
+// shared with the authors. Run it with -interval to keep following a
+// live publisher, or -once for a single catch-up pass.
+//
+// Usage:
+//
+//	collectd -url http://host:8080 -out archive [-once] [-interval 1h]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/listserv"
+	"repro/internal/toplist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("collectd", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "publisher base URL")
+	outDir := fs.String("out", "archive", "output directory for CSV snapshots")
+	once := fs.Bool("once", false, "catch up and exit instead of following")
+	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	logger := log.New(logw, "collectd: ", log.LstdFlags)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := listserv.NewClient(*url, listserv.WithFormat(listserv.FormatZip))
+
+	if _, err := collectOnce(ctx, client, *outDir, logger); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			logger.Print("stopping")
+			return nil
+		case <-t.C:
+			if _, err := collectOnce(ctx, client, *outDir, logger); err != nil {
+				// A failed pass is not fatal in follow mode: the next
+				// tick retries, like a cron-driven collector.
+				logger.Printf("pass failed: %v", err)
+			}
+		}
+	}
+}
+
+// collectOnce downloads every published snapshot not yet on disk and
+// returns how many files it wrote. Partially-written files never
+// become visible: snapshots are written to a temp name and renamed.
+func collectOnce(ctx context.Context, client *listserv.Client, outDir string, logger *log.Logger) (int, error) {
+	idx, err := client.Index(ctx)
+	if err != nil {
+		return 0, err
+	}
+	first, err := toplist.ParseDay(idx.FirstDay)
+	if err != nil {
+		return 0, fmt.Errorf("bad index first_day: %w", err)
+	}
+	last, err := toplist.ParseDay(idx.LastDay)
+	if err != nil {
+		return 0, fmt.Errorf("bad index last_day: %w", err)
+	}
+	written := 0
+	for _, provider := range idx.Providers {
+		for d := first; d <= last; d++ {
+			path := filepath.Join(outDir, fmt.Sprintf("%s-%s.csv", provider, d))
+			if _, err := os.Stat(path); err == nil {
+				continue // already collected
+			}
+			list, err := client.FetchDay(ctx, provider, d)
+			if listserv.IsNotFound(err) {
+				logger.Printf("gap: %s %s not published", provider, d)
+				continue
+			}
+			if err != nil {
+				return written, err
+			}
+			if err := writeSnapshot(path, list); err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
+	if written > 0 {
+		logger.Printf("collected %d new snapshots into %s", written, outDir)
+	}
+	return written, nil
+}
+
+func writeSnapshot(path string, list *toplist.List) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = toplist.WriteCSV(f, list)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/listserv"
+	"repro/internal/toplist"
+)
+
+func publisher(t *testing.T, days int) (*httptest.Server, *toplist.Archive, *listserv.Gatekeeper) {
+	t.Helper()
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	for _, p := range []string{"alexa", "umbrella"} {
+		for d := 0; d < days; d++ {
+			names := []string{fmt.Sprintf("%s-top-%d.com", p, d), "second.com"}
+			if err := arch.Put(p, toplist.Day(d), toplist.New(names)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gk := listserv.NewGatekeeper(arch, 0)
+	ts := httptest.NewServer(listserv.NewServerAt(gk))
+	t.Cleanup(ts.Close)
+	return ts, arch, gk
+}
+
+func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
+	ts, _, gk := publisher(t, 4)
+	dir := t.TempDir()
+	client := listserv.NewClient(ts.URL)
+	ctx := context.Background()
+
+	n, err := collectOnce(ctx, client, dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // day 0 visible, two providers
+		t.Fatalf("wrote %d, want 2", n)
+	}
+	// Re-running collects nothing new.
+	n, err = collectOnce(ctx, client, dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second pass wrote %d, want 0", n)
+	}
+	// Publisher advances two days; the collector catches up.
+	gk.Advance(2)
+	n, err = collectOnce(ctx, client, dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("catch-up wrote %d, want 4", n)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 6 {
+		t.Fatalf("files = %d, want 6", len(matches))
+	}
+	// No temp leftovers.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}
+
+func TestCollectedSnapshotsRoundTrip(t *testing.T) {
+	ts, arch, _ := publisher(t, 1)
+	dir := t.TempDir()
+	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, quiet()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "alexa-2017-06-06.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := toplist.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := arch.Get("alexa", 0)
+	if got.Len() != want.Len() || got.Name(1) != want.Name(1) {
+		t.Fatalf("round trip: got %v, want %v", got.Names(), want.Names())
+	}
+}
+
+func TestCollectOnceRecordsGapsWithoutFailing(t *testing.T) {
+	// umbrella misses day 1.
+	arch := toplist.NewArchive(0, 1)
+	arch.Put("alexa", 0, toplist.New([]string{"a.com"}))    //nolint:errcheck
+	arch.Put("alexa", 1, toplist.New([]string{"a2.com"}))   //nolint:errcheck
+	arch.Put("umbrella", 0, toplist.New([]string{"u.com"})) //nolint:errcheck
+	ts := httptest.NewServer(listserv.NewServer(arch))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d, want 3 (gap skipped)", n)
+	}
+}
+
+func TestRunOnceMode(t *testing.T) {
+	ts, _, _ := publisher(t, 2)
+	dir := t.TempDir()
+	err := run([]string{"-url", ts.URL, "-out", dir, "-once"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if len(matches) == 0 {
+		t.Fatal("once mode wrote nothing")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-url", "http://127.0.0.1:1", "-once", "-out", t.TempDir()}, io.Discard); err == nil {
+		t.Fatal("unreachable publisher should fail in -once mode")
+	}
+}

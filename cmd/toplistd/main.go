@@ -1,0 +1,146 @@
+// Command toplistd publishes simulated top-list snapshots over HTTP,
+// the way the real providers publish their daily CSVs. It simulates
+// the ecosystem at the requested scale, then serves every provider's
+// daily snapshot under
+//
+//	/v1/index
+//	/v1/{provider}/latest/top-1m.csv[.gz|.zip]
+//	/v1/{provider}/{date}/top-1m.csv[.gz|.zip]
+//
+// With -live, only day 0 is visible at startup and one more day is
+// published per -live-interval, so a Mirror pointed at the daemon
+// experiences a real longitudinal collection.
+//
+// Usage:
+//
+//	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
+//	         [-live] [-live-interval 2s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/listserv"
+	"repro/internal/population"
+	"repro/internal/toplist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toplistd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("toplistd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	scaleName := fs.String("scale", "test", "simulation scale: test or default")
+	seed := fs.Uint64("seed", 1, "root seed")
+	days := fs.Int("days", 0, "override the simulated window length (days)")
+	live := fs.Bool("live", false, "publish one day at a time instead of the whole archive")
+	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication interval in -live mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := core.TestScale()
+	switch *scaleName {
+	case "test":
+	case "default":
+		scale = core.DefaultScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want test or default)", *scaleName)
+	}
+	scale.Population.Seed = *seed
+	if *days > 0 {
+		scale.Population.Days = *days
+	}
+
+	log.SetOutput(out)
+	log.Printf("simulating at scale %q (seed %d)...", *scaleName, *seed)
+	study, err := core.Run(scale)
+	if err != nil {
+		return err
+	}
+	arch := study.Archive
+	log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
+
+	firstVisible := arch.Last()
+	if *live {
+		firstVisible = arch.First()
+	}
+	gk := listserv.NewGatekeeper(arch, firstVisible)
+	handler := listserv.NewServerAt(gk).WithZones(worldZones{study.World})
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on http://%s/v1/index", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *live {
+		go publishDaily(ctx, gk, arch.Last(), *liveInterval)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// worldZones publishes the simulated world's day-0 com/net/org zone
+// files — the §8 general-population source — at /v1/zones/{tld}.zone.
+type worldZones struct {
+	w *population.World
+}
+
+func (z worldZones) ZoneTLDs() []string { return []string{"com", "net", "org"} }
+
+func (z worldZones) ZoneDomains(tld string) []string { return z.w.ZoneDomains(0, tld) }
+
+// publishDaily advances the gatekeeper one day per tick until the
+// archive is fully published.
+func publishDaily(ctx context.Context, gk *listserv.Gatekeeper, last toplist.Day, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for gk.LastVisible() < last {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			next := gk.LastVisible() + 1
+			gk.Advance(next)
+			log.Printf("published day %v", next)
+		}
+	}
+}

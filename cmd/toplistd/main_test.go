@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/listserv"
+	"repro/internal/toplist"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}, nil); err == nil {
+		t.Fatal("bogus scale should fail")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:http:nope"}, nil); err == nil {
+		t.Fatal("bad address should fail")
+	}
+	if err := run([]string{"-notaflag"}, nil); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+func TestPublishDailyAdvancesToEnd(t *testing.T) {
+	arch := toplist.NewArchive(0, 3)
+	for d := toplist.Day(0); d <= 3; d++ {
+		if err := arch.Put("alexa", d, toplist.New([]string{"a.com"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gk := listserv.NewGatekeeper(arch, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		publishDaily(ctx, gk, arch.Last(), time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		t.Fatal("publishDaily did not finish")
+	}
+	if gk.LastVisible() != 3 {
+		t.Fatalf("LastVisible = %v, want 3", gk.LastVisible())
+	}
+}
+
+func TestPublishDailyStopsOnCancel(t *testing.T) {
+	arch := toplist.NewArchive(0, 1000)
+	if err := arch.Put("alexa", 0, toplist.New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+	gk := listserv.NewGatekeeper(arch, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		publishDaily(ctx, gk, arch.Last(), time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publishDaily ignored cancellation")
+	}
+}

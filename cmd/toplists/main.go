@@ -1,0 +1,257 @@
+// Command toplists drives the reproduction: it simulates the top-list
+// ecosystem, regenerates the paper's tables and figures, and exports
+// daily snapshots as CSV files.
+//
+// Usage:
+//
+//	toplists list                         # show experiment IDs
+//	toplists experiment <id>... [flags]   # print one or more tables/figures
+//	toplists all [flags]                  # print every table/figure
+//	toplists figures -out DIR [flags]     # render experiments as SVG charts
+//	toplists rank <domain>... [flags]     # track domains' ranks (Table 4 style)
+//	toplists gen -out DIR [flags]         # write rank,domain CSVs
+//
+// Flags:
+//
+//	-scale test|default   simulation scale (default "test")
+//	-seed N               root seed (default 1)
+//	-days N               override the simulated JOINT window length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simnet"
+	"repro/internal/toplist"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "toplists:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: toplists <list|experiment|all|figures|gen> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	scaleName := fs.String("scale", "test", "simulation scale: test or default")
+	seed := fs.Uint64("seed", 1, "root seed")
+	days := fs.Int("days", 0, "override the simulated window length (days)")
+	outDir := fs.String("out", "snapshots", "output directory for gen")
+
+	// For `experiment` and `rank`, positional arguments come before
+	// the flags; they share a single simulation.
+	var positional []string
+	if cmd == "experiment" || cmd == "rank" {
+		for len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+			positional = append(positional, rest[0])
+			rest = rest[1:]
+		}
+		if len(positional) == 0 {
+			if cmd == "rank" {
+				return fmt.Errorf("usage: toplists rank <domain>... [flags]")
+			}
+			return fmt.Errorf("usage: toplists experiment <id>... [flags]; IDs: %v", experiments.IDs())
+		}
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	scale, err := pickScale(*scaleName, *seed, *days)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-16s %s\n", id, experiments.Title(id))
+		}
+		return nil
+	case "experiment":
+		env := experiments.NewEnv(scale)
+		for i, id := range positional {
+			res, err := experiments.Run(env, id)
+			if err != nil {
+				return err
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(res.Render())
+		}
+		return nil
+	case "rank":
+		return trackRanks(scale, positional)
+	case "all":
+		env := experiments.NewEnv(scale)
+		results, err := experiments.RunAll(env)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Print(r.Render())
+			fmt.Println()
+		}
+		return nil
+	case "figures":
+		return figures(scale, *outDir)
+	case "gen":
+		return generate(scale, *outDir)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// trackRanks prints each domain's per-provider rank variation over
+// the simulated window, Table 4 style, with a sparkline (tall bar =
+// near rank 1, '·' = not listed). Unknown domains report zero
+// presence rather than failing, mirroring a real tracker.
+func trackRanks(scale core.Scale, domains []string) error {
+	st, err := core.Run(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("window %s..%s, list size %d\n\n",
+		st.Archive.First(), st.Archive.Last(), st.Scale.ListSize)
+	for _, domain := range domains {
+		fmt.Println(domain)
+		for _, p := range st.Providers() {
+			series := st.Analysis.RankSeries(p, domain)
+			s := analysis.SummariseRanks(series)
+			if s.Presence == 0 {
+				fmt.Printf("  %-10s never listed\n", p)
+				continue
+			}
+			fmt.Printf("  %-10s best %-6d median %-6d worst %-6d listed %5.1f%%  %s\n",
+				p, s.Highest, s.Median, s.Lowest, 100*s.Presence,
+				analysis.Sparkline(series, st.Scale.ListSize))
+		}
+	}
+	return nil
+}
+
+// figures renders every chartable experiment as an SVG line chart —
+// the reproduction's actual figures. Experiments whose tables are
+// categorical (e.g. the survey) are skipped with a notice.
+func figures(scale core.Scale, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	env := experiments.NewEnv(scale)
+	written, skipped := 0, 0
+	for _, id := range experiments.IDs() {
+		if !chartable(id) {
+			skipped++
+			continue
+		}
+		res, err := experiments.Run(env, id)
+		if err != nil {
+			return err
+		}
+		line, err := chart.FromTable(res.Header, res.Rows)
+		if err != nil {
+			skipped++
+			continue
+		}
+		line.Title = fmt.Sprintf("%s — %s", res.ID, res.Title)
+		path := filepath.Join(outDir, res.ID+".svg")
+		if err := os.WriteFile(path, []byte(line.SVG()), 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("wrote %d figures to %s (%d experiments not chartable)\n", written, outDir, skipped)
+	return nil
+}
+
+// chartable reports whether an experiment's table is a series over an
+// ordered x axis (figures and sweep-style ablations). The categorical
+// tables (survey, structure, measurement matrices) stay text-only.
+func chartable(id string) bool {
+	if len(id) >= 3 && id[:3] == "fig" {
+		return true
+	}
+	switch id {
+	case "ablation-horizon", "aggregation":
+		return true
+	}
+	return false
+}
+
+func pickScale(name string, seed uint64, days int) (core.Scale, error) {
+	var s core.Scale
+	switch name {
+	case "test":
+		s = core.TestScale()
+	case "default":
+		s = core.DefaultScale()
+	default:
+		return s, fmt.Errorf("unknown scale %q (want test or default)", name)
+	}
+	s.Population.Seed = seed
+	if days > 0 {
+		s.Population.Days = days
+	}
+	return s, nil
+}
+
+// generate writes one CSV per provider per day, in the providers'
+// publication format, plus day-0 com/net/org zone files (the general
+// population source, like the TLD zones the paper consumed).
+func generate(scale core.Scale, outDir string) error {
+	st, err := core.Run(scale)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, tld := range []string{"com", "net", "org"} {
+		f, err := os.Create(filepath.Join(outDir, tld+".zone"))
+		if err != nil {
+			return err
+		}
+		err = simnet.WriteZone(f, tld, st.World.ZoneDomains(0, tld), nil)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	count := 0
+	for _, p := range st.Providers() {
+		for day := 0; day < st.Days(); day++ {
+			l := st.Archive.Get(p, toplist.Day(day))
+			name := fmt.Sprintf("%s-%s.csv", p, toplist.Day(day))
+			f, err := os.Create(filepath.Join(outDir, name))
+			if err != nil {
+				return err
+			}
+			if err := toplist.WriteCSV(f, l); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			count++
+		}
+	}
+	fmt.Printf("wrote %d snapshots to %s\n", count, outDir)
+	return nil
+}

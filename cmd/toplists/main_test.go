@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/toplist"
+)
+
+func TestPickScale(t *testing.T) {
+	s, err := pickScale("test", 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Population.Seed != 7 {
+		t.Fatalf("seed %d", s.Population.Seed)
+	}
+	s, err = pickScale("default", 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Population.Days != 42 {
+		t.Fatalf("days override %d", s.Population.Days)
+	}
+	if _, err := pickScale("huge", 1, 0); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args should fail")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+	if err := run([]string{"experiment"}); err == nil {
+		t.Fatal("experiment without id should fail")
+	}
+	if err := run([]string{"list", "-scale", "bogus"}); err == nil {
+		t.Fatal("bogus scale should fail")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateWritesSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	scale, err := pickScale("test", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale.BurnInDays = 10
+	scale.Population.Sites = 2000
+	scale.Population.BirthsPerDay = 10
+	scale.ListSize = 200
+	scale.HeadSize = 20
+	if err := generate(scale, dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3*10 {
+		t.Fatalf("snapshots %d, want 30", len(matches))
+	}
+	// Zone files for the general population.
+	for _, tld := range []string{"com", "net", "org"} {
+		f, err := os.Open(filepath.Join(dir, tld+".zone"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		origin, domains, err := simnet.ParseZone(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if origin != tld || len(domains) == 0 {
+			t.Fatalf("zone %s: origin %q, %d domains", tld, origin, len(domains))
+		}
+	}
+	// Round-trip one file through the CSV reader.
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	l, err := toplist.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 200 {
+		t.Fatalf("snapshot length %d", l.Len())
+	}
+}
+
+func TestFiguresWritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	scale, err := pickScale("test", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale.BurnInDays = 10
+	scale.Population.Sites = 2000
+	scale.Population.BirthsPerDay = 10
+	scale.ListSize = 200
+	scale.HeadSize = 20
+	if err := figures(scale, dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig*.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 10 {
+		t.Fatalf("figure SVGs = %d, want >= 10", len(matches))
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "polyline") {
+		t.Fatalf("%s does not look like a line chart", matches[0])
+	}
+}
+
+func TestChartableSelection(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig8", "ablation-horizon", "aggregation"} {
+		if !chartable(id) {
+			t.Errorf("%s should be chartable", id)
+		}
+	}
+	for _, id := range []string{"table1", "table5", "ttl", "hygiene", "manipulation", "similarity"} {
+		if chartable(id) {
+			t.Errorf("%s should stay text-only", id)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command dnsprobe demonstrates the live-measurement path of the
+// reproduction: it simulates the top-list ecosystem, serves the
+// simulated authoritative DNS over real UDP/TCP loopback sockets, and
+// then runs a §8-style record-type campaign (NXDOMAIN / IPv6 / CAA)
+// against the Alexa-style head and full list by actually resolving
+// every name over the network — the way the paper's measurements ran
+// against live DNS.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dnsd"
+	"repro/internal/simnet"
+	"repro/internal/toplist"
+
+	toplists "repro"
+)
+
+func main() {
+	study, err := toplists.Simulate(toplists.TestScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	day := study.Archive.Last()
+
+	srv, err := dnsd.Listen(study.World.ZoneAt(int(day)), "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("authoritative DNS for the simulated world on %s (UDP+TCP)\n\n", srv.Addr())
+
+	resolver := dnsd.NewResolver(srv.Addr(), dnsd.WithTimeout(3*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fmt.Printf("%-10s %8s %10s %8s %8s\n", "list", "names", "NXDOMAIN", "IPv6", "CAA")
+	for _, provider := range []string{toplists.Alexa, toplists.Umbrella, toplists.Majestic} {
+		list := study.Archive.Get(provider, day)
+		probeList(ctx, resolver, provider, list.Top(200))
+	}
+
+	st := srv.Stats()
+	fmt.Printf("\nserver handled %d UDP and %d TCP queries (%d truncated)\n",
+		st.UDPQueries, st.TCPQueries, st.Truncated)
+}
+
+func probeList(ctx context.Context, r *dnsd.Resolver, provider string, list *toplist.List) {
+	names := list.Names()
+	results, err := dnsd.ResolveAll(ctx, r, names, 16)
+	if err != nil {
+		log.Fatalf("%s campaign: %v", provider, err)
+	}
+	var nx, v6, caa int
+	for _, res := range results {
+		switch {
+		case res.RCode == simnet.RCodeNXDomain:
+			nx++
+		case res.RCode == simnet.RCodeNoError:
+			if res.AAAA {
+				v6++
+			}
+			if res.CAA {
+				caa++
+			}
+		}
+	}
+	n := float64(len(results))
+	fmt.Printf("%-10s %8d %9.1f%% %7.1f%% %7.1f%%\n",
+		provider, len(results), 100*float64(nx)/n, 100*float64(v6)/n, 100*float64(caa)/n)
+}

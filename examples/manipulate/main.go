@@ -1,0 +1,71 @@
+// Manipulate: reproduce the paper's §7 controlled experiment — place an
+// unused test domain into the Umbrella-style list with a RIPE
+// Atlas-like probe fleet, and show that the ranking is driven by unique
+// clients rather than query volume (and that TTLs don't matter).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/atlas"
+	"repro/internal/providers"
+)
+
+func main() {
+	scale := toplists.TestScale()
+	lab := toplists.NewLab(scale)
+	study, err := lab.Study()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const days = 17
+	opts := providers.DefaultOptions(days, scale.ListSize)
+	opts.BurnInDays = 30
+	opts.AlexaChangeDay = -1
+
+	fmt.Println("=== probe-count × query-frequency grid (Fig. 5) ===")
+	cells, err := atlas.RunGrid(study.Model, atlas.GridConfig{
+		Probes:      []int{100, 1000, 5000, 10000},
+		Frequencies: []int{1, 10, 50, 100},
+		Days:        days,
+		Opts:        opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %12s %12s %12s\n", "probes", "queries/day", "friday rank", "sunday rank")
+	for _, c := range cells {
+		fr, sr := "-", "-"
+		if c.FridayRank > 0 {
+			fr = fmt.Sprint(c.FridayRank)
+		}
+		if c.SundayRank > 0 {
+			sr = fmt.Sprint(c.SundayRank)
+		}
+		fmt.Printf("%8d %12d %12s %12s\n", c.Probes, c.Frequency, fr, sr)
+	}
+
+	fmt.Println("\n=== TTL influence (§7.2) ===")
+	ttl, err := atlas.RunTTL(study.Model, atlas.TTLConfig{
+		TTLs:            []uint32{60, 300, 900, 3600, 86400},
+		Probes:          10000,
+		IntervalSeconds: 900,
+		Days:            12,
+		Opts:            opts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %16s %20s %8s\n", "TTL", "client queries", "authoritative q/day", "rank")
+	for _, r := range ttl {
+		fmt.Printf("%8d %16d %20d %8d\n", r.TTL, r.ClientQueries, r.UpstreamQueries, r.Rank)
+	}
+	fmt.Printf("max rank spread: %d places (paper: <1k of 1M)\n", atlas.MaxRankSpread(ttl))
+
+	fmt.Println("\nTakeaway (paper §7): the number of unique query sources, not the")
+	fmt.Println("query volume, determines an Umbrella rank — and caching/TTL choices")
+	fmt.Println("have no measurable effect on it.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate the top-list ecosystem at test scale, look at a
+// snapshot, and quantify the paper's headline instability finding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	scale := toplists.TestScale()
+	scale.Population.Days = 21 // three weeks is enough for a first look
+	scale.BurnInDays = 30
+
+	study, err := toplists.Simulate(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 0: the three lists disagree even at the very top.
+	fmt.Println("=== day-0 top 10 per provider ===")
+	for _, p := range study.Providers() {
+		fmt.Printf("%-9s:", p)
+		for _, name := range study.ListNames(p, 0, true)[:10] {
+			fmt.Printf(" %s", name)
+		}
+		fmt.Println()
+	}
+
+	// Daily churn: how much of each list is replaced day over day?
+	fmt.Println("\n=== mean daily churn (domains removed per day) ===")
+	for _, p := range study.Providers() {
+		removed := study.Analysis.DailyRemoved(p, 0)
+		sum := 0
+		for _, r := range removed {
+			sum += r
+		}
+		mean := float64(sum) / float64(len(removed))
+		fmt.Printf("%-9s: %6.0f of %d (%.1f%%)\n",
+			p, mean, scale.ListSize, 100*mean/float64(scale.ListSize))
+	}
+
+	fmt.Println("\nNext: examples/stability, examples/bias, examples/manipulate.")
+}

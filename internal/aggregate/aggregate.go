@@ -1,0 +1,230 @@
+// Package aggregate implements the paper's §9 recommendation —
+// stabilising top lists by combining providers and days — as a
+// Tranco-style rank-aggregated list (the paper's conclusions directly
+// motivated Tranco, Le Pochat et al., NDSS 2019).
+//
+// The aggregation uses the Dowdall rule: each (provider, day) snapshot
+// contributes 1/rank to every domain it lists; domains are re-ranked by
+// total score. Aggregating across a multi-day window and all providers
+// suppresses both the day-to-day churn and the single-provider biases
+// quantified in §6 and §8.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/toplist"
+)
+
+// Config controls aggregation.
+type Config struct {
+	// Providers to combine (all archive providers when empty).
+	Providers []string
+	// Window is the number of trailing days to combine (>= 1).
+	Window int
+	// Size is the output list length.
+	Size int
+	// BaseDomains normalises every input list to unique base domains
+	// before scoring, so FQDN-based lists (Umbrella) don't fragment
+	// their weight across subdomains.
+	BaseDomains bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Window < 1 {
+		return fmt.Errorf("aggregate: window must be >= 1, got %d", c.Window)
+	}
+	if c.Size < 1 {
+		return fmt.Errorf("aggregate: size must be >= 1, got %d", c.Size)
+	}
+	return nil
+}
+
+// Build computes the aggregated list as of `day`, combining the window
+// days [day-Window+1, day] for every configured provider.
+func Build(arch *toplist.Archive, day toplist.Day, cfg Config) (*toplist.List, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	providers := cfg.Providers
+	if len(providers) == 0 {
+		providers = arch.Providers()
+	}
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("aggregate: archive has no providers")
+	}
+	from := day - toplist.Day(cfg.Window) + 1
+	if from < arch.First() {
+		from = arch.First()
+	}
+	if day > arch.Last() {
+		return nil, fmt.Errorf("aggregate: day %v beyond archive end %v", day, arch.Last())
+	}
+	scores := make(map[string]float64)
+	snapshots := 0
+	for d := from; d <= day; d++ {
+		for _, p := range providers {
+			l := arch.Get(p, d)
+			if l == nil {
+				continue
+			}
+			if cfg.BaseDomains {
+				l = l.BaseDomains()
+			}
+			snapshots++
+			for rank, name := range l.Names() {
+				scores[name] += 1.0 / float64(rank+1) // Dowdall
+			}
+		}
+	}
+	if snapshots == 0 {
+		return nil, fmt.Errorf("aggregate: no snapshots in window ending %v", day)
+	}
+	type entry struct {
+		name  string
+		score float64
+	}
+	all := make([]entry, 0, len(scores))
+	for name, s := range scores {
+		all = append(all, entry{name, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].name < all[j].name
+	})
+	n := cfg.Size
+	if n > len(all) {
+		n = len(all)
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = all[i].name
+	}
+	return toplist.New(names), nil
+}
+
+// Series builds the aggregated list for every day in [from, to],
+// returning one list per day — the input for stability comparisons.
+func Series(arch *toplist.Archive, from, to toplist.Day, cfg Config) ([]*toplist.List, error) {
+	if to < from {
+		return nil, fmt.Errorf("aggregate: empty day range")
+	}
+	out := make([]*toplist.List, 0, int(to-from)+1)
+	for d := from; d <= to; d++ {
+		l, err := Build(arch, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// Slider maintains the Dowdall scores of a sliding day window
+// incrementally: adding a day costs O(providers × size) instead of
+// rebuilding the whole window, which makes long aggregated series
+// cheap. Feed it pre-normalised lists (apply BaseDomains upstream once
+// per snapshot if desired).
+type Slider struct {
+	size   int
+	window int
+	scores map[string]float64
+	ring   [][]*toplist.List // per in-window day: the contributing lists
+	head   int
+	filled int
+}
+
+// NewSlider builds a slider over the given window length producing
+// lists of the given size.
+func NewSlider(window, size int) (*Slider, error) {
+	if window < 1 || size < 1 {
+		return nil, fmt.Errorf("aggregate: bad slider parameters %d/%d", window, size)
+	}
+	return &Slider{
+		size:   size,
+		window: window,
+		scores: make(map[string]float64),
+		ring:   make([][]*toplist.List, window),
+	}, nil
+}
+
+// Push adds one day's snapshots (one list per provider) and evicts the
+// oldest day once the window is full.
+func (s *Slider) Push(lists ...*toplist.List) {
+	if old := s.ring[s.head]; old != nil {
+		for _, l := range old {
+			for rank, name := range l.Names() {
+				s.scores[name] -= 1.0 / float64(rank+1)
+				if s.scores[name] < 1e-12 {
+					delete(s.scores, name)
+				}
+			}
+		}
+	}
+	day := append([]*toplist.List(nil), lists...)
+	for _, l := range day {
+		for rank, name := range l.Names() {
+			s.scores[name] += 1.0 / float64(rank+1)
+		}
+	}
+	s.ring[s.head] = day
+	s.head = (s.head + 1) % s.window
+	if s.filled < s.window {
+		s.filled++
+	}
+}
+
+// List materialises the current aggregated ranking.
+func (s *Slider) List() *toplist.List {
+	type entry struct {
+		name  string
+		score float64
+	}
+	all := make([]entry, 0, len(s.scores))
+	for name, sc := range s.scores {
+		all = append(all, entry{name, sc})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].name < all[j].name
+	})
+	n := s.size
+	if n > len(all) {
+		n = len(all)
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = all[i].name
+	}
+	return toplist.New(names)
+}
+
+// Filled reports whether the window has seen at least `window` pushes.
+func (s *Slider) Filled() bool { return s.filled == s.window }
+
+// MeanChurn reports the mean daily removed-domain share across a list
+// series — the stability metric the aggregation is meant to improve.
+func MeanChurn(lists []*toplist.List) float64 {
+	if len(lists) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 1; i < len(lists); i++ {
+		prev := lists[i-1].NameSet()
+		cur := lists[i].NameSet()
+		removed := 0
+		for name := range prev {
+			if _, ok := cur[name]; !ok {
+				removed++
+			}
+		}
+		total += float64(removed) / float64(lists[i-1].Len())
+	}
+	return total / float64(len(lists)-1)
+}

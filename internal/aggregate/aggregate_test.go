@@ -1,0 +1,224 @@
+package aggregate
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+func smallArchive(t *testing.T) *toplist.Archive {
+	t.Helper()
+	a := toplist.NewArchive(0, 3)
+	put := func(p string, d toplist.Day, names ...string) {
+		if err := a.Put(p, d, toplist.New(names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("x", 0, "a.com", "b.com", "c.com")
+	put("x", 1, "a.com", "c.com", "d.com")
+	put("x", 2, "a.com", "b.com", "c.com")
+	put("x", 3, "a.com", "c.com", "b.com")
+	put("y", 0, "b.com", "a.com", "e.com")
+	put("y", 1, "b.com", "a.com", "e.com")
+	put("y", 2, "b.com", "e.com", "a.com")
+	put("y", 3, "b.com", "a.com", "e.com")
+	return a
+}
+
+func TestValidate(t *testing.T) {
+	if (Config{Window: 0, Size: 5}).Validate() == nil {
+		t.Fatal("zero window")
+	}
+	if (Config{Window: 1, Size: 0}).Validate() == nil {
+		t.Fatal("zero size")
+	}
+}
+
+func TestBuildDowdall(t *testing.T) {
+	a := smallArchive(t)
+	l, err := Build(a, 0, Config{Window: 1, Size: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Day 0 scores: a: 1 + 1/2 = 1.5; b: 1/2 + 1 = 1.5; c: 1/3;
+	// e: 1/3. Ties break lexically: a, b, then c, e.
+	got := l.Names()
+	want := []string{"a.com", "b.com", "c.com", "e.com"}
+	if len(got) != len(want) {
+		t.Fatalf("names %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %s want %s", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildWindowAccumulates(t *testing.T) {
+	a := smallArchive(t)
+	l1, err := Build(a, 1, Config{Window: 1, Size: 10, Providers: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Build(a, 1, Config{Window: 2, Size: 10, Providers: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 on day 1 has no b.com; window 2 includes day 0's b.com.
+	if l1.Contains("b.com") {
+		t.Fatal("window-1 day-1 list should not contain b.com")
+	}
+	if !l2.Contains("b.com") {
+		t.Fatal("window-2 list should contain b.com")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	a := smallArchive(t)
+	if _, err := Build(a, 99, Config{Window: 1, Size: 5}); err == nil {
+		t.Fatal("day beyond archive")
+	}
+	if _, err := Build(a, 0, Config{Window: 1, Size: 5, Providers: []string{"nope"}}); err == nil {
+		t.Fatal("unknown provider yields no snapshots")
+	}
+	empty := toplist.NewArchive(0, 1)
+	if _, err := Build(empty, 0, Config{Window: 1, Size: 5}); err == nil {
+		t.Fatal("empty archive")
+	}
+}
+
+func TestSeriesAndChurn(t *testing.T) {
+	a := smallArchive(t)
+	series, err := Series(a, 0, 3, Config{Window: 2, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series %d", len(series))
+	}
+	churn := MeanChurn(series)
+	if churn < 0 || churn > 1 {
+		t.Fatalf("churn %v", churn)
+	}
+	if MeanChurn(series[:1]) != 0 {
+		t.Fatal("single-list churn should be 0")
+	}
+}
+
+// TestAggregationStabilises is the headline property: a multi-day,
+// multi-provider aggregate churns less than any single source list —
+// the paper's §9 "Consider Stability" recommendation, and the Tranco
+// design goal.
+func TestAggregationStabilises(t *testing.T) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	opts := providers.DefaultOptions(w.Cfg.Days, 2000)
+	opts.BurnInDays = 40
+	g, err := providers.NewGenerator(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := g.Run(w.Cfg.Days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := toplist.Day(14)
+	to := toplist.Day(w.Cfg.Days - 1)
+
+	agg, err := Series(arch, from, to, Config{Window: 14, Size: 2000, BaseDomains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggChurn := MeanChurn(agg)
+
+	single := func(p string) float64 {
+		var lists []*toplist.List
+		for d := from; d <= to; d++ {
+			lists = append(lists, arch.Get(p, d).BaseDomains())
+		}
+		return MeanChurn(lists)
+	}
+	for _, p := range []string{providers.Alexa, providers.Umbrella} {
+		if s := single(p); aggChurn >= s {
+			t.Fatalf("aggregate churn %.4f not below %s churn %.4f", aggChurn, p, s)
+		}
+	}
+	if aggChurn > 0.05 {
+		t.Fatalf("aggregate churn %.4f unexpectedly high", aggChurn)
+	}
+}
+
+// TestSliderMatchesBuild: the incremental slider must produce exactly
+// the list a from-scratch Build produces for the same window.
+func TestSliderMatchesBuild(t *testing.T) {
+	a := smallArchive(t)
+	slider, err := NewSlider(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := toplist.Day(0); d <= 3; d++ {
+		slider.Push(a.Get("x", d), a.Get("y", d))
+		if d == 0 {
+			if slider.Filled() {
+				t.Fatal("window cannot be full after one push")
+			}
+			continue
+		}
+		want, err := Build(a, d, Config{Window: 2, Size: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := slider.List()
+		if got.Len() != want.Len() {
+			t.Fatalf("day %d: len %d vs %d", d, got.Len(), want.Len())
+		}
+		for r := 1; r <= want.Len(); r++ {
+			if got.Name(r) != want.Name(r) {
+				t.Fatalf("day %d rank %d: %q vs %q", d, r, got.Name(r), want.Name(r))
+			}
+		}
+	}
+	if !slider.Filled() {
+		t.Fatal("window should be full")
+	}
+}
+
+func TestSliderValidates(t *testing.T) {
+	if _, err := NewSlider(0, 5); err == nil {
+		t.Fatal("zero window")
+	}
+	if _, err := NewSlider(2, 0); err == nil {
+		t.Fatal("zero size")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	opts := providers.DefaultOptions(20, 2000)
+	opts.BurnInDays = 20
+	g, err := providers.NewGenerator(m, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch, err := g.Run(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Window: 14, Size: 2000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(arch, 19, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

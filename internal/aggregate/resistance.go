@@ -1,0 +1,137 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/toplist"
+)
+
+// Manipulation resistance of the aggregate (the property Le Pochat et
+// al. designed Tranco around, and the reason the paper's §9 recommends
+// combining providers): an attacker who controls their domain's rank
+// in a *subset* of the input lists contributes only those lists'
+// Dowdall points, while honest popular domains collect points from
+// every provider on every window day.
+
+// InsertionRank reports the rank a synthetic domain would achieve in
+// the aggregate list for `day` if it held `listRank` in `nProviders`
+// of the input lists on every day of the window. It returns 0 when the
+// domain would not make a list of cfg.Size at all.
+//
+// The computation scores the real archive, then places the synthetic
+// score among the honest scores; the one-slot shift this ignores is
+// below rank granularity for any realistic configuration.
+func InsertionRank(arch *toplist.Archive, day toplist.Day, cfg Config, listRank, nProviders int) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if listRank < 1 {
+		return 0, fmt.Errorf("aggregate: bad list rank %d", listRank)
+	}
+	provs := cfg.Providers
+	if len(provs) == 0 {
+		provs = arch.Providers()
+	}
+	if nProviders < 1 || nProviders > len(provs) {
+		return 0, fmt.Errorf("aggregate: nProviders %d outside [1,%d]", nProviders, len(provs))
+	}
+	scores, windowDays, err := windowScores(arch, day, cfg)
+	if err != nil {
+		return 0, err
+	}
+	synthetic := float64(windowDays*nProviders) / float64(listRank)
+
+	// Rank = 1 + number of honest scores strictly above the synthetic
+	// one (ties go to the attacker, the optimistic bound).
+	rank := 1
+	for _, s := range scores {
+		if s > synthetic {
+			rank++
+		}
+	}
+	if rank > cfg.Size {
+		return 0, nil
+	}
+	return rank, nil
+}
+
+// RequiredListRank inverts InsertionRank: the worst (highest-numbered)
+// single-list rank that still lands the attacker inside the aggregate
+// top `aggTarget`, holding rank in nProviders providers across the
+// whole window. Returns 0 when even rank 1 in those providers cannot
+// reach the target.
+func RequiredListRank(arch *toplist.Archive, day toplist.Day, cfg Config, aggTarget, nProviders int) (int, error) {
+	if aggTarget < 1 || aggTarget > cfg.Size {
+		return 0, fmt.Errorf("aggregate: target %d outside [1,%d]", aggTarget, cfg.Size)
+	}
+	provs := cfg.Providers
+	if len(provs) == 0 {
+		provs = arch.Providers()
+	}
+	if nProviders < 1 || nProviders > len(provs) {
+		return 0, fmt.Errorf("aggregate: nProviders %d outside [1,%d]", nProviders, len(provs))
+	}
+	scores, windowDays, err := windowScores(arch, day, cfg)
+	if err != nil {
+		return 0, err
+	}
+	// The attacker beats the honest domain at aggregate rank aggTarget
+	// iff synthetic >= that score (ties to the attacker). Honest score
+	// at position aggTarget (1-based, descending):
+	if aggTarget > len(scores) {
+		// Aggregate is under-full: any listing at all gets in.
+		return 1 << 30, nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	threshold := scores[aggTarget-1]
+	// synthetic = windowDays*nProviders/listRank >= threshold
+	// ⇔ listRank <= windowDays*nProviders/threshold.
+	listRank := int(float64(windowDays*nProviders) / threshold)
+	if listRank < 1 {
+		return 0, nil
+	}
+	return listRank, nil
+}
+
+// windowScores computes the honest Dowdall scores contributing to the
+// aggregate of `day` and the number of days actually inside the
+// window.
+func windowScores(arch *toplist.Archive, day toplist.Day, cfg Config) ([]float64, int, error) {
+	if day > arch.Last() || day < arch.First() {
+		return nil, 0, fmt.Errorf("aggregate: day %v outside archive", day)
+	}
+	provs := cfg.Providers
+	if len(provs) == 0 {
+		provs = arch.Providers()
+	}
+	from := day - toplist.Day(cfg.Window) + 1
+	if from < arch.First() {
+		from = arch.First()
+	}
+	scores := make(map[string]float64)
+	days := 0
+	for d := from; d <= day; d++ {
+		days++
+		for _, p := range provs {
+			l := arch.Get(p, d)
+			if l == nil {
+				continue
+			}
+			if cfg.BaseDomains {
+				l = l.BaseDomains()
+			}
+			for rank, name := range l.Names() {
+				scores[name] += 1.0 / float64(rank+1)
+			}
+		}
+	}
+	if len(scores) == 0 {
+		return nil, 0, fmt.Errorf("aggregate: no snapshots in window ending %v", day)
+	}
+	out := make([]float64, 0, len(scores))
+	for _, s := range scores {
+		out = append(out, s)
+	}
+	return out, days, nil
+}

@@ -1,0 +1,166 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/toplist"
+)
+
+// stableArchive builds a 3-provider archive whose lists are identical
+// across days (maximally honest scores), with distinct per-provider
+// orderings.
+func stableArchive(t *testing.T, days, size int) *toplist.Archive {
+	t.Helper()
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	for p, prov := range []string{"alexa", "umbrella", "majestic"} {
+		names := make([]string, size)
+		for i := 0; i < size; i++ {
+			// Rotate each provider's order a little so the aggregate
+			// has realistic partial agreement.
+			names[i] = fmt.Sprintf("site%03d.com", (i+p*3)%size)
+		}
+		l := toplist.New(names)
+		for d := 0; d < days; d++ {
+			if err := arch.Put(prov, toplist.Day(d), l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return arch
+}
+
+func TestInsertionRankSingleVsAllProviders(t *testing.T) {
+	arch := stableArchive(t, 7, 100)
+	cfg := Config{Window: 7, Size: 100}
+
+	// Holding rank 1 in one list vs in all three lists.
+	one, err := InsertionRank(arch, 6, cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := InsertionRank(arch, 6, cfg, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == 0 || one == 0 {
+		t.Fatalf("rank-1 attacker must enter the aggregate: one=%d all=%d", one, all)
+	}
+	if all > one {
+		t.Errorf("controlling all lists (rank %d) must beat controlling one (rank %d)", all, one)
+	}
+	// A single-list rank-1 attacker cannot reach aggregate rank 1:
+	// honest head domains hold top ranks in all three lists.
+	if one == 1 {
+		t.Error("single-list attacker reached aggregate rank 1 against 3-provider head")
+	}
+	// Controlling all three lists at rank 1 is unbeatable.
+	if all != 1 {
+		t.Errorf("all-list rank-1 attacker = aggregate rank %d, want 1", all)
+	}
+}
+
+func TestInsertionRankDeepListRankStaysOut(t *testing.T) {
+	arch := stableArchive(t, 7, 100)
+	cfg := Config{Window: 7, Size: 50} // aggregate is half the list size
+	got, err := InsertionRank(arch, 6, cfg, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("bottom-rank single-list attacker entered aggregate at %d", got)
+	}
+}
+
+func TestInsertionRankMonotoneInListRank(t *testing.T) {
+	arch := stableArchive(t, 7, 100)
+	cfg := Config{Window: 7, Size: 100}
+	prev := 0
+	for _, lr := range []int{1, 2, 5, 10, 25, 50} {
+		got, err := InsertionRank(arch, 6, cfg, lr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 && got < prev {
+			t.Fatalf("aggregate rank %d at list rank %d improved on %d", got, lr, prev)
+		}
+		if got != 0 {
+			prev = got
+		}
+	}
+}
+
+func TestInsertionRankValidation(t *testing.T) {
+	arch := stableArchive(t, 3, 10)
+	cfg := Config{Window: 3, Size: 10}
+	if _, err := InsertionRank(arch, 2, cfg, 0, 1); err == nil {
+		t.Error("list rank 0 accepted")
+	}
+	if _, err := InsertionRank(arch, 2, cfg, 1, 4); err == nil {
+		t.Error("nProviders beyond archive accepted")
+	}
+	if _, err := InsertionRank(arch, 99, cfg, 1, 1); err == nil {
+		t.Error("day beyond archive accepted")
+	}
+}
+
+func TestRequiredListRankInvertsInsertionRank(t *testing.T) {
+	arch := stableArchive(t, 7, 100)
+	cfg := Config{Window: 7, Size: 100}
+	for _, target := range []int{1, 5, 20, 80} {
+		need, err := RequiredListRank(arch, 6, cfg, target, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if need == 0 {
+			continue // unreachable with one list: consistent if target is tiny
+		}
+		got, err := InsertionRank(arch, 6, cfg, need, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 0 || got > target {
+			t.Errorf("target %d: required rank %d only achieves %d", target, need, got)
+		}
+		// One rank worse must miss the target.
+		miss, err := InsertionRank(arch, 6, cfg, need+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss != 0 && miss <= target {
+			t.Errorf("target %d: rank %d should be insufficient but achieves %d", target, need+1, miss)
+		}
+	}
+}
+
+func TestRequiredListRankTightensWithFewerProviders(t *testing.T) {
+	arch := stableArchive(t, 7, 100)
+	cfg := Config{Window: 7, Size: 100}
+	const target = 10
+	one, err := RequiredListRank(arch, 6, cfg, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RequiredListRank(arch, 6, cfg, target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three != 0 && one != 0 && three < one {
+		t.Errorf("controlling 3 providers (rank %d needed) should be easier than 1 (rank %d)", three, one)
+	}
+	t.Logf("aggregate top-%d: need list rank %d with 1 provider, %d with all 3", target, one, three)
+}
+
+func TestRequiredListRankUnderfullAggregate(t *testing.T) {
+	// Tiny archive: fewer names than cfg.Size — anything gets in.
+	arch := toplist.NewArchive(0, 0)
+	arch.Put("p", 0, toplist.New([]string{"a.com", "b.com"})) //nolint:errcheck
+	cfg := Config{Window: 1, Size: 100}
+	need, err := RequiredListRank(arch, 0, cfg, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need != 1<<30 {
+		t.Errorf("under-full aggregate: need = %d, want any-rank sentinel", need)
+	}
+}

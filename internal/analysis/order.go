@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/toplist"
+)
+
+// kendallBetween computes Kendall's τ-b between the ranks two lists
+// assign to their common domains.
+func (c *Context) kendallBetween(a, b *toplist.List) float64 {
+	if a == nil || b == nil {
+		return math.NaN()
+	}
+	idsA := c.worldIDs(a)
+	rankB := make(map[uint32]int, b.Len())
+	for r, id := range c.worldIDs(b) {
+		rankB[id] = r + 1
+	}
+	var xs, ys []float64
+	for r, id := range idsA {
+		if rb, ok := rankB[id]; ok {
+			xs = append(xs, float64(r+1))
+			ys = append(ys, float64(rb))
+		}
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return stats.KendallTau(xs, ys)
+}
+
+// KendallDayToDay computes Fig. 4's day-to-day series: τ between each
+// consecutive day pair of the provider's top subset.
+func (c *Context) KendallDayToDay(provider string, top int) []float64 {
+	var out []float64
+	var prev *toplist.List
+	c.Arch.EachDay(func(d toplist.Day) {
+		cur := c.subset(provider, d, top)
+		if prev != nil {
+			if tau := c.kendallBetween(prev, cur); !math.IsNaN(tau) {
+				out = append(out, tau)
+			}
+		}
+		prev = cur
+	})
+	return out
+}
+
+// KendallVsFirst computes Fig. 4's static series: τ between day 0's
+// subset and every later day.
+func (c *Context) KendallVsFirst(provider string, top int) []float64 {
+	first := c.subset(provider, c.Arch.First(), top)
+	var out []float64
+	c.Arch.EachDay(func(d toplist.Day) {
+		if d == c.Arch.First() {
+			return
+		}
+		if tau := c.kendallBetween(first, c.subset(provider, d, top)); !math.IsNaN(tau) {
+			out = append(out, tau)
+		}
+	})
+	return out
+}
+
+// VeryStrongShare reports the fraction of τ values above the paper's
+// "very strong correlation" threshold of 0.95 (§6.3).
+func VeryStrongShare(taus []float64) float64 {
+	if len(taus) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range taus {
+		if t > 0.95 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(taus))
+}

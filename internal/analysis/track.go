@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/toplist"
+)
+
+// RankSeries returns name's 1-based rank in provider's full list for
+// every archive day, 0 where the name is absent — the raw series
+// behind Table 4 and behind ad-hoc domain tracking (`toplists rank`).
+func (c *Context) RankSeries(provider, name string) []int {
+	out := make([]int, 0, c.Arch.Days())
+	c.Arch.EachDay(func(d toplist.Day) {
+		l := c.Arch.Get(provider, d)
+		if l == nil {
+			out = append(out, 0)
+			return
+		}
+		out = append(out, l.RankOf(name))
+	})
+	return out
+}
+
+// RankSummary condenses a rank series the way Table 4 reports domains.
+type RankSummary struct {
+	Highest  int     // best (lowest-numbered) rank attained; 0 if never listed
+	Median   int     // median rank over listed days; 0 if never listed
+	Lowest   int     // worst (highest-numbered) rank attained; 0 if never listed
+	Presence float64 // share of days listed
+}
+
+// SummariseRanks computes Table 4's highest/median/lowest statistics
+// over the listed days of a series.
+func SummariseRanks(series []int) RankSummary {
+	var listed []int
+	for _, r := range series {
+		if r > 0 {
+			listed = append(listed, r)
+		}
+	}
+	var s RankSummary
+	if len(series) > 0 {
+		s.Presence = float64(len(listed)) / float64(len(series))
+	}
+	if len(listed) == 0 {
+		return s
+	}
+	sort.Ints(listed)
+	s.Highest = listed[0]
+	s.Lowest = listed[len(listed)-1]
+	s.Median = listed[len(listed)/2]
+	return s
+}
+
+// sparkRunes index from shallow (good rank) to deep.
+var sparkRunes = []rune("█▇▆▅▄▃▂▁")
+
+// Sparkline renders a rank series as a compact unicode strip: tall
+// bars are good (near rank 1), short bars are deep ranks, and '·'
+// marks days off the list. listSize anchors the scale.
+func Sparkline(series []int, listSize int) string {
+	if listSize < 1 {
+		listSize = 1
+	}
+	out := make([]rune, len(series))
+	for i, r := range series {
+		if r <= 0 {
+			out[i] = '·'
+			continue
+		}
+		// Log-ish bucketing: rank 1 → tallest, listSize → shortest.
+		frac := float64(r-1) / float64(listSize)
+		idx := int(frac * float64(len(sparkRunes)))
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/providers"
+)
+
+func TestRankSeriesTracksListedDomain(t *testing.T) {
+	c := ctx(t)
+	top := c.Arch.Get(providers.Alexa, 0).Name(1)
+	series := c.RankSeries(providers.Alexa, top)
+	if len(series) != c.Arch.Days() {
+		t.Fatalf("series length %d, want %d", len(series), c.Arch.Days())
+	}
+	if series[0] != 1 {
+		t.Fatalf("day-0 rank = %d, want 1", series[0])
+	}
+	s := SummariseRanks(series)
+	if s.Highest != 1 || s.Presence < 0.9 {
+		t.Errorf("summary = %+v, want rank-1 near-full presence", s)
+	}
+	if s.Highest > s.Median || s.Median > s.Lowest {
+		t.Errorf("summary not ordered: %+v", s)
+	}
+}
+
+func TestRankSeriesUnknownDomain(t *testing.T) {
+	c := ctx(t)
+	series := c.RankSeries(providers.Alexa, "definitely-not-simulated.invalid")
+	s := SummariseRanks(series)
+	if s.Presence != 0 || s.Highest != 0 || s.Median != 0 || s.Lowest != 0 {
+		t.Errorf("unknown domain summary = %+v", s)
+	}
+}
+
+func TestSummariseRanksMixedSeries(t *testing.T) {
+	s := SummariseRanks([]int{0, 10, 5, 0, 20, 15})
+	if s.Highest != 5 || s.Lowest != 20 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Presence != 4.0/6.0 {
+		t.Errorf("presence = %v", s.Presence)
+	}
+	if s.Median != 15 { // sorted listed: 5 10 15 20; index 2
+		t.Errorf("median = %d", s.Median)
+	}
+	empty := SummariseRanks(nil)
+	if empty.Presence != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]int{1, 500, 1000, 0}, 1000)
+	runes := []rune(got)
+	if len(runes) != 4 {
+		t.Fatalf("sparkline %q has %d runes", got, len(runes))
+	}
+	if runes[0] != '█' {
+		t.Errorf("rank 1 should be the tallest bar, got %q", string(runes[0]))
+	}
+	if runes[3] != '·' {
+		t.Errorf("absent day should be '·', got %q", string(runes[3]))
+	}
+	if runes[1] == runes[0] {
+		t.Errorf("mid rank should differ from rank 1: %q", got)
+	}
+	if !strings.ContainsRune(got, '▁') {
+		t.Errorf("deepest rank should be shortest bar: %q", got)
+	}
+}
+
+func TestSparklineDegenerate(t *testing.T) {
+	if got := Sparkline(nil, 100); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	// listSize 0 must not panic or divide by zero.
+	if got := Sparkline([]int{1}, 0); got == "" {
+		t.Error("single-point series lost")
+	}
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/toplist"
+)
+
+// rankMatrix holds per-domain rank series for one provider subset.
+// Absent days carry the sentinel rank 2×size ("beyond the list"), so a
+// domain present only on weekends has fully disjoint weekday/weekend
+// rank distributions — KS distance 1, the paper's Fig. 3a signature.
+type rankMatrix struct {
+	days  int
+	size  int
+	ranks map[uint32][]int32
+}
+
+// buildRankMatrix collects rank series for every domain ever present in
+// the subset, deterministically down-sampled to at most maxDomains. The
+// down-sampling admits domains by a hash filter during the build (so
+// memory stays bounded even when the ever-seen union is many times the
+// list size) and trims to the exact cap afterwards.
+func (c *Context) buildRankMatrix(provider string, top, maxDomains int) *rankMatrix {
+	days := c.Arch.Days()
+	m := &rankMatrix{days: days, ranks: make(map[uint32][]int32)}
+	admitThreshold := uint32(0xFFFFFFFF)
+	first := c.subset(provider, c.Arch.First(), top)
+	if maxDomains > 0 && first != nil {
+		size := first.Len()
+		// The ever-seen union is typically a small multiple of the list
+		// size; admit with probability maxDomains/size capped at 1 and
+		// floored so small subsets keep everything.
+		p := float64(maxDomains) / float64(size)
+		if p < 1 {
+			admitThreshold = uint32(p * float64(0xFFFFFFFF))
+		}
+	}
+	admit := func(id uint32) bool {
+		h := id * 2654435761 // Knuth multiplicative hash
+		h ^= h >> 16
+		h *= 2246822519
+		h ^= h >> 13
+		return h <= admitThreshold
+	}
+	day := 0
+	c.Arch.EachDay(func(d toplist.Day) {
+		l := c.subset(provider, d, top)
+		if l == nil {
+			day++
+			return
+		}
+		if m.size == 0 {
+			m.size = l.Len()
+		}
+		for rank, id := range c.worldIDs(l) {
+			if !admit(id) {
+				continue
+			}
+			s, ok := m.ranks[id]
+			if !ok {
+				s = make([]int32, days)
+				sentinel := int32(2 * m.size)
+				for i := range s {
+					s[i] = sentinel
+				}
+				m.ranks[id] = s
+			}
+			s[day] = int32(rank + 1)
+		}
+		day++
+	})
+	if maxDomains > 0 && len(m.ranks) > maxDomains {
+		ids := make([]uint32, 0, len(m.ranks))
+		for id := range m.ranks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		keep := make(map[uint32][]int32, maxDomains)
+		step := float64(len(ids)) / float64(maxDomains)
+		for i := 0; i < maxDomains; i++ {
+			id := ids[int(float64(i)*step)]
+			keep[id] = m.ranks[id]
+		}
+		m.ranks = keep
+	}
+	return m
+}
+
+// KSWeekendDistances computes Fig. 3a: for each domain, the two-sample
+// KS distance between its weekday and weekend rank distributions,
+// using only the days the domain is actually ranked (the paper compares
+// distributions of rank positions). With baseline true it instead
+// splits the weekday samples into two alternating halves — the paper's
+// weekday-vs-weekday reference, which should be near zero.
+func (c *Context) KSWeekendDistances(provider string, top, maxDomains int, baseline bool) []float64 {
+	m := c.buildRankMatrix(provider, top, maxDomains)
+	weekend := make([]bool, m.days)
+	for d := 0; d < m.days; d++ {
+		weekend[d] = toplist.Day(d).IsWeekend()
+	}
+	sentinel := int32(2 * m.size)
+	var out []float64
+	for _, series := range m.ranks {
+		var a, b []float64
+		if baseline {
+			k := 0
+			for d, r := range series {
+				if weekend[d] || r == sentinel {
+					continue
+				}
+				if k%2 == 0 {
+					a = append(a, float64(r))
+				} else {
+					b = append(b, float64(r))
+				}
+				k++
+			}
+		} else {
+			for d, r := range series {
+				if r == sentinel {
+					continue
+				}
+				if weekend[d] {
+					b = append(b, float64(r))
+				} else {
+					a = append(a, float64(r))
+				}
+			}
+		}
+		if len(a) < 4 || len(b) < 4 {
+			continue
+		}
+		d := stats.KSDistance(a, b)
+		if !math.IsNaN(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SLDGroupDynamic describes one Fig. 3b/3c group: an SLD whose daily
+// presence in the list swings by more than the threshold between
+// weekdays and weekends.
+type SLDGroupDynamic struct {
+	Group        string
+	WeekdayMean  float64
+	WeekendMean  float64
+	SwingPercent float64 // |weekend-weekday| / weekday × 100
+	Series       []float64
+}
+
+// SLDDynamics computes Fig. 3b/3c for a provider: daily counts of list
+// entries per SLD group, returning groups with a weekday/weekend swing
+// above swingPC percent (evaluated within [fromDay, toDay); pass 0,0
+// for the full archive) and a mean daily count of at least minCount.
+// The day window matters for Alexa, whose weekend swing only exists
+// after its regime change (the paper's Fig. 3b shows exactly this).
+func (c *Context) SLDDynamics(provider string, swingPC, minCount float64, fromDay, toDay int) []SLDGroupDynamic {
+	days := c.Arch.Days()
+	if toDay <= fromDay {
+		fromDay, toDay = 0, days
+	}
+	counts := make(map[string][]float64)
+	day := 0
+	c.Arch.EachDay(func(d toplist.Day) {
+		for _, id := range c.worldIDs(c.subset(provider, d, 0)) {
+			g := c.info[id].sldGroup
+			if g == "" {
+				continue
+			}
+			s, ok := counts[g]
+			if !ok {
+				s = make([]float64, days)
+				counts[g] = s
+			}
+			s[day]++
+		}
+		day++
+	})
+	var out []SLDGroupDynamic
+	for g, series := range counts {
+		var wd, we []float64
+		for d, v := range series {
+			if d < fromDay || d >= toDay {
+				continue
+			}
+			if toplist.Day(d).IsWeekend() {
+				we = append(we, v)
+			} else {
+				wd = append(wd, v)
+			}
+		}
+		wdm, wem := stats.Mean(wd), stats.Mean(we)
+		if (wdm+wem)/2 < minCount || wdm == 0 {
+			continue
+		}
+		swing := 100 * math.Abs(wem-wdm) / wdm
+		if swing < swingPC {
+			continue
+		}
+		out = append(out, SLDGroupDynamic{
+			Group:        g,
+			WeekdayMean:  wdm,
+			WeekendMean:  wem,
+			SwingPercent: swing,
+			Series:       series,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SwingPercent != out[j].SwingPercent {
+			return out[i].SwingPercent > out[j].SwingPercent
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+// Package atlas implements the paper's §7 controlled rank-manipulation
+// experiments against the Umbrella generator: a RIPE-Atlas-style probe
+// fleet issuing DNS queries for test domains (Fig. 5's probe-count ×
+// query-frequency grid) and the TTL-influence experiment run through a
+// TTL-aware caching resolver.
+package atlas
+
+import (
+	"fmt"
+
+	"repro/internal/providers"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// Measurement describes one Atlas-style measurement: Probes distinct
+// vantage points, each issuing QueriesPerProbe DNS queries per day for
+// Target, on days [Start, End).
+type Measurement struct {
+	Target          string
+	Probes          int
+	QueriesPerProbe int
+	Start, End      int
+}
+
+// Schedule injects the measurement's traffic into inj. Each probe is a
+// distinct client, so the unique-client contribution equals the probe
+// count; the query contribution is probes × frequency.
+func Schedule(inj *traffic.Injector, m Measurement) {
+	for d := m.Start; d < m.End; d++ {
+		inj.Add(m.Target, d, float64(m.Probes), float64(m.Probes*m.QueriesPerProbe))
+	}
+}
+
+// GridCell is one cell of Fig. 5: the stabilised Umbrella rank achieved
+// by a (probe count, query frequency) combination, read on a Friday and
+// on a Sunday (the paper's left/right columns). Rank 0 means the
+// domain did not make the list.
+type GridCell struct {
+	Probes     int
+	Frequency  int
+	Target     string
+	FridayRank int
+	SundayRank int
+}
+
+// GridConfig parameterises the Fig. 5 experiment.
+type GridConfig struct {
+	Probes      []int // paper: 100, 1k, 5k, 10k
+	Frequencies []int // paper: 1, 10, 50, 100 queries/probe/day
+	Days        int   // measurement duration (stabilises in a few days)
+	Opts        providers.Options
+}
+
+// RunGrid injects one test domain per grid cell into a single Umbrella
+// generation run and reports the achieved ranks. All cells share the
+// run, as the paper's seven concurrent RIPE Atlas measurements did.
+func RunGrid(model *traffic.Model, cfg GridConfig) ([]GridCell, error) {
+	if cfg.Days < 10 {
+		return nil, fmt.Errorf("atlas: need at least 10 days to stabilise, got %d", cfg.Days)
+	}
+	inj := traffic.NewInjector()
+	cells := make([]GridCell, 0, len(cfg.Probes)*len(cfg.Frequencies))
+	for _, p := range cfg.Probes {
+		for _, f := range cfg.Frequencies {
+			target := fmt.Sprintf("probe%d-freq%d.atlas-exp.net", p, f)
+			Schedule(inj, Measurement{
+				Target: target, Probes: p, QueriesPerProbe: f,
+				Start: 0, End: cfg.Days,
+			})
+			cells = append(cells, GridCell{Probes: p, Frequency: f, Target: target})
+		}
+	}
+	opts := cfg.Opts
+	opts.Injector = inj
+	opts.Enabled = []string{providers.Umbrella}
+	g, err := providers.NewGenerator(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := g.Run(cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+	friday, sunday := lastWeekendPair(cfg.Days)
+	fl := arch.Get(providers.Umbrella, toplist.Day(friday))
+	sl := arch.Get(providers.Umbrella, toplist.Day(sunday))
+	for i := range cells {
+		cells[i].FridayRank = fl.RankOf(cells[i].Target)
+		cells[i].SundayRank = sl.RankOf(cells[i].Target)
+	}
+	return cells, nil
+}
+
+// lastWeekendPair returns the last Friday and the following Sunday
+// before day limit.
+func lastWeekendPair(limit int) (friday, sunday int) {
+	for d := limit - 1; d >= 0; d-- {
+		if toplist.Day(d).Weekday().String() == "Sunday" && d >= 2 {
+			return d - 2, d
+		}
+	}
+	return limit - 3, limit - 1
+}
+
+// Disappearance measures how quickly a test domain leaves the list
+// after its measurement stops (the paper: within 1–2 days). It returns
+// the number of days the domain stays listed after the injection ends.
+func Disappearance(model *traffic.Model, opts providers.Options, probes, days, stopDay int) (int, error) {
+	inj := traffic.NewInjector()
+	const target = "disappearance-test.atlas-exp.net"
+	Schedule(inj, Measurement{Target: target, Probes: probes, QueriesPerProbe: 1, Start: 0, End: stopDay})
+	opts.Injector = inj
+	opts.Enabled = []string{providers.Umbrella}
+	g, err := providers.NewGenerator(model, opts)
+	if err != nil {
+		return 0, err
+	}
+	arch, err := g.Run(days)
+	if err != nil {
+		return 0, err
+	}
+	if arch.Get(providers.Umbrella, toplist.Day(stopDay-1)).RankOf(target) == 0 {
+		return 0, fmt.Errorf("atlas: test domain never entered the list")
+	}
+	for d := stopDay; d < days; d++ {
+		if arch.Get(providers.Umbrella, toplist.Day(d)).RankOf(target) == 0 {
+			return d - stopDay, nil
+		}
+	}
+	return days - stopDay, nil
+}

@@ -1,0 +1,197 @@
+package atlas
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/traffic"
+)
+
+func model(t *testing.T) *traffic.Model {
+	t.Helper()
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traffic.NewModel(w)
+}
+
+func gridOpts() providers.Options {
+	opts := providers.DefaultOptions(20, 2500)
+	opts.BurnInDays = 20
+	opts.AlexaChangeDay = -1
+	return opts
+}
+
+func TestSchedule(t *testing.T) {
+	inj := traffic.NewInjector()
+	Schedule(inj, Measurement{Target: "t.example.net", Probes: 100, QueriesPerProbe: 10, Start: 2, End: 4})
+	if inj.For(1) != nil {
+		t.Fatal("day 1 should be empty")
+	}
+	got := inj.For(3)["t.example.net"]
+	if got.Clients != 100 || got.Queries != 1000 {
+		t.Fatalf("injection %+v", got)
+	}
+	if inj.For(4) != nil {
+		t.Fatal("end day exclusive")
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	m := model(t)
+	cells, err := RunGrid(m, GridConfig{
+		Probes:      []int{100, 1000, 5000, 10000},
+		Frequencies: []int{1, 100},
+		Days:        16,
+		Opts:        gridOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cells %d", len(cells))
+	}
+	rank := func(p, f int) int {
+		for _, c := range cells {
+			if c.Probes == p && c.Frequency == f {
+				return c.FridayRank
+			}
+		}
+		t.Fatalf("cell %d/%d missing", p, f)
+		return 0
+	}
+	// The paper's headline result: 10k probes at 1 query/day (10k total
+	// queries) outrank 1k probes at 100 queries/day (100k total).
+	r10k1 := rank(10000, 1)
+	r1k100 := rank(1000, 100)
+	if r10k1 == 0 {
+		t.Fatal("10k probes should always enter the list")
+	}
+	if r1k100 != 0 && r10k1 >= r1k100 {
+		t.Fatalf("probe count should dominate: 10k×1 rank %d vs 1k×100 rank %d", r10k1, r1k100)
+	}
+	// More probes at equal frequency always rank better (0 = unlisted,
+	// treated as worst).
+	for _, f := range []int{1, 100} {
+		prev := 0
+		for _, p := range []int{100, 1000, 5000, 10000} {
+			r := rank(p, f)
+			if prev != 0 && r != 0 && r >= prev {
+				t.Fatalf("rank not improving with probes at freq %d: %d then %d", f, prev, r)
+			}
+			if prev == 0 && r != 0 {
+				prev = r
+			} else if r != 0 {
+				prev = r
+			}
+		}
+	}
+	// Frequency helps only marginally: at 10k probes, freq 100 must not
+	// be drastically better than freq 1.
+	r10k100 := rank(10000, 100)
+	if r10k100 != 0 && r10k1 != 0 && r10k100*20 < r10k1 {
+		t.Fatalf("query volume dominates unexpectedly: %d vs %d", r10k100, r10k1)
+	}
+}
+
+func TestRunGridRejectsShortRuns(t *testing.T) {
+	m := model(t)
+	if _, err := RunGrid(m, GridConfig{Probes: []int{10}, Frequencies: []int{1}, Days: 3, Opts: gridOpts()}); err == nil {
+		t.Fatal("short run should fail")
+	}
+}
+
+func TestDisappearance(t *testing.T) {
+	m := model(t)
+	opts := gridOpts()
+	gone, err := Disappearance(m, opts, 20000, 18, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: test domains disappeared within 1–2 days of stopping.
+	if gone > 3 {
+		t.Fatalf("domain lingered %d days after stop", gone)
+	}
+}
+
+func TestRunTTL(t *testing.T) {
+	m := model(t)
+	results, err := RunTTL(m, TTLConfig{
+		TTLs:            []uint32{60, 300, 900, 3600, 86400},
+		Probes:          5000,
+		IntervalSeconds: 900,
+		Days:            12,
+		Opts:            gridOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i, r := range results {
+		if r.Rank == 0 {
+			t.Fatalf("TTL %d domain unlisted", r.TTL)
+		}
+		if r.ClientQueries == 0 || r.UpstreamQueries == 0 {
+			t.Fatalf("no query accounting: %+v", r)
+		}
+		if r.UpstreamQueries > r.ClientQueries {
+			t.Fatal("upstream cannot exceed client volume")
+		}
+		if i > 0 && r.UpstreamQueries > results[i-1].UpstreamQueries {
+			t.Fatalf("upstream volume should fall with TTL: %d (ttl %d) after %d (ttl %d)",
+				r.UpstreamQueries, r.TTL, results[i-1].UpstreamQueries, results[i-1].TTL)
+		}
+	}
+	// Client volumes identical across TTLs.
+	for _, r := range results[1:] {
+		if r.ClientQueries != results[0].ClientQueries {
+			t.Fatal("client volumes should match")
+		}
+	}
+	// The rank spread must be small relative to the list (paper: <1k
+	// places of 1M, i.e. 0.1%; allow 2% here for the small scale).
+	spread := MaxRankSpread(results)
+	if spread > 2500/50 {
+		t.Fatalf("TTL rank spread %d too large", spread)
+	}
+}
+
+func TestRunTTLValidates(t *testing.T) {
+	m := model(t)
+	if _, err := RunTTL(m, TTLConfig{Probes: 10, IntervalSeconds: 900, Days: 12, Opts: gridOpts()}); err == nil {
+		t.Fatal("no TTLs should fail")
+	}
+}
+
+func TestMaxRankSpread(t *testing.T) {
+	if MaxRankSpread([]TTLResult{{Rank: 100}, {Rank: 0}, {Rank: 350}}) != 250 {
+		t.Fatal("spread")
+	}
+	if MaxRankSpread(nil) != 0 {
+		t.Fatal("empty spread")
+	}
+}
+
+func BenchmarkRunGrid(b *testing.B) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	cfg := GridConfig{
+		Probes:      []int{100, 10000},
+		Frequencies: []int{1, 100},
+		Days:        12,
+		Opts:        gridOpts(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGrid(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package atlas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/providers"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// Manipulation-cost search (§7 extension). The paper demonstrates that
+// Umbrella rank is manipulable with modest unique-source counts
+// (Fig. 5) and cites Le Pochat et al. for Alexa (toolbar API) and
+// Majestic (purchased backlinks). With injection hooks in all three
+// generators, the natural follow-up question is quantitative: what is
+// the *minimal* sustained daily signal that places an attacker's
+// domain at a given rank in each list? MinimalClients answers it by
+// binary search over end-to-end generator runs.
+
+// CostConfig parameterises one minimal-cost search.
+type CostConfig struct {
+	// Provider is the list under attack (providers.Alexa, .Umbrella,
+	// or .Majestic).
+	Provider string
+	// TargetRank is the rank to reach (rank <= TargetRank on the final
+	// day counts as success).
+	TargetRank int
+	// Days is the sustained injection duration; the rank is read on
+	// day Days-1.
+	Days int
+	// MaxClients bounds the search; the search fails if even this
+	// signal cannot reach the target.
+	MaxClients float64
+	// Tolerance stops the search when hi/lo falls below 1+Tolerance
+	// (default 0.05).
+	Tolerance float64
+	// Opts is the generation baseline (list size, alphas, burn-in).
+	Opts providers.Options
+}
+
+// CostResult reports a minimal-cost search outcome.
+type CostResult struct {
+	Provider   string
+	TargetRank int
+	// Clients is the minimal clients/day found: unique DNS sources for
+	// Umbrella, panel visitors for Alexa, referring /24 subnets for
+	// Majestic.
+	Clients float64
+	// EntryDay is the first day the domain reached the target at the
+	// found cost (measures the mechanism's inertia: Majestic's 90-day
+	// window makes this large).
+	EntryDay int
+	// FinalRank is the rank achieved on the last day at the found
+	// cost.
+	FinalRank int
+	// Evaluations counts generator runs spent by the search.
+	Evaluations int
+}
+
+// attackOutcome is one generator run under a fixed injected signal.
+type attackOutcome struct {
+	finalRank int // 0 = not listed on the final day
+	entryDay  int // first day with rank <= target, -1 if never
+}
+
+func runAttack(model *traffic.Model, cfg CostConfig, clients float64) (attackOutcome, error) {
+	const target = "attacker.cost-exp.net"
+	inj := traffic.NewInjector()
+	for d := 0; d < cfg.Days; d++ {
+		inj.Add(target, d, clients, clients) // one query per client per day
+	}
+	opts := cfg.Opts
+	opts.Enabled = []string{cfg.Provider}
+	switch cfg.Provider {
+	case providers.Alexa:
+		opts.AlexaInjector = inj
+	case providers.Majestic:
+		opts.MajesticInjector = inj
+	case providers.Umbrella:
+		opts.Injector = inj
+	default:
+		return attackOutcome{}, fmt.Errorf("atlas: unknown provider %q", cfg.Provider)
+	}
+	g, err := providers.NewGenerator(model, opts)
+	if err != nil {
+		return attackOutcome{}, err
+	}
+	arch, err := g.Run(cfg.Days)
+	if err != nil {
+		return attackOutcome{}, err
+	}
+	out := attackOutcome{entryDay: -1}
+	for d := 0; d < cfg.Days; d++ {
+		r := arch.Get(cfg.Provider, toplist.Day(d)).RankOf(target)
+		if r != 0 && r <= cfg.TargetRank && out.entryDay < 0 {
+			out.entryDay = d
+		}
+		if d == cfg.Days-1 {
+			out.finalRank = r
+		}
+	}
+	return out, nil
+}
+
+func (o attackOutcome) success(target int) bool {
+	return o.finalRank != 0 && o.finalRank <= target
+}
+
+// MinimalClients binary-searches the smallest sustained clients/day
+// that reaches cfg.TargetRank by the final day.
+func MinimalClients(model *traffic.Model, cfg CostConfig) (CostResult, error) {
+	if cfg.Days < 3 {
+		return CostResult{}, fmt.Errorf("atlas: need >= 3 days, got %d", cfg.Days)
+	}
+	if cfg.TargetRank < 1 {
+		return CostResult{}, fmt.Errorf("atlas: bad target rank %d", cfg.TargetRank)
+	}
+	if cfg.MaxClients <= 1 {
+		return CostResult{}, fmt.Errorf("atlas: MaxClients must exceed 1")
+	}
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = 0.05
+	}
+	res := CostResult{Provider: cfg.Provider, TargetRank: cfg.TargetRank}
+
+	eval := func(clients float64) (attackOutcome, error) {
+		res.Evaluations++
+		return runAttack(model, cfg, clients)
+	}
+
+	hiOut, err := eval(cfg.MaxClients)
+	if err != nil {
+		return res, err
+	}
+	if !hiOut.success(cfg.TargetRank) {
+		return res, fmt.Errorf("atlas: %s rank %d unreachable with %.0f clients/day in %d days (final rank %d)",
+			cfg.Provider, cfg.TargetRank, cfg.MaxClients, cfg.Days, hiOut.finalRank)
+	}
+	lo, hi := 1.0, cfg.MaxClients
+	best := hiOut
+	for hi/lo > 1+tol {
+		mid := geoMid(lo, hi)
+		out, err := eval(mid)
+		if err != nil {
+			return res, err
+		}
+		if out.success(cfg.TargetRank) {
+			hi = mid
+			best = out
+		} else {
+			lo = mid
+		}
+	}
+	res.Clients = hi
+	res.EntryDay = best.entryDay
+	res.FinalRank = best.finalRank
+	return res, nil
+}
+
+// geoMid is the geometric midpoint: the signal scale spans orders of
+// magnitude, so we bisect in log space.
+func geoMid(lo, hi float64) float64 { return math.Sqrt(lo * hi) }

@@ -1,0 +1,135 @@
+package atlas
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/providers"
+)
+
+func costOpts() providers.Options {
+	opts := providers.DefaultOptions(21, 2000)
+	opts.BurnInDays = 30
+	opts.AlexaChangeDay = -1 // no regime change inside the attack window
+	return opts
+}
+
+func TestMinimalClientsUmbrella(t *testing.T) {
+	m := model(t)
+	res, err := MinimalClients(m, CostConfig{
+		Provider:   providers.Umbrella,
+		TargetRank: 2000, // enter the list at all
+		Days:       21,
+		MaxClients: 1e7,
+		Opts:       costOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients <= 1 || res.Clients >= 1e7 {
+		t.Errorf("cost = %v clients/day, want interior of search range", res.Clients)
+	}
+	if res.FinalRank == 0 || res.FinalRank > 2000 {
+		t.Errorf("final rank = %d", res.FinalRank)
+	}
+	if res.EntryDay < 0 {
+		t.Errorf("entry day = %d", res.EntryDay)
+	}
+	t.Logf("umbrella entry cost: %.0f clients/day, entered day %d, final rank %d (%d evals)",
+		res.Clients, res.EntryDay, res.FinalRank, res.Evaluations)
+}
+
+func TestMinimalClientsHeadCostsMoreThanTail(t *testing.T) {
+	m := model(t)
+	base := CostConfig{
+		Provider:   providers.Umbrella,
+		Days:       21,
+		MaxClients: 1e8,
+		Opts:       costOpts(),
+	}
+	tail := base
+	tail.TargetRank = 2000
+	head := base
+	head.TargetRank = 100
+
+	tailRes, err := MinimalClients(m, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headRes, err := MinimalClients(m, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headRes.Clients <= tailRes.Clients {
+		t.Errorf("head cost %.0f should exceed tail cost %.0f",
+			headRes.Clients, tailRes.Clients)
+	}
+	t.Logf("umbrella: tail %.0f vs head %.0f clients/day (x%.1f)",
+		tailRes.Clients, headRes.Clients, headRes.Clients/tailRes.Clients)
+}
+
+func TestMinimalClientsAllProvidersReachable(t *testing.T) {
+	// All three mechanisms are now injectable; each must admit an
+	// entry-level attack within the search bound, and Majestic's slow
+	// window must show the largest inertia (latest entry day).
+	m := model(t)
+	entryDay := map[string]int{}
+	for _, prov := range []string{providers.Alexa, providers.Umbrella, providers.Majestic} {
+		res, err := MinimalClients(m, CostConfig{
+			Provider:   prov,
+			TargetRank: 2000,
+			Days:       21,
+			MaxClients: 1e8,
+			Opts:       costOpts(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", prov, err)
+		}
+		if res.FinalRank == 0 {
+			t.Fatalf("%s: not listed at found cost", prov)
+		}
+		entryDay[prov] = res.EntryDay
+		t.Logf("%s: %.0f clients/day, entry day %d, final rank %d",
+			prov, res.Clients, res.EntryDay, res.FinalRank)
+	}
+	if entryDay[providers.Majestic] < entryDay[providers.Umbrella] {
+		t.Errorf("majestic entry day %d should not precede umbrella's %d (90d vs short window)",
+			entryDay[providers.Majestic], entryDay[providers.Umbrella])
+	}
+}
+
+func TestMinimalClientsUnreachableTarget(t *testing.T) {
+	m := model(t)
+	_, err := MinimalClients(m, CostConfig{
+		Provider:   providers.Umbrella,
+		TargetRank: 1,
+		Days:       5,
+		MaxClients: 2, // absurdly low bound
+		Opts:       costOpts(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v, want unreachable", err)
+	}
+}
+
+func TestMinimalClientsValidation(t *testing.T) {
+	m := model(t)
+	cases := []CostConfig{
+		{Provider: providers.Umbrella, TargetRank: 10, Days: 1, MaxClients: 100, Opts: costOpts()},
+		{Provider: providers.Umbrella, TargetRank: 0, Days: 10, MaxClients: 100, Opts: costOpts()},
+		{Provider: providers.Umbrella, TargetRank: 10, Days: 10, MaxClients: 0.5, Opts: costOpts()},
+		{Provider: "bing", TargetRank: 10, Days: 10, MaxClients: 100, Opts: costOpts()},
+	}
+	for i, cfg := range cases {
+		if _, err := MinimalClients(m, cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestGeoMid(t *testing.T) {
+	if got := geoMid(1, 100); math.Abs(got-10) > 1e-9 {
+		t.Errorf("geoMid(1,100) = %v", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package chart renders experiment results as SVG line charts, so the
+// reproduction emits actual figures next to the paper's: every fig*
+// experiment table becomes one SVG with a series per list, the way
+// Figs. 1, 2, 6, and 8 are drawn.
+//
+// The renderer is deliberately small and dependency-free: a fixed
+// canvas, linear axes with rounded ticks, one polyline per series, and
+// a legend. Values may arrive as plain numbers, percentages ("12.3%"),
+// or "µ ± σ" cells (the mean is plotted).
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Points []float64 // NaN marks a gap
+}
+
+// Line is a complete line chart.
+type Line struct {
+	Title  string
+	YLabel string
+	XTicks []string // one label per x position; thinned at render time
+	Series []Series
+}
+
+// FromTable converts a rendered experiment table into a chart: column
+// 0 supplies the x tick labels, and every column that parses as
+// numeric on all rows becomes a series named by its header. It fails
+// when fewer than two rows or no numeric column exist.
+func FromTable(header []string, rows [][]string) (*Line, error) {
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("chart: need at least 2 rows, got %d", len(rows))
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("chart: need at least 2 columns")
+	}
+	l := &Line{}
+	for _, row := range rows {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("chart: empty row")
+		}
+		l.XTicks = append(l.XTicks, row[0])
+	}
+	percent := false
+	for col := 1; col < len(header); col++ {
+		pts := make([]float64, 0, len(rows))
+		ok := true
+		for _, row := range rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			v, isPct, err := parseCell(row[col])
+			if err != nil {
+				ok = false
+				break
+			}
+			percent = percent || isPct
+			pts = append(pts, v)
+		}
+		if ok {
+			l.Series = append(l.Series, Series{Name: header[col], Points: pts})
+		}
+	}
+	if len(l.Series) == 0 {
+		return nil, fmt.Errorf("chart: no fully numeric column")
+	}
+	if percent {
+		l.YLabel = "%"
+	}
+	return l, nil
+}
+
+// parseCell extracts a numeric value from a table cell: plain numbers,
+// "12.3%", "µ ± σ" (mean used), thousands of plain integers, or "-" /
+// "n/a" (NaN gap).
+func parseCell(cell string) (v float64, percent bool, err error) {
+	s := strings.TrimSpace(cell)
+	if s == "" || s == "-" || s == "n/a" || s == "NaN" {
+		return math.NaN(), false, nil
+	}
+	if i := strings.Index(s, "±"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	if strings.HasSuffix(s, "%") {
+		s = strings.TrimSuffix(s, "%")
+		percent = true
+	}
+	if strings.HasSuffix(s, "x") { // "1.38x" amplification cells
+		s = strings.TrimSuffix(s, "x")
+	}
+	s = strings.ReplaceAll(s, ",", "")
+	v, err = strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("chart: unparseable cell %q", cell)
+	}
+	return v, percent, nil
+}
+
+// Canvas geometry (viewBox units).
+const (
+	width      = 840
+	height     = 480
+	marginL    = 70
+	marginR    = 170 // room for the legend
+	marginT    = 44
+	marginB    = 56
+	plotW      = width - marginL - marginR
+	plotH      = height - marginT - marginB
+	maxXLabels = 13
+)
+
+// palette holds distinguishable series colors (Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+// SVG renders the chart.
+func (l *Line) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if l.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, escape(l.Title))
+	}
+
+	lo, hi := l.yRange()
+	ticks := niceTicks(lo, hi, 6)
+	if len(ticks) > 1 {
+		lo, hi = math.Min(lo, ticks[0]), math.Max(hi, ticks[len(ticks)-1])
+	}
+	y := func(v float64) float64 {
+		if hi == lo {
+			return marginT + plotH/2
+		}
+		return marginT + plotH*(1-(v-lo)/(hi-lo))
+	}
+	n := l.npoints()
+	x := func(i int) float64 {
+		if n <= 1 {
+			return marginL + plotW/2
+		}
+		return marginL + plotW*float64(i)/float64(n-1)
+	}
+
+	// Gridlines + y tick labels.
+	for _, tv := range ticks {
+		ty := y(tv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, ty, marginL+plotW, ty)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-8, ty, formatTick(tv))
+	}
+	if l.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escape(l.YLabel))
+	}
+
+	// X tick labels, thinned.
+	step := 1
+	if len(l.XTicks) > maxXLabels {
+		step = (len(l.XTicks) + maxXLabels - 1) / maxXLabels
+	}
+	for i := 0; i < len(l.XTicks); i += step {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x(i), marginT+plotH+20, escape(shorten(l.XTicks[i], 12)))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+
+	// Series.
+	for si, s := range l.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+					strings.Join(pts, " "), color)
+			} else if len(pts) == 1 {
+				// Isolated point: draw a dot so it is not lost.
+				xy := strings.Split(pts[0], ",")
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			}
+			pts = pts[:0]
+		}
+		for i, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+		}
+		flush()
+		// Legend.
+		ly := marginT + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			marginL+plotW+40, ly, escape(shorten(s.Name, 18)))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// npoints is the longest series length.
+func (l *Line) npoints() int {
+	n := 0
+	for _, s := range l.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	return n
+}
+
+// yRange scans all finite points.
+func (l *Line) yRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range l.Series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	if lo == hi {
+		return lo - 1, hi + 1
+	}
+	// Anchor at zero when the data is non-negative and close to it —
+	// adoption/churn shares read better from a zero baseline.
+	if lo > 0 && lo < hi/3 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// niceTicks returns ~n rounded tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch r := raw / mag; {
+	case r < 1.5:
+		step = mag
+	case r < 3:
+		step = 2 * mag
+	case r < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Floor(lo/step) * step
+	var out []float64
+	for v := start; v <= hi+step/2; v += step {
+		if v >= lo-step/2 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+func shorten(s string, max int) string {
+	r := []rune(s)
+	if len(r) <= max {
+		return s
+	}
+	return string(r[:max-1]) + "…"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

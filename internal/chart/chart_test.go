@@ -1,0 +1,223 @@
+package chart
+
+import (
+	"encoding/xml"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFromTableBasic(t *testing.T) {
+	header := []string{"day", "alexa", "umbrella"}
+	rows := [][]string{
+		{"2017-06-06", "10.5%", "20.1%"},
+		{"2017-06-07", "11.0%", "19.9%"},
+		{"2017-06-08", "12.5%", "18.0%"},
+	}
+	l, err := FromTable(header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(l.Series))
+	}
+	if l.Series[0].Name != "alexa" || l.Series[0].Points[2] != 12.5 {
+		t.Errorf("series[0] = %+v", l.Series[0])
+	}
+	if l.YLabel != "%" {
+		t.Errorf("ylabel = %q, want %%", l.YLabel)
+	}
+	if len(l.XTicks) != 3 || l.XTicks[0] != "2017-06-06" {
+		t.Errorf("xticks = %v", l.XTicks)
+	}
+}
+
+func TestFromTableSkipsTextColumns(t *testing.T) {
+	header := []string{"day", "count", "comment"}
+	rows := [][]string{
+		{"d0", "5", "stable"},
+		{"d1", "7", "rising"},
+	}
+	l, err := FromTable(header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Series) != 1 || l.Series[0].Name != "count" {
+		t.Fatalf("series = %+v", l.Series)
+	}
+}
+
+func TestFromTableMeanStdCells(t *testing.T) {
+	header := []string{"x", "value"}
+	rows := [][]string{
+		{"a", "12.3 ± 4.5"},
+		{"b", "14.0 ± 0.1"},
+	}
+	l, err := FromTable(header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Series[0].Points[0] != 12.3 || l.Series[0].Points[1] != 14.0 {
+		t.Errorf("points = %v", l.Series[0].Points)
+	}
+}
+
+func TestFromTableGapsBecomeNaN(t *testing.T) {
+	header := []string{"x", "v"}
+	rows := [][]string{{"a", "1"}, {"b", "-"}, {"c", "3"}}
+	l, err := FromTable(header, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(l.Series[0].Points[1]) {
+		t.Errorf("gap cell = %v, want NaN", l.Series[0].Points[1])
+	}
+}
+
+func TestFromTableErrors(t *testing.T) {
+	if _, err := FromTable([]string{"x", "v"}, [][]string{{"a", "1"}}); err == nil {
+		t.Error("single row accepted")
+	}
+	if _, err := FromTable([]string{"x"}, [][]string{{"a"}, {"b"}}); err == nil {
+		t.Error("single column accepted")
+	}
+	rows := [][]string{{"a", "text"}, {"b", "more"}}
+	if _, err := FromTable([]string{"x", "v"}, rows); err == nil {
+		t.Error("all-text table accepted")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    float64
+		percent bool
+	}{
+		{"42", 42, false},
+		{"3.14", 3.14, false},
+		{"12.5%", 12.5, true},
+		{"1.38x", 1.38, false},
+		{"1,234", 1234, false},
+		{"9.1 ± 0.3", 9.1, false},
+		{"22.9% ± 0.6", 22.9, true},
+	}
+	for _, c := range cases {
+		v, pct, err := parseCell(c.in)
+		if err != nil || v != c.want || pct != c.percent {
+			t.Errorf("parseCell(%q) = (%v,%v,%v), want (%v,%v)", c.in, v, pct, err, c.want, c.percent)
+		}
+	}
+	for _, gap := range []string{"-", "", "n/a", "NaN"} {
+		if v, _, err := parseCell(gap); err != nil || !math.IsNaN(v) {
+			t.Errorf("parseCell(%q) = (%v,%v), want NaN", gap, v, err)
+		}
+	}
+	if _, _, err := parseCell("12->13"); err == nil {
+		t.Error("arrow cell accepted")
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	l := &Line{
+		Title:  "Daily changes <test> & friends",
+		YLabel: "%",
+		XTicks: []string{"d0", "d1", "d2", "d3"},
+		Series: []Series{
+			{Name: "alexa", Points: []float64{1, 2, math.NaN(), 4}},
+			{Name: "umbrella", Points: []float64{4, 3, 2, 1}},
+		},
+	}
+	svg := l.SVG()
+	var doc struct {
+		XMLName xml.Name `xml:"svg"`
+	}
+	if err := xml.Unmarshal([]byte(svg), &doc); err != nil {
+		t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polyline in SVG")
+	}
+	if !strings.Contains(svg, "&lt;test&gt;") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestSVGHandlesSinglePointRuns(t *testing.T) {
+	// A series with isolated points (gaps around them) must render
+	// dots, not vanish.
+	l := &Line{
+		XTicks: []string{"a", "b", "c"},
+		Series: []Series{{Name: "dots", Points: []float64{math.NaN(), 5, math.NaN()}}},
+	}
+	svg := l.SVG()
+	if !strings.Contains(svg, "<circle") {
+		t.Error("isolated point not rendered as a dot")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	l := &Line{
+		XTicks: []string{"a", "b"},
+		Series: []Series{{Name: "flat", Points: []float64{7, 7}}},
+	}
+	svg := l.SVG()
+	if !strings.Contains(svg, "polyline") {
+		t.Fatalf("constant series missing polyline:\n%s", svg)
+	}
+}
+
+func TestSVGThinsManyXLabels(t *testing.T) {
+	ticks := make([]string, 100)
+	pts := make([]float64, 100)
+	for i := range ticks {
+		ticks[i] = "day" + string(rune('A'+i%26))
+		pts[i] = float64(i)
+	}
+	l := &Line{XTicks: ticks, Series: []Series{{Name: "s", Points: pts}}}
+	svg := l.SVG()
+	labels := strings.Count(svg, `y="`+strconv.Itoa(marginT+plotH+20)+`"`)
+	if labels > maxXLabels+1 {
+		t.Errorf("x labels = %d, want <= %d", labels, maxXLabels+1)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || ticks[0] > 0 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	small := niceTicks(0.001, 0.009, 5)
+	if len(small) < 3 {
+		t.Errorf("small-range ticks = %v", small)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		25_000:    "25k",
+		1_500:     "1.5k",
+		42:        "42",
+		0.05:      "0.05",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if got := shorten("abcdefghij", 5); got != "abcd…" {
+		t.Errorf("shorten = %q", got)
+	}
+	if got := shorten("ok", 5); got != "ok" {
+		t.Errorf("shorten = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package core wires the substrates into a complete study: build the
+// synthetic world, run the three list generators over the JOINT window,
+// and expose the analysis and measurement layers. It is the library's
+// central entry point; the public facade (package toplists at the
+// module root) re-exports it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/measure"
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// Scale bundles the knobs that trade fidelity for runtime.
+type Scale struct {
+	Name string
+	// Population configures the synthetic world.
+	Population population.Config
+	// ListSize is the published list length (the paper's 1M analog).
+	ListSize int
+	// HeadSize is the head subset (the paper's Top 1k analog; the
+	// paper's head:list ratio is 1:1000, ours defaults to 1:100 so head
+	// statistics remain stable at small scale).
+	HeadSize int
+	// BurnInDays warms the provider windows before day 0.
+	BurnInDays int
+}
+
+// TestScale is the fast scale used by tests and benchmarks.
+func TestScale() Scale {
+	return Scale{
+		Name:       "test",
+		Population: population.TestConfig(),
+		ListSize:   3000,
+		HeadSize:   100,
+		BurnInDays: 60,
+	}
+}
+
+// DefaultScale is the EXPERIMENTS.md scale.
+func DefaultScale() Scale {
+	return Scale{
+		Name:       "default",
+		Population: population.DefaultConfig(),
+		ListSize:   25_000,
+		HeadSize:   250,
+		BurnInDays: 120,
+	}
+}
+
+// Validate reports scale errors.
+func (s Scale) Validate() error {
+	if err := s.Population.Validate(); err != nil {
+		return err
+	}
+	if s.ListSize < 10 || s.HeadSize < 1 || s.HeadSize >= s.ListSize {
+		return fmt.Errorf("core: bad list/head sizes %d/%d", s.ListSize, s.HeadSize)
+	}
+	return nil
+}
+
+// Study is a fully materialised simulation run.
+type Study struct {
+	Scale    Scale
+	Opts     providers.Options
+	World    *population.World
+	Model    *traffic.Model
+	Archive  *toplist.Archive
+	Analysis *analysis.Context
+	Campaign *measure.Campaign
+}
+
+// Run builds the world, generates the archive, and prepares the
+// analysis layers.
+func Run(s Scale) (*Study, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := population.Build(s.Population)
+	if err != nil {
+		return nil, err
+	}
+	m := traffic.NewModel(w)
+	opts := providers.DefaultOptions(s.Population.Days, s.ListSize)
+	opts.BurnInDays = s.BurnInDays
+	g, err := providers.NewGenerator(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := g.Run(s.Population.Days)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Scale:    s,
+		Opts:     opts,
+		World:    w,
+		Model:    m,
+		Archive:  arch,
+		Analysis: analysis.NewContext(w, arch),
+		Campaign: measure.NewCampaign(w),
+	}, nil
+}
+
+// Days returns the archive length in days.
+func (st *Study) Days() int { return st.Archive.Days() }
+
+// ChangeDay returns the Alexa regime-change day.
+func (st *Study) ChangeDay() int { return st.Opts.AlexaChangeDay }
+
+// Providers returns the three provider names in the paper's order.
+func (st *Study) Providers() []string {
+	return []string{providers.Alexa, providers.Umbrella, providers.Majestic}
+}
+
+// ListNames returns the names of provider's list on day, cut to head
+// entries when head is true.
+func (st *Study) ListNames(provider string, day int, head bool) []string {
+	l := st.Archive.Get(provider, toplist.Day(day))
+	if l == nil {
+		return nil
+	}
+	if head {
+		l = l.Top(st.Scale.HeadSize)
+	}
+	return l.Names()
+}
+
+// PopulationNames returns the general-population (com/net/org) sample
+// names on day.
+func (st *Study) PopulationNames(day int) []string {
+	ids := st.World.ComNetOrg(day)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = st.World.Domains[id].Name
+	}
+	return names
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/providers"
+)
+
+func TestScaleValidation(t *testing.T) {
+	if err := TestScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TestScale()
+	bad.HeadSize = bad.ListSize
+	if bad.Validate() == nil {
+		t.Fatal("head >= list should fail")
+	}
+	bad = TestScale()
+	bad.Population.Sites = 1
+	if bad.Validate() == nil {
+		t.Fatal("population errors should propagate")
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	s := TestScale()
+	s.Population.Days = 20
+	s.BurnInDays = 30
+	st, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Days() != 20 {
+		t.Fatalf("days %d", st.Days())
+	}
+	if !st.Archive.Complete() {
+		t.Fatal("incomplete archive")
+	}
+	if st.ChangeDay() != 20*2/3 {
+		t.Fatalf("change day %d", st.ChangeDay())
+	}
+	ps := st.Providers()
+	if len(ps) != 3 || ps[0] != providers.Alexa {
+		t.Fatalf("providers %v", ps)
+	}
+	full := st.ListNames(providers.Umbrella, 5, false)
+	head := st.ListNames(providers.Umbrella, 5, true)
+	if len(full) != s.ListSize || len(head) != s.HeadSize {
+		t.Fatalf("list sizes %d/%d", len(full), len(head))
+	}
+	if st.ListNames("nope", 5, false) != nil {
+		t.Fatal("unknown provider should be nil")
+	}
+	pop := st.PopulationNames(5)
+	if len(pop) == 0 {
+		t.Fatal("empty population")
+	}
+	if st.Analysis == nil || st.Campaign == nil {
+		t.Fatal("analysis layers missing")
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	bad := TestScale()
+	bad.ListSize = 5
+	if _, err := Run(bad); err == nil {
+		t.Fatal("bad scale should fail")
+	}
+}

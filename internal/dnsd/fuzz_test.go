@@ -1,0 +1,61 @@
+package dnsd
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// FuzzServerAnswer drives the server's query handler with arbitrary
+// datagrams: it must never panic, never answer with a query (QR
+// unset), and answer well-formed queries consistently over UDP and
+// TCP framing.
+func FuzzServerAnswer(f *testing.F) {
+	q := &simnet.Message{
+		ID:        7,
+		Recursion: true,
+		Question:  simnet.Question{Name: "plain.example.com", Type: simnet.TypeA, Class: simnet.ClassIN},
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire, true)
+	f.Add(wire, false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0xAB}, true)
+	f.Add(make([]byte, 12), true)
+	f.Add(make([]byte, 600), false)
+
+	zone := testZone()
+	s := &Server{zone: zone}
+
+	f.Fuzz(func(t *testing.T, data []byte, udp bool) {
+		resp, counted := s.answer(data, udp)
+		if resp == nil {
+			return
+		}
+		if udp && len(resp) > MaxUDPPayload {
+			t.Fatalf("UDP answer %d bytes exceeds payload limit", len(resp))
+		}
+		m, err := simnet.DecodeMessage(resp)
+		if err != nil {
+			t.Fatalf("server emitted undecodable answer: %v", err)
+		}
+		if !m.Response {
+			t.Fatal("server answered with QR unset")
+		}
+		if counted {
+			// Well-formed query: the answer must echo ID and question.
+			in, err := simnet.DecodeMessage(data)
+			if err != nil {
+				t.Fatalf("counted a query the decoder rejects: %v", err)
+			}
+			if m.ID != in.ID {
+				t.Fatalf("ID not echoed: %d vs %d", m.ID, in.ID)
+			}
+		} else if m.RCode != simnet.RCodeFormErr {
+			t.Fatalf("malformed input answered with %v, want FORMERR", m.RCode)
+		}
+	})
+}

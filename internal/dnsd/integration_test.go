@@ -1,0 +1,73 @@
+package dnsd
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/simnet"
+)
+
+// TestCampaignOverSockets runs a §8-style resolution campaign through
+// the full socket path — stub resolver → UDP/TCP loopback → server →
+// authoritative world zone — and checks that every wire answer agrees
+// with the in-process substrate the experiments use. This pins the two
+// measurement paths (function call vs. network) to identical results.
+func TestCampaignOverSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network campaign")
+	}
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const day = 0
+	zone := w.ZoneAt(day)
+	s := startServer(t, zone)
+	r := NewResolver(s.Addr(), WithSeed(42))
+
+	// Sample across the whole ID space so the set spans popular sites,
+	// tail sites, junk names, and domains not yet born.
+	var names []string
+	for i := 0; i < w.Len() && len(names) < 400; i += 1 + w.Len()/400 {
+		names = append(names, w.Domains[i].Name)
+	}
+	names = append(names, "not-a-real-domain.invalid", "teredo.ipv6.microsoft.com")
+
+	results, err := ResolveAll(context.Background(), r, names, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var nx, v6, caa, chains int
+	for i, res := range results {
+		want := zone.Lookup(names[i])
+		if res.RCode != want.RCode {
+			t.Fatalf("%s: rcode %v over wire, %v direct", names[i], res.RCode, want.RCode)
+		}
+		if want.RCode != simnet.RCodeNoError {
+			nx++
+			continue
+		}
+		if res.HasA != (want.A != 0) || res.AAAA != want.AAAA || res.CAA != want.CAA {
+			t.Fatalf("%s: wire %+v disagrees with direct %+v", names[i], res, want)
+		}
+		if len(res.Chain) != len(want.Chain) {
+			t.Fatalf("%s: chain %v over wire, %v direct", names[i], res.Chain, want.Chain)
+		}
+		if res.AAAA {
+			v6++
+		}
+		if res.CAA {
+			caa++
+		}
+		if len(res.Chain) > 0 {
+			chains++
+		}
+	}
+	if nx == 0 || v6 == 0 || chains == 0 {
+		t.Errorf("campaign lacks diversity: nx=%d v6=%d caa=%d chains=%d", nx, v6, caa, chains)
+	}
+	t.Logf("campaign over %d names: nx=%d v6=%d caa=%d chains=%d, server stats %+v",
+		len(results), nx, v6, caa, chains, s.Stats())
+}

@@ -1,0 +1,351 @@
+package dnsd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Resolver is a stub resolver for a dnsd.Server (or any DNS server
+// speaking the simnet wire subset). It sends over UDP first, retries
+// lost datagrams, and falls back to TCP when an answer arrives with
+// the TC bit — the standard stub algorithm.
+type Resolver struct {
+	addr       string
+	timeout    time.Duration // per network attempt
+	udpTries   int
+	mu         sync.Mutex
+	rng        *rand.Rand
+	queries    uint64
+	tcpUpgrade uint64
+}
+
+// ResolverOption configures a Resolver.
+type ResolverOption func(*Resolver)
+
+// WithTimeout sets the per-attempt I/O timeout (default 2s).
+func WithTimeout(d time.Duration) ResolverOption {
+	return func(r *Resolver) {
+		if d > 0 {
+			r.timeout = d
+		}
+	}
+}
+
+// WithUDPTries sets how many UDP attempts are made before giving up
+// (default 2).
+func WithUDPTries(n int) ResolverOption {
+	return func(r *Resolver) {
+		if n > 0 {
+			r.udpTries = n
+		}
+	}
+}
+
+// WithSeed makes query-ID generation deterministic, for tests.
+func WithSeed(seed int64) ResolverOption {
+	return func(r *Resolver) { r.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewResolver builds a stub resolver pointed at addr ("host:port").
+func NewResolver(addr string, opts ...ResolverOption) *Resolver {
+	r := &Resolver{
+		addr:     addr,
+		timeout:  2 * time.Second,
+		udpTries: 2,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// TCPUpgrades reports how many queries were retried over TCP after a
+// truncated UDP answer.
+func (r *Resolver) TCPUpgrades() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tcpUpgrade
+}
+
+func (r *Resolver) nextID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries++
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// Exchange sends one query and returns the decoded answer, upgrading
+// to TCP on truncation.
+func (r *Resolver) Exchange(ctx context.Context, name string, qtype uint16) (*simnet.Message, error) {
+	q := &simnet.Message{
+		ID:        r.nextID(),
+		Recursion: true,
+		Question:  simnet.Question{Name: name, Type: qtype, Class: simnet.ClassIN},
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("dnsd: encode query for %q: %w", name, err)
+	}
+	resp, err := r.exchangeUDP(ctx, q, wire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Truncated {
+		r.mu.Lock()
+		r.tcpUpgrade++
+		r.mu.Unlock()
+		return r.exchangeTCP(ctx, q, wire)
+	}
+	return resp, nil
+}
+
+func (r *Resolver) exchangeUDP(ctx context.Context, q *simnet.Message, wire []byte) (*simnet.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.udpTries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := r.oneUDP(ctx, q, wire)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// Only timeouts are worth a datagram retry.
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("dnsd: %s: no UDP answer after %d tries: %w", q.Question.Name, r.udpTries, lastErr)
+}
+
+func (r *Resolver) oneUDP(ctx context.Context, q *simnet.Message, wire []byte) (*simnet.Message, error) {
+	d := net.Dialer{Timeout: r.timeout}
+	conn, err := d.DialContext(ctx, "udp", r.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(r.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, MaxUDPPayload)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := simnet.DecodeMessage(buf[:n])
+		if err != nil {
+			continue // garbled datagram: keep listening until deadline
+		}
+		if !r.matches(q, resp) {
+			continue // stray or spoofed answer: ignore, as stubs must
+		}
+		return resp, nil
+	}
+}
+
+func (r *Resolver) exchangeTCP(ctx context.Context, q *simnet.Message, wire []byte) (*simnet.Message, error) {
+	d := net.Dialer{Timeout: r.timeout}
+	conn, err := d.DialContext(ctx, "tcp", r.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(r.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, wire); err != nil {
+		return nil, err
+	}
+	raw, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := simnet.DecodeMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !r.matches(q, resp) {
+		return nil, fmt.Errorf("dnsd: TCP answer ID/question mismatch for %q", q.Question.Name)
+	}
+	return resp, nil
+}
+
+// matches applies the stub acceptance rule: same ID, response bit set,
+// same question.
+func (r *Resolver) matches(q, resp *simnet.Message) bool {
+	return resp.Response &&
+		resp.ID == q.ID &&
+		resp.RCode != simnet.RCodeFormErr &&
+		strings.EqualFold(resp.Question.Name, q.Question.Name) &&
+		resp.Question.Type == q.Question.Type
+}
+
+// Result summarises one resolution the way the §8 measurement
+// campaigns consume it.
+type Result struct {
+	Name  string
+	RCode simnet.RCode
+	Chain []string // CNAME chain from the queried name, in order
+	HasA  bool
+	AAAA  bool
+	CAA   bool
+	TTL   uint32
+}
+
+// Resolve performs the study's standard per-name probe: an A query,
+// then AAAA and CAA queries, folded into one Result.
+func (r *Resolver) Resolve(ctx context.Context, name string) (Result, error) {
+	res := Result{Name: name}
+	a, err := r.Exchange(ctx, name, simnet.TypeA)
+	if err != nil {
+		return res, err
+	}
+	res.RCode = a.RCode
+	res.Chain, res.HasA, res.TTL = summariseA(a)
+	if a.RCode != simnet.RCodeNoError {
+		return res, nil
+	}
+	aaaa, err := r.Exchange(ctx, name, simnet.TypeAAAA)
+	if err != nil {
+		return res, err
+	}
+	res.AAAA = hasType(aaaa, simnet.TypeAAAA)
+	caa, err := r.Exchange(ctx, name, simnet.TypeCAA)
+	if err != nil {
+		return res, err
+	}
+	res.CAA = hasType(caa, simnet.TypeCAA)
+	return res, nil
+}
+
+// summariseA walks the answer section, extracting the CNAME chain in
+// owner order and whether a terminal A record exists.
+func summariseA(m *simnet.Message) (chain []string, hasA bool, ttl uint32) {
+	owner := strings.ToLower(m.Question.Name)
+	// CNAMEs may appear in any order on the wire; follow owner links.
+	targets := make(map[string]string)
+	for _, rr := range m.Answers {
+		if rr.TTL > ttl {
+			ttl = rr.TTL
+		}
+		switch rr.Type {
+		case simnet.TypeCNAME:
+			if t, ok := decodeNameData(rr.Data); ok {
+				targets[strings.ToLower(rr.Name)] = t
+			}
+		case simnet.TypeA:
+			if len(rr.Data) == 4 {
+				hasA = true
+			}
+		}
+	}
+	for i := 0; i < len(targets)+1; i++ {
+		t, ok := targets[owner]
+		if !ok {
+			break
+		}
+		chain = append(chain, t)
+		owner = strings.ToLower(t)
+	}
+	return chain, hasA, ttl
+}
+
+func hasType(m *simnet.Message, t uint16) bool {
+	for _, rr := range m.Answers {
+		if rr.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeNameData parses an uncompressed encoded name in RDATA.
+func decodeNameData(data []byte) (string, bool) {
+	var labels []string
+	off := 0
+	for off < len(data) {
+		l := int(data[off])
+		if l == 0 {
+			return strings.Join(labels, "."), true
+		}
+		if l&0xC0 != 0 || off+1+l > len(data) {
+			return "", false
+		}
+		labels = append(labels, string(data[off+1:off+1+l]))
+		off += 1 + l
+	}
+	return "", false
+}
+
+// ResolveAll resolves names through a bounded worker pool, preserving
+// input order in the result slice. The first transport error cancels
+// the rest.
+func ResolveAll(ctx context.Context, r *Resolver, names []string, workers int) ([]Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]Result, len(names))
+	errs := make(chan error, workers)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := r.Resolve(ctx, names[i])
+				if err != nil {
+					select {
+					case errs <- err:
+						cancel()
+					default:
+					}
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	go func() {
+		defer close(idx)
+		for i := range names {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return results, nil
+}

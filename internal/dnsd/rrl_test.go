@@ -1,0 +1,149 @@
+package dnsd
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestRRLBucketVerdicts(t *testing.T) {
+	r := newRRL(RRLConfig{RatePerSecond: 10, Burst: 3, Slip: 2})
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+	src := net.ParseIP("192.0.2.1")
+
+	// Burst of 3 passes, then the slip pattern: drop, TC, drop, TC...
+	for i := 0; i < 3; i++ {
+		if v := r.check(src); v != sendFull {
+			t.Fatalf("query %d: verdict %v, want full", i, v)
+		}
+	}
+	got := []verdict{r.check(src), r.check(src), r.check(src), r.check(src)}
+	want := []verdict{dropAnswer, sendTruncated, dropAnswer, sendTruncated}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflow %d: verdict %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	dropped, slipped := r.counters()
+	if dropped != 2 || slipped != 2 {
+		t.Errorf("counters = %d/%d, want 2/2", dropped, slipped)
+	}
+
+	// Tokens refill with time.
+	clock = clock.Add(time.Second)
+	if v := r.check(src); v != sendFull {
+		t.Errorf("after refill: verdict %v, want full", v)
+	}
+}
+
+func TestRRLIsPerSource(t *testing.T) {
+	r := newRRL(RRLConfig{RatePerSecond: 1, Burst: 1, Slip: 0})
+	clock := time.Unix(0, 0)
+	r.now = func() time.Time { return clock }
+	a, b := net.ParseIP("10.0.0.1"), net.ParseIP("10.0.0.2")
+	if r.check(a) != sendFull || r.check(b) != sendFull {
+		t.Fatal("first query per source must pass")
+	}
+	if r.check(a) != dropAnswer {
+		t.Fatal("second query from exhausted source must drop (slip 0)")
+	}
+	if r.check(b) != dropAnswer {
+		t.Fatal("sources must not share buckets")
+	}
+}
+
+func TestRRLFloodFromOneSourceIsLimited(t *testing.T) {
+	s := startServer(t, testZone(), WithRRL(RRLConfig{RatePerSecond: 5, Burst: 5, Slip: 2}))
+
+	// One connected socket = one source address flooding queries.
+	conn, err := net.Dial("udp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := &simnet.Message{
+		ID:        9,
+		Recursion: true,
+		Question:  simnet.Question{Name: "plain.example.com", Type: simnet.TypeA, Class: simnet.ClassIN},
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flood = 100
+	for i := 0; i < flood; i++ {
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read whatever comes back until a quiet period.
+	conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond)) //nolint:errcheck
+	full, tc := 0, 0
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			break
+		}
+		m, err := simnet.DecodeMessage(buf[:n])
+		if err != nil {
+			continue
+		}
+		if m.Truncated {
+			tc++
+		} else {
+			full++
+		}
+	}
+	if full+tc >= flood {
+		t.Fatalf("flood fully answered (%d full + %d tc); RRL inactive", full, tc)
+	}
+	if tc == 0 {
+		t.Error("no slipped (TC) answers; legitimate clients have no TCP signal")
+	}
+	st := s.Stats()
+	if st.RRLDropped == 0 || st.RRLSlipped == 0 {
+		t.Errorf("stats = %+v, want RRL activity", st)
+	}
+	t.Logf("flood of %d: %d full, %d truncated, dropped %d", flood, full, tc, st.RRLDropped)
+}
+
+func TestRRLSlippedAnswerTriggersTCPFallback(t *testing.T) {
+	// A stub resolver hitting the rate limit eventually receives a TC
+	// answer and retries over TCP, which is unlimited — the designed
+	// escape hatch.
+	s := startServer(t, testZone(), WithRRL(RRLConfig{RatePerSecond: 1, Burst: 1, Slip: 1}))
+	r := NewResolver(s.Addr(), WithSeed(99), WithTimeout(2*time.Second), WithUDPTries(3))
+	ctx := context.Background()
+	okFull, okTCP := 0, 0
+	for i := 0; i < 6; i++ {
+		if _, err := r.Exchange(ctx, "plain.example.com", simnet.TypeA); err != nil {
+			t.Fatalf("query %d failed despite slip+TCP fallback: %v", i, err)
+		}
+		if r.TCPUpgrades() > uint64(okTCP) {
+			okTCP = int(r.TCPUpgrades())
+		} else {
+			okFull++
+		}
+	}
+	if okTCP == 0 {
+		t.Error("resolver never upgraded to TCP under rate limiting")
+	}
+	if st := s.Stats(); st.TCPQueries == 0 {
+		t.Errorf("stats = %+v, want TCP traffic", st)
+	}
+}
+
+func TestRRLDisabledByDefault(t *testing.T) {
+	s := startServer(t, testZone())
+	if s.limiter != nil {
+		t.Fatal("limiter active without WithRRL")
+	}
+	if st := s.Stats(); st.RRLDropped != 0 || st.RRLSlipped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,331 @@
+// Package dnsd serves the simulated DNS zones over real UDP and TCP
+// sockets and provides the stub resolver that queries them.
+//
+// The paper's §8 campaigns resolve every listed name daily; the
+// in-process substrate (simnet.Zone) answers those lookups as function
+// calls. This package closes the remaining gap to a live measurement:
+// queries travel as RFC 1035 wire messages over the loopback network,
+// through a server that behaves like production DNS infrastructure —
+// datagram handling with TC-bit truncation at the UDP payload limit,
+// TCP transport with two-octet length framing (RFC 1035 §4.2.2),
+// per-connection query pipelining, idle timeouts, and FORMERR replies
+// to undecodable queries. The Resolver implements the matching stub
+// behaviour: ID correlation, UDP retry on timeout, and automatic TCP
+// fallback on truncation.
+package dnsd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// MaxUDPPayload is the classic DNS datagram limit; answers that encode
+// beyond it are truncated and flagged TC (we do not model EDNS0).
+const MaxUDPPayload = 512
+
+// maxTCPMessage bounds a framed TCP message (the length prefix allows
+// 64 KiB - 1).
+const maxTCPMessage = 0xFFFF
+
+// Stats counts server activity. Values only grow.
+type Stats struct {
+	UDPQueries uint64 // well-formed queries answered over UDP
+	TCPQueries uint64 // well-formed queries answered over TCP
+	Truncated  uint64 // UDP answers sent with the TC bit
+	Malformed  uint64 // datagrams/frames answered with FORMERR or dropped
+	RRLDropped uint64 // UDP answers suppressed by response-rate limiting
+	RRLSlipped uint64 // UDP answers converted to TC by RRL slip
+}
+
+// Server answers DNS queries for one Zone over UDP and TCP on the same
+// address.
+type Server struct {
+	zone    simnet.Zone
+	udp     *net.UDPConn
+	tcp     net.Listener
+	limiter *rrl // nil = no response-rate limiting
+
+	idleTimeout time.Duration
+	wg          sync.WaitGroup
+	closed      atomic.Bool
+
+	udpQueries atomic.Uint64
+	tcpQueries atomic.Uint64
+	truncated  atomic.Uint64
+	malformed  atomic.Uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithIdleTimeout bounds how long an idle TCP connection is kept open
+// between queries (default 5s).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.idleTimeout = d
+		}
+	}
+}
+
+// WithRRL enables per-source response-rate limiting on UDP answers
+// (TCP is never limited — it is the designated fallback path).
+func WithRRL(cfg RRLConfig) Option {
+	return func(s *Server) {
+		if cfg.RatePerSecond > 0 {
+			s.limiter = newRRL(cfg)
+		}
+	}
+}
+
+// Listen starts a server for zone on addr (e.g. "127.0.0.1:0"),
+// binding the same port for UDP and TCP. The returned server is
+// already accepting; use Addr for the bound address and Close to stop.
+func Listen(zone simnet.Zone, addr string, opts ...Option) (*Server, error) {
+	s := &Server{zone: zone, idleTimeout: 5 * time.Second}
+	for _, o := range opts {
+		o(s)
+	}
+	// Bind TCP first, then UDP on the TCP port. Retry a few times in
+	// case the kernel-chosen TCP port is taken on UDP.
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		tcp, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		port := tcp.Addr().(*net.TCPAddr).Port
+		host := tcp.Addr().(*net.TCPAddr).IP.String()
+		udpAddr, err := net.ResolveUDPAddr("udp", net.JoinHostPort(host, fmt.Sprint(port)))
+		if err != nil {
+			tcp.Close()
+			return nil, err
+		}
+		udp, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			tcp.Close()
+			lastErr = err
+			continue
+		}
+		s.tcp, s.udp = tcp, udp
+		break
+	}
+	if s.udp == nil {
+		return nil, fmt.Errorf("dnsd: no port bindable on both transports: %w", lastErr)
+	}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the bound address (identical port on UDP and TCP).
+func (s *Server) Addr() string { return s.tcp.Addr().String() }
+
+// Stats snapshots the activity counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UDPQueries: s.udpQueries.Load(),
+		TCPQueries: s.tcpQueries.Load(),
+		Truncated:  s.truncated.Load(),
+		Malformed:  s.malformed.Load(),
+	}
+	if s.limiter != nil {
+		st.RRLDropped, st.RRLSlipped = s.limiter.counters()
+	}
+	return st
+}
+
+// Close stops both listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	uerr := s.udp.Close()
+	terr := s.tcp.Close()
+	s.wg.Wait()
+	if uerr != nil {
+		return uerr
+	}
+	return terr
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, MaxUDPPayload)
+	for {
+		n, peer, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		query := append([]byte(nil), buf[:n]...)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp, counted := s.answer(query, true)
+			if resp == nil {
+				return
+			}
+			if s.limiter != nil && counted {
+				switch s.limiter.check(peer.IP) {
+				case dropAnswer:
+					return
+				case sendTruncated:
+					if m, err := simnet.DecodeMessage(resp); err == nil {
+						if t := truncate(m); t != nil {
+							resp = t
+						}
+					}
+				}
+			}
+			if _, err := s.udp.WriteToUDP(resp, peer); err == nil && counted {
+				s.udpQueries.Add(1)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers length-framed queries on one TCP connection until
+// the peer closes, an idle timeout passes, or the server shuts down.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+			return
+		}
+		query, err := readFrame(conn)
+		if err != nil {
+			return // EOF, timeout, or oversized frame: drop the connection
+		}
+		resp, counted := s.answer(query, false)
+		if resp == nil {
+			return
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+		if counted {
+			s.tcpQueries.Add(1)
+		}
+		if s.closed.Load() {
+			return
+		}
+	}
+}
+
+// answer decodes one query and produces the encoded response. counted
+// reports whether it was a well-formed query (for stats); a nil
+// response means the input was too mangled even for a FORMERR echo.
+func (s *Server) answer(query []byte, udp bool) (resp []byte, counted bool) {
+	q, err := simnet.DecodeMessage(query)
+	if err != nil || q.Response {
+		s.malformed.Add(1)
+		if len(query) < 2 {
+			return nil, false
+		}
+		// Echo the ID with FORMERR, as real servers do when they can
+		// at least read the header.
+		id := uint16(query[0])<<8 | uint16(query[1])
+		m := &simnet.Message{
+			ID:       id,
+			Response: true,
+			RCode:    simnet.RCodeFormErr,
+			Question: simnet.Question{Name: "invalid", Type: simnet.TypeA, Class: simnet.ClassIN},
+		}
+		b, encErr := m.Encode()
+		if encErr != nil {
+			return nil, false
+		}
+		return b, false
+	}
+	answer := simnet.BuildAnswer(q.ID, q.Question.Name, q.Question.Type, s.zone.Lookup(q.Question.Name))
+	answer.Recursion = q.Recursion
+	b, err := answer.Encode()
+	if err != nil {
+		s.malformed.Add(1)
+		return nil, false
+	}
+	if udp && len(b) > MaxUDPPayload {
+		b = truncate(answer)
+		if b == nil {
+			return nil, false
+		}
+		s.truncated.Add(1)
+	}
+	return b, true
+}
+
+// truncate rebuilds the answer with no answer records and the TC bit
+// set, which is the minimal RFC-conformant truncation.
+func truncate(m *simnet.Message) []byte {
+	t := &simnet.Message{
+		ID:        m.ID,
+		Response:  true,
+		Recursion: m.Recursion,
+		Truncated: true,
+		RCode:     m.RCode,
+		Question:  m.Question,
+	}
+	b, err := t.Encode()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// readFrame reads one 2-byte-length-prefixed DNS message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0])<<8 | int(hdr[1])
+	if n == 0 {
+		return nil, errors.New("dnsd: zero-length frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one 2-byte-length-prefixed DNS message.
+func writeFrame(w io.Writer, msg []byte) error {
+	if len(msg) > maxTCPMessage {
+		return fmt.Errorf("dnsd: message %d bytes exceeds frame limit", len(msg))
+	}
+	frame := make([]byte, 2+len(msg))
+	frame[0], frame[1] = byte(len(msg)>>8), byte(len(msg))
+	copy(frame[2:], msg)
+	_, err := w.Write(frame)
+	return err
+}

@@ -1,0 +1,70 @@
+package domainname
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds arbitrary strings through Parse; it must
+// return an error or a well-formed Name, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw string) bool {
+		n, err := Parse(raw)
+		if err != nil {
+			return true
+		}
+		if n.FQDN == "" || len(n.Labels) == 0 {
+			return false
+		}
+		if n.TLD != n.Labels[len(n.Labels)-1] {
+			return false
+		}
+		return strings.HasSuffix(n.FQDN, n.PublicSuffix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseStructureProperty checks the structural invariants on
+// generated well-formed names.
+func TestParseStructureProperty(t *testing.T) {
+	labels := []string{"a", "bb", "ccc", "www", "net", "shop", "x1", "d-e"}
+	suffixes := []string{"com", "co.uk", "de", "blogspot.com", "ck", "localdomain"}
+	f := func(a, b, c, s uint8) bool {
+		parts := []string{
+			labels[int(a)%len(labels)],
+			labels[int(b)%len(labels)],
+			labels[int(c)%len(labels)],
+		}
+		name := strings.Join(parts, ".") + "." + suffixes[int(s)%len(suffixes)]
+		n, err := Parse(name)
+		if err != nil {
+			return false
+		}
+		// Depth + suffix labels + 1 (the SLD) == total labels when a
+		// base exists.
+		if n.Base == "" {
+			return true
+		}
+		suffixLabels := strings.Count(n.PublicSuffix, ".") + 1
+		return n.Depth+suffixLabels+1 == len(n.Labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaseOfIdempotent: BaseOf(BaseOf(x)) == BaseOf(x).
+func TestBaseOfIdempotent(t *testing.T) {
+	for _, s := range []string{
+		"a.b.c.example.com", "x.co.uk", "deep.w.blogspot.de",
+		"printer.localdomain", "www.ck", "x.y.whatever.ck",
+	} {
+		b1 := BaseOf(s)
+		if b2 := BaseOf(b1); b2 != b1 {
+			t.Fatalf("BaseOf not idempotent: %q -> %q -> %q", s, b1, b2)
+		}
+	}
+}

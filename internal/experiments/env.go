@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Env lazily materialises the study shared by the experiment drivers.
+type Env struct {
+	Scale core.Scale
+
+	once  sync.Once
+	study *core.Study
+	err   error
+}
+
+// NewEnv builds an environment at the given scale; the study runs on
+// first use.
+func NewEnv(scale core.Scale) *Env { return &Env{Scale: scale} }
+
+// Study returns the materialised study, running the simulation once.
+func (e *Env) Study() (*core.Study, error) {
+	e.once.Do(func() {
+		e.study, e.err = core.Run(e.Scale)
+	})
+	return e.study, e.err
+}
+
+// Driver regenerates one table or figure.
+type Driver func(*Env) (*Result, error)
+
+type registration struct {
+	id     string
+	title  string
+	driver Driver
+}
+
+var registry = map[string]registration{}
+
+func register(id, title string, driver Driver) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = registration{id: id, title: title, driver: driver}
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the registered title for id ("" when unknown).
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment against the environment.
+func Run(e *Env, id string) (*Result, error) {
+	reg, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	res, err := reg.driver(e)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = reg.id
+	if res.Title == "" {
+		res.Title = reg.title
+	}
+	return res, nil
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(e *Env) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(e, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/providers"
+	"repro/internal/toplist"
+)
+
+func init() {
+	register("ablation-horizon",
+		"Ablation: ranking-window length vs list stability (§9.2 long-term/short-term lists)",
+		runHorizon)
+}
+
+// runHorizon regenerates the Alexa-mechanism list under several window
+// lengths from the same traffic model — the §9.2 recommendation that
+// providers publish both a long-term (e.g. 90-day) and a short-term
+// list, and the mechanism behind the January-2018 Alexa change: the
+// paper's observed churn jump (21k → 483k/day) is what happens when
+// the window collapses from ~90 days to ~1 day.
+func runHorizon(e *Env) (*Result, error) {
+	st, err := e.Study()
+	if err != nil {
+		return nil, err
+	}
+	days := st.Days()
+	res := &Result{
+		Paper:  "§9.2 + §6.1: Alexa churn was 21k/day under the long window and 483k/day after the change; recommendation: offer 90-day and most-recent versions.",
+		Header: []string{"window (days)", "full churn/day", "head churn/day", "head τ day-to-day", "weekend amplification"},
+	}
+	for _, window := range []int{1, 7, 30, 90} {
+		opts := providers.DefaultOptions(days, st.Scale.ListSize)
+		opts.BurnInDays = st.Scale.BurnInDays
+		opts.AlexaChangeDay = -1
+		opts.AlexaAlphaPre = 2.0 / (float64(window) + 1)
+		opts.AlexaAlphaPost = opts.AlexaAlphaPre
+		opts.Enabled = []string{providers.Alexa}
+		g, err := providers.NewGenerator(st.Model, opts)
+		if err != nil {
+			return nil, err
+		}
+		arch, err := g.Run(days)
+		if err != nil {
+			return nil, err
+		}
+		ctx := analysis.NewContext(st.World, arch)
+
+		fullChurn := meanChurnShare(arch, providers.Alexa, 0)
+		headChurn := meanChurnShare(arch, providers.Alexa, st.Scale.HeadSize)
+		taus := ctx.KendallDayToDay(providers.Alexa, st.Scale.HeadSize)
+		amp := weekendAmplification(arch, providers.Alexa)
+
+		res.Rows = append(res.Rows, []string{
+			d(window), pct(fullChurn), pct(headChurn), f3(mean(taus)), fmt.Sprintf("%.2fx", amp),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"each row is a full Alexa-mechanism regeneration over the same traffic with EMA window = 2/(w+1)",
+		"weekend amplification = mean churn into weekend days / mean churn into weekdays",
+		"the 1-day row is the paper's post-January-2018 Alexa; the 90-day row is the pre-change list",
+	)
+	return res, nil
+}
+
+// meanChurnShare is the mean share of the (top-N) list replaced per
+// day.
+func meanChurnShare(arch *toplist.Archive, provider string, top int) float64 {
+	var prev *toplist.List
+	var sum float64
+	n := 0
+	arch.EachDay(func(day toplist.Day) {
+		cur := arch.Get(provider, day)
+		if cur == nil {
+			return
+		}
+		if top > 0 {
+			cur = cur.Top(top)
+		}
+		if prev != nil && prev.Len() > 0 {
+			removed := 0
+			for _, name := range prev.Names() {
+				if !cur.Contains(name) {
+					removed++
+				}
+			}
+			sum += float64(removed) / float64(prev.Len())
+			n++
+		}
+		prev = cur
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// weekendAmplification compares churn into weekend days against churn
+// into weekdays; 1.0 means no weekly pattern.
+func weekendAmplification(arch *toplist.Archive, provider string) float64 {
+	var prev *toplist.List
+	var wkndSum, weekSum float64
+	var wkndN, weekN int
+	arch.EachDay(func(day toplist.Day) {
+		cur := arch.Get(provider, day)
+		if cur == nil {
+			return
+		}
+		if prev != nil && prev.Len() > 0 {
+			removed := 0
+			for _, name := range prev.Names() {
+				if !cur.Contains(name) {
+					removed++
+				}
+			}
+			share := float64(removed) / float64(prev.Len())
+			if day.IsWeekend() {
+				wkndSum += share
+				wkndN++
+			} else {
+				weekSum += share
+				weekN++
+			}
+		}
+		prev = cur
+	})
+	if wkndN == 0 || weekN == 0 || weekSum == 0 {
+		return math.NaN()
+	}
+	return (wkndSum / float64(wkndN)) / (weekSum / float64(weekN))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hygiene"
+)
+
+func init() {
+	register("hygiene",
+		"Extension: list-hygiene pipeline impact on volume and churn (§9.1 recommendations)",
+		runHygiene)
+}
+
+// runHygiene applies the recommended cleaning pipeline (well-formed,
+// valid TLD, no local junk, resolvable) to every provider's archive
+// and quantifies what §9.1's advice buys: how much of each list is
+// junk, and how much day-to-day churn cleaning plus a presence
+// requirement removes.
+func runHygiene(e *Env) (*Result, error) {
+	st, err := e.Study()
+	if err != nil {
+		return nil, err
+	}
+	// Resolvability is checked against the mid-window zone: one
+	// authoritative snapshot, like a cleaning pass run once during a
+	// collection campaign.
+	zone := st.World.ZoneAt(st.Days() / 2)
+
+	res := &Result{
+		Paper:  "§5.1/§8.1: Umbrella carries 2.3% invalid-TLD names and 11.5% NXDOMAIN (population: 0.8%); Majestic 2.7% NXDOMAIN; Alexa ~0.1%. §9.1 recommends cleaning and repeated measurements; this table quantifies both.",
+		Header: []string{"provider", "pipeline", "dropped/day", "raw churn", "clean churn", "churn cut"},
+	}
+
+	for _, prov := range st.Providers() {
+		basic := hygiene.Recommended(zone)
+		impBasic := hygiene.StabilityImpact(st.Archive, prov, basic, 0)
+
+		withPresence := hygiene.NewPipeline(
+			hygiene.WellFormed(), hygiene.ValidTLD(), hygiene.NoLocalhost(),
+			hygiene.Resolvable(zone), hygiene.Presence(st.Archive, prov, 0.5),
+		)
+		impPresence := hygiene.StabilityImpact(st.Archive, prov, withPresence, 0)
+
+		for _, r := range []struct {
+			label string
+			imp   hygiene.Impact
+		}{
+			{"clean", impBasic},
+			{"clean+presence50", impPresence},
+		} {
+			cut := 0.0
+			if r.imp.RawChurn > 0 {
+				cut = 1 - r.imp.CleanChurn/r.imp.RawChurn
+			}
+			res.Rows = append(res.Rows, []string{
+				prov, r.label,
+				pct(r.imp.MeanDrop), pct(r.imp.RawChurn), pct(r.imp.CleanChurn), pct(cut),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("resolvability checked against the day-%d zone snapshot", st.Days()/2),
+		"presence-50% keeps names listed on at least half the days — the longitudinal-measurement recommendation as a membership rule",
+	)
+	return res, nil
+}

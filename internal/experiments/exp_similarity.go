@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/providers"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("similarity",
+		"Ablation: rank-similarity metric choice (tau vs rho vs footrule vs RBO)",
+		runSimilarity)
+}
+
+// runSimilarity re-reads the paper's §6.3 order-stability question
+// under four metrics. Kendall's τ (the paper's choice) only sees
+// domains common to both lists and weights all ranks equally;
+// Rank-Biased Overlap sees the churn too (non-conjoint lists) and
+// weights the head. The ablation shows how the metric choice changes
+// the stability picture: under τ the head looks almost perfectly
+// stable, while RBO also charges for entries leaving the list.
+func runSimilarity(e *Env) (*Result, error) {
+	st, err := e.Study()
+	if err != nil {
+		return nil, err
+	}
+	head := st.Scale.HeadSize
+	// Persistence chosen so the evaluated head carries the bulk of the
+	// RBO weight.
+	p := 1 - 1/float64(head)
+
+	res := &Result{
+		Paper:  "§6.3/Fig. 4 use τ only: day-to-day very-strong (τ>0.95) share Majestic 99%, Alexa 72%, Umbrella 40%. RBO/footrule/ρ are the extension; the Tranco follow-up work adopted RBO for exactly this comparison.",
+		Header: []string{"comparison", "τ (mean)", "ρ (mean)", "footrule (mean)", "RBO (mean)", "common (mean)"},
+	}
+	row := func(label string, s analysis.Similarity) {
+		res.Rows = append(res.Rows, []string{
+			label, f3(s.Tau), f3(s.Rho), f3(s.Footrule), f3(s.RBO), d(s.Common),
+		})
+	}
+
+	for _, prov := range st.Providers() {
+		s := analysis.SimilaritySummary(st.Analysis.SimilarityDayToDay(prov, head, p))
+		row(prov+" day-to-day (head)", s)
+	}
+	pairs := [][2]string{
+		{providers.Alexa, providers.Umbrella},
+		{providers.Alexa, providers.Majestic},
+		{providers.Umbrella, providers.Majestic},
+	}
+	for _, pair := range pairs {
+		s := analysis.SimilaritySummary(st.Analysis.SimilarityAcrossProviders(pair[0], pair[1], head, p))
+		row(pair[0]+" vs "+pair[1]+" (head)", s)
+	}
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("RBO persistence p=%.4f (top %d ranks carry ~%.0f%% of the weight)",
+			p, head, 100*stats.RBOTopWeight(p, head)),
+		"day-to-day τ within a provider is high even when RBO is much lower: τ is blind to churned entries",
+		"cross-provider RBO ≪ within-provider RBO: the paper's low-intersection finding (§5.2) restated order-sensitively",
+	)
+	return res, nil
+}

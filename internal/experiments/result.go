@@ -1,0 +1,88 @@
+// Package experiments maps every table and figure of the paper's
+// evaluation to a driver that regenerates it from a simulated study,
+// and renders the outcome as a text table. The registry is the backend
+// of `cmd/toplists experiment <id>` and of the root-level benchmark
+// harness.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is a regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	// Paper summarises what the original reports, for side-by-side
+	// reading in EXPERIMENTS.md.
+	Paper  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := runeLen(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+// Formatting helpers shared by the drivers.
+
+func pct(v float64) string  { return fmt.Sprintf("%.2f%%", 100*v) }
+func pct1(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func d(v int) string        { return fmt.Sprintf("%d", v) }
+
+// meanStdCell renders "µ ± σ" in a unit given by format.
+func meanStdCell(mean, std float64, asPercent bool) string {
+	if asPercent {
+		return fmt.Sprintf("%.2f%% ± %.2f", 100*mean, 100*std)
+	}
+	return fmt.Sprintf("%.1f ± %.1f", mean, std)
+}

@@ -1,0 +1,224 @@
+package hygiene
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/toplist"
+)
+
+func TestValidTLDFilter(t *testing.T) {
+	f := ValidTLD()
+	keep := []string{"google.com", "bbc.co.uk", "example.org"}
+	drop := []string{"router.localdomain", "printer.cpe", "host.instagram", "nonsense.notatld"}
+	for _, n := range keep {
+		if !f.Keep(n) {
+			t.Errorf("%s should survive", n)
+		}
+	}
+	for _, n := range drop {
+		if f.Keep(n) {
+			t.Errorf("%s should be dropped", n)
+		}
+	}
+}
+
+func TestMaxDepthFilter(t *testing.T) {
+	f := MaxDepth(1)
+	if !f.Keep("example.com") || !f.Keep("www.example.com") {
+		t.Error("depth <= 1 should survive")
+	}
+	if f.Keep("a.b.example.com") {
+		t.Error("depth 2 should be dropped")
+	}
+	deep := strings.Repeat("x.", 30) + "example.com"
+	if MaxDepth(33).Keep(deep) != true {
+		t.Error("depth 30 under limit 33 should survive")
+	}
+}
+
+func TestWellFormedFilter(t *testing.T) {
+	f := WellFormed()
+	if !f.Keep("ok.example.net") {
+		t.Error("well-formed name dropped")
+	}
+	for _, bad := range []string{"", "..", "-bad.example.com", "toolong" + strings.Repeat("a", 80) + ".com"} {
+		if f.Keep(bad) {
+			t.Errorf("%q should be dropped", bad)
+		}
+	}
+}
+
+func TestNoLocalhostFilter(t *testing.T) {
+	f := NoLocalhost()
+	for _, bad := range []string{"localhost", "db.localhost", "nas.local", "gw.localdomain"} {
+		if f.Keep(bad) {
+			t.Errorf("%q should be dropped", bad)
+		}
+	}
+	if !f.Keep("localhost-studios.com") {
+		t.Error("legitimate name containing 'localhost' dropped")
+	}
+}
+
+func TestResolvableFilter(t *testing.T) {
+	zone := simnet.NewStaticZone()
+	zone.Add("alive.com", simnet.Response{RCode: simnet.RCodeNoError, A: 1, TTL: 60})
+	zone.Add("flaky.com", simnet.Response{RCode: simnet.RCodeServFail})
+	f := Resolvable(zone)
+	if !f.Keep("alive.com") {
+		t.Error("resolving name dropped")
+	}
+	if !f.Keep("flaky.com") {
+		t.Error("SERVFAIL should be kept (exists, temporarily broken)")
+	}
+	if f.Keep("ghost.com") {
+		t.Error("NXDOMAIN name kept")
+	}
+}
+
+func TestPipelineAppliesInOrderWithAccounting(t *testing.T) {
+	zone := simnet.NewStaticZone()
+	zone.Add("a.com", simnet.Response{RCode: simnet.RCodeNoError, A: 1, TTL: 60})
+	zone.Add("b.org", simnet.Response{RCode: simnet.RCodeNoError, A: 2, TTL: 60})
+	l := toplist.New([]string{
+		"a.com",            // survives everything
+		"dead.com",         // dropped by resolvable
+		"host.localdomain", // dropped by valid-tld (never reaches resolvable)
+		"b.org",            // survives
+		"nas.local",        // dropped by valid-tld
+	})
+	p := Recommended(zone)
+	out, rep := p.Apply(l)
+
+	want := []string{"a.com", "b.org"}
+	got := out.Names()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("cleaned = %v, want %v", got, want)
+	}
+	if rep.Input != 5 || rep.Output != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	byFilter := map[string]int{}
+	for _, d := range rep.Drops {
+		byFilter[d.Filter] = d.Dropped
+	}
+	if byFilter["valid-tld"] != 2 {
+		t.Errorf("valid-tld dropped %d, want 2", byFilter["valid-tld"])
+	}
+	if byFilter["resolvable"] != 1 {
+		t.Errorf("resolvable dropped %d, want 1 (locals were already gone)", byFilter["resolvable"])
+	}
+	if rep.DropShare() != 0.6 {
+		t.Errorf("drop share = %v, want 0.6", rep.DropShare())
+	}
+	if !strings.Contains(rep.String(), "5 -> 2") {
+		t.Errorf("report string = %q", rep.String())
+	}
+}
+
+func TestPipelinePreservesRankOrder(t *testing.T) {
+	l := toplist.New([]string{"z.com", "bad.notatld", "a.com", "m.com"})
+	out, _ := NewPipeline(ValidTLD()).Apply(l)
+	got := out.Names()
+	want := []string{"z.com", "a.com", "m.com"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestApplyTopCleansBeforeCutting(t *testing.T) {
+	// The whole point of clean-then-cut: junk at the head must not
+	// consume top-N slots.
+	l := toplist.New([]string{"junk.notatld", "a.com", "b.com", "c.com"})
+	out, _ := NewPipeline(ValidTLD()).ApplyTop(l, 2)
+	got := out.Names()
+	if len(got) != 2 || got[0] != "a.com" || got[1] != "b.com" {
+		t.Fatalf("top = %v, want [a.com b.com]", got)
+	}
+}
+
+func TestEmptyPipelineIsNoOp(t *testing.T) {
+	l := toplist.New([]string{"a.com", "weird.notatld"})
+	var p Pipeline
+	out, rep := p.Apply(l)
+	if out.Len() != 2 || rep.DropShare() != 0 {
+		t.Errorf("no-op pipeline mutated the list: %v %+v", out.Names(), rep)
+	}
+}
+
+// flipFlopArchive alternates a volatile tail across days: names
+// tail-A on even days, tail-B on odd days, under a stable head.
+func flipFlopArchive(t *testing.T, days int) *toplist.Archive {
+	t.Helper()
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	for d := 0; d < days; d++ {
+		names := []string{"stable1.com", "stable2.com", "stable3.com"}
+		for i := 0; i < 3; i++ {
+			if d%2 == 0 {
+				names = append(names, fmt.Sprintf("even%d.com", i))
+			} else {
+				names = append(names, fmt.Sprintf("odd%d.com", i))
+			}
+		}
+		names = append(names, fmt.Sprintf("junk%d.notatld", d)) // churning junk
+		if err := arch.Put("prov", toplist.Day(d), toplist.New(names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return arch
+}
+
+func TestPresenceFilterKeepsPersistentNames(t *testing.T) {
+	arch := flipFlopArchive(t, 10)
+	f := Presence(arch, "prov", 0.9)
+	if !f.Keep("stable1.com") {
+		t.Error("always-present name dropped")
+	}
+	if f.Keep("even0.com") || f.Keep("junk3.notatld") {
+		t.Error("flip-flopping names kept at 90% presence")
+	}
+	half := Presence(arch, "prov", 0.5)
+	if !half.Keep("even0.com") {
+		t.Error("half-present name should survive a 0.5 threshold")
+	}
+}
+
+func TestStabilityImpactReducesChurn(t *testing.T) {
+	arch := flipFlopArchive(t, 12)
+	p := NewPipeline(ValidTLD(), Presence(arch, "prov", 0.9))
+	imp := StabilityImpact(arch, "prov", p, 0)
+	if imp.Days != 12 {
+		t.Fatalf("days = %d", imp.Days)
+	}
+	if imp.RawChurn == 0 {
+		t.Fatal("raw churn should be non-zero for the flip-flop archive")
+	}
+	if imp.CleanChurn >= imp.RawChurn {
+		t.Errorf("clean churn %v should be below raw %v", imp.CleanChurn, imp.RawChurn)
+	}
+	if imp.CleanChurn != 0 {
+		t.Errorf("presence-cleaned flip-flop archive should be perfectly stable, churn %v", imp.CleanChurn)
+	}
+	if imp.MeanDrop <= 0 {
+		t.Errorf("mean drop = %v, want > 0", imp.MeanDrop)
+	}
+}
+
+func TestChurnHelper(t *testing.T) {
+	a := toplist.New([]string{"a.com", "b.com"})
+	b := toplist.New([]string{"b.com", "c.com"})
+	if got := churn(a, b); got != 0.5 {
+		t.Errorf("churn = %v, want 0.5", got)
+	}
+	if got := churn(nil, b); got != 0 {
+		t.Errorf("nil prev churn = %v", got)
+	}
+	if got := churn(a, a); got != 0 {
+		t.Errorf("self churn = %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package hygiene
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/toplist"
+)
+
+// randomList builds a list mixing clean names, invalid TLDs, deep
+// subdomains, and local junk.
+func randomList(r *rand.Rand, n int) *toplist.List {
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			names = append(names, fmt.Sprintf("site%d.com", r.Intn(1000)))
+		case 1:
+			names = append(names, fmt.Sprintf("host%d.notatld", r.Intn(100)))
+		case 2:
+			names = append(names, fmt.Sprintf("a%d.b.c.d.example.org", r.Intn(100)))
+		case 3:
+			names = append(names, fmt.Sprintf("nas%d.local", r.Intn(100)))
+		default:
+			names = append(names, fmt.Sprintf("www.site%d.net", r.Intn(1000)))
+		}
+	}
+	return toplist.New(names)
+}
+
+// TestPipelinePropertyOutputSubsetAndOrdered: for arbitrary inputs and
+// filter combinations, the output is a subset of the input, preserves
+// relative order, and the per-filter drops sum to input-output.
+func TestPipelinePropertyOutputSubsetAndOrdered(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	prop := func(seed int64, n uint8, mask uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomList(r, int(n%60)+1)
+		var filters []Filter
+		if mask&1 != 0 {
+			filters = append(filters, WellFormed())
+		}
+		if mask&2 != 0 {
+			filters = append(filters, ValidTLD())
+		}
+		if mask&4 != 0 {
+			filters = append(filters, MaxDepth(int(mask%3)+1))
+		}
+		if mask&8 != 0 {
+			filters = append(filters, NoLocalhost())
+		}
+		out, rep := NewPipeline(filters...).Apply(l)
+
+		// Subset + order: walk the input once, matching output in order.
+		in := l.Names()
+		got := out.Names()
+		j := 0
+		for _, name := range in {
+			if j < len(got) && got[j] == name {
+				j++
+			}
+		}
+		if j != len(got) {
+			return false // output not an ordered subsequence of input
+		}
+		// Accounting: drops sum to the size difference.
+		dropped := 0
+		for _, d := range rep.Drops {
+			dropped += d.Dropped
+		}
+		if dropped != rep.Input-rep.Output || rep.Input != l.Len() || rep.Output != out.Len() {
+			return false
+		}
+		// Idempotence: re-applying the pipeline changes nothing.
+		again, rep2 := NewPipeline(filters...).Apply(out)
+		return again.Len() == out.Len() && rep2.DropShare() == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package hygiene
+
+import (
+	"fmt"
+
+	"repro/internal/toplist"
+)
+
+// Presence returns a filter keeping only names present on at least
+// minShare of the archive's days for the provider — the paper's
+// "conduct repeated, longitudinal measurements" recommendation turned
+// into a membership rule. minShare of 0.5 keeps names listed at least
+// half the days.
+func Presence(arch *toplist.Archive, provider string, minShare float64) Filter {
+	days := 0
+	counts := make(map[string]int)
+	arch.EachDay(func(d toplist.Day) {
+		l := arch.Get(provider, d)
+		if l == nil {
+			return
+		}
+		days++
+		for _, n := range l.Names() {
+			counts[n]++
+		}
+	})
+	need := int(minShare * float64(days))
+	if need < 1 {
+		need = 1
+	}
+	return NewFilter(fmt.Sprintf("presence-%.0f%%", 100*minShare), func(name string) bool {
+		return counts[name] >= need
+	})
+}
+
+// churn returns |prev \ cur| / |prev| for two same-provider snapshots.
+func churn(prev, cur *toplist.List) float64 {
+	if prev == nil || cur == nil || prev.Len() == 0 {
+		return 0
+	}
+	removed := 0
+	for _, n := range prev.Names() {
+		if !cur.Contains(n) {
+			removed++
+		}
+	}
+	return float64(removed) / float64(prev.Len())
+}
+
+// Impact quantifies what a cleaning pipeline does to a provider's
+// archive: volume dropped and day-to-day churn before/after.
+type Impact struct {
+	Provider   string
+	MeanDrop   float64 // mean share of names removed per day
+	RawChurn   float64 // mean day-to-day churn of the raw top-N
+	CleanChurn float64 // mean day-to-day churn of the cleaned top-N
+	Days       int
+}
+
+// StabilityImpact applies the pipeline to every day of the provider's
+// archive, cutting both raw and cleaned lists to topN (0 = full list),
+// and reports the churn change. Cleaning with a Presence filter is the
+// combination the §9 recommendations imply.
+func StabilityImpact(arch *toplist.Archive, provider string, p *Pipeline, topN int) Impact {
+	imp := Impact{Provider: provider}
+	var prevRaw, prevClean *toplist.List
+	var dropSum float64
+	var rawSum, cleanSum float64
+	transitions := 0
+	arch.EachDay(func(d toplist.Day) {
+		l := arch.Get(provider, d)
+		if l == nil {
+			return
+		}
+		imp.Days++
+		raw := l
+		if topN > 0 {
+			raw = l.Top(topN)
+		}
+		cleaned, rep := p.Apply(l)
+		if topN > 0 {
+			cleaned = cleaned.Top(topN)
+		}
+		dropSum += rep.DropShare()
+		if prevRaw != nil {
+			rawSum += churn(prevRaw, raw)
+			cleanSum += churn(prevClean, cleaned)
+			transitions++
+		}
+		prevRaw, prevClean = raw, cleaned
+	})
+	if imp.Days > 0 {
+		imp.MeanDrop = dropSum / float64(imp.Days)
+	}
+	if transitions > 0 {
+		imp.RawChurn = rawSum / float64(transitions)
+		imp.CleanChurn = cleanSum / float64(transitions)
+	}
+	return imp
+}

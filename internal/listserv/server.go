@@ -1,0 +1,351 @@
+// Package listserv distributes top-list snapshots over HTTP and
+// collects them back into archives.
+//
+// The paper's §4 dataset is assembled by downloading each provider's
+// daily CSV publication (e.g. Alexa's top-1m.csv.zip from S3) over
+// many months. This package reproduces that pipeline end to end: a
+// Server publishes an Archive the way providers publish their lists
+// (dated CSV documents, also gzip- and zip-wrapped, with strong
+// validators for caching), a Client downloads and decodes snapshots
+// with retries and conditional requests, and a Mirror drives a Client
+// once per simulated day to rebuild an Archive — including the gap
+// handling a real longitudinal collection needs.
+package listserv
+
+import (
+	"archive/zip"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/toplist"
+)
+
+// Format selects the on-the-wire encoding of a snapshot.
+type Format int
+
+const (
+	// FormatCSV is the bare "rank,domain" file.
+	FormatCSV Format = iota
+	// FormatGzip is the CSV file gzip-compressed (Majestic style).
+	FormatGzip
+	// FormatZip is a zip archive holding one member, top-1m.csv
+	// (Alexa/Umbrella style).
+	FormatZip
+)
+
+// String returns the file-name suffix associated with the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "top-1m.csv"
+	case FormatGzip:
+		return "top-1m.csv.gz"
+	case FormatZip:
+		return "top-1m.csv.zip"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+func (f Format) contentType() string {
+	switch f {
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	case FormatGzip:
+		return "application/gzip"
+	case FormatZip:
+		return "application/zip"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// Index is the JSON document served at /v1/index describing what the
+// server publishes.
+type Index struct {
+	Providers []string `json:"providers"`
+	FirstDay  string   `json:"first_day"` // ISO date
+	LastDay   string   `json:"last_day"`  // ISO date
+	Days      int      `json:"days"`
+}
+
+// Server publishes an Archive over HTTP. It implements http.Handler.
+//
+// Routes (all GET/HEAD):
+//
+//	/v1/index                           JSON Index document
+//	/v1/{provider}/latest/top-1m.csv    latest snapshot, bare CSV
+//	/v1/{provider}/{date}/top-1m.csv    dated snapshot, bare CSV
+//
+// plus .csv.gz and .csv.zip variants of both snapshot routes. Snapshot
+// responses carry a strong ETag (content hash) and a Last-Modified of
+// the snapshot's publication instant, so conditional requests and
+// range requests behave like a static-file host — which is what the
+// real providers use.
+type Server struct {
+	archive *Gatekeeper
+	mux     *http.ServeMux
+
+	mu    sync.Mutex
+	cache map[blobKey]blob
+}
+
+// Gatekeeper mediates read access to an archive, so a Server can also
+// publish a still-growing collection: Clip limits which days are
+// visible, mimicking a provider that publishes one file per day.
+type Gatekeeper struct {
+	mu      sync.RWMutex
+	archive *toplist.Archive
+	visible toplist.Day // last visible day
+}
+
+// NewGatekeeper exposes archive up to (and including) lastVisible.
+func NewGatekeeper(archive *toplist.Archive, lastVisible toplist.Day) *Gatekeeper {
+	return &Gatekeeper{archive: archive, visible: lastVisible}
+}
+
+// Advance makes days up to d visible. It never retracts visibility.
+func (g *Gatekeeper) Advance(d toplist.Day) {
+	g.mu.Lock()
+	if d > g.visible {
+		g.visible = d
+	}
+	g.mu.Unlock()
+}
+
+// LastVisible returns the newest published day.
+func (g *Gatekeeper) LastVisible() toplist.Day {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.visible
+}
+
+func (g *Gatekeeper) get(provider string, day toplist.Day) *toplist.List {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if day > g.visible {
+		return nil
+	}
+	return g.archive.Get(provider, day)
+}
+
+func (g *Gatekeeper) index() Index {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	last := g.visible
+	if last > g.archive.Last() {
+		last = g.archive.Last()
+	}
+	return Index{
+		Providers: g.archive.SortedProviders(),
+		FirstDay:  g.archive.First().String(),
+		LastDay:   last.String(),
+		Days:      int(last-g.archive.First()) + 1,
+	}
+}
+
+type blobKey struct {
+	provider string
+	day      toplist.Day
+	format   Format
+}
+
+type blob struct {
+	data []byte
+	etag string
+}
+
+// NewServer publishes every day of archive immediately.
+func NewServer(archive *toplist.Archive) *Server {
+	return NewServerAt(NewGatekeeper(archive, archive.Last()))
+}
+
+// NewServerAt publishes through a Gatekeeper, letting the caller
+// control day-by-day visibility (see Mirror tests for the live-
+// collection scenario).
+func NewServerAt(g *Gatekeeper) *Server {
+	s := &Server{archive: g, mux: http.NewServeMux(), cache: make(map[blobKey]blob)}
+	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
+	s.mux.HandleFunc("GET /v1/{provider}/{day}/{file}", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-cache")
+	if err := json.NewEncoder(w).Encode(s.archive.index()); err != nil {
+		// Headers are gone; nothing to do beyond dropping the conn.
+		return
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	provider := r.PathValue("provider")
+	format, ok := parseFileName(r.PathValue("file"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var day toplist.Day
+	if ds := r.PathValue("day"); ds == "latest" {
+		day = s.archive.LastVisible()
+	} else {
+		var err error
+		day, err = toplist.ParseDay(ds)
+		if err != nil {
+			http.Error(w, "bad date: "+ds, http.StatusBadRequest)
+			return
+		}
+	}
+	list := s.archive.get(provider, day)
+	if list == nil {
+		http.NotFound(w, r)
+		return
+	}
+	b, err := s.blobFor(provider, day, format, list)
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", format.contentType())
+	w.Header().Set("ETag", b.etag)
+	w.Header().Set("X-Toplist-Day", day.String())
+	// Published at 00:00 UTC of the day after the data day, like the
+	// real providers' overnight publication runs.
+	published := day.Date().Add(24 * time.Hour)
+	http.ServeContent(w, r, format.String(), published, bytes.NewReader(b.data))
+}
+
+func parseFileName(name string) (Format, bool) {
+	switch name {
+	case "top-1m.csv":
+		return FormatCSV, true
+	case "top-1m.csv.gz":
+		return FormatGzip, true
+	case "top-1m.csv.zip":
+		return FormatZip, true
+	default:
+		return 0, false
+	}
+}
+
+func (s *Server) blobFor(provider string, day toplist.Day, format Format, list *toplist.List) (blob, error) {
+	key := blobKey{provider, day, format}
+	s.mu.Lock()
+	b, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	data, err := Encode(list, format)
+	if err != nil {
+		return blob{}, err
+	}
+	sum := sha256.Sum256(data)
+	b = blob{data: data, etag: `"` + hex.EncodeToString(sum[:16]) + `"`}
+	s.mu.Lock()
+	s.cache[key] = b
+	s.mu.Unlock()
+	return b, nil
+}
+
+// Encode serialises a list in the given publication format.
+func Encode(list *toplist.List, format Format) ([]byte, error) {
+	var csvBuf bytes.Buffer
+	if err := toplist.WriteCSV(&csvBuf, list); err != nil {
+		return nil, err
+	}
+	switch format {
+	case FormatCSV:
+		return csvBuf.Bytes(), nil
+	case FormatGzip:
+		var out bytes.Buffer
+		zw := gzip.NewWriter(&out)
+		if _, err := zw.Write(csvBuf.Bytes()); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	case FormatZip:
+		var out bytes.Buffer
+		zw := zip.NewWriter(&out)
+		f, err := zw.Create("top-1m.csv")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Write(csvBuf.Bytes()); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("listserv: unknown format %v", format)
+	}
+}
+
+// Decode parses a snapshot document in the given publication format.
+func Decode(data []byte, format Format) (*toplist.List, error) {
+	switch format {
+	case FormatCSV:
+		return toplist.ReadCSV(bytes.NewReader(data))
+	case FormatGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("listserv: gzip: %w", err)
+		}
+		defer zr.Close()
+		return toplist.ReadCSV(zr)
+	case FormatZip:
+		zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, fmt.Errorf("listserv: zip: %w", err)
+		}
+		for _, f := range zr.File {
+			if !strings.HasSuffix(f.Name, ".csv") {
+				continue
+			}
+			rc, err := f.Open()
+			if err != nil {
+				return nil, fmt.Errorf("listserv: zip member %s: %w", f.Name, err)
+			}
+			defer rc.Close()
+			return toplist.ReadCSV(rc)
+		}
+		return nil, fmt.Errorf("listserv: zip holds no .csv member")
+	default:
+		return nil, fmt.Errorf("listserv: unknown format %v", format)
+	}
+}
+
+// SnapshotPath returns the server-relative path of a dated snapshot.
+func SnapshotPath(provider string, day toplist.Day, format Format) string {
+	return "/v1/" + provider + "/" + day.String() + "/" + format.String()
+}
+
+// LatestPath returns the server-relative path of the newest snapshot.
+func LatestPath(provider string, format Format) string {
+	return "/v1/" + provider + "/latest/" + format.String()
+}
+
+// sortedFormats is used by tests iterating all formats deterministically.
+func sortedFormats() []Format {
+	out := []Format{FormatCSV, FormatGzip, FormatZip}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,57 @@
+package measure
+
+// Bias marking implements the paper's Table 5 significance rule
+// (footnote 6): a cell is marked as significantly exceeding (▲) or
+// falling behind (▼) its base value when it deviates by more than 50 %;
+// for base values over 40 %, the test is a 25 % deviation and 5σ.
+
+// Mark classifies value against base with the paper's rule. sigma is
+// the standard deviation of the value's daily series (pass 0 when a
+// single-day measurement is all that exists; the σ clause then reduces
+// to the percentage test).
+type Mark string
+
+// Marks.
+const (
+	MarkUp   Mark = "▲"
+	MarkDown Mark = "▼"
+	MarkSame Mark = "■"
+)
+
+// Classify applies the rule.
+func Classify(value, base, sigma float64) Mark {
+	if base == 0 {
+		if value > 0 {
+			return MarkUp
+		}
+		return MarkSame
+	}
+	threshold := 0.5
+	if base > 0.40 {
+		threshold = 0.25
+		if sigma > 0 {
+			// Additionally require a 5σ separation.
+			if diff := value - base; diff > 0 {
+				if diff < 5*sigma {
+					if diff/base <= threshold {
+						return MarkSame
+					}
+				}
+			} else {
+				if -diff < 5*sigma {
+					if -diff/base <= threshold {
+						return MarkSame
+					}
+				}
+			}
+		}
+	}
+	switch {
+	case value > base*(1+threshold):
+		return MarkUp
+	case value < base*(1-threshold):
+		return MarkDown
+	default:
+		return MarkSame
+	}
+}

@@ -1,0 +1,45 @@
+package measure
+
+import "repro/internal/stats"
+
+// Bootstrap-based significance, the distribution-free companion to
+// the paper's percentage-and-σ rule in Classify. Given the *daily
+// series* of a metric on a list and on the population, the bootstrap
+// difference interval answers "is the gap larger than the sampling
+// noise" without assuming normal daily readings — useful at small
+// simulation scales where daily shares are lumpy.
+
+// BootstrapResamples is the default resample count; enough for stable
+// 95% percentile bounds on the short daily series the campaigns
+// produce.
+const BootstrapResamples = 600
+
+// ClassifyBootstrap marks a list series against a base series: ▲/▼
+// when the 95% bootstrap interval of the mean difference excludes
+// zero (in the respective direction), ■ otherwise. Deterministic in
+// seed.
+func ClassifyBootstrap(listSeries, baseSeries []float64, seed uint64) Mark {
+	if len(listSeries) == 0 || len(baseSeries) == 0 {
+		return MarkSame
+	}
+	ci := stats.DifferenceCI(listSeries, baseSeries, stats.Mean, BootstrapResamples, 0.95, seed)
+	switch {
+	case ci.Lo > 0:
+		return MarkUp
+	case ci.Hi < 0:
+		return MarkDown
+	default:
+		return MarkSame
+	}
+}
+
+// VerdictsAgree reports whether the paper's rule and the bootstrap
+// rule agree on a series pair. The paper's rule additionally demands
+// practical magnitude (50% deviation), so a bootstrap ▲ with a paper
+// ■ means "statistically real but small" — the caller decides whether
+// that distinction matters.
+func VerdictsAgree(listSeries, baseSeries []float64, seed uint64) (paper, bootstrap Mark, agree bool) {
+	paper = Classify(stats.Mean(listSeries), stats.Mean(baseSeries), stats.Std(baseSeries))
+	bootstrap = ClassifyBootstrap(listSeries, baseSeries, seed)
+	return paper, bootstrap, paper == bootstrap
+}

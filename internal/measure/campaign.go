@@ -1,0 +1,211 @@
+// Package measure implements the paper's §8 measurement campaigns over
+// a set of domain names: DNS record shares (NXDOMAIN, IPv6, CAA,
+// CNAME), CDN detection via CNAME patterns, AS mapping via the route
+// table, TLS/HSTS probing, and HTTP/2 fetches — run against the
+// simulated infrastructure, with the same classification logic the
+// paper applies to live scans.
+package measure
+
+import (
+	"sort"
+
+	"repro/internal/population"
+	"repro/internal/simnet"
+)
+
+// Metrics are the Table 5 characteristics of one name set on one day.
+type Metrics struct {
+	N int
+	// Shares in [0,1] of the measured set.
+	NXDOMAIN float64
+	IPv6     float64
+	CAA      float64
+	CNAME    float64
+	CDN      float64
+	// AS diversity (resolving names only).
+	UniqueAS4   int
+	UniqueAS6   int
+	Top5ASShare float64
+	// Web layers.
+	TLS       float64 // TLS-capable share of all names
+	HSTSofTLS float64 // HSTS-enabled share of TLS-capable names
+	HTTP2     float64 // HTTP/2 landing-page share of all names
+
+	// Decompositions for Fig. 7.
+	CDNCounts map[uint8]int  // CDN ID -> detected count
+	ASCounts  map[uint32]int // ASN -> A-record count
+}
+
+// Campaign measures name sets against a world.
+type Campaign struct {
+	W *population.World
+}
+
+// NewCampaign builds a campaign runner.
+func NewCampaign(w *population.World) *Campaign { return &Campaign{W: w} }
+
+// Measure runs the full §8 measurement over names on the given day.
+// Following the paper's method, DNS and web probes also try the
+// www-prefixed variant of each name when the raw name yields less
+// (CNAME detection and TLS support are counted if either variant
+// succeeds).
+func (c *Campaign) Measure(names []string, day int) Metrics {
+	zone := c.W.ZoneAt(day)
+	prober := c.W.ProberAt(day)
+	m := Metrics{
+		N:         len(names),
+		CDNCounts: make(map[uint8]int),
+		ASCounts:  make(map[uint32]int),
+	}
+	if len(names) == 0 {
+		return m
+	}
+	as4 := make(map[uint32]struct{})
+	as6 := make(map[uint32]struct{})
+	var nx, ipv6, caa, cname, cdn, tls, hsts, h2 int
+	for _, name := range names {
+		resp := zone.Lookup(name)
+		if resp.RCode != simnet.RCodeNoError {
+			nx++
+			continue
+		}
+		if resp.AAAA {
+			ipv6++
+		}
+		if resp.CAA {
+			caa++
+		}
+		chain := resp.Chain
+		if len(chain) == 0 {
+			// Try the www variant for CNAME/CDN detection.
+			if www, ok := c.W.ResolveWWW(name); ok {
+				if wr := zone.Lookup(www); wr.RCode == simnet.RCodeNoError {
+					chain = wr.Chain
+				}
+			}
+		}
+		if len(chain) > 0 {
+			cname++
+			if id := c.W.CDNs.Detect(chain[len(chain)-1]); id != 0 {
+				cdn++
+				m.CDNCounts[id]++
+			}
+		}
+		if asn, ok := c.W.Routes.Lookup(resp.A); ok {
+			as4[asn] = struct{}{}
+			m.ASCounts[asn]++
+			if resp.AAAA {
+				as6[asn] = struct{}{}
+			}
+		}
+		pr := prober.Probe(name)
+		if !pr.TLS {
+			if www, ok := c.W.ResolveWWW(name); ok {
+				pr = prober.Probe(www)
+			}
+		}
+		if pr.TLS {
+			tls++
+			if pr.HSTSEnabled() {
+				hsts++
+			}
+			if pr.HTTP2 && pr.Redirects <= simnet.MaxRedirects {
+				h2++
+			}
+		}
+	}
+	n := float64(len(names))
+	m.NXDOMAIN = float64(nx) / n
+	m.IPv6 = float64(ipv6) / n
+	m.CAA = float64(caa) / n
+	m.CNAME = float64(cname) / n
+	m.CDN = float64(cdn) / n
+	m.TLS = float64(tls) / n
+	if tls > 0 {
+		m.HSTSofTLS = float64(hsts) / float64(tls)
+	}
+	m.HTTP2 = float64(h2) / n
+	m.UniqueAS4 = len(as4)
+	m.UniqueAS6 = len(as6)
+	m.Top5ASShare = topShare(m.ASCounts, 5)
+	return m
+}
+
+// MeasureIDs measures world records by index.
+func (c *Campaign) MeasureIDs(ids []uint32, day int) Metrics {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = c.W.Domains[id].Name
+	}
+	return c.Measure(names, day)
+}
+
+// topShare returns the combined share of the k most common keys.
+func topShare[K comparable](counts map[K]int, k int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	vals := make([]int, 0, len(counts))
+	total := 0
+	for _, v := range counts {
+		vals = append(vals, v)
+		total += v
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	if k > len(vals) {
+		k = len(vals)
+	}
+	top := 0
+	for _, v := range vals[:k] {
+		top += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// Share is a labelled share for Fig. 7 style decompositions.
+type Share struct {
+	Label string
+	Share float64
+}
+
+// TopCDNShares returns the k most common CDNs among detected CDN uses,
+// as shares of all CDN-detected names.
+func (c *Campaign) TopCDNShares(m Metrics, k int) []Share {
+	return topShares(m.CDNCounts, k, func(id uint8) string { return c.W.CDNs.Name(id) })
+}
+
+// TopASShares returns the k most common origin ASes as shares of all
+// A-record mappings.
+func (c *Campaign) TopASShares(m Metrics, k int) []Share {
+	return topShares(m.ASCounts, k, func(asn uint32) string { return c.W.ASes.Label(asn) })
+}
+
+func topShares[K comparable](counts map[K]int, k int, label func(K) string) []Share {
+	type kv struct {
+		key K
+		n   int
+	}
+	all := make([]kv, 0, len(counts))
+	total := 0
+	for key, n := range counts {
+		all = append(all, kv{key, n})
+		total += n
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return label(all[i].key) < label(all[j].key)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]Share, k)
+	for i := 0; i < k; i++ {
+		out[i] = Share{Label: label(all[i].key), Share: float64(all[i].n) / float64(total)}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package population generates the synthetic Internet the study runs
+// against: a universe of domains with names, categories, correlated
+// latent popularity along the three signal axes the list providers
+// measure (web visits, DNS resolutions, backlinks), weekday/weekend
+// usage factors, birth/death dynamics, and hosting-infrastructure
+// attributes. It substitutes for the paper's proprietary data sources
+// (Alexa panel, OpenDNS query logs, Majestic crawl, zone files).
+package population
+
+// Category classifies a domain's role; it drives the per-axis
+// popularity factors, weekend behaviour, and infrastructure attributes.
+type Category uint8
+
+// Categories.
+const (
+	// CatWeb is a general-purpose website.
+	CatWeb Category = iota
+	// CatLeisure is entertainment/user-generated content, more popular
+	// on weekends (the paper's blogspot/tumblr examples).
+	CatLeisure
+	// CatWork is business/productivity, more popular on weekdays (the
+	// paper's sharepoint/nessus examples).
+	CatWork
+	// CatMedia is news/streaming.
+	CatMedia
+	// CatShopping is e-commerce.
+	CatShopping
+	// CatTracker is third-party advertising/tracking infrastructure —
+	// resolved by browsers and apps, rarely visited deliberately; the
+	// hpHosts-style blacklist flags these (Table 3).
+	CatTracker
+	// CatMobile is a mobile-app backend — DNS-visible but not web; the
+	// Lumen-style mobile dataset flags these (Table 3).
+	CatMobile
+	// CatCDNAsset hosts embedded content (the ampproject/nflxso
+	// examples).
+	CatCDNAsset
+	// CatIoT is device telemetry.
+	CatIoT
+	// CatJunk is a misconfigured-client name under an invalid TLD
+	// (printer.localdomain); it never resolves.
+	CatJunk
+	// CatGhost is a discontinued service under a valid TLD, still
+	// queried by legacy clients and still linked to, but NXDOMAIN (the
+	// paper's teredo.ipv6.microsoft.com example).
+	CatGhost
+
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CatWeb:
+		return "web"
+	case CatLeisure:
+		return "leisure"
+	case CatWork:
+		return "work"
+	case CatMedia:
+		return "media"
+	case CatShopping:
+		return "shopping"
+	case CatTracker:
+		return "tracker"
+	case CatMobile:
+		return "mobile"
+	case CatCDNAsset:
+		return "cdn-asset"
+	case CatIoT:
+		return "iot"
+	case CatJunk:
+		return "junk"
+	case CatGhost:
+		return "ghost"
+	default:
+		return "unknown"
+	}
+}
+
+// axisFactors scales the shared latent popularity into the three signal
+// axes: how strongly the category shows up in web-visit panels, DNS
+// resolver query streams, and crawler link graphs. These asymmetries
+// are what drive the low inter-list intersection (§5.3): trackers,
+// mobile backends, and embedded-content hosts are DNS-heavy but nearly
+// invisible to web panels and crawlers.
+type axisFactors struct{ web, dns, link float64 }
+
+var categoryAxis = [numCategories]axisFactors{
+	CatWeb:      {1.0, 1.0, 1.0},
+	CatLeisure:  {1.25, 1.0, 0.8},
+	CatWork:     {1.0, 1.15, 0.9},
+	CatMedia:    {1.3, 1.1, 1.2},
+	CatShopping: {1.0, 0.9, 0.95},
+	CatTracker:  {0.02, 3.5, 0.4},
+	CatMobile:   {0.05, 2.6, 0.15},
+	CatCDNAsset: {0.08, 3.0, 0.6},
+	CatIoT:      {0.005, 1.3, 0.01},
+	CatJunk:     {0, 0.9, 0},
+	CatGhost:    {0.005, 1.6, 0.3},
+}
+
+// categoryWeekend gives the mean weekend multiplier per category
+// (jittered per domain). >1 = leisure-shaped, <1 = work-shaped; this is
+// the cause of the weekly list patterns (§6.2).
+var categoryWeekend = [numCategories]float64{
+	CatWeb:      1.0,
+	CatLeisure:  2.0,
+	CatWork:     0.45,
+	CatMedia:    1.5,
+	CatShopping: 1.15,
+	CatTracker:  0.95,
+	CatMobile:   1.25,
+	CatCDNAsset: 1.2,
+	CatIoT:      1.0,
+	CatJunk:     0.8,
+	CatGhost:    0.9,
+}
+
+// NeverResolves reports whether the category is NXDOMAIN by
+// construction.
+func (c Category) NeverResolves() bool { return c == CatJunk || c == CatGhost }
+
+// Blacklisted reports whether the hpHosts-style advertising/tracking
+// blacklist contains domains of this category.
+func (c Category) Blacklisted() bool { return c == CatTracker }
+
+// MobileTraffic reports whether the Lumen-style mobile dataset
+// associates this category with mobile app traffic.
+func (c Category) MobileTraffic() bool {
+	return c == CatMobile || c == CatTracker || c == CatCDNAsset
+}

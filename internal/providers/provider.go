@@ -1,0 +1,471 @@
+// Package providers implements the three list-generation mechanisms the
+// paper studies (§2, §7): Alexa (panel-observed web visits over a
+// sliding window, with the January-2018 regime change), Cisco Umbrella
+// (FQDNs ranked by unique DNS client counts), and Majestic (base
+// domains ranked by slowly-evolving backlink counts over 90 days).
+//
+// Sliding windows are modelled as exponential moving averages with
+// matching effective length (see DESIGN.md; BenchmarkAblationWindow
+// compares against an exact ring-buffer window).
+package providers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// Options configures archive generation.
+type Options struct {
+	// ListSize is the published list length (the paper's "Top 1M"
+	// analog).
+	ListSize int
+	// BurnInDays warms the provider windows before day 0 so the archive
+	// starts in steady state.
+	BurnInDays int
+	// AlexaChangeDay is the day the Alexa list switches to its short
+	// window (the paper's late-January-2018 change); -1 disables it.
+	AlexaChangeDay int
+	// EMA smoothing factors. Alpha = 2/(window+1): 2/91 corresponds to
+	// the documented 90-day windows.
+	AlexaAlphaPre, AlexaAlphaPost float64
+	UmbrellaAlpha                 float64
+	MajesticAlpha                 float64
+	// UmbrellaVolumeRanking switches Umbrella to raw query-volume
+	// ranking instead of unique clients — the §7.2 ablation; the
+	// default (false) matches the real mechanism.
+	UmbrellaVolumeRanking bool
+	// Injector adds external DNS activity (RIPE-Atlas-style) into
+	// Umbrella's input.
+	Injector *traffic.Injector
+	// AlexaInjector adds synthetic panel activity (toolbar-API-style,
+	// §7.1 / Le Pochat et al.) into Alexa's input: Clients are panel
+	// visitors, Queries are page views.
+	AlexaInjector *traffic.Injector
+	// MajesticInjector adds synthetic backlinks (purchased-link-style,
+	// §7.3) into Majestic's input: Clients are referring /24 subnets;
+	// Queries are ignored.
+	MajesticInjector *traffic.Injector
+	// Enabled restricts which providers are generated (nil = all
+	// three). The §7 experiments only need Umbrella and use this to
+	// skip the other two.
+	Enabled []string
+}
+
+func (o Options) enabled(name string) bool {
+	if o.Enabled == nil {
+		return true
+	}
+	for _, e := range o.Enabled {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultOptions returns calibrated options for an archive of the given
+// length: the Alexa change lands two-thirds through, mirroring its
+// position inside the paper's JOINT window.
+func DefaultOptions(days, listSize int) Options {
+	return Options{
+		ListSize:       listSize,
+		BurnInDays:     120,
+		AlexaChangeDay: days * 2 / 3,
+		AlexaAlphaPre:  2.0 / 91.0,
+		AlexaAlphaPost: 0.75,
+		UmbrellaAlpha:  0.65,
+		MajesticAlpha:  2.0 / 91.0,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.ListSize < 10 {
+		return fmt.Errorf("providers: ListSize must be >= 10, got %d", o.ListSize)
+	}
+	for _, a := range []float64{o.AlexaAlphaPre, o.AlexaAlphaPost, o.UmbrellaAlpha, o.MajesticAlpha} {
+		if a <= 0 || a > 1 {
+			return fmt.Errorf("providers: EMA alpha %v outside (0,1]", a)
+		}
+	}
+	if o.BurnInDays < 0 {
+		return fmt.Errorf("providers: negative burn-in")
+	}
+	return nil
+}
+
+// Provider names used in archives.
+const (
+	Alexa    = "alexa"
+	Umbrella = "umbrella"
+	Majestic = "majestic"
+)
+
+// Generator produces daily snapshots for all three providers.
+type Generator struct {
+	Model *traffic.Model
+	Opts  Options
+
+	alexa    *webRanker
+	majestic *webRanker
+	umbrella *dnsRanker
+}
+
+// NewGenerator builds a generator; options are validated.
+func NewGenerator(m *traffic.Model, opts Options) (*Generator, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{Model: m, Opts: opts}
+	g.alexa = newWebRanker(m, traffic.AxisWeb, opts.AlexaAlphaPre, opts.AlexaInjector)
+	g.majestic = newWebRanker(m, traffic.AxisLink, opts.MajesticAlpha, opts.MajesticInjector)
+	g.umbrella = newDNSRanker(m, opts)
+	return g, nil
+}
+
+// Run generates the archive for days [0, days): burn-in first, then one
+// snapshot per provider per day.
+func (g *Generator) Run(days int) (*toplist.Archive, error) {
+	if days < 1 {
+		return nil, fmt.Errorf("providers: days must be >= 1")
+	}
+	for d := -g.Opts.BurnInDays; d < 0; d++ {
+		g.step(d)
+	}
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	for d := 0; d < days; d++ {
+		g.step(d)
+		lists := make(map[string]*toplist.List, 3)
+		if g.Opts.enabled(Alexa) {
+			lists[Alexa] = g.alexa.list(g.Opts.ListSize)
+		}
+		if g.Opts.enabled(Umbrella) {
+			lists[Umbrella] = g.umbrella.list(g.Opts.ListSize)
+		}
+		if g.Opts.enabled(Majestic) {
+			lists[Majestic] = g.majestic.list(g.Opts.ListSize)
+		}
+		for name, l := range lists {
+			if err := arch.Put(name, toplist.Day(d), l); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return arch, nil
+}
+
+// step advances all enabled providers to day d.
+func (g *Generator) step(d int) {
+	if g.Opts.AlexaChangeDay >= 0 && d == g.Opts.AlexaChangeDay {
+		g.alexa.alpha = g.Opts.AlexaAlphaPost
+	}
+	if g.Opts.enabled(Alexa) {
+		g.alexa.step(d)
+	}
+	if g.Opts.enabled(Majestic) {
+		g.majestic.step(d)
+	}
+	if g.Opts.enabled(Umbrella) {
+		g.umbrella.step(d)
+	}
+}
+
+// --- base-domain web/link ranker (Alexa, Majestic) --------------------
+
+// webRanker aggregates an axis signal per base domain and ranks bases
+// by an EMA of it. An optional injector merges synthetic external
+// activity (the §7 manipulation experiments) under the same window.
+type webRanker struct {
+	m     *traffic.Model
+	axis  traffic.Axis
+	alpha float64
+	inj   *traffic.Injector
+	// convert maps injected client counts (panel visitors / referring
+	// subnets) into the axis's latent signal units.
+	convert func(float64) float64
+
+	sig     []float64          // per-record scratch
+	score   []float64          // per-base aggregated daily signal
+	ema     []float64          // per-base window state
+	extra   map[string]float64 // injected names' EMA
+	started bool
+}
+
+func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traffic.Injector) *webRanker {
+	n := m.W.Len()
+	convert := func(v float64) float64 { return v }
+	switch axis {
+	case traffic.AxisWeb:
+		convert = m.WebSignalFor
+	case traffic.AxisLink:
+		convert = m.LinkSignalFor
+	}
+	return &webRanker{
+		m:       m,
+		axis:    axis,
+		alpha:   alpha,
+		inj:     inj,
+		convert: convert,
+		sig:     make([]float64, n),
+		score:   make([]float64, n),
+		ema:     make([]float64, n),
+		extra:   make(map[string]float64),
+	}
+}
+
+func (r *webRanker) step(day int) {
+	r.sig = r.m.Signal(r.axis, day, r.sig)
+	for i := range r.score {
+		r.score[i] = 0
+	}
+	for i := range r.m.W.Domains {
+		bid := r.m.W.Domains[i].BaseID
+		r.score[bid] += r.sig[i]
+	}
+	if !r.started {
+		copy(r.ema, r.score)
+		r.started = true
+		stepExtras(r.extra, r.injectionsFor(day), r.alpha, r.convert)
+		return
+	}
+	a := r.alpha
+	for i := range r.ema {
+		r.ema[i] = (1-a)*r.ema[i] + a*r.score[i]
+	}
+	stepExtras(r.extra, r.injectionsFor(day), a, r.convert)
+}
+
+func (r *webRanker) injectionsFor(day int) map[string]traffic.Injection {
+	if r.inj == nil {
+		return nil
+	}
+	return r.inj.For(day)
+}
+
+func (r *webRanker) list(size int) *toplist.List {
+	top := topIDs(r.ema, size)
+	return mergeExtras(r.m, top, r.ema, r.extra, size)
+}
+
+// stepExtras advances injected names' EMA one day: today's injections
+// contribute clients (visitors / subnets) plus a marginal page-view
+// credit, converted into the ranker's signal units; names not injected
+// today decay under the same window.
+func stepExtras(extra map[string]float64, today map[string]traffic.Injection, alpha float64, convert func(float64) float64) {
+	for name := range extra {
+		if _, ok := today[name]; !ok {
+			extra[name] *= (1 - alpha)
+			if extra[name] < 1e-12 {
+				delete(extra, name)
+			}
+		}
+	}
+	for name, inj := range today {
+		score := convert(inj.Clients + inj.Queries/(queriesPerClient*100))
+		extra[name] = (1-alpha)*extra[name] + alpha*score
+	}
+}
+
+// mergeExtras merges the world's top IDs with injected names into one
+// descending-rank list; injected names get synthetic IDs above the
+// world range.
+func mergeExtras(m *traffic.Model, top []uint32, ema []float64, extra map[string]float64, size int) *toplist.List {
+	if len(extra) == 0 {
+		names := make([]string, len(top))
+		for i, id := range top {
+			names[i] = m.W.Domains[id].Name
+		}
+		return toplist.NewWithIDs(names, top)
+	}
+	type ext struct {
+		name  string
+		score float64
+	}
+	extras := make([]ext, 0, len(extra))
+	for name, s := range extra {
+		extras = append(extras, ext{name, s})
+	}
+	sort.Slice(extras, func(i, j int) bool {
+		if extras[i].score != extras[j].score {
+			return extras[i].score > extras[j].score
+		}
+		return extras[i].name < extras[j].name
+	})
+	names := make([]string, 0, size)
+	ids := make([]uint32, 0, size)
+	wi, ei := 0, 0
+	worldLen := uint32(m.W.Len())
+	for len(names) < size && (wi < len(top) || ei < len(extras)) {
+		useExtra := false
+		switch {
+		case wi >= len(top):
+			useExtra = true
+		case ei >= len(extras):
+			useExtra = false
+		default:
+			useExtra = extras[ei].score > ema[top[wi]]
+		}
+		if useExtra {
+			names = append(names, extras[ei].name)
+			ids = append(ids, worldLen+uint32(ei))
+			ei++
+		} else {
+			names = append(names, m.W.Domains[top[wi]].Name)
+			ids = append(ids, top[wi])
+			wi++
+		}
+	}
+	return toplist.NewWithIDs(names, ids)
+}
+
+// --- FQDN DNS ranker (Umbrella) ---------------------------------------
+
+// dnsRanker ranks every FQDN record by an EMA of its estimated unique
+// client count (or raw query volume under the ablation), merging in
+// injected external activity.
+type dnsRanker struct {
+	m    *traffic.Model
+	opts Options
+
+	sig     []float64
+	ema     []float64
+	extra   map[string]float64 // injected names' EMA
+	started bool
+}
+
+func newDNSRanker(m *traffic.Model, opts Options) *dnsRanker {
+	n := m.W.Len()
+	return &dnsRanker{
+		m:     m,
+		opts:  opts,
+		sig:   make([]float64, n),
+		ema:   make([]float64, n),
+		extra: make(map[string]float64),
+	}
+}
+
+// queriesPerClient is the mean daily query count a single client
+// contributes for an ordinary domain; used to convert query volume to
+// score under the volume-ranking ablation.
+const queriesPerClient = 12.0
+
+func (r *dnsRanker) step(day int) {
+	r.sig = r.m.Signal(traffic.AxisDNS, day, r.sig)
+	a := r.opts.UmbrellaAlpha
+	for i, s := range r.sig {
+		clients := r.m.UniqueClients(s)
+		score := clients
+		if r.opts.UmbrellaVolumeRanking {
+			score = clients * queriesPerClient
+		}
+		if !r.started {
+			r.ema[i] = score
+		} else {
+			r.ema[i] = (1-a)*r.ema[i] + a*score
+		}
+	}
+	// Injected names: anything not injected today decays toward zero.
+	var today map[string]traffic.Injection
+	if r.opts.Injector != nil {
+		today = r.opts.Injector.For(day)
+	}
+	for name := range r.extra {
+		if _, ok := today[name]; !ok {
+			r.extra[name] *= (1 - a)
+			if r.extra[name] < 1e-6 {
+				delete(r.extra, name)
+			}
+		}
+	}
+	for name, inj := range today {
+		score := inj.Clients
+		if r.opts.UmbrellaVolumeRanking {
+			score = inj.Queries
+		} else {
+			// Unique-client ranking still credits volume marginally.
+			score += inj.Queries / (queriesPerClient * 100)
+		}
+		r.extra[name] = (1-a)*r.extra[name] + a*score
+	}
+	r.started = true
+}
+
+func (r *dnsRanker) list(size int) *toplist.List {
+	top := topIDs(r.ema, size)
+	return mergeExtras(r.m, top, r.ema, r.extra, size)
+}
+
+// --- top-K selection ---------------------------------------------------
+
+// topIDs returns the indexes of the size largest positive scores, in
+// descending score order (ties broken by index for determinism).
+func topIDs(scores []float64, size int) []uint32 {
+	cand := make([]uint32, 0, len(scores))
+	for i, s := range scores {
+		if s > 0 {
+			cand = append(cand, uint32(i))
+		}
+	}
+	if size > len(cand) {
+		size = len(cand)
+	}
+	if size == 0 {
+		return nil
+	}
+	less := func(a, b uint32) bool {
+		sa, sb := scores[a], scores[b]
+		if sa != sb {
+			return sa > sb
+		}
+		return a < b
+	}
+	quickselect(cand, size, less)
+	top := cand[:size]
+	sort.Slice(top, func(i, j int) bool { return less(top[i], top[j]) })
+	return top
+}
+
+// quickselect partially orders xs so that the k elements that compare
+// least under less occupy xs[:k] (in arbitrary order).
+func quickselect(xs []uint32, k int, less func(a, b uint32) bool) {
+	lo, hi := 0, len(xs)
+	for hi-lo > 1 {
+		// Median-of-three pivot for resilience on sorted inputs.
+		mid := lo + (hi-lo)/2
+		if less(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if less(xs[hi-1], xs[lo]) {
+			xs[hi-1], xs[lo] = xs[lo], xs[hi-1]
+		}
+		if less(xs[hi-1], xs[mid]) {
+			xs[hi-1], xs[mid] = xs[mid], xs[hi-1]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for less(xs[i], pivot) {
+				i++
+			}
+			for less(pivot, xs[j]) {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k > i:
+			lo = i
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package providers
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestQuickselectProperty: for random score vectors and cut points, the
+// selected prefix must contain exactly the k best elements.
+func TestQuickselectProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw)%n + 1
+		r := rng.New(seed)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(r.Intn(40)) // force ties
+		}
+		ids := make([]uint32, n)
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		less := func(a, b uint32) bool {
+			if scores[a] != scores[b] {
+				return scores[a] > scores[b]
+			}
+			return a < b
+		}
+		quickselect(ids, k, less)
+		// Reference: full sort.
+		ref := make([]uint32, n)
+		for i := range ref {
+			ref[i] = uint32(i)
+		}
+		sort.Slice(ref, func(i, j int) bool { return less(ref[i], ref[j]) })
+		want := map[uint32]bool{}
+		for _, id := range ref[:k] {
+			want[id] = true
+		}
+		for _, id := range ids[:k] {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopIDsAllEqualScores: total tie-breaking by index keeps output
+// deterministic.
+func TestTopIDsAllEqualScores(t *testing.T) {
+	scores := []float64{5, 5, 5, 5, 5}
+	top := topIDs(scores, 3)
+	for i, id := range top {
+		if id != uint32(i) {
+			t.Fatalf("tie break: %v", top)
+		}
+	}
+}
+
+// TestTopIDsSortedInput exercises the median-of-three pivot path on
+// already-ordered data (the classic quickselect pathological case).
+func TestTopIDsSortedInput(t *testing.T) {
+	n := 5000
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		asc[i] = float64(i + 1)
+		desc[i] = float64(n - i)
+	}
+	topAsc := topIDs(asc, 100)
+	if topAsc[0] != uint32(n-1) {
+		t.Fatalf("ascending: best %d", topAsc[0])
+	}
+	topDesc := topIDs(desc, 100)
+	if topDesc[0] != 0 {
+		t.Fatalf("descending: best %d", topDesc[0])
+	}
+}

@@ -1,0 +1,215 @@
+package rng
+
+import "math"
+
+// LogNormal returns exp(mu + sigma*Z) with Z standard normal.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto returns a Pareto(Type I) variate with scale xm > 0 and shape
+// alpha > 0. The density is alpha*xm^alpha / x^(alpha+1) for x >= xm.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return xm / math.Pow(u, 1/alpha)
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with mean lambda >= 0. It uses
+// Knuth's method for small lambda and a normal approximation (rounded,
+// clamped at zero) for large lambda, which is sufficient for simulation
+// workloads.
+func (r *Rand) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		v := lambda + math.Sqrt(lambda)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it sums
+// Bernoulli draws; for large n it uses a normal approximation, which is
+// adequate for the traffic simulator.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	v := mean + sd*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return int(v + 0.5)
+}
+
+// Zipf samples integers in [1, n] with probability proportional to
+// 1/k^s. Construct once with NewZipf; Next draws values.
+type Zipf struct {
+	r    *Rand
+	n    int
+	s    float64
+	cdf  []float64 // cumulative normalised weights; len n
+	norm float64
+}
+
+// NewZipf builds a bounded Zipf sampler over [1, n] with exponent s > 0.
+// Construction is O(n); sampling is O(log n).
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n < 1 {
+		panic("rng: NewZipf with n < 1")
+	}
+	z := &Zipf{r: r, n: n, s: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += math.Pow(float64(k), -s)
+		z.cdf[k-1] = sum
+	}
+	z.norm = sum
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Next returns the next Zipf variate in [1, n].
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// ZipfWeight returns the unnormalised Zipf weight 1/rank^s; used to assign
+// deterministic latent popularity by rank without sampling.
+func ZipfWeight(rank int, s float64) float64 {
+	return math.Pow(float64(rank), -s)
+}
+
+// WeightedChoice picks an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights must be non-negative and not all
+// zero. O(n); use Alias for repeated sampling over large weight sets.
+func (r *Rand) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Alias is Walker's alias method for O(1) sampling from a fixed discrete
+// distribution.
+type Alias struct {
+	r     *Rand
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from non-negative weights (not all
+// zero). Construction is O(n).
+func NewAlias(r *Rand, weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAlias with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewAlias with negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: NewAlias with all-zero weights")
+	}
+	a := &Alias{r: r, prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Next returns a sampled index.
+func (a *Alias) Next() int {
+	i := a.r.Intn(len(a.prob))
+	if a.r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,169 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the distributions used throughout the simulator.
+//
+// All simulation components derive their randomness from a single root
+// seed, so a whole study is reproducible byte-for-byte. Streams are split
+// by label (see Derive) so that adding randomness consumption in one
+// component does not perturb any other component.
+package rng
+
+import "math"
+
+// splitmix64 advances a SplitMix64 state and returns the next value.
+// SplitMix64 is used for seeding and for label hashing; the main generator
+// is xoshiro256**.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic pseudo-random number generator
+// (xoshiro256** 1.0). It is not safe for concurrent use; derive one
+// generator per goroutine instead.
+type Rand struct {
+	s         [4]uint64
+	lineage   uint64 // fingerprint of the seed, fixed at New; used by Derive
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended
+// by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	r.lineage = splitmix64(&sm)
+	sm = seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// A state of all zeros is invalid for xoshiro; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Derive returns a new independent generator whose stream is a pure
+// function of the parent's *seed lineage* and the label — it does not
+// consume randomness from, nor is it affected by the consumption state of,
+// the parent. Identical (parent seed, label) pairs always yield the same
+// child stream.
+func (r *Rand) Derive(label string) *Rand {
+	h := r.lineage
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3 // FNV-1a prime
+	}
+	return New(h)
+}
+
+// DeriveIndexed is Derive with an integer discriminator, convenient for
+// per-day or per-domain streams.
+func (r *Rand) DeriveIndexed(label string, index int) *Rand {
+	h := r.lineage
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	h ^= uint64(index) + 0x9e3779b97f4a7c15
+	h *= 0x100000001b3
+	return New(h)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (polar Box–Muller with a
+// one-value cache).
+func (r *Rand) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws of 1000", same)
+	}
+}
+
+func TestDeriveIndependentOfConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 100; i++ {
+		a.Uint64() // consume from a only
+	}
+	ca, cb := a.Derive("child"), b.Derive("child")
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Derive depends on parent consumption state")
+		}
+	}
+}
+
+func TestDeriveLabelSeparation(t *testing.T) {
+	r := New(7)
+	a, b := r.Derive("alpha"), r.Derive("beta")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("labels alpha/beta share %d of 1000 draws", same)
+	}
+}
+
+func TestDeriveIndexedSeparation(t *testing.T) {
+	r := New(7)
+	a, b := r.DeriveIndexed("day", 1), r.DeriveIndexed("day", 2)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("indexed streams identical")
+	}
+	c, d := r.DeriveIndexed("day", 3), r.DeriveIndexed("day", 3)
+	for i := 0; i < 50; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("identical (label,index) should yield identical streams")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func moments(n int, gen func() float64) (mean, variance float64) {
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		v := gen()
+		s += v
+		s2 += v * v
+	}
+	mean = s / float64(n)
+	variance = s2/float64(n) - mean*mean
+	return
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	mean, variance := moments(200000, r.NormFloat64)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(19)
+	mean, variance := moments(200000, r.ExpFloat64)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.06 {
+		t.Fatalf("exp variance %v", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(23)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.LogNormal(1.5, 0.8) < math.Exp(1.5) {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("log-normal median fraction %v", frac)
+	}
+}
+
+func TestParetoSupportAndMedian(t *testing.T) {
+	r := New(29)
+	const xm, alpha = 2.0, 1.5
+	below := 0
+	median := xm * math.Pow(2, 1/alpha)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v < median {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("pareto median fraction %v", frac)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(31)
+	for _, lambda := range []float64{0, 0.5, 3, 12, 80} {
+		var sum float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		tol := 0.05*lambda + 0.02
+		if math.Abs(mean-lambda) > tol {
+			t.Fatalf("poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestBinomialMeanAndBounds(t *testing.T) {
+	r := New(37)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {64, 0.5}, {1000, 0.01}, {500, 0.9}} {
+		var sum float64
+		const reps = 20000
+		for i := 0; i < reps; i++ {
+			k := r.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("binomial out of range: %d", k)
+			}
+			sum += float64(k)
+		}
+		want := float64(tc.n) * tc.p
+		if math.Abs(sum/reps-want) > 0.05*want+0.1 {
+			t.Fatalf("binomial(%d,%v) mean %v want %v", tc.n, tc.p, sum/reps, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(1)
+	if r.Binomial(10, 0) != 0 || r.Binomial(0, 0.5) != 0 {
+		t.Fatal("zero cases")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("p=1 case")
+	}
+}
+
+func TestZipfBoundsAndMonotonicity(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1001)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 1 || v > 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] < counts[10] || counts[10] < counts[100] {
+		t.Fatalf("zipf not decreasing: c1=%d c10=%d c100=%d",
+			counts[1], counts[10], counts[100])
+	}
+	// Zipf s=1: P(1)/P(2) = 2. Allow sampling noise.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("zipf rank1/rank2 ratio %v, want ~2", ratio)
+	}
+}
+
+func TestZipfWeight(t *testing.T) {
+	if ZipfWeight(1, 1.0) != 1 {
+		t.Fatal("rank 1 weight must be 1")
+	}
+	if w := ZipfWeight(4, 0.5); math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("ZipfWeight(4, 0.5) = %v", w)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(43)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.WeightedChoice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	frac := float64(counts[2]) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("weight-3 index fraction %v, want 0.75", frac)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(47)
+	w := []float64{5, 1, 0, 4}
+	a := NewAlias(r, w)
+	counts := make([]int, len(w))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Next()]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[2])
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	for i, x := range w {
+		want := x / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("alias index %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, w := range [][]float64{nil, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%v) should panic", w)
+				}
+			}()
+			NewAlias(New(1), w)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkAliasNext(b *testing.B) {
+	r := New(1)
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	a := NewAlias(r, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Next()
+	}
+}

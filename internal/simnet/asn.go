@@ -1,0 +1,157 @@
+// Package simnet provides the simulated Internet infrastructure the
+// measurement campaigns run against: an AS registry with an IPv4
+// longest-prefix-match route table (substituting for Route Views BGP
+// data), a CDN registry with CNAME-pattern detection (substituting for
+// the WebPagetest cdn.h list), generic DNS response types with a
+// TTL-aware caching resolver (substituting for live resolution), and
+// HTTPS/HTTP2 probe result types (substituting for zgrab/nghttp2).
+package simnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AS describes an autonomous system in the registry.
+type AS struct {
+	Number uint32
+	Name   string
+	// Role influences which domains the population generator places in
+	// this AS.
+	Role ASRole
+	// Prefixes are the IPv4 CIDR prefixes announced by this AS.
+	Prefixes []Prefix
+}
+
+// ASRole classifies an AS for the population generator.
+type ASRole uint8
+
+// AS roles.
+const (
+	RoleMassHosting ASRole = iota // shared hosting for the long tail (GoDaddy-like)
+	RoleCloud                     // hyperscale cloud (Google/Amazon/Microsoft-like)
+	RoleCDN                       // content delivery network
+	RoleSmall                     // small/regional hosting
+)
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr uint32 // network address, host byte order
+	Bits int    // prefix length
+}
+
+// String formats the prefix in dotted CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Bits)
+}
+
+// Contains reports whether ip falls within the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	if p.Bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - uint(p.Bits))
+	return ip&mask == p.Addr&mask
+}
+
+// ASRegistry holds the simulated AS ecosystem.
+type ASRegistry struct {
+	list  []AS
+	byNum map[uint32]*AS
+}
+
+// wellKnownASes mirrors the ASes named in the paper's Fig. 7d plus a
+// CDN/cloud set; a long tail of small hosting ASes is appended by
+// NewASRegistry.
+var wellKnownASes = []AS{
+	{Number: 26496, Name: "GoDaddy", Role: RoleMassHosting},
+	{Number: 16276, Name: "OVH", Role: RoleMassHosting},
+	{Number: 8560, Name: "1&1", Role: RoleMassHosting},
+	{Number: 40034, Name: "Confluence", Role: RoleMassHosting},
+	{Number: 46606, Name: "Unified Layer", Role: RoleMassHosting},
+	{Number: 15169, Name: "Google", Role: RoleCloud},
+	{Number: 16509, Name: "Amazon-16509", Role: RoleCloud},
+	{Number: 14618, Name: "Amazon-14618", Role: RoleCloud},
+	{Number: 8075, Name: "Microsoft", Role: RoleCloud},
+	{Number: 14061, Name: "DigitalOcean", Role: RoleCloud},
+	{Number: 20940, Name: "Akamai", Role: RoleCDN},
+	{Number: 13335, Name: "Cloudflare", Role: RoleCDN},
+	{Number: 54113, Name: "Fastly", Role: RoleCDN},
+	{Number: 19551, Name: "Incapsula", Role: RoleCDN},
+	{Number: 33438, Name: "Highwinds", Role: RoleCDN},
+	{Number: 32934, Name: "Facebook", Role: RoleCDN},
+	{Number: 4837, Name: "CHN Net", Role: RoleCDN},
+}
+
+// NewASRegistry builds the registry: the well-known ASes plus smallCount
+// synthetic small hosting ASes. Each AS gets deterministic prefixes
+// carved out of 10.0.0.0/8-style blocks (addresses are synthetic; only
+// LPM behaviour matters).
+func NewASRegistry(smallCount int) *ASRegistry {
+	r := &ASRegistry{byNum: make(map[uint32]*AS)}
+	next := uint32(1) << 24 // start carving at 1.0.0.0
+	for _, as := range wellKnownASes {
+		// Big players get a /10 plus a more-specific /16 to exercise
+		// longest-prefix matching.
+		as.Prefixes = []Prefix{
+			{Addr: next, Bits: 10},
+			{Addr: next + (1 << 14), Bits: 16},
+		}
+		next += 1 << 22 // advance by /10
+		r.list = append(r.list, as)
+	}
+	for i := 0; i < smallCount; i++ {
+		as := AS{
+			Number: 60000 + uint32(i),
+			Name:   fmt.Sprintf("Hosting-%04d", i),
+			Role:   RoleSmall,
+			Prefixes: []Prefix{
+				{Addr: next, Bits: 18},
+			},
+		}
+		next += 1 << 14 // advance by /18
+		r.list = append(r.list, as)
+	}
+	for i := range r.list {
+		r.byNum[r.list[i].Number] = &r.list[i]
+	}
+	return r
+}
+
+// All returns the registry's ASes.
+func (r *ASRegistry) All() []AS { return r.list }
+
+// ByNumber returns the AS with the given number, or nil.
+func (r *ASRegistry) ByNumber(n uint32) *AS { return r.byNum[n] }
+
+// ByRole returns all ASes with the given role.
+func (r *ASRegistry) ByRole(role ASRole) []AS {
+	var out []AS
+	for _, as := range r.list {
+		if as.Role == role {
+			out = append(out, as)
+		}
+	}
+	return out
+}
+
+// Label formats an AS as "Name (number)" as in the paper's Fig. 7d
+// legend.
+func (r *ASRegistry) Label(n uint32) string {
+	if as := r.byNum[n]; as != nil {
+		return fmt.Sprintf("%s (%d)", as.Name, as.Number)
+	}
+	return fmt.Sprintf("AS%d", n)
+}
+
+// SortedNumbers returns all AS numbers ascending (stable iteration for
+// reports).
+func (r *ASRegistry) SortedNumbers() []uint32 {
+	out := make([]uint32, len(r.list))
+	for i, as := range r.list {
+		out[i] = as.Number
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

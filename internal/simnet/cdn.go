@@ -1,0 +1,98 @@
+package simnet
+
+import "strings"
+
+// CDN describes a content delivery network: its display name, the AS it
+// announces from, and the CNAME suffixes that identify it — the same
+// detection approach as the WebPagetest cdn.h list the paper matches
+// CNAME records against (§8.1.2).
+type CDN struct {
+	ID      uint8
+	Name    string
+	ASN     uint32
+	Suffix  string // canonical CNAME suffix, e.g. "edgekey.net"
+	Aliases []string
+}
+
+// The registry mirrors the CDNs appearing in the paper's Fig. 7b/7c.
+// ID 0 is reserved for "no CDN".
+var cdns = []CDN{
+	{ID: 1, Name: "Akamai", ASN: 20940, Suffix: "edgekey.net", Aliases: []string{"edgesuite.net", "akamaized.net"}},
+	{ID: 2, Name: "Google", ASN: 15169, Suffix: "ghs.googlehosted.com", Aliases: []string{"googlehosted.com", "ghs.google.com"}},
+	{ID: 3, Name: "Fastly", ASN: 54113, Suffix: "fastly.net", Aliases: []string{"fastlylb.net"}},
+	{ID: 4, Name: "Incapsula", ASN: 19551, Suffix: "incapdns.net"},
+	{ID: 5, Name: "Amazon", ASN: 16509, Suffix: "cloudfront.net", Aliases: []string{"awsglobalaccelerator.com"}},
+	{ID: 6, Name: "WordPress", ASN: 14618, Suffix: "wordpress.com", Aliases: []string{"wp.com"}},
+	{ID: 7, Name: "Facebook", ASN: 32934, Suffix: "fbcdn.net"},
+	{ID: 8, Name: "Instart", ASN: 33438, Suffix: "insnw.net"},
+	{ID: 9, Name: "Zenedge", ASN: 19551, Suffix: "zenedge.net"},
+	{ID: 10, Name: "Highwinds", ASN: 33438, Suffix: "hwcdn.net"},
+	{ID: 11, Name: "CHN Net", ASN: 4837, Suffix: "chinanetcenter.com", Aliases: []string{"wscdns.com"}},
+	{ID: 12, Name: "Cloudflare", ASN: 13335, Suffix: "cdn.cloudflare.net"},
+}
+
+// CDNRegistry resolves CDN IDs, names, and CNAME patterns.
+type CDNRegistry struct {
+	list     []CDN
+	bySuffix map[string]uint8
+	byID     map[uint8]*CDN
+}
+
+// NewCDNRegistry builds the embedded registry.
+func NewCDNRegistry() *CDNRegistry {
+	r := &CDNRegistry{
+		list:     append([]CDN(nil), cdns...),
+		bySuffix: make(map[string]uint8),
+		byID:     make(map[uint8]*CDN),
+	}
+	for i := range r.list {
+		c := &r.list[i]
+		r.byID[c.ID] = c
+		r.bySuffix[c.Suffix] = c.ID
+		for _, a := range c.Aliases {
+			r.bySuffix[a] = c.ID
+		}
+	}
+	return r
+}
+
+// All returns the registered CDNs.
+func (r *CDNRegistry) All() []CDN { return r.list }
+
+// ByID returns the CDN with the given ID, or nil (ID 0 = no CDN).
+func (r *CDNRegistry) ByID(id uint8) *CDN { return r.byID[id] }
+
+// Name returns the CDN display name for id, or "" for no CDN.
+func (r *CDNRegistry) Name(id uint8) string {
+	if c := r.byID[id]; c != nil {
+		return c.Name
+	}
+	return ""
+}
+
+// Detect matches a CNAME target against the registry's suffix patterns
+// and returns the CDN ID (0 if no pattern matches) — the cdn.h-style
+// classification.
+func (r *CDNRegistry) Detect(cnameTarget string) uint8 {
+	t := strings.TrimSuffix(strings.ToLower(cnameTarget), ".")
+	for {
+		if id, ok := r.bySuffix[t]; ok {
+			return id
+		}
+		dot := strings.IndexByte(t, '.')
+		if dot < 0 {
+			return 0
+		}
+		t = t[dot+1:]
+	}
+}
+
+// CNAMETarget synthesises the CNAME target a domain hosted on CDN id
+// would present, e.g. "example-com.edgekey.net".
+func (r *CDNRegistry) CNAMETarget(domain string, id uint8) string {
+	c := r.byID[id]
+	if c == nil {
+		return ""
+	}
+	return strings.ReplaceAll(domain, ".", "-") + "." + c.Suffix
+}

@@ -1,0 +1,347 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// DNS wire-format encoding (RFC 1035 subset). The measurement campaigns
+// operate on parsed Response values, but the resolver substrate speaks
+// the real message format so that archives of raw queries/answers can
+// be produced and consumed — and so the substitution for live DNS
+// measurement exercises genuine protocol code: header flags, label
+// encoding, compression pointers, and the record types the paper
+// measures (A, AAAA, CNAME, CAA).
+
+// Record types used by the study.
+const (
+	TypeA     uint16 = 1
+	TypeCNAME uint16 = 5
+	TypeAAAA  uint16 = 28
+	TypeCAA   uint16 = 257
+)
+
+// Class IN.
+const ClassIN uint16 = 1
+
+// Header flag bits (in the second 16-bit word).
+const (
+	flagQR uint16 = 1 << 15
+	flagTC uint16 = 1 << 9
+	flagRD uint16 = 1 << 8
+	flagRA uint16 = 1 << 7
+)
+
+// Message is a DNS message (subset: one question, answer records).
+type Message struct {
+	ID        uint16
+	Response  bool
+	RCode     RCode
+	Recursion bool
+	// Truncated is the TC bit: set by a UDP server whose full answer
+	// did not fit the datagram, telling the client to retry over TCP.
+	Truncated bool
+	Question  Question
+	Answers   []ResourceRecord
+}
+
+// Question is the query section entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// ResourceRecord is one answer record.
+type ResourceRecord struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Data holds the type-specific payload: 4 bytes for A, 16 for
+	// AAAA, an encoded name for CNAME, flags+tag+value for CAA.
+	Data []byte
+}
+
+// Errors returned by the decoder.
+var (
+	ErrShortMessage  = errors.New("simnet: short DNS message")
+	ErrBadName       = errors.New("simnet: malformed DNS name")
+	ErrPointerLoop   = errors.New("simnet: compression pointer loop")
+	ErrTrailingJunk  = errors.New("simnet: trailing bytes after message")
+	ErrNameTooLong   = errors.New("simnet: DNS name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("simnet: DNS label exceeds 63 octets")
+	ErrTooManyCounts = errors.New("simnet: unsupported section counts")
+)
+
+// Encode serialises the message. Answer owner names that repeat the
+// question name are emitted as compression pointers to offset 12, as
+// real servers do.
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	put16 := func(v uint16) { buf = append(buf, byte(v>>8), byte(v)) }
+	put16(m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= flagQR | flagRA
+	}
+	if m.Recursion {
+		flags |= flagRD
+	}
+	if m.Truncated {
+		flags |= flagTC
+	}
+	flags |= uint16(m.RCode) & 0xF
+	put16(flags)
+	put16(1) // QDCOUNT
+	put16(uint16(len(m.Answers)))
+	put16(0) // NSCOUNT
+	put16(0) // ARCOUNT
+
+	qname, err := encodeName(m.Question.Name)
+	if err != nil {
+		return nil, err
+	}
+	questionOffset := len(buf)
+	buf = append(buf, qname...)
+	put16(m.Question.Type)
+	put16(m.Question.Class)
+
+	for _, rr := range m.Answers {
+		if strings.EqualFold(rr.Name, m.Question.Name) {
+			// Compression pointer to the question name.
+			buf = append(buf, 0xC0|byte(questionOffset>>8), byte(questionOffset))
+		} else {
+			n, err := encodeName(rr.Name)
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, n...)
+		}
+		put16(rr.Type)
+		put16(rr.Class)
+		buf = append(buf, byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+		put16(uint16(len(rr.Data)))
+		buf = append(buf, rr.Data...)
+	}
+	return buf, nil
+}
+
+// DecodeMessage parses a wire-format message produced by Encode (or by
+// a compatible implementation); it follows compression pointers.
+func DecodeMessage(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	get16 := func(off int) uint16 { return uint16(b[off])<<8 | uint16(b[off+1]) }
+	m := &Message{ID: get16(0)}
+	flags := get16(2)
+	m.Response = flags&flagQR != 0
+	m.Recursion = flags&flagRD != 0
+	m.Truncated = flags&flagTC != 0
+	m.RCode = RCode(flags & 0xF)
+	qd, an := get16(4), get16(6)
+	if qd != 1 {
+		return nil, ErrTooManyCounts
+	}
+	off := 12
+	name, next, err := decodeName(b, off)
+	if err != nil {
+		return nil, err
+	}
+	off = next
+	if off+4 > len(b) {
+		return nil, ErrShortMessage
+	}
+	m.Question = Question{Name: name, Type: get16(off), Class: get16(off + 2)}
+	off += 4
+	for i := 0; i < int(an); i++ {
+		name, next, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		if off+10 > len(b) {
+			return nil, ErrShortMessage
+		}
+		rr := ResourceRecord{
+			Name:  name,
+			Type:  get16(off),
+			Class: get16(off + 2),
+			TTL: uint32(b[off+4])<<24 | uint32(b[off+5])<<16 |
+				uint32(b[off+6])<<8 | uint32(b[off+7]),
+		}
+		rdlen := int(get16(off + 8))
+		off += 10
+		if off+rdlen > len(b) {
+			return nil, ErrShortMessage
+		}
+		rr.Data = append([]byte(nil), b[off:off+rdlen]...)
+		off += rdlen
+		m.Answers = append(m.Answers, rr)
+	}
+	if off != len(b) {
+		return nil, ErrTrailingJunk
+	}
+	return m, nil
+}
+
+// encodeName converts "www.example.com" to length-prefixed labels.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			return nil, ErrBadName
+		}
+		if len(label) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// decodeName reads a (possibly compressed) name at off, returning the
+// dotted name and the offset just past it in the original stream.
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	next := off
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, ErrShortMessage
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return strings.Join(labels, "."), next, nil
+		case l&0xC0 == 0xC0:
+			if off+1 >= len(b) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := (l&0x3F)<<8 | int(b[off+1])
+			if !jumped {
+				next = off + 2
+			}
+			jumped = true
+			hops++
+			if hops > 32 {
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case l&0xC0 != 0:
+			return "", 0, ErrBadName
+		default:
+			if off+1+l > len(b) {
+				return "", 0, ErrShortMessage
+			}
+			labels = append(labels, string(b[off+1:off+1+l]))
+			off += 1 + l
+			if len(strings.Join(labels, ".")) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+		}
+	}
+}
+
+// BuildAnswer converts a resolver Response into a wire message for the
+// queried name/type, as the study's capture path would emit it.
+func BuildAnswer(id uint16, name string, qtype uint16, resp Response) *Message {
+	m := &Message{
+		ID:        id,
+		Response:  true,
+		Recursion: true,
+		RCode:     resp.RCode,
+		Question:  Question{Name: name, Type: qtype, Class: ClassIN},
+	}
+	if resp.RCode != RCodeNoError {
+		return m
+	}
+	owner := name
+	for _, target := range resp.Chain {
+		enc, err := encodeName(target)
+		if err != nil {
+			continue
+		}
+		m.Answers = append(m.Answers, ResourceRecord{
+			Name: owner, Type: TypeCNAME, Class: ClassIN, TTL: resp.TTL, Data: enc,
+		})
+		owner = target
+	}
+	switch qtype {
+	case TypeA:
+		if resp.A != 0 {
+			m.Answers = append(m.Answers, ResourceRecord{
+				Name: owner, Type: TypeA, Class: ClassIN, TTL: resp.TTL,
+				Data: []byte{byte(resp.A >> 24), byte(resp.A >> 16), byte(resp.A >> 8), byte(resp.A)},
+			})
+		}
+	case TypeAAAA:
+		if resp.AAAA {
+			data := make([]byte, 16)
+			data[0], data[1] = 0x20, 0x01 // synthetic 2001::/16 address
+			data[15] = 0x01
+			m.Answers = append(m.Answers, ResourceRecord{
+				Name: owner, Type: TypeAAAA, Class: ClassIN, TTL: resp.TTL, Data: data,
+			})
+		}
+	case TypeCAA:
+		if resp.CAA {
+			m.Answers = append(m.Answers, ResourceRecord{
+				Name: owner, Type: TypeCAA, Class: ClassIN, TTL: resp.TTL,
+				Data: EncodeCAA(0, "issue", "ca.example"),
+			})
+		}
+	}
+	return m
+}
+
+// EncodeCAA builds a CAA RDATA payload (RFC 6844): flags, tag length,
+// tag, value.
+func EncodeCAA(flags byte, tag, value string) []byte {
+	out := []byte{flags, byte(len(tag))}
+	out = append(out, tag...)
+	return append(out, value...)
+}
+
+// DecodeCAA parses CAA RDATA.
+func DecodeCAA(data []byte) (flags byte, tag, value string, err error) {
+	if len(data) < 2 {
+		return 0, "", "", ErrShortMessage
+	}
+	flags = data[0]
+	tl := int(data[1])
+	if 2+tl > len(data) {
+		return 0, "", "", ErrShortMessage
+	}
+	return flags, string(data[2 : 2+tl]), string(data[2+tl:]), nil
+}
+
+// String renders a record type mnemonic.
+func TypeString(t uint16) string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeCAA:
+		return "CAA"
+	default:
+		return fmt.Sprintf("TYPE%d", t)
+	}
+}

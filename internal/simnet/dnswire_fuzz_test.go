@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedMessages returns valid wire messages covering the encoder's
+// shapes: plain A answer, CNAME chain with compression pointers,
+// NXDOMAIN, CAA, and truncation.
+func seedMessages(t interface{ Fatal(...any) }) [][]byte {
+	msgs := []*Message{
+		{
+			ID: 1, Response: true, Recursion: true,
+			Question: Question{Name: "a.example.com", Type: TypeA, Class: ClassIN},
+			Answers: []ResourceRecord{{
+				Name: "a.example.com", Type: TypeA, Class: ClassIN, TTL: 60,
+				Data: []byte{10, 0, 0, 1},
+			}},
+		},
+		{
+			ID: 2, Response: true, RCode: RCodeNXDomain,
+			Question: Question{Name: "nx.example.com", Type: TypeAAAA, Class: ClassIN},
+		},
+		{
+			ID: 3, Recursion: true,
+			Question: Question{Name: "query-only.example.org", Type: TypeCAA, Class: ClassIN},
+		},
+		{
+			ID: 4, Response: true, Truncated: true,
+			Question: Question{Name: "big.example.com", Type: TypeA, Class: ClassIN},
+		},
+	}
+	chain := BuildAnswer(5, "www.chain.example.com", TypeA, Response{
+		RCode: RCodeNoError,
+		Chain: []string{"edge.cdn.net", "origin.cdn.net"},
+		A:     0x0A000001, TTL: 300,
+	})
+	msgs = append(msgs, chain)
+	caa := BuildAnswer(6, "caa.example.com", TypeCAA, Response{RCode: RCodeNoError, CAA: true, TTL: 30})
+	msgs = append(msgs, caa)
+
+	var out [][]byte
+	for _, m := range msgs {
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FuzzDecodeMessage asserts the decoder never panics on arbitrary
+// bytes and that anything it accepts survives an encode/decode round
+// trip semantically intact.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, seed := range seedMessages(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xC0}, 40)) // pointer storm
+	f.Add(bytes.Repeat([]byte{0xFF}, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must re-encode (the encoder may refuse
+		// names the decoder tolerated, e.g. empty question names — but
+		// if it encodes, the result must decode back to the same
+		// semantics).
+		enc, err := m.Encode()
+		if err != nil {
+			return
+		}
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (original %x)", err, data)
+		}
+		if m.ID != m2.ID || m.Response != m2.Response || m.RCode != m2.RCode ||
+			m.Truncated != m2.Truncated || len(m.Answers) != len(m2.Answers) {
+			t.Fatalf("round trip changed header/answers:\n%+v\n%+v", m, m2)
+		}
+		for i := range m.Answers {
+			a, b := m.Answers[i], m2.Answers[i]
+			if a.Type != b.Type || a.TTL != b.TTL || !bytes.Equal(a.Data, b.Data) {
+				t.Fatalf("answer %d changed: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCAA asserts CAA RDATA parsing never panics and accepted
+// payloads round trip.
+func FuzzDecodeCAA(f *testing.F) {
+	f.Add(EncodeCAA(0, "issue", "ca.example"))
+	f.Add(EncodeCAA(128, "issuewild", ";"))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flags, tag, value, err := DecodeCAA(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeCAA(flags, tag, value)
+		f2, t2, v2, err := DecodeCAA(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if f2 != flags || t2 != tag || v2 != value {
+			t.Fatalf("CAA round trip changed: (%d,%q,%q) vs (%d,%q,%q)",
+				flags, tag, value, f2, t2, v2)
+		}
+	})
+}

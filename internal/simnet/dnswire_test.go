@@ -1,0 +1,260 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeNameRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"example.com", "www.example.com", "a.b.c.d.e.f.example.co.uk", "",
+	} {
+		enc, err := encodeName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, next, err := decodeName(enc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("round trip %q -> %q", name, got)
+		}
+		if next != len(enc) {
+			t.Fatalf("offset %d want %d", next, len(enc))
+		}
+	}
+}
+
+func TestEncodeNameErrors(t *testing.T) {
+	if _, err := encodeName("a..b"); err == nil {
+		t.Fatal("empty label should fail")
+	}
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := encodeName(string(long) + ".com"); err == nil {
+		t.Fatal("long label should fail")
+	}
+	var big bytes.Buffer
+	for i := 0; i < 40; i++ {
+		big.WriteString("abcdefg.")
+	}
+	big.WriteString("com")
+	if _, err := encodeName(big.String()); err == nil {
+		t.Fatal("long name should fail")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		ID:        0xBEEF,
+		Response:  true,
+		Recursion: true,
+		RCode:     RCodeNoError,
+		Question:  Question{Name: "www.example.com", Type: TypeA, Class: ClassIN},
+		Answers: []ResourceRecord{
+			{Name: "www.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 300,
+				Data: mustEncodeName(t, "edge.example-com.edgekey.net")},
+			{Name: "edge.example-com.edgekey.net", Type: TypeA, Class: ClassIN, TTL: 30,
+				Data: []byte{1, 2, 3, 4}},
+		},
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || !got.Response || got.RCode != RCodeNoError {
+		t.Fatalf("header %+v", got)
+	}
+	if got.Question != m.Question {
+		t.Fatalf("question %+v", got.Question)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers %d", len(got.Answers))
+	}
+	// The first answer's owner was emitted as a compression pointer and
+	// must decode back to the question name.
+	if got.Answers[0].Name != "www.example.com" {
+		t.Fatalf("compressed owner %q", got.Answers[0].Name)
+	}
+	if got.Answers[1].TTL != 30 || got.Answers[1].Data[3] != 4 {
+		t.Fatalf("answer 2 %+v", got.Answers[1])
+	}
+}
+
+func mustEncodeName(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := encodeName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCompressionSavesBytes(t *testing.T) {
+	build := func(compress bool) int {
+		owner := "some.fairly-long-name.example.com"
+		rrName := owner
+		if !compress {
+			rrName = "other.fairly-long-name.example.org"
+		}
+		m := &Message{
+			ID: 1, Response: true,
+			Question: Question{Name: owner, Type: TypeA, Class: ClassIN},
+			Answers: []ResourceRecord{
+				{Name: rrName, Type: TypeA, Class: ClassIN, TTL: 60, Data: []byte{1, 2, 3, 4}},
+			},
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(wire)
+	}
+	if build(true) >= build(false) {
+		t.Fatal("compression pointer did not shrink the message")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage([]byte{1, 2, 3}); err != ErrShortMessage {
+		t.Fatalf("short: %v", err)
+	}
+	// Pointer loop: name at offset 12 pointing to itself.
+	m := &Message{ID: 1, Question: Question{Name: "a.com", Type: TypeA, Class: ClassIN}}
+	wire, _ := m.Encode()
+	wire[12] = 0xC0
+	wire[13] = 12
+	if _, err := DecodeMessage(wire); err != ErrPointerLoop {
+		t.Fatalf("loop: %v", err)
+	}
+	// Trailing junk.
+	wire2, _ := m.Encode()
+	wire2 = append(wire2, 0xFF)
+	if _, err := DecodeMessage(wire2); err != ErrTrailingJunk {
+		t.Fatalf("junk: %v", err)
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeMessage(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAnswerFromResponse(t *testing.T) {
+	resp := Response{
+		RCode: RCodeNoError,
+		Chain: []string{"x-com.fastly.net"},
+		A:     0x01020304,
+		AAAA:  true,
+		CAA:   true,
+		TTL:   300,
+	}
+	// A query: CNAME + terminal A record.
+	m := BuildAnswer(7, "x.com", TypeA, resp)
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers %d", len(got.Answers))
+	}
+	if got.Answers[0].Type != TypeCNAME || got.Answers[1].Type != TypeA {
+		t.Fatalf("types %v %v", got.Answers[0].Type, got.Answers[1].Type)
+	}
+	target, _, err := decodeName(got.Answers[0].Data, 0)
+	if err != nil || target != "x-com.fastly.net" {
+		t.Fatalf("cname target %q %v", target, err)
+	}
+	// AAAA query.
+	m6 := BuildAnswer(8, "x.com", TypeAAAA, resp)
+	if m6.Answers[len(m6.Answers)-1].Type != TypeAAAA {
+		t.Fatal("AAAA missing")
+	}
+	// CAA query.
+	mc := BuildAnswer(9, "x.com", TypeCAA, resp)
+	last := mc.Answers[len(mc.Answers)-1]
+	if last.Type != TypeCAA {
+		t.Fatal("CAA missing")
+	}
+	flags, tag, value, err := DecodeCAA(last.Data)
+	if err != nil || flags != 0 || tag != "issue" || value != "ca.example" {
+		t.Fatalf("caa %v %q %q %v", flags, tag, value, err)
+	}
+	// NXDOMAIN: no answers.
+	nx := BuildAnswer(10, "gone.com", TypeA, Response{RCode: RCodeNXDomain})
+	if len(nx.Answers) != 0 || nx.RCode != RCodeNXDomain {
+		t.Fatalf("nx %+v", nx)
+	}
+}
+
+func TestCAAEncodeDecode(t *testing.T) {
+	data := EncodeCAA(128, "issuewild", "pki.example; policy=ev")
+	flags, tag, value, err := DecodeCAA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != 128 || tag != "issuewild" || value != "pki.example; policy=ev" {
+		t.Fatalf("%v %q %q", flags, tag, value)
+	}
+	if _, _, _, err := DecodeCAA([]byte{1}); err == nil {
+		t.Fatal("short CAA should fail")
+	}
+	if _, _, _, err := DecodeCAA([]byte{0, 10, 'a'}); err == nil {
+		t.Fatal("truncated tag should fail")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[uint16]string{
+		TypeA: "A", TypeAAAA: "AAAA", TypeCNAME: "CNAME", TypeCAA: "CAA", 99: "TYPE99",
+	} {
+		if got := TypeString(ty); got != want {
+			t.Fatalf("TypeString(%d) = %q", ty, got)
+		}
+	}
+}
+
+func BenchmarkMessageEncode(b *testing.B) {
+	m := BuildAnswer(1, "www.example.com", TypeA, Response{
+		RCode: RCodeNoError, Chain: []string{"x.edgekey.net"}, A: 0x01020304, TTL: 300,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageDecode(b *testing.B) {
+	m := BuildAnswer(1, "www.example.com", TypeA, Response{
+		RCode: RCodeNoError, Chain: []string{"x.edgekey.net"}, A: 0x01020304, TTL: 300,
+	})
+	wire, err := m.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

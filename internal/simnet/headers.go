@@ -1,0 +1,68 @@
+package simnet
+
+import (
+	"strconv"
+	"strings"
+)
+
+// HSTSPolicy is a parsed Strict-Transport-Security header (RFC 6797).
+type HSTSPolicy struct {
+	MaxAge            int
+	IncludeSubDomains bool
+	Preload           bool
+	Valid             bool
+}
+
+// ParseHSTS parses a Strict-Transport-Security header value. Following
+// RFC 6797 §6.1: directives are ';'-separated, names are
+// case-insensitive, max-age is required, and a duplicated directive
+// invalidates the header. The paper counts a domain HSTS-enabled when
+// the header is valid with max-age > 0.
+func ParseHSTS(header string) HSTSPolicy {
+	var p HSTSPolicy
+	if strings.TrimSpace(header) == "" {
+		return p
+	}
+	seen := map[string]bool{}
+	hasMaxAge := false
+	for _, part := range strings.Split(header, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, value := part, ""
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name = strings.TrimSpace(part[:eq])
+			value = strings.TrimSpace(part[eq+1:])
+		}
+		name = strings.ToLower(name)
+		if seen[name] {
+			return HSTSPolicy{} // duplicate directive: invalid header
+		}
+		seen[name] = true
+		switch name {
+		case "max-age":
+			value = strings.Trim(value, `"`)
+			secs, err := strconv.Atoi(value)
+			if err != nil || secs < 0 {
+				return HSTSPolicy{}
+			}
+			p.MaxAge = secs
+			hasMaxAge = true
+		case "includesubdomains":
+			p.IncludeSubDomains = true
+		case "preload":
+			p.Preload = true
+		default:
+			// Unknown directives are permitted and ignored.
+		}
+	}
+	if !hasMaxAge {
+		return HSTSPolicy{}
+	}
+	p.Valid = true
+	return p
+}
+
+// Enabled applies the paper's criterion: valid header with max-age > 0.
+func (p HSTSPolicy) Enabled() bool { return p.Valid && p.MaxAge > 0 }

@@ -1,0 +1,60 @@
+package simnet
+
+import "testing"
+
+func TestParseHSTS(t *testing.T) {
+	for _, tc := range []struct {
+		header  string
+		enabled bool
+		maxAge  int
+		subs    bool
+	}{
+		{"max-age=31536000", true, 31536000, false},
+		{"max-age=31536000; includeSubDomains", true, 31536000, true},
+		{"max-age=31536000; includeSubDomains; preload", true, 31536000, true},
+		{"MAX-AGE=100", true, 100, false},
+		{`max-age="600"`, true, 600, false},
+		{"max-age=0", false, 0, false}, // valid header, but not "enabled"
+		{"includeSubDomains", false, 0, true},
+		{"", false, 0, false},
+		{"max-age=abc", false, 0, false},
+		{"max-age=-5", false, 0, false},
+		{"max-age=10; max-age=20", false, 0, false}, // duplicate: invalid
+		{"max-age=10; unknown-directive=x", true, 10, false},
+		{" max-age = 500 ; includeSubDomains ", true, 500, true},
+	} {
+		p := ParseHSTS(tc.header)
+		if p.Enabled() != tc.enabled {
+			t.Fatalf("ParseHSTS(%q).Enabled() = %v, want %v", tc.header, p.Enabled(), tc.enabled)
+		}
+		if tc.enabled && p.MaxAge != tc.maxAge {
+			t.Fatalf("ParseHSTS(%q).MaxAge = %d, want %d", tc.header, p.MaxAge, tc.maxAge)
+		}
+		if p.Valid && p.IncludeSubDomains != tc.subs {
+			t.Fatalf("ParseHSTS(%q).IncludeSubDomains = %v", tc.header, p.IncludeSubDomains)
+		}
+	}
+}
+
+func TestParseHSTSMaxAgeZeroIsValid(t *testing.T) {
+	// max-age=0 is a valid header (it *revokes* HSTS) but does not
+	// count as HSTS-enabled under the paper's criterion.
+	p := ParseHSTS("max-age=0")
+	if !p.Valid {
+		t.Fatal("max-age=0 should parse as valid")
+	}
+	if p.Enabled() {
+		t.Fatal("max-age=0 must not count as enabled")
+	}
+}
+
+func TestProbeResultUsesRawHeader(t *testing.T) {
+	r := ProbeResult{TLS: true, HSTSHeader: "max-age=300"}
+	if !r.HSTSEnabled() {
+		t.Fatal("raw header should enable")
+	}
+	r.HSTSHeader = "max-age=banana"
+	if r.HSTSEnabled() {
+		t.Fatal("bad raw header should disable even with MaxAge set")
+	}
+}

@@ -1,0 +1,76 @@
+package simnet
+
+// RouteTable maps IPv4 addresses to origin AS numbers via
+// longest-prefix match, substituting for the Route Views BGP snapshot
+// the paper uses for its AS analysis (§8.1.2).
+//
+// The implementation is a binary trie on address bits, which is the
+// classic LPM structure; inserts and lookups are O(32).
+type RouteTable struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	asn   uint32
+	set   bool
+}
+
+// NewRouteTable builds an empty table.
+func NewRouteTable() *RouteTable {
+	return &RouteTable{root: &trieNode{}}
+}
+
+// NewRouteTableFromRegistry builds a table announcing every prefix of
+// every AS in the registry.
+func NewRouteTableFromRegistry(reg *ASRegistry) *RouteTable {
+	t := NewRouteTable()
+	for _, as := range reg.All() {
+		for _, p := range as.Prefixes {
+			t.Insert(p, as.Number)
+		}
+	}
+	return t
+}
+
+// Insert announces prefix as originated by asn. A later insert of the
+// same prefix overwrites the earlier one.
+func (t *RouteTable) Insert(p Prefix, asn uint32) {
+	if p.Bits < 0 || p.Bits > 32 {
+		panic("simnet: invalid prefix length")
+	}
+	node := t.root
+	for i := 0; i < p.Bits; i++ {
+		bit := (p.Addr >> (31 - uint(i))) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if !node.set {
+		t.n++
+	}
+	node.asn = asn
+	node.set = true
+}
+
+// Lookup returns the origin AS of the longest matching prefix for ip,
+// and whether any prefix matched.
+func (t *RouteTable) Lookup(ip uint32) (asn uint32, ok bool) {
+	node := t.root
+	for i := 0; i < 32 && node != nil; i++ {
+		if node.set {
+			asn, ok = node.asn, true
+		}
+		bit := (ip >> (31 - uint(i))) & 1
+		node = node.child[bit]
+	}
+	if node != nil && node.set {
+		asn, ok = node.asn, true
+	}
+	return asn, ok
+}
+
+// Len reports the number of announced prefixes.
+func (t *RouteTable) Len() int { return t.n }

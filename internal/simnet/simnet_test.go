@@ -1,0 +1,317 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: 0x0A000000, Bits: 8} // 10.0.0.0/8
+	if !p.Contains(0x0A123456) {
+		t.Fatal("10.18.52.86 should match 10/8")
+	}
+	if p.Contains(0x0B000000) {
+		t.Fatal("11.0.0.0 should not match 10/8")
+	}
+	all := Prefix{Addr: 0, Bits: 0}
+	if !all.Contains(0xFFFFFFFF) {
+		t.Fatal("default route matches everything")
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Addr: 0x01020304, Bits: 24}
+	if p.String() != "1.2.3.4/24" {
+		t.Fatalf("got %s", p.String())
+	}
+}
+
+func TestRouteTableLPM(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Insert(Prefix{Addr: 0x0A000000, Bits: 8}, 100)
+	rt.Insert(Prefix{Addr: 0x0A010000, Bits: 16}, 200)
+	rt.Insert(Prefix{Addr: 0x0A010200, Bits: 24}, 300)
+
+	for _, tc := range []struct {
+		ip   uint32
+		want uint32
+	}{
+		{0x0AFF0001, 100}, // only /8 matches
+		{0x0A01FF01, 200}, // /16 beats /8
+		{0x0A010205, 300}, // /24 beats /16
+	} {
+		got, ok := rt.Lookup(tc.ip)
+		if !ok || got != tc.want {
+			t.Fatalf("Lookup(%08x) = %d,%v want %d", tc.ip, got, ok, tc.want)
+		}
+	}
+	if _, ok := rt.Lookup(0x0B000000); ok {
+		t.Fatal("unannounced space should not match")
+	}
+	if rt.Len() != 3 {
+		t.Fatalf("len %d", rt.Len())
+	}
+}
+
+func TestRouteTableOverwrite(t *testing.T) {
+	rt := NewRouteTable()
+	p := Prefix{Addr: 0x01000000, Bits: 16}
+	rt.Insert(p, 1)
+	rt.Insert(p, 2)
+	if rt.Len() != 1 {
+		t.Fatalf("len %d", rt.Len())
+	}
+	if asn, _ := rt.Lookup(0x01000001); asn != 2 {
+		t.Fatalf("asn %d", asn)
+	}
+}
+
+func TestRouteTableDefaultRoute(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Insert(Prefix{Addr: 0, Bits: 0}, 42)
+	if asn, ok := rt.Lookup(0xDEADBEEF); !ok || asn != 42 {
+		t.Fatal("default route")
+	}
+}
+
+func TestRouteTableHostRoute(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Insert(Prefix{Addr: 0x01020304, Bits: 32}, 7)
+	if asn, ok := rt.Lookup(0x01020304); !ok || asn != 7 {
+		t.Fatal("host route exact match")
+	}
+	if _, ok := rt.Lookup(0x01020305); ok {
+		t.Fatal("host route must not match neighbours")
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	reg := NewASRegistry(50)
+	rt := NewRouteTableFromRegistry(reg)
+	if rt.Len() == 0 {
+		t.Fatal("no prefixes announced")
+	}
+	// Every announced prefix's network address must map back to its AS.
+	for _, as := range reg.All() {
+		for _, p := range as.Prefixes {
+			got, ok := rt.Lookup(p.Addr | 1)
+			if !ok {
+				t.Fatalf("no route for %v", p)
+			}
+			// A more-specific prefix of another AS could shadow, but our
+			// carving is disjoint per AS except the intra-AS /16 inside
+			// the /10 — both belong to the same AS.
+			if got != as.Number {
+				t.Fatalf("prefix %v routed to %d, want %d", p, got, as.Number)
+			}
+		}
+	}
+}
+
+func TestRegistryLookupHelpers(t *testing.T) {
+	reg := NewASRegistry(5)
+	if reg.ByNumber(26496) == nil || reg.ByNumber(26496).Name != "GoDaddy" {
+		t.Fatal("GoDaddy missing")
+	}
+	if reg.ByNumber(424242) != nil {
+		t.Fatal("unknown AS should be nil")
+	}
+	if got := reg.Label(15169); got != "Google (15169)" {
+		t.Fatalf("label %q", got)
+	}
+	if got := reg.Label(424242); got != "AS424242" {
+		t.Fatalf("unknown label %q", got)
+	}
+	if len(reg.ByRole(RoleMassHosting)) == 0 || len(reg.ByRole(RoleCDN)) == 0 {
+		t.Fatal("roles missing")
+	}
+	nums := reg.SortedNumbers()
+	for i := 1; i < len(nums); i++ {
+		if nums[i-1] >= nums[i] {
+			t.Fatal("numbers not sorted")
+		}
+	}
+}
+
+func TestLPMMatchesLinearScanProperty(t *testing.T) {
+	reg := NewASRegistry(100)
+	rt := NewRouteTableFromRegistry(reg)
+	linear := func(ip uint32) (uint32, bool) {
+		bestBits := -1
+		var bestASN uint32
+		for _, as := range reg.All() {
+			for _, p := range as.Prefixes {
+				if p.Contains(ip) && p.Bits > bestBits {
+					bestBits = p.Bits
+					bestASN = as.Number
+				}
+			}
+		}
+		return bestASN, bestBits >= 0
+	}
+	f := func(ip uint32) bool {
+		gotASN, gotOK := rt.Lookup(ip)
+		wantASN, wantOK := linear(ip)
+		if gotOK != wantOK {
+			return false
+		}
+		return !gotOK || gotASN == wantASN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDNDetect(t *testing.T) {
+	r := NewCDNRegistry()
+	for _, tc := range []struct {
+		cname string
+		want  string
+	}{
+		{"example-com.edgekey.net", "Akamai"},
+		{"foo.edgesuite.net.", "Akamai"}, // alias + trailing dot
+		{"ghs.googlehosted.com", "Google"},
+		{"d111.cloudfront.net", "Amazon"},
+		{"shop.example.map.fastly.net", "Fastly"},
+		{"lb.wordpress.com", "WordPress"},
+		{"whatever.example.org", ""},
+	} {
+		id := r.Detect(tc.cname)
+		if got := r.Name(id); got != tc.want {
+			t.Fatalf("Detect(%q) = %q, want %q", tc.cname, got, tc.want)
+		}
+	}
+}
+
+func TestCDNRegistryLookups(t *testing.T) {
+	r := NewCDNRegistry()
+	if r.ByID(0) != nil {
+		t.Fatal("ID 0 is no-CDN")
+	}
+	if len(r.All()) < 10 {
+		t.Fatal("registry too small")
+	}
+	target := r.CNAMETarget("example.com", 1)
+	if target != "example-com.edgekey.net" {
+		t.Fatalf("target %q", target)
+	}
+	if r.Detect(target) != 1 {
+		t.Fatal("round trip detect")
+	}
+	if r.CNAMETarget("x.com", 0) != "" {
+		t.Fatal("no-CDN target should be empty")
+	}
+}
+
+func TestCDNRoundTripProperty(t *testing.T) {
+	r := NewCDNRegistry()
+	f := func(seed uint8) bool {
+		ids := r.All()
+		c := ids[int(seed)%len(ids)]
+		return r.Detect(r.CNAMETarget("some.domain.com", c.ID)) == c.ID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticZoneAndRCode(t *testing.T) {
+	z := NewStaticZone()
+	z.Add("Exists.COM", Response{RCode: RCodeNoError, A: 1, TTL: 300})
+	if got := z.Lookup("exists.com"); got.RCode != RCodeNoError || got.A != 1 {
+		t.Fatalf("lookup %+v", got)
+	}
+	if got := z.Lookup("missing.com"); got.RCode != RCodeNXDomain {
+		t.Fatal("default should be NXDOMAIN")
+	}
+	if RCodeNoError.String() != "NOERROR" || RCodeNXDomain.String() != "NXDOMAIN" ||
+		RCodeServFail.String() != "SERVFAIL" {
+		t.Fatal("rcode strings")
+	}
+}
+
+func TestCachingResolverTTL(t *testing.T) {
+	z := NewStaticZone()
+	z.Add("a.com", Response{RCode: RCodeNoError, A: 1, TTL: 100})
+	r := NewCachingResolver(z)
+
+	for i := 0; i < 5; i++ {
+		r.Query("a.com")
+	}
+	if r.UpstreamQueries["a.com"] != 1 {
+		t.Fatalf("upstream %d, want 1 (cache hit)", r.UpstreamQueries["a.com"])
+	}
+	if r.ClientQueries["a.com"] != 5 {
+		t.Fatalf("client %d", r.ClientQueries["a.com"])
+	}
+	r.Advance(101)
+	r.Query("a.com")
+	if r.UpstreamQueries["a.com"] != 2 {
+		t.Fatalf("upstream after expiry %d, want 2", r.UpstreamQueries["a.com"])
+	}
+}
+
+func TestCachingResolverNegativeCache(t *testing.T) {
+	z := NewStaticZone()
+	r := NewCachingResolver(z)
+	r.Query("gone.com")
+	r.Query("gone.com")
+	if r.UpstreamQueries["gone.com"] != 1 {
+		t.Fatal("negative answers should be cached")
+	}
+	r.Advance(61)
+	r.Query("gone.com")
+	if r.UpstreamQueries["gone.com"] != 2 {
+		t.Fatal("negative cache should expire after 60s")
+	}
+}
+
+func TestCachingResolverTTLBiasShape(t *testing.T) {
+	// The §7.2 TTL experiment: upstream volume scales inversely with
+	// TTL under steady client load.
+	z := NewStaticZone()
+	z.Add("short.com", Response{RCode: RCodeNoError, A: 1, TTL: 60})
+	z.Add("long.com", Response{RCode: RCodeNoError, A: 2, TTL: 3600})
+	r := NewCachingResolver(z)
+	for s := 0; s < 3600*4; s += 30 {
+		r.Query("short.com")
+		r.Query("long.com")
+		r.Advance(30)
+	}
+	short := r.UpstreamQueries["short.com"]
+	long := r.UpstreamQueries["long.com"]
+	if short <= long*10 {
+		t.Fatalf("short-TTL upstream %d should far exceed long-TTL %d", short, long)
+	}
+	if r.ClientQueries["short.com"] != r.ClientQueries["long.com"] {
+		t.Fatal("client volumes should match")
+	}
+}
+
+func TestProbeResultHSTS(t *testing.T) {
+	if (ProbeResult{TLS: true, HSTSMaxAge: 0}).HSTSEnabled() {
+		t.Fatal("max-age 0 is not HSTS-enabled")
+	}
+	if !(ProbeResult{TLS: true, HSTSMaxAge: 31536000}).HSTSEnabled() {
+		t.Fatal("valid HSTS")
+	}
+	if (ProbeResult{TLS: false, HSTSMaxAge: 100}).HSTSEnabled() {
+		t.Fatal("HSTS requires TLS")
+	}
+}
+
+func BenchmarkRouteLookup(b *testing.B) {
+	reg := NewASRegistry(2000)
+	rt := NewRouteTableFromRegistry(reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Lookup(uint32(i) * 2654435761)
+	}
+}
+
+func BenchmarkCDNDetect(b *testing.B) {
+	r := NewCDNRegistry()
+	for i := 0; i < b.N; i++ {
+		r.Detect("assets.shop.example.map.fastly.net")
+	}
+}

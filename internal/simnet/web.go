@@ -1,0 +1,48 @@
+package simnet
+
+// ProbeResult is the outcome of the simulated HTTPS/HTTP2 probe of a
+// domain — the stand-in for the paper's zgrab TLS scans and nghttp2
+// HTTP/2 fetches (§8.2, §8.3).
+type ProbeResult struct {
+	// Reachable is false when the domain does not resolve (NXDOMAIN) or
+	// serves nothing.
+	Reachable bool
+	// TLS reports a successful TLS handshake on :443.
+	TLS bool
+	// HSTSMaxAge is the max-age of a Strict-Transport-Security header
+	// (0 = header absent). The paper counts a domain HSTS-enabled when
+	// the header is valid with max-age > 0.
+	HSTSMaxAge int
+	// HSTSHeader is the raw Strict-Transport-Security header value, when
+	// the endpoint sent one; HSTSEnabled parses it (RFC 6797) when set.
+	HSTSHeader string
+	// HTTP2 reports that the landing page was actually transferred over
+	// HTTP/2 (after up to 10 redirects, per the paper's method).
+	HTTP2 bool
+	// Redirects is the number of redirects followed before the landing
+	// page.
+	Redirects int
+}
+
+// HSTSEnabled applies the paper's HSTS definition: a valid header with
+// max-age > 0 on a TLS-enabled domain. When the raw header is present
+// it is parsed per RFC 6797; otherwise the pre-parsed max-age is used.
+func (p ProbeResult) HSTSEnabled() bool {
+	if !p.TLS {
+		return false
+	}
+	if p.HSTSHeader != "" {
+		return ParseHSTS(p.HSTSHeader).Enabled()
+	}
+	return p.HSTSMaxAge > 0
+}
+
+// WebProber probes domains; the population's World implements it.
+type WebProber interface {
+	Probe(name string) ProbeResult
+}
+
+// MaxRedirects is the redirect-following limit used by the HTTP/2
+// campaign, matching the paper's method ("we follow up to 10
+// redirects").
+const MaxRedirects = 10

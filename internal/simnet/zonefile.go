@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Zone-file support: the paper's "general population" comes from the
+// com/net/org TLD zone files, which list every registered domain's NS
+// delegation. This writer/parser handles the subset of RFC 1035 master
+// file syntax those zones use ($ORIGIN, comments, relative and absolute
+// owner names, NS records), so the population sample can be exported
+// and re-imported the way the original study consumed zone data.
+
+// WriteZone emits a TLD zone file: an $ORIGIN line, an SOA comment
+// header, and one NS record per registered domain. Domain names must
+// all be under the origin.
+func WriteZone(w io.Writer, origin string, domains []string, nameservers []string) error {
+	if len(nameservers) == 0 {
+		nameservers = []string{"ns1.registry.example."}
+	}
+	origin = strings.TrimSuffix(strings.ToLower(origin), ".")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s.\n", origin)
+	fmt.Fprintf(bw, "; zone file for .%s (synthetic)\n", origin)
+	sorted := append([]string(nil), domains...)
+	sort.Strings(sorted)
+	suffix := "." + origin
+	for _, d := range sorted {
+		d = strings.TrimSuffix(strings.ToLower(d), ".")
+		if !strings.HasSuffix(d, suffix) {
+			return fmt.Errorf("simnet: %q is not under origin %q", d, origin)
+		}
+		rel := strings.TrimSuffix(d, suffix)
+		ns := nameservers[len(rel)%len(nameservers)]
+		fmt.Fprintf(bw, "%s\tIN\tNS\t%s\n", rel, ns)
+	}
+	return bw.Flush()
+}
+
+// ParseZone reads a zone file and returns the origin and the registered
+// domain names (owner + origin for relative owners), de-duplicated and
+// sorted. Unknown record types are skipped; comments and blank lines
+// are ignored.
+func ParseZone(r io.Reader) (origin string, domains []string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	seen := make(map[string]struct{})
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "$ORIGIN" {
+			if len(fields) < 2 {
+				return "", nil, fmt.Errorf("simnet: line %d: bare $ORIGIN", lineNo)
+			}
+			origin = strings.TrimSuffix(strings.ToLower(fields[1]), ".")
+			continue
+		}
+		if strings.HasPrefix(fields[0], "$") {
+			continue // other directives ($TTL, ...) are irrelevant here
+		}
+		if len(fields) < 4 {
+			continue
+		}
+		// owner [ttl] class type rdata — accept both with and without
+		// TTL; we only need NS owners.
+		typeIdx := -1
+		for i := 1; i < len(fields)-1; i++ {
+			if strings.EqualFold(fields[i], "NS") {
+				typeIdx = i
+				break
+			}
+		}
+		if typeIdx < 0 {
+			continue
+		}
+		owner := strings.ToLower(fields[0])
+		var name string
+		switch {
+		case owner == "@":
+			name = origin
+		case strings.HasSuffix(owner, "."):
+			name = strings.TrimSuffix(owner, ".")
+		default:
+			if origin == "" {
+				return "", nil, fmt.Errorf("simnet: line %d: relative owner %q before $ORIGIN", lineNo, owner)
+			}
+			name = owner + "." + origin
+		}
+		if name == "" || name == origin {
+			continue
+		}
+		if _, dup := seen[name]; !dup {
+			seen[name] = struct{}{}
+			domains = append(domains, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	sort.Strings(domains)
+	return origin, domains, nil
+}

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestZoneRoundTrip(t *testing.T) {
+	domains := []string{"bravo.com", "alpha.com", "charlie.com"}
+	var buf bytes.Buffer
+	if err := WriteZone(&buf, "com", domains, []string{"ns1.reg.example.", "ns2.reg.example."}); err != nil {
+		t.Fatal(err)
+	}
+	origin, got, err := ParseZone(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != "com" {
+		t.Fatalf("origin %q", origin)
+	}
+	want := []string{"alpha.com", "bravo.com", "charlie.com"}
+	if len(got) != len(want) {
+		t.Fatalf("domains %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("domains %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteZoneRejectsForeignDomains(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteZone(&buf, "com", []string{"x.org"}, nil); err == nil {
+		t.Fatal("foreign domain should fail")
+	}
+}
+
+func TestParseZoneSyntax(t *testing.T) {
+	zone := `
+$ORIGIN net.
+; a comment line
+$TTL 86400
+example	IN	NS	ns1.host.  ; trailing comment
+absolute.net.	IN	NS	ns2.host.
+@	IN	NS	ns-root.host.
+example	IN	NS	ns2.host.
+withttl	300	IN	NS	ns1.host.
+other	IN	A	1.2.3.4
+`
+	origin, domains, err := ParseZone(strings.NewReader(zone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != "net" {
+		t.Fatalf("origin %q", origin)
+	}
+	// example (deduped), absolute.net, withttl; the apex (@) and the
+	// A record are excluded.
+	want := []string{"absolute.net", "example.net", "withttl.net"}
+	if len(domains) != len(want) {
+		t.Fatalf("domains %v", domains)
+	}
+	for i := range want {
+		if domains[i] != want[i] {
+			t.Fatalf("domains %v, want %v", domains, want)
+		}
+	}
+}
+
+func TestParseZoneErrors(t *testing.T) {
+	if _, _, err := ParseZone(strings.NewReader("rel IN NS ns1.\n")); err == nil {
+		t.Fatal("relative owner before $ORIGIN should fail")
+	}
+	if _, _, err := ParseZone(strings.NewReader("$ORIGIN\n")); err == nil {
+		t.Fatal("bare $ORIGIN should fail")
+	}
+}
+
+func TestParseZoneEmpty(t *testing.T) {
+	origin, domains, err := ParseZone(strings.NewReader("; nothing\n\n"))
+	if err != nil || origin != "" || len(domains) != 0 {
+		t.Fatalf("%q %v %v", origin, domains, err)
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func normalSample(r *rand.Rand, n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mu + sigma*r.NormFloat64()
+	}
+	return xs
+}
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	// Coverage check: across independent samples from N(10, 2), the
+	// 95% interval should contain the true mean most of the time.
+	r := rand.New(rand.NewSource(11))
+	covered := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		xs := normalSample(r, 80, 10, 2)
+		ci := MeanCI(xs, 400, 0.95, uint64(i+1))
+		if ci.Contains(10) {
+			covered++
+		}
+		if ci.Lo > ci.Point || ci.Hi < ci.Point {
+			t.Fatalf("trial %d: interval %v does not bracket its own point", i, ci)
+		}
+	}
+	if covered < trials*80/100 {
+		t.Errorf("coverage %d/%d below expectation for a 95%% CI", covered, trials)
+	}
+}
+
+func TestBootstrapDeterministicInSeed(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := MeanCI(xs, 200, 0.9, 42)
+	b := MeanCI(xs, 200, 0.9, 42)
+	if a != b {
+		t.Errorf("same seed, different CI: %v vs %v", a, b)
+	}
+	c := MeanCI(xs, 200, 0.9, 43)
+	if a == c {
+		t.Error("different seeds produced identical intervals (suspicious)")
+	}
+}
+
+func TestBootstrapIntervalNarrowsWithSampleSize(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	small := MeanCI(normalSample(r, 20, 0, 1), 500, 0.95, 1)
+	large := MeanCI(normalSample(r, 2000, 0, 1), 500, 0.95, 1)
+	if (large.Hi - large.Lo) >= (small.Hi - small.Lo) {
+		t.Errorf("2000-sample interval %v not narrower than 20-sample %v", large, small)
+	}
+}
+
+func TestBootstrapArbitraryStatistic(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 100} // median robust to the outlier
+	ci := Bootstrap(xs, func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		return Median(s)
+	}, 300, 0.95, 7)
+	if ci.Point != 1 {
+		t.Errorf("median point = %v", ci.Point)
+	}
+	if ci.Hi > 100 || ci.Lo < 1 {
+		t.Errorf("median CI = %v out of data range", ci)
+	}
+}
+
+func TestDifferenceCISeparatesDistinctMeans(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	list := normalSample(r, 100, 22, 2)      // "IPv6 share on the list"
+	population := normalSample(r, 100, 4, 1) // "IPv6 share in the population"
+	ci := DifferenceCI(list, population, Mean, 500, 0.95, 3)
+	if ci.Contains(0) {
+		t.Errorf("clearly separated means yield CI containing 0: %v", ci)
+	}
+	if ci.Point < 15 || ci.Point > 21 {
+		t.Errorf("difference point = %v, want ≈ 18", ci.Point)
+	}
+}
+
+func TestDifferenceCIOverlappingMeansContainsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	a := normalSample(r, 50, 5, 3)
+	b := normalSample(r, 50, 5, 3)
+	ci := DifferenceCI(a, b, Mean, 500, 0.95, 4)
+	if !ci.Contains(0) {
+		t.Errorf("identical distributions should usually contain 0: %v", ci)
+	}
+}
+
+func TestBootstrapPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { MeanCI(nil, 10, 0.95, 1) })
+	mustPanic("level", func() { MeanCI([]float64{1}, 10, 1.5, 1) })
+	mustPanic("diff-empty", func() { DifferenceCI(nil, []float64{1}, Mean, 10, 0.9, 1) })
+}
+
+func TestPercentileSorted(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := percentileSorted(xs, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := percentileSorted(xs, 1); got != 40 {
+		t.Errorf("p1 = %v", got)
+	}
+	if got := percentileSorted(xs, 0.5); got != 25 {
+		t.Errorf("p50 = %v, want 25 (interpolated)", got)
+	}
+	if got := percentileSorted([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton = %v", got)
+	}
+}
+
+func TestCIString(t *testing.T) {
+	ci := CI{Point: 1.5, Lo: 1.0, Hi: 2.0}
+	if got := ci.String(); got != "1.5 [1, 2]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Eval returns F(x) = P(X <= x) under the empirical distribution.
+func (e *ECDF) Eval(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Count of values <= x.
+	n := sort.SearchFloat64s(e.sorted, x)
+	for n < len(e.sorted) && e.sorted[n] == x {
+		n++
+	}
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(e.sorted, q)
+}
+
+// Len reports the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Points returns (x, F(x)) pairs at each distinct sample value, suitable
+// for plotting a CDF curve.
+func (e *ECDF) Points() (xs, ys []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ys = append(ys, float64(j)/float64(n))
+		i = j
+	}
+	return xs, ys
+}
+
+// FractionAtMost returns the fraction of the sample <= x (alias of Eval,
+// reads better at call sites reporting shares).
+func (e *ECDF) FractionAtMost(x float64) float64 { return e.Eval(x) }
+
+// FractionAtLeast returns the fraction of the sample >= x.
+func (e *ECDF) FractionAtLeast(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	n := sort.SearchFloat64s(e.sorted, x)
+	return float64(len(e.sorted)-n) / float64(len(e.sorted))
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KendallTau returns Kendall's τ-b rank correlation coefficient between
+// paired observations (x[i], y[i]), with the tie correction. τ-b is the
+// statistic the paper uses to compare list orderings day-to-day (§6.3):
+// 1 for identical orders, -1 for fully reversed orders.
+//
+// The implementation sorts by x and counts discordant pairs with a
+// merge-sort inversion count, giving O(n log n) overall. It returns NaN
+// for fewer than two pairs or when either variable is constant.
+func KendallTau(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) {
+		panic("stats: KendallTau length mismatch")
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by x, breaking ties by y so that equal-x runs are grouped and
+	// y is sorted within them (required for correct joint-tie counting).
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if x[ia] != x[ib] {
+			return x[ia] < x[ib]
+		}
+		return y[ia] < y[ib]
+	})
+
+	ys := make([]float64, n)
+	for i, id := range idx {
+		ys[i] = y[id]
+	}
+
+	total := float64(n) * float64(n-1) / 2
+
+	// Ties in x (n1) and joint ties (n3) from the sorted order.
+	var n1, n3 float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		run := float64(j - i)
+		n1 += run * (run - 1) / 2
+		// Joint ties within the x-run (y sorted inside the run).
+		for k := i; k < j; {
+			m := k
+			for m < j && ys[m] == ys[k] {
+				m++
+			}
+			jr := float64(m - k)
+			n3 += jr * (jr - 1) / 2
+			k = m
+		}
+		i = j
+	}
+
+	// Ties in y (n2).
+	ysorted := make([]float64, n)
+	copy(ysorted, ys)
+	sort.Float64s(ysorted)
+	var n2 float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && ysorted[j] == ysorted[i] {
+			j++
+		}
+		run := float64(j - i)
+		n2 += run * (run - 1) / 2
+		i = j
+	}
+
+	// Discordant pairs = inversions of ys, excluding pairs tied in x
+	// (those were sorted by y within the run, contributing no
+	// inversions) — the merge-sort count therefore counts exactly the
+	// x-distinct discordant pairs. Pairs tied in y are never counted as
+	// inversions (strict >).
+	discordant := float64(countInversions(ys))
+
+	concordant := total - n1 - n2 + n3 - discordant
+
+	denom := math.Sqrt((total - n1) * (total - n2))
+	if denom == 0 {
+		return math.NaN()
+	}
+	return (concordant - discordant) / denom
+}
+
+// countInversions returns the number of pairs i<j with xs[i] > xs[j]
+// using bottom-up merge sort; xs is clobbered.
+func countInversions(xs []float64) int64 {
+	n := len(xs)
+	buf := make([]float64, n)
+	var inv int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if xs[i] <= xs[j] {
+					buf[k] = xs[i]
+					i++
+				} else {
+					buf[k] = xs[j]
+					j++
+					inv += int64(mid - i)
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = xs[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = xs[j]
+				j++
+				k++
+			}
+			copy(xs[lo:hi], buf[lo:hi])
+		}
+	}
+	return inv
+}
+
+// KendallTauRanks is a convenience wrapper for integer rank vectors.
+func KendallTauRanks(x, y []int) float64 {
+	return KendallTau(IntsToFloats(x), IntsToFloats(y))
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) - F_b(x)| between the empirical distributions of a
+// and b. The paper uses this to compare a domain's weekday vs. weekend
+// rank distributions (§6.2): D = 1 means the two samples have disjoint
+// supports.
+//
+// It returns NaN if either sample is empty.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	sa := make([]float64, len(a))
+	copy(sa, a)
+	sort.Float64s(sa)
+	sb := make([]float64, len(b))
+	copy(sb, b)
+	sort.Float64s(sb)
+
+	na, nb := float64(len(sa)), float64(len(sb))
+	var i, j int
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Rank-similarity measures beyond Kendall's τ. The paper compares list
+// orderings with τ (§6.3); the follow-up top-list literature (notably
+// the Tranco work this paper motivated) prefers Rank-Biased Overlap,
+// which handles the two properties τ lacks for top lists: it accepts
+// *non-conjoint* lists (domains present in one list and absent from
+// the other) and it weights agreement at the head more than in the
+// tail. We implement both RBO and the classical Spearman measures so
+// the order-stability analysis can be ablated across metrics.
+
+// SpearmanRho returns Spearman's rank correlation coefficient ρ
+// between paired observations, i.e. the Pearson correlation of their
+// (mid-)ranks. Ties receive average ranks. Returns NaN for fewer than
+// two pairs or constant input.
+func SpearmanRho(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) {
+		panic("stats: SpearmanRho length mismatch")
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	rx := midRanks(x)
+	ry := midRanks(y)
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += rx[i]
+		sy += ry[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	denom := math.Sqrt(vx * vy)
+	if denom == 0 {
+		return math.NaN()
+	}
+	return cov / denom
+}
+
+// SpearmanRhoRanks is a convenience wrapper for integer rank vectors.
+func SpearmanRhoRanks(x, y []int) float64 {
+	return SpearmanRho(IntsToFloats(x), IntsToFloats(y))
+}
+
+// midRanks assigns 1-based ranks with ties sharing their average rank.
+func midRanks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		// Average of 1-based positions i+1 .. j.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}
+
+// SpearmanFootrule returns the normalised Spearman footrule distance
+// between two permutations given as paired rank vectors: the sum of
+// |rx - ry| divided by its maximum, so 0 means identical order and 1
+// means maximal displacement. Inputs must be genuine permutations of
+// the same length (no ties); n < 2 returns NaN.
+func SpearmanFootrule(rx, ry []int) float64 {
+	n := len(rx)
+	if n != len(ry) {
+		panic("stats: SpearmanFootrule length mismatch")
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(float64(rx[i] - ry[i]))
+	}
+	// Maximum displacement of two permutations of [1..n]: ⌊n²/2⌋.
+	max := float64((n * n) / 2)
+	return sum / max
+}
+
+// RBO returns the extrapolated Rank-Biased Overlap (Webber, Moffat,
+// Zobel 2010, eq. 32) between two ranked lists with persistence
+// parameter p in (0,1). Higher p weights deeper ranks more; the
+// top-list literature typically uses p = 0.9 (top-10-dominated) to
+// p ≈ 0.999 (top-1000-dominated).
+//
+// The lists need not be conjoint or equally long — exactly the
+// situation of two top lists from different providers. The result is
+// in [0,1]: 1 for identical lists, 0 for fully disjoint ones.
+func RBO(s, t []string, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: RBO persistence must be in (0,1)")
+	}
+	if len(s) == 0 && len(t) == 0 {
+		return 1
+	}
+	if len(s) == 0 || len(t) == 0 {
+		return 0
+	}
+	// Ensure s is the shorter list (the formulation below assumes it).
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	sLen, tLen := len(s), len(t)
+
+	seenS := make(map[string]struct{}, sLen)
+	seenT := make(map[string]struct{}, tLen)
+	var overlap int // |S_d ∩ T_d| at current depth
+
+	// A_d = overlap/d at each depth; accumulate the weighted sum.
+	sum1 := 0.0 // Σ_{d=1..tLen} (X_d / d) p^d
+	xAtS := 0   // overlap at depth sLen (fixed once d > sLen)
+	pd := 1.0
+	for d := 1; d <= tLen; d++ {
+		pd *= p
+		if d <= sLen {
+			addToOverlap(s[d-1], seenS, seenT, &overlap)
+		}
+		addToOverlap(t[d-1], seenT, seenS, &overlap)
+		if d == sLen {
+			xAtS = overlap
+		}
+		sum1 += float64(overlap) / float64(d) * pd
+	}
+	if sLen == tLen {
+		xAtS = overlap
+	}
+	xAtT := overlap
+
+	// Extrapolation terms for the region beyond the evaluated prefixes.
+	// eq. 32: RBO_ext = (1-p)/p [ Σ_{d=1}^{l} (X_d/d) p^d +
+	//                             Σ_{d=s+1}^{l} X_s (d-s)/(s d) p^d ] +
+	//                   [ (X_l - X_s)/l + X_s/s ] p^l
+	pT := math.Pow(p, float64(tLen))
+	sum2 := 0.0
+	pd = math.Pow(p, float64(sLen))
+	for d := sLen + 1; d <= tLen; d++ {
+		pd *= p
+		sum2 += float64(xAtS) * float64(d-sLen) / (float64(sLen) * float64(d)) * pd
+	}
+	ext := (1 - p) / p * (sum1 + sum2)
+	ext += (float64(xAtT-xAtS)/float64(tLen) + float64(xAtS)/float64(sLen)) * pT
+	if ext > 1 {
+		ext = 1 // guard against float drift at p close to 1
+	}
+	return ext
+}
+
+// addToOverlap records that name was seen in one list and bumps the
+// overlap if the other list has already shown it.
+func addToOverlap(name string, mine, other map[string]struct{}, overlap *int) {
+	if _, dup := mine[name]; dup {
+		return
+	}
+	mine[name] = struct{}{}
+	if _, ok := other[name]; ok {
+		*overlap++
+	}
+}
+
+// RBOTopWeight returns the share of RBO weight carried by the first d
+// ranks for persistence p (Webber et al., eq. 21) — used to pick a p
+// matched to the subset a study cares about, e.g. p=0.9 puts ~86% of
+// the weight on the top 10.
+func RBOTopWeight(p float64, d int) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: RBO persistence must be in (0,1)")
+	}
+	if d < 1 {
+		return 0
+	}
+	// W(d) = 1 - p^(d-1) + d (1-p)/p (ln 1/(1-p) - Σ_{i=1}^{d-1} p^i/i)
+	sum := 0.0
+	pi := 1.0
+	for i := 1; i <= d-1; i++ {
+		pi *= p
+		sum += pi / float64(i)
+	}
+	w := 1 - math.Pow(p, float64(d-1)) +
+		float64(d)*(1-p)/p*(math.Log(1/(1-p))-sum)
+	if w < 0 {
+		return 0
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
+}

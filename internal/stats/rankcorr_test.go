@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSpearmanRhoPerfectOrders(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := SpearmanRho(x, x); !almost(got, 1, 1e-12) {
+		t.Errorf("identical: ρ = %v", got)
+	}
+	y := []float64{5, 4, 3, 2, 1}
+	if got := SpearmanRho(x, y); !almost(got, -1, 1e-12) {
+		t.Errorf("reversed: ρ = %v", got)
+	}
+}
+
+func TestSpearmanRhoKnownValue(t *testing.T) {
+	// Classic textbook example: ranks (1..10) vs a permutation;
+	// ρ = 1 - 6Σd²/(n(n²-1)).
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	y := []float64{3, 1, 4, 2, 6, 5, 9, 7, 10, 8}
+	var d2 float64
+	for i := range x {
+		d := x[i] - y[i]
+		d2 += d * d
+	}
+	want := 1 - 6*d2/float64(10*(100-1))
+	if got := SpearmanRho(x, y); !almost(got, want, 1e-12) {
+		t.Errorf("ρ = %v, want %v", got, want)
+	}
+}
+
+func TestSpearmanRhoTiesUseMidranks(t *testing.T) {
+	// x has a tie; midranks keep ρ symmetric and bounded.
+	x := []float64{1, 2, 2, 4}
+	y := []float64{1, 2, 3, 4}
+	got := SpearmanRho(x, y)
+	if math.IsNaN(got) || got < 0.9 || got > 1 {
+		t.Errorf("ρ with ties = %v, want close to 1", got)
+	}
+	if g2 := SpearmanRho(y, x); !almost(got, g2, 1e-12) {
+		t.Errorf("asymmetric under ties: %v vs %v", got, g2)
+	}
+}
+
+func TestSpearmanRhoDegenerate(t *testing.T) {
+	if !math.IsNaN(SpearmanRho([]float64{1}, []float64{2})) {
+		t.Error("n=1 should be NaN")
+	}
+	if !math.IsNaN(SpearmanRho([]float64{3, 3, 3}, []float64{1, 2, 3})) {
+		t.Error("constant x should be NaN")
+	}
+}
+
+func TestSpearmanAgreesWithKendallDirection(t *testing.T) {
+	// Property: on random data, ρ and τ always share a sign (both are
+	// monotone-association measures).
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = 0.5*x[i] + r.NormFloat64() // positively related
+		}
+		rho, tau := SpearmanRho(x, y), KendallTau(x, y)
+		if rho*tau < 0 && !almost(rho, 0, 0.05) && !almost(tau, 0, 0.05) {
+			t.Fatalf("trial %d: sign disagreement ρ=%v τ=%v", trial, rho, tau)
+		}
+	}
+}
+
+func TestSpearmanFootrule(t *testing.T) {
+	id := []int{1, 2, 3, 4}
+	if got := SpearmanFootrule(id, id); got != 0 {
+		t.Errorf("identity = %v", got)
+	}
+	rev := []int{4, 3, 2, 1}
+	if got := SpearmanFootrule(id, rev); !almost(got, 1, 1e-12) {
+		t.Errorf("reversal = %v, want 1 (maximal displacement)", got)
+	}
+	if !math.IsNaN(SpearmanFootrule([]int{1}, []int{1})) {
+		t.Error("n=1 should be NaN")
+	}
+}
+
+func TestRBOIdenticalAndDisjoint(t *testing.T) {
+	a := []string{"g.com", "f.com", "n.com", "j.com"}
+	for _, p := range []float64{0.5, 0.9, 0.98} {
+		if got := RBO(a, a, p); !almost(got, 1, 1e-9) {
+			t.Errorf("identical p=%v: %v", p, got)
+		}
+		b := []string{"w.com", "x.com", "y.com", "z.com"}
+		if got := RBO(a, b, p); got != 0 {
+			t.Errorf("disjoint p=%v: %v", p, got)
+		}
+	}
+}
+
+func TestRBOKnownSmallCase(t *testing.T) {
+	// Hand-computed conjoint case, n=2, p=0.5:
+	// S = [a b], T = [b a]. X_1 = 0, X_2 = 2.
+	// sum1 = (0/1)p + (2/2)p² = 0.25
+	// ext = (1-p)/p * sum1 + (X_2/2) p² = 1*0.25 + 1*0.25 = 0.5
+	got := RBO([]string{"a", "b"}, []string{"b", "a"}, 0.5)
+	if !almost(got, 0.5, 1e-12) {
+		t.Errorf("RBO = %v, want 0.5", got)
+	}
+}
+
+func TestRBOUnevenListsExtrapolate(t *testing.T) {
+	// The shorter list being a strict prefix of the longer one is
+	// perfect agreement under extrapolation.
+	long := []string{"a", "b", "c", "d", "e", "f"}
+	short := []string{"a", "b", "c"}
+	got := RBO(short, long, 0.9)
+	if !almost(got, 1, 1e-9) {
+		t.Errorf("prefix RBO = %v, want 1", got)
+	}
+	// Symmetry in argument order.
+	if g2 := RBO(long, short, 0.9); !almost(got, g2, 1e-12) {
+		t.Errorf("asymmetric: %v vs %v", got, g2)
+	}
+}
+
+func TestRBOHeadWeighting(t *testing.T) {
+	// Agreement at the head must count more than agreement at the
+	// tail: swap the top two vs swap the bottom two of a 10-list.
+	base := make([]string, 10)
+	for i := range base {
+		base[i] = fmt.Sprintf("d%d.com", i)
+	}
+	headSwap := append([]string(nil), base...)
+	headSwap[0], headSwap[1] = headSwap[1], headSwap[0]
+	tailSwap := append([]string(nil), base...)
+	tailSwap[8], tailSwap[9] = tailSwap[9], tailSwap[8]
+	p := 0.9
+	if h, tl := RBO(base, headSwap, p), RBO(base, tailSwap, p); h >= tl {
+		t.Errorf("head swap %v should hurt more than tail swap %v", h, tl)
+	}
+}
+
+func TestRBOBoundsProperty(t *testing.T) {
+	// Property: RBO stays in [0,1] for arbitrary list pairs.
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64, na, nb uint8, pSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) []string {
+			out := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				out = append(out, fmt.Sprintf("s%d.com", r.Intn(30)))
+			}
+			// de-dup preserving order (RBO assumes lists are sets)
+			seen := map[string]bool{}
+			ded := out[:0]
+			for _, s := range out {
+				if !seen[s] {
+					seen[s] = true
+					ded = append(ded, s)
+				}
+			}
+			return ded
+		}
+		a, b := mk(int(na%40)+1), mk(int(nb%40)+1)
+		p := []float64{0.5, 0.9, 0.98, 0.995}[pSel%4]
+		v := RBO(a, b, p)
+		return v >= 0 && v <= 1+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBOMonotoneInAgreementDepth(t *testing.T) {
+	// Extending the shared prefix of two otherwise-disjoint lists must
+	// not decrease RBO.
+	p := 0.9
+	prev := -1.0
+	for shared := 0; shared <= 10; shared++ {
+		a := make([]string, 10)
+		b := make([]string, 10)
+		for i := 0; i < 10; i++ {
+			if i < shared {
+				a[i] = fmt.Sprintf("common%d.com", i)
+				b[i] = a[i]
+			} else {
+				a[i] = fmt.Sprintf("onlya%d.com", i)
+				b[i] = fmt.Sprintf("onlyb%d.com", i)
+			}
+		}
+		v := RBO(a, b, p)
+		if v < prev-1e-12 {
+			t.Fatalf("shared=%d: RBO %v < previous %v", shared, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRBOTopWeight(t *testing.T) {
+	// Webber et al. report p=0.9 puts ~86% of the weight on the top
+	// 10.
+	if w := RBOTopWeight(0.9, 10); !almost(w, 0.8555854467473518, 1e-9) {
+		t.Errorf("W(0.9,10) = %v", w)
+	}
+	if w := RBOTopWeight(0.9, 0); w != 0 {
+		t.Errorf("W(_,0) = %v", w)
+	}
+	// Weight is monotone in depth and approaches 1.
+	prev := 0.0
+	for d := 1; d <= 200; d += 10 {
+		w := RBOTopWeight(0.98, d)
+		if w < prev-1e-12 {
+			t.Fatalf("W not monotone at d=%d: %v < %v", d, w, prev)
+		}
+		prev = w
+	}
+	if prev < 0.9 {
+		t.Errorf("W(0.98,191) = %v, want → 1", prev)
+	}
+}
+
+func TestRBOEmptyLists(t *testing.T) {
+	if got := RBO(nil, nil, 0.9); got != 1 {
+		t.Errorf("both empty = %v, want 1 (vacuous agreement)", got)
+	}
+	if got := RBO(nil, []string{"a.com"}, 0.9); got != 0 {
+		t.Errorf("one empty = %v, want 0", got)
+	}
+}
+
+func TestRBOPanicsOnBadPersistence(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v: want panic", p)
+				}
+			}()
+			RBO([]string{"a"}, []string{"a"}, p)
+		}()
+	}
+}
+
+func BenchmarkRBO(b *testing.B) {
+	n := 1000
+	s := make([]string, n)
+	t := make([]string, n)
+	r := rand.New(rand.NewSource(1))
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		s[i] = fmt.Sprintf("dom%d.com", i)
+		t[i] = fmt.Sprintf("dom%d.com", perm[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RBO(s, t, 0.98)
+	}
+}
+
+func BenchmarkSpearmanRho(b *testing.B) {
+	n := 1000
+	r := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i], y[i] = r.Float64(), r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpearmanRho(x, y)
+	}
+}

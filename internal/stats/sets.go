@@ -1,0 +1,142 @@
+package stats
+
+// StringSet is a set of strings with the operations the list analyses
+// need.
+type StringSet map[string]struct{}
+
+// NewStringSet builds a set from items.
+func NewStringSet(items []string) StringSet {
+	s := make(StringSet, len(items))
+	for _, it := range items {
+		s[it] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts item.
+func (s StringSet) Add(item string) { s[item] = struct{}{} }
+
+// Has reports membership.
+func (s StringSet) Has(item string) bool {
+	_, ok := s[item]
+	return ok
+}
+
+// Len reports the set size.
+func (s StringSet) Len() int { return len(s) }
+
+// IntersectionCount returns |s ∩ t|.
+func (s StringSet) IntersectionCount(t StringSet) int {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	n := 0
+	for k := range small {
+		if _, ok := big[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// DifferenceCount returns |s \ t|.
+func (s StringSet) DifferenceCount(t StringSet) int {
+	n := 0
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Difference returns the elements of s not in t.
+func (s StringSet) Difference(t StringSet) []string {
+	var out []string
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Jaccard returns |s ∩ t| / |s ∪ t| (0 for two empty sets).
+func (s StringSet) Jaccard(t StringSet) float64 {
+	inter := s.IntersectionCount(t)
+	union := len(s) + len(t) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// IntersectionCount3 returns |a ∩ b ∩ c|.
+func IntersectionCount3(a, b, c StringSet) int {
+	// Iterate over the smallest set.
+	smallest := a
+	if b.Len() < smallest.Len() {
+		smallest = b
+	}
+	if c.Len() < smallest.Len() {
+		smallest = c
+	}
+	n := 0
+	for k := range smallest {
+		if a.Has(k) && b.Has(k) && c.Has(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// IDSet is a set of compact domain IDs (uint32) used on hot paths where
+// string hashing would dominate.
+type IDSet map[uint32]struct{}
+
+// NewIDSet builds a set from ids.
+func NewIDSet(ids []uint32) IDSet {
+	s := make(IDSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s IDSet) Has(id uint32) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add inserts id.
+func (s IDSet) Add(id uint32) { s[id] = struct{}{} }
+
+// IntersectionCount returns |s ∩ t|.
+func (s IDSet) IntersectionCount(t IDSet) int {
+	small, big := s, t
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	n := 0
+	for k := range small {
+		if _, ok := big[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// RemovedCount returns how many elements of s are absent from t — the
+// paper's daily-change metric µ∆ counts domains present on day n but not
+// on day n+1 (Fig. 1b).
+func (s IDSet) RemovedCount(t IDSet) int {
+	n := 0
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,386 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s := Std(xs); !almostEq(s, 2, 1e-12) {
+		t.Fatalf("std %v", s)
+	}
+	if med := Median(xs); !almostEq(med, 4.5, 1e-12) {
+		t.Fatalf("median %v", med)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty summaries should be 0")
+	}
+	min, max := MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Fatal("empty MinMax")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 %v", q)
+	}
+	if q := Quantile(xs, 0.1); !almostEq(q, 1.4, 1e-12) {
+		t.Fatalf("q10 %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax %v %v", min, max)
+	}
+}
+
+func TestECDFEval(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	for _, tc := range []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	} {
+		if got := e.Eval(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Fatalf("Eval(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFPointsAndFractions(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	xs, ys := e.Points()
+	if len(xs) != 3 || xs[1] != 2 || !almostEq(ys[1], 0.75, 1e-12) {
+		t.Fatalf("points %v %v", xs, ys)
+	}
+	if f := e.FractionAtLeast(2); !almostEq(f, 0.75, 1e-12) {
+		t.Fatalf("at least %v", f)
+	}
+	if e.Len() != 4 {
+		t.Fatal("len")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.1 {
+			v := e.Eval(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("identical KS = %v", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("disjoint KS = %v, want 1 (paper: disjoint weekday/weekend ranks)", d)
+	}
+}
+
+func TestKSHalfShift(t *testing.T) {
+	// a uniform on {1..4}, b uniform on {3..6}: D = 0.5.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if d := KSDistance(a, b); !almostEq(d, 0.5, 1e-12) {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if !math.IsNaN(KSDistance(nil, []float64{1})) {
+		t.Fatal("empty sample should yield NaN")
+	}
+}
+
+func TestKSSymmetryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := make([]float64, 30)
+		b := make([]float64, 45)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64() + 0.2
+		}
+		d1, d2 := KSDistance(a, b), KSDistance(b, a)
+		return almostEq(d1, d2, 1e-12) && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if tau := KendallTau(x, x); !almostEq(tau, 1, 1e-12) {
+		t.Fatalf("tau %v", tau)
+	}
+	y := []float64{5, 4, 3, 2, 1}
+	if tau := KendallTau(x, y); !almostEq(tau, -1, 1e-12) {
+		t.Fatalf("reversed tau %v", tau)
+	}
+}
+
+func TestKendallKnownValue(t *testing.T) {
+	// Hand-computed: x=1..5, y={1,3,2,5,4}: 8 concordant, 2 discordant
+	// of 10 pairs, tau = 0.6.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 3, 2, 5, 4}
+	if tau := KendallTau(x, y); !almostEq(tau, 0.6, 1e-12) {
+		t.Fatalf("tau %v, want 0.6", tau)
+	}
+}
+
+func TestKendallWithTies(t *testing.T) {
+	// τ-b with ties; verified against scipy.stats.kendalltau:
+	// x = [1,2,2,3], y = [1,2,3,4] → tau-b ≈ 0.9128709291752769.
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 3, 4}
+	want := 5.0 / math.Sqrt(30)
+	if tau := KendallTau(x, y); !almostEq(tau, want, 1e-12) {
+		t.Fatalf("tau-b %v, want %v", tau, want)
+	}
+}
+
+func TestKendallConstantInput(t *testing.T) {
+	x := []float64{1, 1, 1}
+	y := []float64{1, 2, 3}
+	if !math.IsNaN(KendallTau(x, y)) {
+		t.Fatal("constant x should yield NaN")
+	}
+}
+
+func TestKendallMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}
+
+func TestKendallMatchesBruteForceProperty(t *testing.T) {
+	brute := func(x, y []float64) float64 {
+		n := len(x)
+		var c, d, tx, ty float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := x[i] - x[j]
+				dy := y[i] - y[j]
+				switch {
+				case dx == 0 && dy == 0:
+				case dx == 0:
+					tx++
+				case dy == 0:
+					ty++
+				case dx*dy > 0:
+					c++
+				default:
+					d++
+				}
+			}
+		}
+		total := float64(n*(n-1)) / 2
+		// Count pairs tied in x (incl. joint) and in y (incl. joint).
+		var n1, n2 float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if x[i] == x[j] {
+					n1++
+				}
+				if y[i] == y[j] {
+					n2++
+				}
+			}
+		}
+		denom := math.Sqrt((total - n1) * (total - n2))
+		if denom == 0 {
+			return math.NaN()
+		}
+		return (c - d) / denom
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(r.Intn(10)) // force ties
+			y[i] = float64(r.Intn(10))
+		}
+		want := brute(x, y)
+		got := KendallTau(x, y)
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return almostEq(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountInversionsSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if inv := countInversions(xs); inv != 0 {
+		t.Fatalf("inversions %d", inv)
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("not sorted after count")
+	}
+	ys := []float64{4, 3, 2, 1}
+	if inv := countInversions(ys); inv != 6 {
+		t.Fatalf("inversions %d, want 6", inv)
+	}
+}
+
+func TestKendallTauRanks(t *testing.T) {
+	if tau := KendallTauRanks([]int{1, 2, 3}, []int{1, 2, 3}); !almostEq(tau, 1, 1e-12) {
+		t.Fatalf("tau %v", tau)
+	}
+}
+
+func TestStringSetOps(t *testing.T) {
+	a := NewStringSet([]string{"x", "y", "z"})
+	b := NewStringSet([]string{"y", "z", "w"})
+	if a.IntersectionCount(b) != 2 {
+		t.Fatal("intersection")
+	}
+	if a.DifferenceCount(b) != 1 {
+		t.Fatal("difference count")
+	}
+	if d := a.Difference(b); len(d) != 1 || d[0] != "x" {
+		t.Fatalf("difference %v", d)
+	}
+	if j := a.Jaccard(b); !almostEq(j, 0.5, 1e-12) {
+		t.Fatalf("jaccard %v", j)
+	}
+	if !a.Has("x") || a.Has("w") {
+		t.Fatal("membership")
+	}
+	a.Add("w")
+	if !a.Has("w") || a.Len() != 4 {
+		t.Fatal("add")
+	}
+}
+
+func TestIntersection3(t *testing.T) {
+	a := NewStringSet([]string{"1", "2", "3", "4"})
+	b := NewStringSet([]string{"2", "3", "4", "5"})
+	c := NewStringSet([]string{"3", "4", "5", "6"})
+	if n := IntersectionCount3(a, b, c); n != 2 {
+		t.Fatalf("triple intersection %d", n)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	if NewStringSet(nil).Jaccard(NewStringSet(nil)) != 0 {
+		t.Fatal("empty jaccard")
+	}
+}
+
+func TestIDSetOps(t *testing.T) {
+	a := NewIDSet([]uint32{1, 2, 3})
+	b := NewIDSet([]uint32{2, 3, 4})
+	if a.IntersectionCount(b) != 2 {
+		t.Fatal("id intersection")
+	}
+	if a.RemovedCount(b) != 1 {
+		t.Fatal("removed count")
+	}
+	a.Add(9)
+	if !a.Has(9) || a.Has(8) {
+		t.Fatal("id membership")
+	}
+}
+
+func TestSetSymmetryProperty(t *testing.T) {
+	f := func(xs, ys []uint32) bool {
+		a, b := NewIDSet(xs), NewIDSet(ys)
+		return a.IntersectionCount(b) == b.IntersectionCount(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKendallTau(b *testing.B) {
+	r := rng.New(1)
+	n := 1000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KendallTau(x, y)
+	}
+}
+
+func BenchmarkKSDistance(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KSDistance(x, y)
+	}
+}

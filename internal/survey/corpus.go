@@ -1,0 +1,171 @@
+package survey
+
+import "fmt"
+
+// venueData reproduces Table 1's left panel: per-venue paper totals,
+// list-using paper counts, the dependence split (Y/V/N), and how many
+// of the using papers state list-download and measurement dates.
+var venueData = []struct {
+	Venue              Venue
+	Using              int
+	Y, V, N            int
+	ListDate, MeasDate int
+}{
+	{Venue{"ACM IMC", "Measurements", 42}, 11, 8, 2, 1, 1, 3},
+	{Venue{"PAM", "Measurements", 20}, 4, 3, 1, 0, 0, 0},
+	{Venue{"TMA", "Measurements", 19}, 3, 1, 1, 1, 0, 0},
+	{Venue{"USENIX Security", "Security", 85}, 12, 8, 4, 0, 2, 0},
+	{Venue{"IEEE S&P", "Security", 60}, 5, 3, 2, 0, 1, 1},
+	{Venue{"ACM CCS", "Security", 151}, 11, 4, 5, 2, 1, 1},
+	{Venue{"NDSS", "Security", 68}, 3, 2, 0, 1, 0, 0},
+	{Venue{"ACM CoNEXT", "Systems", 40}, 4, 2, 1, 1, 0, 1},
+	{Venue{"ACM SIGCOMM", "Systems", 38}, 3, 3, 0, 0, 0, 0},
+	{Venue{"WWW", "Web Tech.", 164}, 13, 11, 1, 1, 2, 3},
+}
+
+// usagePool reproduces Table 1's right panel: how many of the 69 papers
+// use each list subset (multiple counts for papers using multiple
+// lists).
+var usagePool = []struct {
+	Use   ListUse
+	Count int
+}{
+	{ListUse{"alexa", "1M"}, 29},
+	{ListUse{"alexa", "100k"}, 2},
+	{ListUse{"alexa", "75k"}, 1},
+	{ListUse{"alexa", "50k"}, 2},
+	{ListUse{"alexa", "25k"}, 2},
+	{ListUse{"alexa", "20k"}, 1},
+	{ListUse{"alexa", "16k"}, 1},
+	{ListUse{"alexa", "10k"}, 11},
+	{ListUse{"alexa", "8k"}, 1},
+	{ListUse{"alexa", "5k"}, 2},
+	{ListUse{"alexa", "1k"}, 5},
+	{ListUse{"alexa", "500"}, 8},
+	{ListUse{"alexa", "400"}, 1},
+	{ListUse{"alexa", "300"}, 1},
+	{ListUse{"alexa", "200"}, 1},
+	{ListUse{"alexa", "100"}, 8},
+	{ListUse{"alexa", "50"}, 3},
+	{ListUse{"alexa", "10"}, 1},
+	{ListUse{"alexa", "country"}, 2},
+	{ListUse{"alexa", "category"}, 2},
+	{ListUse{"umbrella", "1M"}, 3},
+	{ListUse{"umbrella", "1k"}, 1},
+}
+
+// decoys are synthetic false-positive texts the scanner must reject:
+// the paper's examples were Amazon's Alexa home assistant and an author
+// named Alexander, plus keyword collisions from other fields.
+var decoys = []string{
+	"We evaluate voice interfaces on the Amazon Alexa home assistant and measure wake-word latency.",
+	"The method of Alexander et al. is extended to multi-path topologies.",
+	"We apply umbrella sampling to estimate the free-energy landscape of the protocol state machine.",
+	"Measurements were taken at the Majestic Hotel testbed during the conference.",
+	"Alexandria's library metaphor guides our cache hierarchy design.",
+}
+
+// usageSentences give the using-papers realistic method text, with and
+// without dates.
+func usageSentence(use ListUse, listDate, measDate bool) string {
+	name := map[string]string{
+		"alexa":    "Alexa",
+		"umbrella": "Cisco Umbrella",
+		"majestic": "Majestic Million",
+	}[use.Source]
+	s := fmt.Sprintf("We resolve the %s Top %s list and measure each domain. ", name, use.Subset)
+	if listDate {
+		s += "The list was downloaded on 2017-03-15. "
+	}
+	if measDate {
+		s += "Measurements were conducted on 2017-04-02. "
+	}
+	return s
+}
+
+// BuildCorpus constructs the 687-paper corpus deterministically.
+func BuildCorpus() []Paper {
+	var papers []Paper
+	id := 0
+	// Distribute the usage pool: one use per using-paper first, then
+	// the remainder round-robin (matching the paper's observation that
+	// ten papers use lists from more than one origin or multiple
+	// subsets).
+	var pool []ListUse
+	for _, u := range usagePool {
+		for i := 0; i < u.Count; i++ {
+			pool = append(pool, u.Use)
+		}
+	}
+	totalUsing := 0
+	for _, v := range venueData {
+		totalUsing += v.Using
+	}
+	perPaper := make([][]ListUse, totalUsing)
+	for i := 0; i < totalUsing && i < len(pool); i++ {
+		perPaper[i] = append(perPaper[i], pool[i])
+	}
+	for i := totalUsing; i < len(pool); i++ {
+		perPaper[i%totalUsing] = append(perPaper[i%totalUsing], pool[i])
+	}
+
+	usingIdx := 0
+	decoyIdx := 0
+	for _, v := range venueData {
+		// Dependence and date flags are assigned positionally within
+		// the venue's using papers so the per-venue counts match.
+		deps := make([]Dependence, 0, v.Using)
+		for i := 0; i < v.Y; i++ {
+			deps = append(deps, DependenceYes)
+		}
+		for i := 0; i < v.V; i++ {
+			deps = append(deps, DependenceVerify)
+		}
+		for i := 0; i < v.N; i++ {
+			deps = append(deps, DependenceNone)
+		}
+		for i := 0; i < v.Using; i++ {
+			p := Paper{
+				ID:            id,
+				Venue:         v.Venue.Name,
+				Title:         fmt.Sprintf("%s 2017 study %d on Internet infrastructure", v.Venue.Name, i+1),
+				UsesTopList:   true,
+				Lists:         perPaper[usingIdx],
+				Dependence:    deps[i],
+				ListDateGiven: i < v.ListDate,
+				MeasDateGiven: i < v.MeasDate,
+			}
+			for _, u := range p.Lists {
+				p.Body += usageSentence(u, p.ListDateGiven, p.MeasDateGiven)
+			}
+			papers = append(papers, p)
+			usingIdx++
+			id++
+		}
+		for i := v.Using; i < v.Venue.Total; i++ {
+			p := Paper{
+				ID:    id,
+				Venue: v.Venue.Name,
+				Title: fmt.Sprintf("%s 2017 study %d on networked systems", v.Venue.Name, i+1),
+				Body:  "We design and evaluate a networked system on a university testbed. ",
+			}
+			// Sprinkle decoys through the non-using papers.
+			if i%29 == 7 {
+				p.Body += decoys[decoyIdx%len(decoys)]
+				decoyIdx++
+			}
+			papers = append(papers, p)
+			id++
+		}
+	}
+	return papers
+}
+
+// Venues returns the surveyed venues in Table 1 order.
+func Venues() []Venue {
+	out := make([]Venue, len(venueData))
+	for i, v := range venueData {
+		out[i] = v.Venue
+	}
+	return out
+}

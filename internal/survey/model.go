@@ -1,0 +1,73 @@
+// Package survey reproduces the paper's §3 literature survey: a corpus
+// of 687 papers from ten 2017 networking venues, a keyword scanner with
+// false-positive filtering (the paper's "Amazon Alexa home assistant"
+// and "author named Alexander" cases), and the Table 1 aggregation of
+// which lists are used, whether results depend on them, and whether
+// dates are documented.
+//
+// The corpus itself is the substitution for the 687 PDFs: the 69
+// list-using papers carry the attributes the paper's manual review
+// assigned (venue, lists and subsets used, dependence class, date
+// documentation), reconstructed from Table 1's published counts; the
+// remaining papers are synthetic non-users, including keyword decoys.
+package survey
+
+// Dependence classifies how a study's results relate to the list used
+// (the paper's Y/V/N column).
+type Dependence uint8
+
+// Dependence classes.
+const (
+	// DependenceNone: the study cites/uses a list but results do not
+	// rely on the specific list (N).
+	DependenceNone Dependence = iota
+	// DependenceVerify: a list is used only to verify results (V).
+	DependenceVerify
+	// DependenceYes: results depend on the chosen list (Y).
+	DependenceYes
+)
+
+// String renders the Table 1 letter.
+func (d Dependence) String() string {
+	switch d {
+	case DependenceYes:
+		return "Y"
+	case DependenceVerify:
+		return "V"
+	default:
+		return "N"
+	}
+}
+
+// ListUse identifies one list (sub)set used by a paper.
+type ListUse struct {
+	// Source is "alexa", "umbrella", or "majestic".
+	Source string
+	// Subset describes the portion: "1M", "10k", "100", "country",
+	// "category", "1k", ...
+	Subset string
+}
+
+// Paper is one corpus entry.
+type Paper struct {
+	ID    int
+	Venue string
+	Title string
+	// Body is the searchable text (abstract + methodology excerpt).
+	Body string
+	// UsesTopList is the ground-truth annotation (what the manual
+	// review established).
+	UsesTopList bool
+	Lists       []ListUse
+	Dependence  Dependence
+	// ListDateGiven/MeasDateGiven report whether the paper states the
+	// list download date / the measurement date with day precision.
+	ListDateGiven, MeasDateGiven bool
+}
+
+// Venue describes one surveyed venue.
+type Venue struct {
+	Name  string
+	Area  string
+	Total int // papers published in 2017
+}

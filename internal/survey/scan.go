@@ -1,0 +1,126 @@
+package survey
+
+import "strings"
+
+// The survey's keywords (paper footnote 2).
+var keywords = []string{"alexa", "umbrella", "majestic"}
+
+// Scan returns the IDs of papers whose text matches any keyword,
+// case-insensitively — the paper's automated first pass.
+func Scan(corpus []Paper) []int {
+	var out []int
+	for _, p := range corpus {
+		text := strings.ToLower(p.Title + " " + p.Body)
+		for _, kw := range keywords {
+			if strings.Contains(text, kw) {
+				out = append(out, p.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FilterFalsePositives drops keyword matches that context rules
+// identify as non-uses: the Amazon Alexa assistant, substring matches
+// inside longer words (Alexander, Alexandria), umbrella sampling, and
+// venue names. This corresponds to the paper's manual removal of false
+// positives.
+func FilterFalsePositives(corpus []Paper, ids []int) []int {
+	byID := make(map[int]*Paper, len(corpus))
+	for i := range corpus {
+		byID[corpus[i].ID] = &corpus[i]
+	}
+	var out []int
+	for _, id := range ids {
+		p := byID[id]
+		if p == nil {
+			continue
+		}
+		if hasGenuineMatch(strings.ToLower(p.Title + " " + p.Body)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// hasGenuineMatch applies the context rules to every keyword
+// occurrence.
+func hasGenuineMatch(text string) bool {
+	for _, kw := range keywords {
+		for idx := 0; ; {
+			j := strings.Index(text[idx:], kw)
+			if j < 0 {
+				break
+			}
+			pos := idx + j
+			idx = pos + len(kw)
+			if genuineAt(text, pos, kw) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func genuineAt(text string, pos int, kw string) bool {
+	end := pos + len(kw)
+	// Whole-word check: reject Alexander/Alexandria-style substrings.
+	if end < len(text) && isWordChar(text[end]) {
+		return false
+	}
+	if pos > 0 && isWordChar(text[pos-1]) {
+		return false
+	}
+	before := text[:pos]
+	after := text[end:]
+	switch kw {
+	case "alexa":
+		// The Amazon voice assistant.
+		if strings.HasSuffix(before, "amazon ") || strings.HasPrefix(after, " skill") ||
+			strings.HasPrefix(after, " home assistant") || strings.HasPrefix(after, " echo") {
+			return false
+		}
+	case "umbrella":
+		// Statistical-physics umbrella sampling.
+		if strings.HasPrefix(after, " sampling") {
+			return false
+		}
+	case "majestic":
+		// Venues, hotels.
+		if strings.HasPrefix(after, " hotel") {
+			return false
+		}
+	}
+	return true
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// ManualReview keeps only candidates whose ground-truth annotation
+// confirms actual list use — the paper's final manual inspection, which
+// also removed papers that merely mention a list without using it.
+func ManualReview(corpus []Paper, ids []int) []int {
+	byID := make(map[int]bool, len(corpus))
+	for _, p := range corpus {
+		byID[p.ID] = p.UsesTopList
+	}
+	var out []int
+	for _, id := range ids {
+		if byID[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Pipeline runs the full survey: scan, filter, review. It returns the
+// intermediate candidate counts for reporting.
+func Pipeline(corpus []Paper) (used []int, scanned, filtered int) {
+	s := Scan(corpus)
+	f := FilterFalsePositives(corpus, s)
+	u := ManualReview(corpus, f)
+	return u, len(s), len(f)
+}

@@ -1,0 +1,158 @@
+package survey
+
+import "sort"
+
+// Table1Row is one venue row of the survey table.
+type Table1Row struct {
+	Venue, Area        string
+	Total, Using       int
+	UsingPercent       float64
+	Y, V, N            int
+	ListDate, MeasDate int
+}
+
+// Table1 aggregates the surveyed usage into the paper's Table 1 left
+// panel, given the IDs the pipeline confirmed. The final row is the
+// total.
+func Table1(corpus []Paper, used []int) []Table1Row {
+	inUse := make(map[int]bool, len(used))
+	for _, id := range used {
+		inUse[id] = true
+	}
+	byVenue := make(map[string]*Table1Row)
+	var order []string
+	for _, v := range venueData {
+		r := &Table1Row{Venue: v.Venue.Name, Area: v.Venue.Area, Total: v.Venue.Total}
+		byVenue[v.Venue.Name] = r
+		order = append(order, v.Venue.Name)
+	}
+	for _, p := range corpus {
+		r := byVenue[p.Venue]
+		if r == nil || !inUse[p.ID] {
+			continue
+		}
+		r.Using++
+		switch p.Dependence {
+		case DependenceYes:
+			r.Y++
+		case DependenceVerify:
+			r.V++
+		default:
+			r.N++
+		}
+		if p.ListDateGiven {
+			r.ListDate++
+		}
+		if p.MeasDateGiven {
+			r.MeasDate++
+		}
+	}
+	total := Table1Row{Venue: "Total"}
+	rows := make([]Table1Row, 0, len(order)+1)
+	for _, name := range order {
+		r := byVenue[name]
+		if r.Total > 0 {
+			r.UsingPercent = 100 * float64(r.Using) / float64(r.Total)
+		}
+		rows = append(rows, *r)
+		total.Total += r.Total
+		total.Using += r.Using
+		total.Y += r.Y
+		total.V += r.V
+		total.N += r.N
+		total.ListDate += r.ListDate
+		total.MeasDate += r.MeasDate
+	}
+	if total.Total > 0 {
+		total.UsingPercent = 100 * float64(total.Using) / float64(total.Total)
+	}
+	return append(rows, total)
+}
+
+// UsageCount is one entry of Table 1's right panel.
+type UsageCount struct {
+	Source, Subset string
+	Count          int
+}
+
+// UsageCounts aggregates which list subsets the confirmed papers use
+// (multiple counts for papers using multiple lists).
+func UsageCounts(corpus []Paper, used []int) []UsageCount {
+	inUse := make(map[int]bool, len(used))
+	for _, id := range used {
+		inUse[id] = true
+	}
+	counts := make(map[ListUse]int)
+	for _, p := range corpus {
+		if !inUse[p.ID] {
+			continue
+		}
+		for _, u := range p.Lists {
+			counts[u]++
+		}
+	}
+	out := make([]UsageCount, 0, len(counts))
+	for u, n := range counts {
+		out = append(out, UsageCount{Source: u.Source, Subset: u.Subset, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Subset < out[j].Subset
+	})
+	return out
+}
+
+// ExclusiveAlexaCount reports how many confirmed papers use Alexa as
+// their only list source (paper: 59 of 69).
+func ExclusiveAlexaCount(corpus []Paper, used []int) int {
+	inUse := make(map[int]bool, len(used))
+	for _, id := range used {
+		inUse[id] = true
+	}
+	n := 0
+	for _, p := range corpus {
+		if !inUse[p.ID] || len(p.Lists) == 0 {
+			continue
+		}
+		all := true
+		for _, u := range p.Lists {
+			if u.Source != "alexa" {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicabilityCounts reports how many confirmed papers state the list
+// date, the measurement date, and both (paper: 7, 9, and 2).
+func ReplicabilityCounts(corpus []Paper, used []int) (listDate, measDate, both int) {
+	inUse := make(map[int]bool, len(used))
+	for _, id := range used {
+		inUse[id] = true
+	}
+	for _, p := range corpus {
+		if !inUse[p.ID] {
+			continue
+		}
+		if p.ListDateGiven {
+			listDate++
+		}
+		if p.MeasDateGiven {
+			measDate++
+		}
+		if p.ListDateGiven && p.MeasDateGiven {
+			both++
+		}
+	}
+	return
+}

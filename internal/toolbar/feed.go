@@ -1,0 +1,19 @@
+package toolbar
+
+import "repro/internal/traffic"
+
+// FeedInjector converts the collector's panel aggregates for one base
+// domain into provider-input injections: distinct panel visitors
+// become the client signal, page views the volume signal. This closes
+// the §7.1 loop — synthetic toolbar traffic (the Le Pochat et al.
+// attack surface) flowing into the Alexa-style ranker exactly where
+// organic panel traffic would.
+func FeedInjector(c *Collector, inj *traffic.Injector, baseDomain string, firstDay, lastDay int) {
+	for day := firstDay; day <= lastDay; day++ {
+		st := c.Stats(day, baseDomain)
+		if st == nil {
+			continue
+		}
+		inj.Add(baseDomain, day, float64(st.Visitors()), float64(st.PageViews))
+	}
+}

@@ -1,0 +1,239 @@
+// Package toolbar models the Alexa browser-extension data collection
+// the paper reverse-engineers in §7.1: on installation the extension
+// fetches a unique identifier (the "aid") and demographic attributes;
+// for every visited page it transmits the full URL (including GET
+// parameters), referer, window/tab identifiers, screen sizes, and
+// loading metrics — except for a short list of search/shopping sites
+// whose URLs are anonymised to their host name. A visit is only
+// transmitted if the page actually loaded (the reporting JavaScript is
+// injected into the page).
+//
+// The Collector aggregates the reports into the per-domain
+// visitor/page-view counts that drive a panel-based ranking — the
+// upstream of the Alexa provider model.
+package toolbar
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/domainname"
+)
+
+// anonymisedHosts is the §7.1 list of sites whose URL and referer are
+// reduced to the host name before transmission (as of 2018-05-17 in the
+// paper).
+var anonymisedHosts = map[string]bool{
+	"google.com":       true,
+	"instacart.com":    true,
+	"shop.rewe.de":     true,
+	"youtube.com":      true,
+	"search.yahoo.com": true,
+	"jet.com":          true,
+	"ocado.com":        true,
+}
+
+// Demographics are the attributes the extension requests during
+// installation, all linked to the aid.
+type Demographics struct {
+	Age             int
+	Gender          string
+	HouseholdIncome string
+	Ethnicity       string
+	Education       string
+	InstallLocation string // "home" or "work"
+}
+
+// Client is one installed extension instance.
+type Client struct {
+	AID   uint64
+	Demo  Demographics
+	colls *Collector
+}
+
+// VisitReport is the per-page payload the extension transmits.
+type VisitReport struct {
+	AID        uint64
+	URL        string // full URL, or host name only for anonymised sites
+	Referer    string
+	Host       string
+	ScreenW    int
+	ScreenH    int
+	WindowID   int
+	TabID      int
+	LoadTimeMs int
+	Anonymised bool
+}
+
+// Collector is the data.alexa.com-style backend: it issues aids and
+// aggregates visit reports into daily per-domain panel statistics.
+type Collector struct {
+	nextAID uint64
+	// days -> base domain -> stats
+	days map[int]map[string]*DomainStats
+	// clients by aid, for the demographic linkage the paper describes.
+	clients map[uint64]Demographics
+}
+
+// DomainStats is the per-domain daily aggregate: page views and the
+// distinct-visitor count that, combined, form Alexa's traffic rank
+// input.
+type DomainStats struct {
+	PageViews int
+	visitors  map[uint64]struct{}
+}
+
+// Visitors returns the distinct panel visitors counted.
+func (s *DomainStats) Visitors() int { return len(s.visitors) }
+
+// NewCollector builds an empty backend.
+func NewCollector() *Collector {
+	return &Collector{
+		days:    make(map[int]map[string]*DomainStats),
+		clients: make(map[uint64]Demographics),
+	}
+}
+
+// Install registers a new extension instance: the backend assigns a
+// fresh aid (stored in the browser's local storage, per the paper) and
+// records the demographics against it.
+func (c *Collector) Install(demo Demographics) *Client {
+	c.nextAID++
+	aid := c.nextAID
+	c.clients[aid] = demo
+	return &Client{AID: aid, Demo: demo, colls: c}
+}
+
+// DemographicsOf returns the attributes linked to an aid.
+func (c *Collector) DemographicsOf(aid uint64) (Demographics, bool) {
+	d, ok := c.clients[aid]
+	return d, ok
+}
+
+// Visit reports a page visit on the given day. loaded=false (the page
+// did not exist or failed to render) suppresses the report entirely,
+// because the reporting JavaScript never ran. It returns the payload
+// that was (or would have been) transmitted, and whether it was sent.
+func (cl *Client) Visit(day int, rawURL, referer string, loaded bool) (VisitReport, bool) {
+	host, path := splitURL(rawURL)
+	if host == "" {
+		return VisitReport{}, false
+	}
+	rep := VisitReport{
+		AID:        cl.AID,
+		Host:       host,
+		URL:        rawURL,
+		Referer:    referer,
+		ScreenW:    1920,
+		ScreenH:    1080,
+		WindowID:   1,
+		TabID:      1,
+		LoadTimeMs: 300 + int(cl.AID%700),
+	}
+	if isAnonymised(host) {
+		rep.URL = host
+		refHost, _ := splitURL(referer)
+		rep.Referer = refHost
+		rep.Anonymised = true
+	}
+	_ = path
+	if !loaded {
+		return rep, false
+	}
+	cl.colls.record(day, host, cl.AID)
+	return rep, true
+}
+
+// record aggregates one loaded visit.
+func (c *Collector) record(day int, host string, aid uint64) {
+	base := domainname.BaseOf(host)
+	m := c.days[day]
+	if m == nil {
+		m = make(map[string]*DomainStats)
+		c.days[day] = m
+	}
+	st := m[base]
+	if st == nil {
+		st = &DomainStats{visitors: make(map[uint64]struct{})}
+		m[base] = st
+	}
+	st.PageViews++
+	st.visitors[aid] = struct{}{}
+}
+
+// Stats returns the aggregate for a base domain on a day (nil if no
+// panel traffic).
+func (c *Collector) Stats(day int, baseDomain string) *DomainStats {
+	return c.days[day][baseDomain]
+}
+
+// Score computes the panel score Alexa-style ranking would use for a
+// domain-day: the geometric-mean-like combination of distinct visitors
+// and page views the paper describes ("visitor and page view
+// statistics").
+func (c *Collector) Score(day int, baseDomain string) float64 {
+	st := c.Stats(day, baseDomain)
+	if st == nil {
+		return 0
+	}
+	v := float64(st.Visitors())
+	pv := float64(st.PageViews)
+	// sqrt(v*pv): symmetric in both inputs, sub-linear in heavy
+	// single-user activity.
+	return sqrt(v * pv)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations; avoids importing math for one call site and
+	// keeps the package dependency-free beyond domainname.
+	z := x
+	for i := 0; i < 24; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// isAnonymised reports whether the host (or a parent domain on the
+// list) has its URLs reduced to the host name.
+func isAnonymised(host string) bool {
+	h := strings.ToLower(host)
+	for {
+		if anonymisedHosts[h] {
+			return true
+		}
+		dot := strings.IndexByte(h, '.')
+		if dot < 0 {
+			return false
+		}
+		h = h[dot+1:]
+	}
+}
+
+// splitURL extracts host and path from a URL-ish string without
+// net/url's generality: scheme://host/path?query.
+func splitURL(raw string) (host, rest string) {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if s == "" {
+		return "", ""
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		return strings.ToLower(s[:i]), s[i:]
+	}
+	return strings.ToLower(s), ""
+}
+
+// String renders a report the way a capture would log it.
+func (r VisitReport) String() string {
+	anon := ""
+	if r.Anonymised {
+		anon = " (anonymised)"
+	}
+	return fmt.Sprintf("aid=%d host=%s url=%s referer=%s load=%dms%s",
+		r.AID, r.Host, r.URL, r.Referer, r.LoadTimeMs, anon)
+}

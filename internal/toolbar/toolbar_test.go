@@ -1,0 +1,163 @@
+package toolbar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInstallAssignsUniqueAIDs(t *testing.T) {
+	c := NewCollector()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		cl := c.Install(Demographics{Age: 30})
+		if seen[cl.AID] {
+			t.Fatalf("duplicate aid %d", cl.AID)
+		}
+		seen[cl.AID] = true
+	}
+}
+
+func TestDemographicsLinkedToAID(t *testing.T) {
+	c := NewCollector()
+	cl := c.Install(Demographics{
+		Age: 42, Gender: "f", HouseholdIncome: "50-75k",
+		Ethnicity: "x", Education: "msc", InstallLocation: "work",
+	})
+	demo, ok := c.DemographicsOf(cl.AID)
+	if !ok || demo.Age != 42 || demo.InstallLocation != "work" {
+		t.Fatalf("demographics %+v %v", demo, ok)
+	}
+	if _, ok := c.DemographicsOf(9999); ok {
+		t.Fatal("unknown aid")
+	}
+}
+
+func TestFullURLTransmittedForOrdinarySites(t *testing.T) {
+	c := NewCollector()
+	cl := c.Install(Demographics{})
+	rep, sent := cl.Visit(0, "https://example.com/cart?item=42&session=secret", "https://other.com/page", true)
+	if !sent {
+		t.Fatal("visit should be sent")
+	}
+	if rep.Anonymised {
+		t.Fatal("ordinary site should not be anonymised")
+	}
+	// The paper's finding: the entire URL including GET parameters is
+	// transmitted.
+	if !strings.Contains(rep.URL, "session=secret") {
+		t.Fatalf("GET parameters missing from %q", rep.URL)
+	}
+	if rep.Referer != "https://other.com/page" {
+		t.Fatalf("referer %q", rep.Referer)
+	}
+}
+
+func TestAnonymisedHosts(t *testing.T) {
+	c := NewCollector()
+	cl := c.Install(Demographics{})
+	for _, url := range []string{
+		"https://google.com/search?q=private+query",
+		"https://www.google.com/search?q=private+query", // subdomain of listed host
+		"https://search.yahoo.com/search?p=x",
+		"https://shop.rewe.de/p/12345",
+	} {
+		rep, sent := cl.Visit(0, url, "https://google.com/other?q=1", true)
+		if !sent {
+			t.Fatalf("visit to %s should be sent", url)
+		}
+		if !rep.Anonymised {
+			t.Fatalf("%s should be anonymised", url)
+		}
+		if strings.Contains(rep.URL, "q=") || strings.Contains(rep.URL, "/search") {
+			t.Fatalf("anonymised URL leaks path: %q", rep.URL)
+		}
+		if strings.Contains(rep.Referer, "?") || strings.Contains(rep.Referer, "/") {
+			t.Fatalf("anonymised referer leaks: %q", rep.Referer)
+		}
+	}
+}
+
+func TestUnloadedPagesNotReported(t *testing.T) {
+	c := NewCollector()
+	cl := c.Install(Demographics{})
+	_, sent := cl.Visit(0, "https://nonexistent.example/", "", false)
+	if sent {
+		t.Fatal("failed loads must not be transmitted (JS never ran)")
+	}
+	if c.Stats(0, "nonexistent.example") != nil {
+		t.Fatal("no aggregate for unreported visit")
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	c := NewCollector()
+	a := c.Install(Demographics{})
+	b := c.Install(Demographics{})
+	// Two visitors; a visits twice (www + raw host collapse to base).
+	a.Visit(3, "https://www.shop-site.com/a", "", true)
+	a.Visit(3, "https://shop-site.com/b", "", true)
+	b.Visit(3, "https://shop-site.com/", "", true)
+	st := c.Stats(3, "shop-site.com")
+	if st == nil {
+		t.Fatal("missing stats")
+	}
+	if st.PageViews != 3 {
+		t.Fatalf("page views %d", st.PageViews)
+	}
+	if st.Visitors() != 2 {
+		t.Fatalf("visitors %d", st.Visitors())
+	}
+	// Day isolation.
+	if c.Stats(4, "shop-site.com") != nil {
+		t.Fatal("day leakage")
+	}
+}
+
+func TestScore(t *testing.T) {
+	c := NewCollector()
+	a := c.Install(Demographics{})
+	b := c.Install(Demographics{})
+	// many-visitors beats one heavy visitor at equal page views.
+	for i := 0; i < 16; i++ {
+		a.Visit(0, "https://heavy.com/x", "", true)
+	}
+	a.Visit(0, "https://broad.com/x", "", true)
+	b.Visit(0, "https://broad.com/x", "", true)
+	heavy := c.Score(0, "heavy.com") // sqrt(1*16) = 4
+	broad := c.Score(0, "broad.com") // sqrt(2*2) = 2
+	if math.Abs(heavy-4) > 1e-9 || math.Abs(broad-2) > 1e-9 {
+		t.Fatalf("scores %v %v", heavy, broad)
+	}
+	// Sub-linearity: 16 views from one visitor score like 4 views from
+	// 4 visitors would in page views alone.
+	if c.Score(0, "absent.com") != 0 {
+		t.Fatal("absent domain score")
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	for _, tc := range []struct{ in, host string }{
+		{"https://Example.COM/path?q=1", "example.com"},
+		{"http://a.b.c/", "a.b.c"},
+		{"a.b.c", "a.b.c"},
+		{"https://host.com?x=1", "host.com"},
+		{"", ""},
+		{"https://", ""},
+	} {
+		host, _ := splitURL(tc.in)
+		if host != tc.host {
+			t.Fatalf("splitURL(%q) host = %q, want %q", tc.in, host, tc.host)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCollector()
+	cl := c.Install(Demographics{})
+	rep, _ := cl.Visit(0, "https://google.com/search?q=x", "", true)
+	s := rep.String()
+	if !strings.Contains(s, "anonymised") || !strings.Contains(s, "aid=") {
+		t.Fatalf("report string %q", s)
+	}
+}

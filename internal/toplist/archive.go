@@ -1,0 +1,98 @@
+package toplist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot is one provider's list on one day.
+type Snapshot struct {
+	Provider string
+	Day      Day
+	List     *List
+}
+
+// Archive holds daily snapshots for multiple providers over a contiguous
+// day range — the analog of the paper's JOINT dataset.
+type Archive struct {
+	first, last Day
+	byProvider  map[string][]*List // index: day - first
+	providers   []string           // insertion order
+}
+
+// NewArchive creates an empty archive spanning days [first, last].
+func NewArchive(first, last Day) *Archive {
+	if last < first {
+		panic("toplist: archive with last < first")
+	}
+	return &Archive{first: first, last: last, byProvider: make(map[string][]*List)}
+}
+
+// First returns the first day covered.
+func (a *Archive) First() Day { return a.first }
+
+// Last returns the last day covered.
+func (a *Archive) Last() Day { return a.last }
+
+// Days returns the number of days covered.
+func (a *Archive) Days() int { return int(a.last-a.first) + 1 }
+
+// Providers returns provider names in insertion order.
+func (a *Archive) Providers() []string {
+	return append([]string(nil), a.providers...)
+}
+
+// Put stores a snapshot. Days outside the archive range or nil lists are
+// rejected.
+func (a *Archive) Put(provider string, day Day, l *List) error {
+	if day < a.first || day > a.last {
+		return fmt.Errorf("toplist: day %v outside archive range [%v,%v]", day, a.first, a.last)
+	}
+	if l == nil {
+		return fmt.Errorf("toplist: nil list")
+	}
+	lists, ok := a.byProvider[provider]
+	if !ok {
+		lists = make([]*List, a.Days())
+		a.byProvider[provider] = lists
+		a.providers = append(a.providers, provider)
+	}
+	lists[int(day-a.first)] = l
+	return nil
+}
+
+// Get returns the snapshot for provider on day, or nil if absent.
+func (a *Archive) Get(provider string, day Day) *List {
+	lists, ok := a.byProvider[provider]
+	if !ok || day < a.first || day > a.last {
+		return nil
+	}
+	return lists[int(day-a.first)]
+}
+
+// Complete reports whether every provider has a list for every day.
+func (a *Archive) Complete() bool {
+	for _, lists := range a.byProvider {
+		for _, l := range lists {
+			if l == nil {
+				return false
+			}
+		}
+	}
+	return len(a.byProvider) > 0
+}
+
+// EachDay calls fn for every day in range, in order.
+func (a *Archive) EachDay(fn func(Day)) {
+	for d := a.first; d <= a.last; d++ {
+		fn(d)
+	}
+}
+
+// SortedProviders returns provider names sorted alphabetically (stable
+// presentation order for reports).
+func (a *Archive) SortedProviders() []string {
+	out := a.Providers()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,58 @@
+package toplist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the list in the providers' publication format:
+// "rank,domain" lines, rank ascending, no header — the same shape as the
+// Alexa/Umbrella/Majestic CSV downloads.
+func WriteCSV(w io.Writer, l *List) error {
+	bw := bufio.NewWriter(w)
+	for i, name := range l.names {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", i+1, name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a "rank,domain" file. Ranks must be positive, strictly
+// increasing, and start at 1; blank lines are ignored.
+func ReadCSV(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var names []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("toplist: line %d: missing comma: %q", lineNo, line)
+		}
+		rank, err := strconv.Atoi(line[:comma])
+		if err != nil {
+			return nil, fmt.Errorf("toplist: line %d: bad rank: %w", lineNo, err)
+		}
+		if rank != len(names)+1 {
+			return nil, fmt.Errorf("toplist: line %d: rank %d out of order (want %d)", lineNo, rank, len(names)+1)
+		}
+		name := strings.TrimSpace(line[comma+1:])
+		if name == "" {
+			return nil, fmt.Errorf("toplist: line %d: empty domain", lineNo)
+		}
+		names = append(names, name)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(names), nil
+}

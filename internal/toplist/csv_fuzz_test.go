@@ -1,0 +1,43 @@
+package toplist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the snapshot parser never panics on arbitrary
+// input and that accepted documents survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,google.com\n2,facebook.com\n")
+	f.Add("1,a.com\n\n\n2,b.com\n")
+	f.Add("")
+	f.Add("1;semicolon.com\n")
+	f.Add("0,zero-rank.com\n")
+	f.Add("1,\n")
+	f.Add("notanumber,x.com\n")
+	f.Add("1," + strings.Repeat("x", 300) + ".com\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, l); err != nil {
+			t.Fatalf("WriteCSV of accepted list: %v", err)
+		}
+		l2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written list: %v\n%s", err, buf.String())
+		}
+		if l.Len() != l2.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", l.Len(), l2.Len())
+		}
+		for r := 1; r <= l.Len(); r++ {
+			if l.Name(r) != l2.Name(r) {
+				t.Fatalf("round trip changed rank %d: %q vs %q", r, l.Name(r), l2.Name(r))
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package toplist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/domainname"
+)
+
+// Entry is one row of a top list.
+type Entry struct {
+	Rank int    // 1-based
+	Name string // FQDN
+}
+
+// List is an ordered top list: names[0] has rank 1. Lists are immutable
+// after construction; all derived views copy.
+type List struct {
+	names []string
+	ids   []uint32 // optional compact IDs parallel to names (0 if unset)
+	rank  map[string]int
+}
+
+// New builds a list from names in rank order. Duplicate names keep their
+// best (lowest) rank.
+func New(names []string) *List {
+	l := &List{
+		names: append([]string(nil), names...),
+		rank:  make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if _, ok := l.rank[n]; !ok {
+			l.rank[n] = i + 1
+		}
+	}
+	return l
+}
+
+// NewWithIDs builds a list from parallel name/ID slices in rank order.
+// IDs let hot-path analyses avoid string hashing.
+func NewWithIDs(names []string, ids []uint32) *List {
+	if len(names) != len(ids) {
+		panic("toplist: names/ids length mismatch")
+	}
+	l := New(names)
+	l.ids = append([]uint32(nil), ids...)
+	return l
+}
+
+// Len reports the list size.
+func (l *List) Len() int { return len(l.names) }
+
+// Name returns the name at rank r (1-based). It panics if r is out of
+// range.
+func (l *List) Name(r int) string {
+	if r < 1 || r > len(l.names) {
+		panic(fmt.Sprintf("toplist: rank %d out of range [1,%d]", r, len(l.names)))
+	}
+	return l.names[r-1]
+}
+
+// Names returns the names in rank order (copy).
+func (l *List) Names() []string { return append([]string(nil), l.names...) }
+
+// IDs returns the compact IDs in rank order (copy; nil if unset).
+func (l *List) IDs() []uint32 {
+	if l.ids == nil {
+		return nil
+	}
+	return append([]uint32(nil), l.ids...)
+}
+
+// RankOf returns the 1-based rank of name, or 0 if absent.
+func (l *List) RankOf(name string) int { return l.rank[name] }
+
+// Contains reports whether name is in the list.
+func (l *List) Contains(name string) bool {
+	_, ok := l.rank[name]
+	return ok
+}
+
+// Top returns a new list containing the first n entries (or all of them
+// if n exceeds the size).
+func (l *List) Top(n int) *List {
+	if n > len(l.names) {
+		n = len(l.names)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if l.ids != nil {
+		return NewWithIDs(l.names[:n], l.ids[:n])
+	}
+	return New(l.names[:n])
+}
+
+// Entries returns the list rows.
+func (l *List) Entries() []Entry {
+	out := make([]Entry, len(l.names))
+	for i, n := range l.names {
+		out[i] = Entry{Rank: i + 1, Name: n}
+	}
+	return out
+}
+
+// NameSet returns the set of names as a map.
+func (l *List) NameSet() map[string]struct{} {
+	s := make(map[string]struct{}, len(l.names))
+	for _, n := range l.names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// BaseDomains returns the list normalised to unique base domains,
+// preserving best-rank order — the paper's §5.2 normalisation used
+// before computing list intersections ("reducing e.g. Umbrella to 273k
+// base domains").
+func (l *List) BaseDomains() *List {
+	seen := make(map[string]struct{}, len(l.names))
+	var out []string
+	for _, n := range l.names {
+		b := domainname.BaseOf(n)
+		if _, ok := seen[b]; ok {
+			continue
+		}
+		seen[b] = struct{}{}
+		out = append(out, b)
+	}
+	return New(out)
+}
+
+// StructureStats summarises the per-snapshot structural metrics of
+// Table 2.
+type StructureStats struct {
+	ValidTLDs     int        // distinct valid TLDs covered
+	InvalidTLDs   int        // distinct invalid TLDs present
+	InvalidNames  int        // names under invalid TLDs
+	BaseDomains   int        // unique base domains
+	BaseShare     float64    // names that are base domains / list size
+	DepthShare    [4]float64 // share at depth 1, 2, 3, and >3
+	MaxDepth      int        // deepest subdomain level present
+	AliasSLDCount int        // DUP_SLD: names whose (SLD, suffix) duplicates another TLD variant
+	OrphanSubs    int        // subdomains whose base domain is not in the list
+}
+
+// Structure computes the Table 2 structural metrics for the list.
+func (l *List) Structure() StructureStats {
+	var st StructureStats
+	validTLD := make(map[string]struct{})
+	invalidTLD := make(map[string]struct{})
+	baseSeen := make(map[string]struct{})
+	bySLD := make(map[string][]string) // SLD -> distinct base domains
+	present := l.NameSet()
+	baseCount := 0
+	for _, raw := range l.names {
+		n, err := domainname.Parse(raw)
+		if err != nil {
+			continue
+		}
+		if n.ValidTLD {
+			validTLD[n.TLD] = struct{}{}
+		} else {
+			invalidTLD[n.TLD] = struct{}{}
+			st.InvalidNames++
+		}
+		base := n.Base
+		if base == "" {
+			base = n.FQDN
+		}
+		if _, ok := baseSeen[base]; !ok {
+			baseSeen[base] = struct{}{}
+			if n.SLD != "" {
+				bySLD[n.SLD] = append(bySLD[n.SLD], base)
+			}
+		}
+		switch {
+		case n.Depth == 0:
+			baseCount++
+		case n.Depth >= 1 && n.Depth <= 3:
+			st.DepthShare[n.Depth-1]++
+		default:
+			st.DepthShare[3]++
+		}
+		if n.Depth > st.MaxDepth {
+			st.MaxDepth = n.Depth
+		}
+		if n.Depth > 0 {
+			if _, ok := present[base]; !ok {
+				st.OrphanSubs++
+			}
+		}
+	}
+	size := float64(len(l.names))
+	if size > 0 {
+		st.BaseShare = float64(baseCount) / size
+		for i := range st.DepthShare {
+			st.DepthShare[i] /= size
+		}
+	}
+	st.ValidTLDs = len(validTLD)
+	st.InvalidTLDs = len(invalidTLD)
+	st.BaseDomains = len(baseSeen)
+	for _, bases := range bySLD {
+		if len(bases) > 1 {
+			st.AliasSLDCount += len(bases) // domain aliases: same SLD, different TLD
+		}
+	}
+	return st
+}
+
+// TopAliasSLDs returns the n SLDs with the most base-domain aliases in
+// the list (the paper notes google at ≈200 occurrences).
+func (l *List) TopAliasSLDs(n int) []struct {
+	SLD   string
+	Count int
+} {
+	bySLD := make(map[string]map[string]struct{})
+	for _, raw := range l.names {
+		dn, err := domainname.Parse(raw)
+		if err != nil || dn.SLD == "" {
+			continue
+		}
+		base := dn.Base
+		if bySLD[dn.SLD] == nil {
+			bySLD[dn.SLD] = make(map[string]struct{})
+		}
+		bySLD[dn.SLD][base] = struct{}{}
+	}
+	type sc struct {
+		SLD   string
+		Count int
+	}
+	var all []sc
+	for sld, bases := range bySLD {
+		if len(bases) > 1 {
+			all = append(all, sc{sld, len(bases)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].SLD < all[j].SLD
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		SLD   string
+		Count int
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			SLD   string
+			Count int
+		}{all[i].SLD, all[i].Count}
+	}
+	return out
+}

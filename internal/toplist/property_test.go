@@ -1,0 +1,94 @@
+package toplist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVRoundTripProperty: any generated list survives a
+// write-then-read cycle unchanged.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("site-%d-%d.example.com", seed, i)
+		}
+		l := New(names)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, l); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != l.Len() {
+			return false
+		}
+		for r := 1; r <= l.Len(); r++ {
+			if got.Name(r) != l.Name(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopRankConsistencyProperty: Top(n) preserves both order and rank
+// lookups for every retained entry.
+func TestTopRankConsistencyProperty(t *testing.T) {
+	f := func(nRaw, cutRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		cut := int(cutRaw)%n + 1
+		names := make([]string, n)
+		ids := make([]uint32, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("d%d.net", i)
+			ids[i] = uint32(i * 3)
+		}
+		l := NewWithIDs(names, ids)
+		top := l.Top(cut)
+		if top.Len() != cut {
+			return false
+		}
+		for r := 1; r <= cut; r++ {
+			if top.Name(r) != l.Name(r) || top.RankOf(top.Name(r)) != r {
+				return false
+			}
+		}
+		gotIDs := top.IDs()
+		for i := 0; i < cut; i++ {
+			if gotIDs[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaseDomainsIdempotentProperty: normalising twice equals once.
+func TestBaseDomainsIdempotentProperty(t *testing.T) {
+	l := New([]string{
+		"www.a.com", "a.com", "b.co.uk", "x.b.co.uk", "c.de",
+		"deep.sub.tree.c.de", "printer.localdomain",
+	})
+	once := l.BaseDomains()
+	twice := once.BaseDomains()
+	if once.Len() != twice.Len() {
+		t.Fatalf("idempotence broken: %d vs %d", once.Len(), twice.Len())
+	}
+	for r := 1; r <= once.Len(); r++ {
+		if once.Name(r) != twice.Name(r) {
+			t.Fatalf("rank %d differs", r)
+		}
+	}
+}

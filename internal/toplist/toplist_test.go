@@ -1,0 +1,247 @@
+package toplist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDayCalendar(t *testing.T) {
+	if Day(0).String() != "2017-06-06" {
+		t.Fatalf("epoch %v", Day(0))
+	}
+	if Day(0).Weekday() != time.Tuesday {
+		t.Fatalf("2017-06-06 must be a Tuesday, got %v", Day(0).Weekday())
+	}
+	if Day(0).IsWeekend() {
+		t.Fatal("Tuesday is not a weekend")
+	}
+	// 2017-06-10 is a Saturday (day 4).
+	if !Day(4).IsWeekend() || !Day(5).IsWeekend() || Day(6).IsWeekend() {
+		t.Fatal("weekend detection wrong")
+	}
+}
+
+func TestDayWeekendCycleProperty(t *testing.T) {
+	f := func(d uint16) bool {
+		day := Day(d)
+		return day.IsWeekend() == Day(int(d)+7).IsWeekend()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := New([]string{"a.com", "b.com", "c.com"})
+	if l.Len() != 3 {
+		t.Fatal("len")
+	}
+	if l.Name(1) != "a.com" || l.Name(3) != "c.com" {
+		t.Fatal("name by rank")
+	}
+	if l.RankOf("b.com") != 2 || l.RankOf("zzz") != 0 {
+		t.Fatal("rank of")
+	}
+	if !l.Contains("a.com") || l.Contains("d.com") {
+		t.Fatal("contains")
+	}
+	top := l.Top(2)
+	if top.Len() != 2 || top.Name(2) != "b.com" {
+		t.Fatal("top")
+	}
+	if l.Top(99).Len() != 3 {
+		t.Fatal("top clamp")
+	}
+	e := l.Entries()
+	if e[1].Rank != 2 || e[1].Name != "b.com" {
+		t.Fatal("entries")
+	}
+}
+
+func TestListDuplicateKeepsBestRank(t *testing.T) {
+	l := New([]string{"a.com", "b.com", "a.com"})
+	if l.RankOf("a.com") != 1 {
+		t.Fatal("duplicate should keep rank 1")
+	}
+}
+
+func TestListNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]string{"a.com"}).Name(2)
+}
+
+func TestListWithIDs(t *testing.T) {
+	l := NewWithIDs([]string{"a.com", "b.com"}, []uint32{10, 20})
+	ids := l.IDs()
+	if len(ids) != 2 || ids[1] != 20 {
+		t.Fatal("ids")
+	}
+	if got := l.Top(1).IDs(); len(got) != 1 || got[0] != 10 {
+		t.Fatal("top ids")
+	}
+	if New([]string{"x"}).IDs() != nil {
+		t.Fatal("ids should be nil when unset")
+	}
+}
+
+func TestBaseDomains(t *testing.T) {
+	l := New([]string{
+		"www.example.com", "example.com", "mail.example.com",
+		"other.org", "a.b.other.org",
+	})
+	b := l.BaseDomains()
+	if b.Len() != 2 {
+		t.Fatalf("base domains: %v", b.Names())
+	}
+	if b.Name(1) != "example.com" || b.Name(2) != "other.org" {
+		t.Fatalf("order: %v", b.Names())
+	}
+}
+
+func TestStructure(t *testing.T) {
+	l := New([]string{
+		"example.com",         // base, valid
+		"www.example.com",     // depth 1
+		"a.b.example.com",     // depth 2
+		"a.b.c.example.com",   // depth 3
+		"a.b.c.d.example.com", // depth 4 -> bucket >3
+		"google.com",          // base
+		"google.de",           // alias of google
+		"printer.localdomain", // invalid TLD; PSL-wise a base domain (depth 0)
+		"orphan.unlisted.org", // depth 1 whose base is absent
+	})
+	st := l.Structure()
+	if st.InvalidTLDs != 1 || st.InvalidNames != 1 {
+		t.Fatalf("invalid: %+v", st)
+	}
+	if st.MaxDepth != 4 {
+		t.Fatalf("max depth %d", st.MaxDepth)
+	}
+	if st.ValidTLDs != 3 { // com, de, org
+		t.Fatalf("valid TLDs %d", st.ValidTLDs)
+	}
+	if st.AliasSLDCount != 2 { // google.com + google.de
+		t.Fatalf("alias count %d", st.AliasSLDCount)
+	}
+	// www.example.com's base is present; the only orphan subdomain is
+	// orphan.unlisted.org (printer.localdomain is itself a base domain).
+	if st.OrphanSubs != 1 {
+		t.Fatalf("orphans %d", st.OrphanSubs)
+	}
+	wantD1 := 2.0 / 9.0 // www.example.com, orphan.unlisted.org
+	if diff := st.DepthShare[0] - wantD1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("depth1 share %v want %v", st.DepthShare[0], wantD1)
+	}
+}
+
+func TestTopAliasSLDs(t *testing.T) {
+	l := New([]string{"google.com", "google.de", "google.fr", "x.com", "x.net", "solo.org"})
+	top := l.TopAliasSLDs(5)
+	if len(top) != 2 {
+		t.Fatalf("alias groups %v", top)
+	}
+	if top[0].SLD != "google" || top[0].Count != 3 {
+		t.Fatalf("top alias %v", top[0])
+	}
+	if top[1].SLD != "x" || top[1].Count != 2 {
+		t.Fatalf("second alias %v", top[1])
+	}
+}
+
+func TestArchive(t *testing.T) {
+	a := NewArchive(0, 2)
+	if a.Days() != 3 {
+		t.Fatal("days")
+	}
+	l := New([]string{"a.com"})
+	if err := a.Put("alexa", 1, l); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get("alexa", 1) != l {
+		t.Fatal("get")
+	}
+	if a.Get("alexa", 0) != nil || a.Get("umbrella", 1) != nil {
+		t.Fatal("absent gets should be nil")
+	}
+	if a.Complete() {
+		t.Fatal("incomplete archive reported complete")
+	}
+	for d := Day(0); d <= 2; d++ {
+		_ = a.Put("alexa", d, l)
+	}
+	if !a.Complete() {
+		t.Fatal("complete archive reported incomplete")
+	}
+	if err := a.Put("alexa", 5, l); err == nil {
+		t.Fatal("out-of-range put should fail")
+	}
+	if err := a.Put("alexa", 1, nil); err == nil {
+		t.Fatal("nil list put should fail")
+	}
+	count := 0
+	a.EachDay(func(Day) { count++ })
+	if count != 3 {
+		t.Fatal("each day")
+	}
+	if got := a.Providers(); len(got) != 1 || got[0] != "alexa" {
+		t.Fatalf("providers %v", got)
+	}
+}
+
+func TestArchiveSortedProviders(t *testing.T) {
+	a := NewArchive(0, 0)
+	l := New([]string{"a.com"})
+	_ = a.Put("umbrella", 0, l)
+	_ = a.Put("alexa", 0, l)
+	sorted := a.SortedProviders()
+	if sorted[0] != "alexa" || sorted[1] != "umbrella" {
+		t.Fatalf("sorted %v", sorted)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := New([]string{"a.com", "b.net", "c.org"})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	want := "1,a.com\n2,b.net\n3,c.org\n"
+	if buf.String() != want {
+		t.Fatalf("csv %q", buf.String())
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Name(2) != "b.net" {
+		t.Fatal("round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1 a.com\n",      // no comma
+		"x,a.com\n",      // bad rank
+		"2,a.com\n",      // rank not starting at 1
+		"1,a.com\n3,b\n", // gap
+		"1,\n",           // empty domain
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadCSV(%q) should fail", bad)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	l, err := ReadCSV(strings.NewReader("1,a.com\n\n2,b.com\n"))
+	if err != nil || l.Len() != 2 {
+		t.Fatalf("blank lines: %v %v", l, err)
+	}
+}

@@ -1,0 +1,44 @@
+package traffic
+
+// Injection is externally generated DNS activity for one name on one
+// day: how many distinct clients queried it and the total query count.
+// The §7 experiments inject RIPE-Atlas-probe traffic this way.
+type Injection struct {
+	Clients float64
+	Queries float64
+}
+
+// Injector accumulates injected DNS activity per (name, day). The zero
+// value is not usable; use NewInjector.
+type Injector struct {
+	byDay map[int]map[string]Injection
+}
+
+// NewInjector returns an empty injector.
+func NewInjector() *Injector {
+	return &Injector{byDay: make(map[int]map[string]Injection)}
+}
+
+// Add accumulates clients/queries for name on day.
+func (in *Injector) Add(name string, day int, clients, queries float64) {
+	m := in.byDay[day]
+	if m == nil {
+		m = make(map[string]Injection)
+		in.byDay[day] = m
+	}
+	cur := m[name]
+	cur.Clients += clients
+	cur.Queries += queries
+	m[name] = cur
+}
+
+// For returns the injections for day (nil when none). The returned map
+// is the internal one; callers must not modify it.
+func (in *Injector) For(day int) map[string]Injection {
+	return in.byDay[day]
+}
+
+// Clear removes all injections (between experiment runs).
+func (in *Injector) Clear() {
+	in.byDay = make(map[int]map[string]Injection)
+}

@@ -1,0 +1,273 @@
+// Package traffic turns the static population into daily activity
+// signals along the three axes the list providers measure: web visits
+// (Alexa's panel), DNS resolutions by unique clients (Umbrella's
+// OpenDNS view), and crawler-visible backlinks (Majestic). It also
+// hosts the query-injection hook used by the §7 rank-manipulation
+// experiments.
+package traffic
+
+import (
+	"math"
+
+	"repro/internal/population"
+	"repro/internal/toplist"
+)
+
+// Axis selects a signal axis.
+type Axis int
+
+// Signal axes.
+const (
+	AxisWeb Axis = iota
+	AxisDNS
+	AxisLink
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisWeb:
+		return "web"
+	case AxisDNS:
+		return "dns"
+	case AxisLink:
+		return "link"
+	default:
+		return "unknown"
+	}
+}
+
+// Model computes daily activity. The zero value is not usable; use
+// NewModel.
+type Model struct {
+	W *population.World
+	// Per-axis daily log-noise scale (multiplied by each domain's
+	// VolMul). The link axis evolves on a weekly clock with only a tiny
+	// daily component — crawl-derived link counts barely move day to
+	// day, which is what makes Majestic stable.
+	SigmaWeb, SigmaDNS, SigmaLinkWeekly, SigmaLinkDaily float64
+	// Weekend exponent per axis: how strongly the weekend factor
+	// modulates the axis (links don't care about weekends).
+	WeekendExpWeb, WeekendExpDNS float64
+	// DeadDNSFactor is the residual DNS traffic to a domain after it
+	// stops existing (legacy clients keep querying).
+	DeadDNSFactor float64
+	// UniqueClientScale maps DNS signal to an estimated unique-client
+	// count (Umbrella's rank driver): clients = scale * signal^0.75.
+	UniqueClientScale float64
+	// CountScale converts a mean signal into an expected daily
+	// observation count per axis (panel visits, resolver clients,
+	// crawled /24 subnets). Small counts at the list tail add sampling
+	// noise — the paper's reason why "the ranking of domains in the
+	// long tail [is] based on significantly smaller and hence less
+	// reliable numbers" (§6.1, Fig. 1c).
+	WebCountScale, DNSCountScale, LinkCountScale float64
+	// CountSigma scales the small-count sampling noise term
+	// countSigma/sqrt(1+count).
+	CountSigma float64
+	// PanelVisitorScale maps web signal to daily panel visitors — the
+	// unit of Alexa-side injections (§7.1 toolbar manipulation).
+	PanelVisitorScale float64
+	// BacklinkSubnetScale maps link signal to referring /24 subnets —
+	// the unit of Majestic-side injections (§7.3 purchased backlinks).
+	BacklinkSubnetScale float64
+}
+
+// NewModel returns a model with the calibrated defaults.
+func NewModel(w *population.World) *Model {
+	return &Model{
+		W:                 w,
+		SigmaWeb:          0.05,
+		SigmaDNS:          0.02,
+		SigmaLinkWeekly:   0.30,
+		SigmaLinkDaily:    0.03,
+		WeekendExpWeb:     1.0,
+		WeekendExpDNS:     0.8,
+		DeadDNSFactor:     0.3,
+		UniqueClientScale: 1e5,
+		WebCountScale:     1e5,
+		DNSCountScale:     5e4,
+		LinkCountScale:    2e7,
+		CountSigma:        1.1,
+
+		PanelVisitorScale:   1e5,
+		BacklinkSubnetScale: 1e5,
+	}
+}
+
+// WebSignalFor converts a count of daily panel visitors into web-axis
+// signal units, for injecting synthetic Alexa panel activity.
+func (m *Model) WebSignalFor(visitors float64) float64 {
+	return visitors / m.PanelVisitorScale
+}
+
+// LinkSignalFor converts a count of referring /24 subnets into
+// link-axis signal units, for injecting synthetic Majestic backlinks.
+func (m *Model) LinkSignalFor(subnets float64) float64 {
+	return subnets / m.BacklinkSubnetScale
+}
+
+// Signal fills dst with the per-domain activity for the axis on day and
+// returns it; dst is allocated when nil or too small. A zero value
+// means "no activity" (unborn, or axis-invisible).
+func (m *Model) Signal(axis Axis, day int, dst []float64) []float64 {
+	n := m.W.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	weekend := toplist.Day(day).IsWeekend()
+	for i := range m.W.Domains {
+		d := &m.W.Domains[i]
+		dst[i] = m.domainSignal(d, axis, day, weekend)
+	}
+	return dst
+}
+
+// DomainSignal returns the activity of a single domain.
+func (m *Model) DomainSignal(id uint32, axis Axis, day int) float64 {
+	d := &m.W.Domains[id]
+	return m.domainSignal(d, axis, day, toplist.Day(day).IsWeekend())
+}
+
+func (m *Model) domainSignal(d *population.Domain, axis Axis, day int, weekend bool) float64 {
+	if !d.Born(day) {
+		return 0
+	}
+	var base float64
+	alive := d.Exists(day)
+	switch axis {
+	case AxisWeb:
+		// The Alexa toolbar only reports a visit if the site actually
+		// loaded, so dead domains generate no web signal.
+		if !alive && d.Category != population.CatGhost {
+			return 0
+		}
+		if d.Category.NeverResolves() {
+			// Ghost/junk have (almost) no web activity via axis factors
+			// already; a dead ghost "site" never loads either.
+			return 0
+		}
+		base = d.WebPop
+	case AxisDNS:
+		base = d.DNSPop
+		if !alive && !d.Category.NeverResolves() {
+			// Residual queries from stale references.
+			base *= m.DeadDNSFactor
+		}
+	case AxisLink:
+		// Links persist regardless of liveness (Majestic's slow
+		// reaction to domain closure, §8.1.1).
+		base = d.LinkPop
+	}
+	if base == 0 {
+		return 0
+	}
+	season := 1.0
+	if weekend {
+		switch axis {
+		case AxisWeb:
+			season = math.Pow(d.WeekendFactor, m.WeekendExpWeb)
+		case AxisDNS:
+			season = math.Pow(d.WeekendFactor, m.WeekendExpDNS)
+		}
+	}
+	trend := 1.0
+	if d.TrendBoost > 0 {
+		boost := d.TrendBoost * math.Exp(-float64(day-int(d.BirthDay))/d.TrendTau)
+		if axis == AxisLink {
+			// Backlinks accumulate far more slowly than visits or
+			// queries; a trending domain barely moves the link graph.
+			boost *= 0.3
+		}
+		trend += boost
+	}
+	mu := base * season * trend
+	var noise float64
+	switch axis {
+	case AxisWeb:
+		sigma := m.SigmaWeb*d.VolMul + m.countNoise(mu*m.WebCountScale)
+		noise = math.Exp(sigma * hashNorm(d.Seed, uint64(day), 0))
+	case AxisDNS:
+		sigma := m.SigmaDNS*d.VolMul + m.countNoise(mu*m.DNSCountScale)
+		noise = math.Exp(sigma * hashNorm(d.Seed, uint64(day), 1))
+	case AxisLink:
+		z := m.SigmaLinkWeekly*hashNorm(d.Seed, uint64(day/7), 2) +
+			(m.SigmaLinkDaily*d.VolMul+m.countNoise(mu*m.LinkCountScale))*
+				hashNorm(d.Seed, uint64(day), 3)
+		noise = math.Exp(z)
+	}
+	return mu * noise
+}
+
+// countNoise is the extra log-noise from observing a small expected
+// count: negligible for head domains, dominant at the list tail.
+func (m *Model) countNoise(count float64) float64 {
+	if count < 0 {
+		count = 0
+	}
+	return m.CountSigma / math.Sqrt(1+count)
+}
+
+// UniqueClients converts a DNS-axis signal value into an estimated
+// count of distinct clients resolving the name per day — the quantity
+// Umbrella's ranking is primarily based on (§7.2).
+func (m *Model) UniqueClients(signal float64) float64 {
+	if signal <= 0 {
+		return 0
+	}
+	return m.UniqueClientScale * math.Pow(signal, 0.75)
+}
+
+// --- Deterministic per-(domain, day) noise ---------------------------
+
+// hashNorm produces a standard-normal variate as a pure function of
+// (seed, step, stream) using SplitMix64 hashing and the
+// Beasley-Springer-Moro inverse normal CDF. This avoids constructing an
+// RNG per domain per day on the hot path.
+func hashNorm(seed, step, stream uint64) float64 {
+	x := seed ^ step*0x9e3779b97f4a7c15 ^ stream*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := (float64(x>>11) + 0.5) * (1.0 / (1 << 53))
+	return invNorm(u)
+}
+
+// invNorm is the Beasley-Springer-Moro approximation to the standard
+// normal quantile function; absolute error < 3e-9 over (0,1).
+func invNorm(u float64) float64 {
+	const (
+		a0 = 2.50662823884
+		a1 = -18.61500062529
+		a2 = 41.39119773534
+		a3 = -25.44106049637
+		b0 = -8.47351093090
+		b1 = 23.08336743743
+		b2 = -21.06224101826
+		b3 = 3.13082909833
+	)
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := u - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		return y * (((a3*r+a2)*r+a1)*r + a0) /
+			((((b3*r+b2)*r+b1)*r+b0)*r + 1)
+	}
+	r := u
+	if y > 0 {
+		r = 1 - u
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0] + r*(c[1]+r*(c[2]+r*(c[3]+r*(c[4]+r*(c[5]+r*(c[6]+r*(c[7]+r*c[8])))))))
+	if y < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,318 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/population"
+	"repro/internal/toplist"
+)
+
+func buildModel(t *testing.T) *Model {
+	t.Helper()
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(w)
+}
+
+func TestSignalDeterministic(t *testing.T) {
+	m := buildModel(t)
+	a := m.Signal(AxisWeb, 3, nil)
+	b := m.Signal(AxisWeb, 3, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signal not deterministic at %d", i)
+		}
+	}
+}
+
+func TestSignalNonNegativeAndFinite(t *testing.T) {
+	m := buildModel(t)
+	for _, axis := range []Axis{AxisWeb, AxisDNS, AxisLink} {
+		s := m.Signal(axis, 10, nil)
+		for i, v := range s {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("axis %v domain %d: bad signal %v", axis, i, v)
+			}
+		}
+	}
+}
+
+func TestUnbornHaveNoSignal(t *testing.T) {
+	m := buildModel(t)
+	s := m.Signal(AxisDNS, 0, nil)
+	for i := range m.W.Domains {
+		d := &m.W.Domains[i]
+		if d.BirthDay > 0 && s[i] != 0 {
+			t.Fatalf("unborn %q has day-0 signal %v", d.Name, s[i])
+		}
+	}
+}
+
+func TestDeadDomainsAxisBehaviour(t *testing.T) {
+	m := buildModel(t)
+	var dead *population.Domain
+	var id uint32
+	for i := range m.W.Domains {
+		d := &m.W.Domains[i]
+		if d.DeathDay > 0 && d.DeathDay < 20 && d.Depth == 0 &&
+			d.Category == population.CatWeb {
+			dead = d
+			id = uint32(i)
+			break
+		}
+	}
+	if dead == nil {
+		t.Skip("no suitable dead domain at this scale/seed")
+	}
+	after := int(dead.DeathDay) + 1
+	if got := m.DomainSignal(id, AxisWeb, after); got != 0 {
+		t.Fatalf("dead domain has web signal %v", got)
+	}
+	dns := m.DomainSignal(id, AxisDNS, after)
+	if dns <= 0 {
+		t.Fatal("dead domain should keep residual DNS traffic")
+	}
+	link := m.DomainSignal(id, AxisLink, after)
+	if link <= 0 {
+		t.Fatal("dead domain should keep link signal (Majestic lag)")
+	}
+}
+
+func TestWeekendModulation(t *testing.T) {
+	m := buildModel(t)
+	// Compare the noise-free seasonal component by averaging many
+	// weekdays vs weekends for leisure and work categories.
+	var leisureID, workID uint32
+	foundL, foundW := false, false
+	for i := range m.W.Domains {
+		d := &m.W.Domains[i]
+		if d.BirthDay > 0 || d.Depth != 0 {
+			continue
+		}
+		if d.Category == population.CatLeisure && !foundL {
+			leisureID, foundL = uint32(i), true
+		}
+		if d.Category == population.CatWork && !foundW {
+			workID, foundW = uint32(i), true
+		}
+	}
+	if !foundL || !foundW {
+		t.Fatal("fixtures missing")
+	}
+	avg := func(id uint32, weekend bool) float64 {
+		var sum float64
+		n := 0
+		for day := 0; day < m.W.Cfg.Days; day++ {
+			if toplist.Day(day).IsWeekend() != weekend {
+				continue
+			}
+			sum += m.DomainSignal(id, AxisWeb, day)
+			n++
+		}
+		return sum / float64(n)
+	}
+	if avg(leisureID, true) <= avg(leisureID, false) {
+		t.Fatal("leisure domain should be busier on weekends")
+	}
+	if avg(workID, true) >= avg(workID, false) {
+		t.Fatal("work domain should be quieter on weekends")
+	}
+}
+
+func TestLinkAxisIgnoresWeekends(t *testing.T) {
+	m := buildModel(t)
+	id := m.W.BaseIDs()[0]
+	// Within one week the weekly link noise is constant; daily noise is
+	// tiny. Saturday/weekday ratio must stay near 1.
+	sat := m.DomainSignal(id, AxisLink, 4) // day 4 = Saturday
+	wed := m.DomainSignal(id, AxisLink, 1)
+	if sat == 0 || wed == 0 {
+		t.Skip("domain link-invisible")
+	}
+	ratio := sat / wed
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("link signal moved %.3f across weekdays of one week", ratio)
+	}
+}
+
+func TestLinkAxisMoreStableThanWeb(t *testing.T) {
+	m := buildModel(t)
+	// Day-to-day relative change averaged over domains: link ≪ web.
+	w1 := m.Signal(AxisWeb, 7, nil)
+	w2 := m.Signal(AxisWeb, 8, nil)
+	l1 := m.Signal(AxisLink, 7, nil)
+	l2 := m.Signal(AxisLink, 8, nil)
+	relChange := func(a, b []float64) float64 {
+		var sum float64
+		n := 0
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				sum += math.Abs(math.Log(b[i] / a[i]))
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	wChange := relChange(w1, w2)
+	lChange := relChange(l1, l2)
+	if lChange*3 > wChange {
+		t.Fatalf("link axis not stable: web change %.3f, link change %.3f", wChange, lChange)
+	}
+}
+
+func TestTrendingBoostDecays(t *testing.T) {
+	m := buildModel(t)
+	var id uint32
+	var d *population.Domain
+	for i := range m.W.Domains {
+		c := &m.W.Domains[i]
+		if c.TrendBoost > 3 && c.Depth == 0 {
+			d = c
+			id = uint32(i)
+			break
+		}
+	}
+	if d == nil {
+		t.Skip("no strongly trending domain at this scale")
+	}
+	// Average out noise by comparing expected envelope: signal right
+	// after birth should exceed signal far later by roughly the boost.
+	birth := int(d.BirthDay)
+	if birth+30 >= m.W.Cfg.Days {
+		// Evaluate beyond the archive horizon; the model itself has no
+		// day limit.
+	}
+	early := 0.0
+	late := 0.0
+	for k := 0; k < 3; k++ {
+		early += m.DomainSignal(id, AxisDNS, birth+k)
+		late += m.DomainSignal(id, AxisDNS, birth+200+k)
+	}
+	if early <= late {
+		t.Fatalf("trend boost did not decay: early %v late %v", early, late)
+	}
+}
+
+func TestUniqueClientsMonotone(t *testing.T) {
+	m := buildModel(t)
+	if m.UniqueClients(0) != 0 {
+		t.Fatal("zero signal, zero clients")
+	}
+	prev := 0.0
+	for _, s := range []float64{1e-6, 1e-4, 1e-2, 1, 100} {
+		c := m.UniqueClients(s)
+		if c <= prev {
+			t.Fatalf("UniqueClients not increasing at %v", s)
+		}
+		prev = c
+	}
+	// Sub-linear: doubling the signal less than doubles clients.
+	if m.UniqueClients(2) >= 2*m.UniqueClients(1) {
+		t.Fatal("UniqueClients should be sub-linear")
+	}
+}
+
+func TestInvNormProperties(t *testing.T) {
+	// Median and symmetry.
+	if math.Abs(invNorm(0.5)) > 1e-9 {
+		t.Fatalf("invNorm(0.5) = %v", invNorm(0.5))
+	}
+	for _, u := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if math.Abs(invNorm(u)+invNorm(1-u)) > 1e-6 {
+			t.Fatalf("invNorm not antisymmetric at %v", u)
+		}
+	}
+	// Known quantiles.
+	if math.Abs(invNorm(0.975)-1.959964) > 1e-4 {
+		t.Fatalf("invNorm(0.975) = %v", invNorm(0.975))
+	}
+	if math.Abs(invNorm(0.8413)-1.0) > 1e-3 {
+		t.Fatalf("invNorm(0.8413) = %v", invNorm(0.8413))
+	}
+}
+
+func TestInvNormMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		u1 := (float64(a%100000) + 1) / 100002
+		u2 := (float64(b%100000) + 1) / 100002
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return invNorm(u1) <= invNorm(u2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashNormDistribution(t *testing.T) {
+	var sum, sum2 float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		z := hashNorm(12345, uint64(i), 0)
+		sum += z
+		sum2 += z * z
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("hashNorm mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("hashNorm variance %v", variance)
+	}
+}
+
+func TestHashNormStreamsIndependent(t *testing.T) {
+	// Correlation between streams 0 and 1 should be ~0.
+	var sxy, sx, sy float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := hashNorm(7, uint64(i), 0)
+		y := hashNorm(7, uint64(i), 1)
+		sxy += x * y
+		sx += x
+		sy += y
+	}
+	corr := (sxy/n - sx/n*sy/n)
+	if math.Abs(corr) > 0.02 {
+		t.Fatalf("streams correlated: %v", corr)
+	}
+}
+
+func TestInjector(t *testing.T) {
+	in := NewInjector()
+	if in.For(3) != nil {
+		t.Fatal("empty injector")
+	}
+	in.Add("test.dev", 3, 100, 1000)
+	in.Add("test.dev", 3, 50, 500)
+	got := in.For(3)["test.dev"]
+	if got.Clients != 150 || got.Queries != 1500 {
+		t.Fatalf("accumulate %+v", got)
+	}
+	if _, ok := in.For(4)["test.dev"]; ok {
+		t.Fatal("day isolation")
+	}
+	in.Clear()
+	if in.For(3) != nil {
+		t.Fatal("clear")
+	}
+}
+
+func BenchmarkSignalDay(b *testing.B) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewModel(w)
+	buf := make([]float64, w.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Signal(AxisDNS, i%30, buf)
+	}
+}

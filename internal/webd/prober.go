@@ -1,0 +1,169 @@
+package webd
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Prober runs the paper's HTTPS/HTTP2 probe method against a webd
+// Server over the network: TLS handshake on the domain (SNI), follow
+// up to simnet.MaxRedirects redirects, and classify the landing page.
+// All domains dial the same server address — the probing analog of
+// pointing a scanner's resolver at a testbed.
+type Prober struct {
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewProber builds a prober that dials serverAddr for every domain and
+// trusts pool (use Server.CertPool).
+func NewProber(serverAddr string, pool *x509.CertPool) *Prober {
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			// Every simulated domain lives on the one listener.
+			return dialer.DialContext(ctx, network, serverAddr)
+		},
+		TLSClientConfig:     &tls.Config{RootCAs: pool},
+		ForceAttemptHTTP2:   true,
+		MaxIdleConnsPerHost: 4,
+		// Each domain negotiates its own ALPN; do not share conns
+		// across hosts.
+		DisableKeepAlives: false,
+	}
+	client := &http.Client{
+		Transport: transport,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) > simnet.MaxRedirects {
+				return fmt.Errorf("webd: more than %d redirects", simnet.MaxRedirects)
+			}
+			return nil
+		},
+	}
+	return &Prober{client: client, timeout: 10 * time.Second}
+}
+
+// Probe implements the §8.2/§8.3 method for one domain. A failed TLS
+// handshake yields Reachable=true, TLS=false (the paper's "no TLS
+// support"); transport-level inability to even connect yields an
+// error.
+func (p *Prober) Probe(ctx context.Context, name string) (simnet.ProbeResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "https://"+name+"/", nil)
+	if err != nil {
+		return simnet.ProbeResult{}, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		if isHandshakeRefusal(err) {
+			return simnet.ProbeResult{Reachable: true}, nil
+		}
+		if strings.Contains(err.Error(), "redirects") {
+			// Redirect limit exceeded: reachable, TLS fine, but no
+			// landing page — the paper counts these as not
+			// HTTP/2-enabled.
+			return simnet.ProbeResult{Reachable: true, TLS: true}, nil
+		}
+		return simnet.ProbeResult{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck
+		resp.Body.Close()
+	}()
+
+	res := simnet.ProbeResult{
+		Reachable: resp.StatusCode < 500,
+		TLS:       resp.TLS != nil,
+		HTTP2:     resp.ProtoMajor == 2,
+	}
+	if hsts := resp.Header.Get("Strict-Transport-Security"); hsts != "" {
+		res.HSTSHeader = hsts
+		res.HSTSMaxAge = simnet.ParseHSTS(hsts).MaxAge
+	}
+	// Count the redirects actually followed from the final request
+	// chain (the landing URL encodes the last hop index).
+	if path := resp.Request.URL.Path; strings.HasPrefix(path, "/hop/") {
+		fmt.Sscanf(path, "/hop/%d", &res.Redirects) //nolint:errcheck
+	}
+	return res, nil
+}
+
+// isHandshakeRefusal classifies errors that mean "the server will not
+// speak TLS for this name" rather than "the network is broken".
+func isHandshakeRefusal(err error) bool {
+	var recordErr tls.RecordHeaderError
+	if errors.As(err, &recordErr) {
+		return true
+	}
+	var certErr *tls.CertificateVerificationError
+	if errors.As(err, &certErr) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "handshake failure") ||
+		strings.Contains(msg, "no application protocol") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "remote error") ||
+		strings.Contains(msg, "EOF")
+}
+
+// ProbeAll probes names through a bounded worker pool, preserving
+// order. The first transport error cancels the remainder.
+func ProbeAll(ctx context.Context, p *Prober, names []string, workers int) ([]simnet.ProbeResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]simnet.ProbeResult, len(names))
+	errs := make(chan error, workers)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := p.Probe(ctx, names[i])
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("webd: probe %s: %w", names[i], err):
+						cancel()
+					default:
+					}
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	go func() {
+		defer close(idx)
+		for i := range names {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return results, nil
+}

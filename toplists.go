@@ -1,0 +1,84 @@
+// Package toplists is the public API of the reproduction of "A Long
+// Way to the Top: Significance, Structure, and Stability of Internet
+// Top Lists" (IMC 2018).
+//
+// The library simulates the ecosystem the paper measures — a synthetic
+// Internet population, daily Alexa/Umbrella/Majestic-style list
+// generation, DNS/TLS/HTTP2 measurement infrastructure, and a RIPE
+// Atlas-style probe fleet — and regenerates every table and figure of
+// the paper's evaluation from it.
+//
+// Quick start:
+//
+//	study, err := toplists.Simulate(toplists.TestScale())
+//	if err != nil { ... }
+//	list := study.Archive.Get(toplists.Alexa, 0) // day-0 Alexa snapshot
+//
+//	lab := toplists.NewLab(toplists.TestScale())
+//	res, err := lab.Run("table5")
+//	fmt.Print(res.Render())
+package toplists
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/providers"
+)
+
+// Scale bundles the simulation sizing knobs (population, list size,
+// head subset, burn-in).
+type Scale = core.Scale
+
+// Study is a fully materialised simulation: world, model, archive, and
+// the analysis/measurement layers.
+type Study = core.Study
+
+// Experiment is a regenerated table or figure.
+type Experiment = experiments.Result
+
+// Provider names used throughout archives and reports.
+const (
+	Alexa    = providers.Alexa
+	Umbrella = providers.Umbrella
+	Majestic = providers.Majestic
+)
+
+// TestScale returns the fast scale used by tests and benchmarks.
+func TestScale() Scale { return core.TestScale() }
+
+// DefaultScale returns the EXPERIMENTS.md scale.
+func DefaultScale() Scale { return core.DefaultScale() }
+
+// Simulate builds the world and generates the daily snapshot archive.
+func Simulate(s Scale) (*Study, error) { return core.Run(s) }
+
+// ExperimentIDs lists every reproducible table/figure ID.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns the display title for an experiment ID.
+func ExperimentTitle(id string) string { return experiments.Title(id) }
+
+// Lab runs experiments against one shared simulation.
+type Lab struct {
+	env *experiments.Env
+}
+
+// NewLab prepares a lab at the given scale; the simulation runs on
+// first use and is shared by all experiments.
+func NewLab(scale Scale) *Lab {
+	return &Lab{env: experiments.NewEnv(scale)}
+}
+
+// Study returns the lab's underlying study (materialising it if
+// needed).
+func (l *Lab) Study() (*Study, error) { return l.env.Study() }
+
+// Run regenerates one table or figure.
+func (l *Lab) Run(id string) (*Experiment, error) {
+	return experiments.Run(l.env, id)
+}
+
+// RunAll regenerates every table and figure in ID order.
+func (l *Lab) RunAll() ([]*Experiment, error) {
+	return experiments.RunAll(l.env)
+}

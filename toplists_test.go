@@ -1,0 +1,54 @@
+package toplists
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPI(t *testing.T) {
+	scale := TestScale()
+	scale.Population.Days = 14
+	scale.BurnInDays = 20
+	study, err := Simulate(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Archive.Get(Alexa, 0) == nil ||
+		study.Archive.Get(Umbrella, 0) == nil ||
+		study.Archive.Get(Majestic, 0) == nil {
+		t.Fatal("missing provider snapshots")
+	}
+	ids := ExperimentIDs()
+	if len(ids) < 25 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	for _, id := range ids {
+		if ExperimentTitle(id) == "" {
+			t.Fatalf("no title for %s", id)
+		}
+	}
+}
+
+func TestLabRunsExperiment(t *testing.T) {
+	l := NewLab(TestScale())
+	res, err := l.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "ACM IMC") || !strings.Contains(out, "Total") {
+		t.Fatalf("table1 render missing venues:\n%s", out)
+	}
+	if _, err := l.Run("not-an-experiment"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if _, err := l.Study(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultScaleValidates(t *testing.T) {
+	if err := DefaultScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
