@@ -1,9 +1,12 @@
 package toplists
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/population"
 	"repro/internal/providers"
 	"repro/internal/traffic"
@@ -104,6 +107,64 @@ func BenchmarkSimulate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Simulate(scale); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine measures archive generation alone (world build
+// excluded) through the simulation engine, serial reference path vs
+// all cores, reporting simulated days (burn-in included) per second.
+// The two variants produce byte-identical archives — see
+// internal/engine's equivalence tests — so the days/sec ratio is the
+// end-to-end speedup of the concurrent engine.
+func BenchmarkEngine(b *testing.B) {
+	scale := TestScale()
+	scale.Population.Days = 14
+	scale.BurnInDays = 20
+	w, err := population.Build(scale.Population)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Generator construction (state arrays + base buckets) is
+			// untimed so days/sec reflects the stepping loop alone.
+			b.StopTimer()
+			opts := providers.DefaultOptions(scale.Population.Days, scale.ListSize)
+			opts.BurnInDays = scale.BurnInDays
+			g, err := providers.NewGenerator(m, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := engine.Run(g, scale.Population.Days, engine.Config{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stepped := scale.BurnInDays + scale.Population.Days
+		b.ReportMetric(float64(stepped)*float64(b.N)/b.Elapsed().Seconds(), "days/sec")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("workers-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkRunAll regenerates every table and figure through the
+// pooled experiment runner over the shared study. Compare against
+// `-cpu 1` (which collapses the pool to one worker) for the
+// worker-pool gain.
+func BenchmarkRunAll(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := l.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("no results")
 		}
 	}
 }

@@ -76,8 +76,9 @@ func run(args []string, logw io.Writer) error {
 }
 
 // collectOnce downloads every published snapshot not yet on disk and
-// returns how many files it wrote. Partially-written files never
-// become visible: snapshots are written to a temp name and renamed.
+// returns how many files it wrote. Because a live publisher streams
+// days out of a still-running simulation, each pass picks up exactly
+// the days published since the last one.
 func collectOnce(ctx context.Context, client *listserv.Client, outDir string, logger *log.Logger) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
@@ -91,11 +92,11 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 	if err != nil {
 		return 0, fmt.Errorf("bad index last_day: %w", err)
 	}
+	sink := dirSink{dir: outDir}
 	written := 0
 	for _, provider := range idx.Providers {
 		for d := first; d <= last; d++ {
-			path := filepath.Join(outDir, fmt.Sprintf("%s-%s.csv", provider, d))
-			if _, err := os.Stat(path); err == nil {
+			if sink.has(provider, d) {
 				continue // already collected
 			}
 			list, err := client.FetchDay(ctx, provider, d)
@@ -106,7 +107,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 			if err != nil {
 				return written, err
 			}
-			if err := writeSnapshot(path, list); err != nil {
+			if err := sink.Put(provider, d, list); err != nil {
 				return written, err
 			}
 			written++
@@ -118,7 +119,32 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 	return written, nil
 }
 
-func writeSnapshot(path string, list *toplist.List) error {
+// dirSink is the collector's storage layer as a toplist.SnapshotSink:
+// one <provider>-<date>.csv per snapshot, the archive layout
+// researchers shared with the authors. Since it satisfies the same
+// interface the simulation engine streams into, the identical on-disk
+// archive can also be produced without the HTTP hop by handing a
+// dirSink straight to engine.Run.
+type dirSink struct {
+	dir string
+}
+
+var _ toplist.SnapshotSink = dirSink{}
+
+func (s dirSink) path(provider string, day toplist.Day) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.csv", provider, day))
+}
+
+// has reports whether the snapshot is already on disk.
+func (s dirSink) has(provider string, day toplist.Day) bool {
+	_, err := os.Stat(s.path(provider, day))
+	return err == nil
+}
+
+// Put writes one snapshot atomically (temp file + rename), so a
+// crashed pass never leaves a partial CSV visible.
+func (s dirSink) Put(provider string, day toplist.Day, list *toplist.List) error {
+	path := s.path(provider, day)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -10,8 +10,12 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/listserv"
+	"repro/internal/population"
+	"repro/internal/providers"
 	"repro/internal/toplist"
+	"repro/internal/traffic"
 )
 
 func publisher(t *testing.T, days int) (*httptest.Server, *toplist.Archive, *listserv.Gatekeeper) {
@@ -32,6 +36,46 @@ func publisher(t *testing.T, days int) (*httptest.Server, *toplist.Archive, *lis
 }
 
 func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestDirSinkStreamsFromEngine produces the collector's on-disk
+// archive layout straight from the simulation engine — no HTTP hop —
+// by handing the dirSink to engine.Run as its streaming sink.
+func TestDirSinkStreamsFromEngine(t *testing.T) {
+	cfg := population.TestConfig()
+	cfg.Days = 8
+	cfg.Sites = 2000
+	w, err := population.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := providers.DefaultOptions(cfg.Days, 500)
+	opts.BurnInDays = 10
+	g, err := providers.NewGenerator(traffic.NewModel(w), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := engine.New(g, engine.Config{}).Run(cfg.Days, dirSink{dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.EnabledProviders() {
+		for d := 0; d < cfg.Days; d++ {
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", p, toplist.Day(d)))
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := toplist.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if l.Len() != 500 {
+				t.Fatalf("%s: %d entries", path, l.Len())
+			}
+		}
+	}
+}
 
 func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	ts, _, gk := publisher(t, 4)

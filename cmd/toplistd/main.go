@@ -1,20 +1,23 @@
 // Command toplistd publishes simulated top-list snapshots over HTTP,
 // the way the real providers publish their daily CSVs. It simulates
-// the ecosystem at the requested scale, then serves every provider's
+// the ecosystem at the requested scale and serves every provider's
 // daily snapshot under
 //
 //	/v1/index
 //	/v1/{provider}/latest/top-1m.csv[.gz|.zip]
 //	/v1/{provider}/{date}/top-1m.csv[.gz|.zip]
 //
-// With -live, only day 0 is visible at startup and one more day is
-// published per -live-interval, so a Mirror pointed at the daemon
-// experiences a real longitudinal collection.
+// With -live, the daemon starts serving immediately and streams days
+// out of the simulation engine as they are generated (at most one per
+// -live-interval): nothing is visible at startup, each finished day is
+// published the moment its snapshots exist, and a Mirror pointed at
+// the daemon experiences a real longitudinal collection against a
+// still-running simulation.
 //
 // Usage:
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
-//	         [-live] [-live-interval 2s]
+//	         [-workers N] [-live] [-live-interval 2s]
 package main
 
 import (
@@ -49,8 +52,9 @@ func run(args []string, out *os.File) error {
 	scaleName := fs.String("scale", "test", "simulation scale: test or default")
 	seed := fs.Uint64("seed", 1, "root seed")
 	days := fs.Int("days", 0, "override the simulated window length (days)")
-	live := fs.Bool("live", false, "publish one day at a time instead of the whole archive")
-	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication interval in -live mode")
+	workers := fs.Int("workers", 0, "engine parallelism (0 = all cores, 1 = serial)")
+	live := fs.Bool("live", false, "stream days out of the engine as they are generated")
+	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication pacing in -live mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,25 +68,39 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown scale %q (want test or default)", *scaleName)
 	}
 	scale.Population.Seed = *seed
+	scale.Workers = *workers
 	if *days > 0 {
 		scale.Population.Days = *days
 	}
 
 	log.SetOutput(out)
-	log.Printf("simulating at scale %q (seed %d)...", *scaleName, *seed)
-	study, err := core.Run(scale)
+	log.Printf("building world at scale %q (seed %d)...", *scaleName, *seed)
+	world, eng, err := core.NewEngine(scale)
 	if err != nil {
 		return err
 	}
-	arch := study.Archive
-	log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
+	simDays := scale.Population.Days
+	arch := toplist.NewArchive(0, toplist.Day(simDays-1))
+	arch.Expect(eng.Providers()...)
 
-	firstVisible := arch.Last()
-	if *live {
-		firstVisible = arch.First()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// In live mode nothing is visible yet and days stream in as the
+	// engine produces them; otherwise materialise everything first.
+	gk := listserv.NewGatekeeper(arch, -1)
+	if !*live {
+		if err := eng.Run(simDays, arch); err != nil {
+			return err
+		}
+		if missing := arch.Missing(); len(missing) > 0 {
+			return fmt.Errorf("engine left %d snapshots missing", len(missing))
+		}
+		gk.Advance(arch.Last())
+		log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
 	}
-	gk := listserv.NewGatekeeper(arch, firstVisible)
-	handler := listserv.NewServerAt(gk).WithZones(worldZones{study.World})
+
+	handler := listserv.NewServerAt(gk).WithZones(worldZones{world})
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -94,11 +112,16 @@ func run(args []string, out *os.File) error {
 	}
 	log.Printf("serving on http://%s/v1/index", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	if *live {
-		go publishDaily(ctx, gk, arch.Last(), *liveInterval)
+		go func() {
+			sink := newLiveSink(ctx, gk, *liveInterval)
+			defer sink.stop()
+			if err := eng.Run(simDays, sink); err != nil && ctx.Err() == nil {
+				log.Printf("live generation failed: %v", err)
+				return
+			}
+			log.Printf("live generation complete: %d days published", simDays)
+		}()
 	}
 
 	errc := make(chan error, 1)
@@ -128,19 +151,36 @@ func (z worldZones) ZoneTLDs() []string { return []string{"com", "net", "org"} }
 
 func (z worldZones) ZoneDomains(tld string) []string { return z.w.ZoneDomains(0, tld) }
 
-// publishDaily advances the gatekeeper one day per tick until the
-// archive is fully published.
-func publishDaily(ctx context.Context, gk *listserv.Gatekeeper, last toplist.Day, interval time.Duration) {
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for gk.LastVisible() < last {
-		select {
-		case <-ctx.Done():
-			return
-		case <-t.C:
-			next := gk.LastVisible() + 1
-			gk.Advance(next)
-			log.Printf("published day %v", next)
-		}
+// liveSink streams engine output into a served archive: snapshots go
+// into the gatekeeper's archive under its lock, and each completed day
+// becomes visible to HTTP readers at most once per interval. It is the
+// engine.DaySink wired up by -live.
+type liveSink struct {
+	ctx    context.Context
+	gk     *listserv.Gatekeeper
+	ticker *time.Ticker
+}
+
+func newLiveSink(ctx context.Context, gk *listserv.Gatekeeper, interval time.Duration) *liveSink {
+	return &liveSink{ctx: ctx, gk: gk, ticker: time.NewTicker(interval)}
+}
+
+func (s *liveSink) stop() { s.ticker.Stop() }
+
+// Put stores one snapshot; the day is not yet visible.
+func (s *liveSink) Put(provider string, day toplist.Day, l *toplist.List) error {
+	return s.gk.Put(provider, day, l)
+}
+
+// EndDay paces publication and then makes the finished day visible.
+// Cancelling the context aborts the engine run via the returned error.
+func (s *liveSink) EndDay(day toplist.Day) error {
+	select {
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	case <-s.ticker.C:
 	}
+	s.gk.Advance(day)
+	log.Printf("published day %v", day)
+	return nil
 }

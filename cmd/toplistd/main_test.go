@@ -21,47 +21,49 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 }
 
-func TestPublishDailyAdvancesToEnd(t *testing.T) {
+func TestLiveSinkStreamsAndPublishes(t *testing.T) {
 	arch := toplist.NewArchive(0, 3)
-	for d := toplist.Day(0); d <= 3; d++ {
-		if err := arch.Put("alexa", d, toplist.New([]string{"a.com"})); err != nil {
-			t.Fatal(err)
-		}
-	}
-	gk := listserv.NewGatekeeper(arch, 0)
+	arch.Expect("alexa")
+	gk := listserv.NewGatekeeper(arch, -1)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	done := make(chan struct{})
-	go func() {
-		publishDaily(ctx, gk, arch.Last(), time.Millisecond)
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		t.Fatal("publishDaily did not finish")
+	sink := newLiveSink(ctx, gk, time.Millisecond)
+	defer sink.stop()
+	for d := toplist.Day(0); d <= 3; d++ {
+		if err := sink.Put("alexa", d, toplist.New([]string{"a.com"})); err != nil {
+			t.Fatal(err)
+		}
+		// The snapshot is stored but not yet visible to readers.
+		if got := gk.LastVisible(); got >= d {
+			t.Fatalf("day %v visible before EndDay (LastVisible=%v)", d, got)
+		}
+		if err := sink.EndDay(d); err != nil {
+			t.Fatal(err)
+		}
+		if got := gk.LastVisible(); got != d {
+			t.Fatalf("LastVisible = %v after EndDay(%v)", got, d)
+		}
 	}
-	if gk.LastVisible() != 3 {
-		t.Fatalf("LastVisible = %v, want 3", gk.LastVisible())
+	if !arch.Complete() {
+		t.Fatal("streamed archive incomplete")
 	}
 }
 
-func TestPublishDailyStopsOnCancel(t *testing.T) {
+func TestLiveSinkStopsOnCancel(t *testing.T) {
 	arch := toplist.NewArchive(0, 1000)
-	if err := arch.Put("alexa", 0, toplist.New([]string{"a.com"})); err != nil {
-		t.Fatal(err)
-	}
-	gk := listserv.NewGatekeeper(arch, 0)
+	gk := listserv.NewGatekeeper(arch, -1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	done := make(chan struct{})
-	go func() {
-		publishDaily(ctx, gk, arch.Last(), time.Hour)
-		close(done)
-	}()
+	sink := newLiveSink(ctx, gk, time.Hour)
+	defer sink.stop()
+	done := make(chan error, 1)
+	go func() { done <- sink.EndDay(0) }()
 	select {
-	case <-done:
+	case err := <-done:
+		if err == nil {
+			t.Fatal("EndDay on cancelled context should error")
+		}
 	case <-time.After(2 * time.Second):
-		t.Fatal("publishDaily ignored cancellation")
+		t.Fatal("EndDay ignored cancellation")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/population"
 	"repro/internal/providers"
@@ -29,6 +30,11 @@ type Scale struct {
 	HeadSize int
 	// BurnInDays warms the provider windows before day 0.
 	BurnInDays int
+	// Workers is the engine parallelism: 0 uses every core
+	// (GOMAXPROCS), 1 forces the serial reference path. The archive is
+	// bitwise identical either way (internal/engine's equivalence
+	// tests pin this); the knob only trades wall-clock.
+	Workers int
 }
 
 // TestScale is the fast scale used by tests and benchmarks.
@@ -61,6 +67,9 @@ func (s Scale) Validate() error {
 	if s.ListSize < 10 || s.HeadSize < 1 || s.HeadSize >= s.ListSize {
 		return fmt.Errorf("core: bad list/head sizes %d/%d", s.ListSize, s.HeadSize)
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", s.Workers)
+	}
 	return nil
 }
 
@@ -75,8 +84,30 @@ type Study struct {
 	Campaign *measure.Campaign
 }
 
-// Run builds the world, generates the archive, and prepares the
-// analysis layers.
+// NewEngine builds the world and a simulation engine for it, for
+// callers that stream snapshots day by day (cmd/toplistd -live)
+// instead of materialising a Study. The engine covers
+// s.Population.Days days.
+func NewEngine(s Scale) (*population.World, *engine.Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w, err := population.Build(s.Population)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := traffic.NewModel(w)
+	opts := providers.DefaultOptions(s.Population.Days, s.ListSize)
+	opts.BurnInDays = s.BurnInDays
+	g, err := providers.NewGenerator(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, engine.New(g, engine.Config{Workers: s.Workers}), nil
+}
+
+// Run builds the world, generates the archive (concurrently, per
+// s.Workers), and prepares the analysis layers.
 func Run(s Scale) (*Study, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -92,7 +123,7 @@ func Run(s Scale) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	arch, err := g.Run(s.Population.Days)
+	arch, err := engine.Run(g, s.Population.Days, engine.Config{Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,163 @@
+// Package engine owns the simulation loop: burn the provider windows
+// in, step each simulated day, and stream the day's snapshots into a
+// SnapshotSink. It is the concurrent spine of the system — the loop
+// that used to be hardcoded in core.Run and providers.Generator.Run —
+// and is concurrent at three levels:
+//
+//  1. the hot per-domain loops (signal synthesis, per-base score
+//     aggregation, EMA updates) are sharded across workers inside
+//     providers.Generator.StepDay;
+//  2. the three providers step and rank concurrently per day (their
+//     window states are fully independent);
+//  3. snapshots stream to the sink from a writer goroutine, so sink
+//     I/O (in-memory archiving, HTTP publication, CSV writing)
+//     overlaps the next day's stepping.
+//
+// Workers = 1 selects the legacy serial path, kept as the reference
+// implementation; every concurrent level is constructed to be bitwise
+// identical to it (fixed shard boundaries, per-accumulator addition
+// order preserved, fixed provider emit order), which the equivalence
+// tests assert.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/providers"
+	"repro/internal/toplist"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the parallelism level: 1 runs the legacy serial
+	// reference path, anything < 1 means GOMAXPROCS.
+	Workers int
+}
+
+// SnapshotSink is re-exported from toplist for callers wiring sinks to
+// the engine; toplist.Archive is the materialising implementation.
+type SnapshotSink = toplist.SnapshotSink
+
+// DaySink is an optional SnapshotSink extension: after all of a day's
+// snapshots have been Put, the engine calls EndDay once. Sinks use it
+// as a day barrier — e.g. to publish the finished day to readers, or
+// to pace a live collection.
+type DaySink interface {
+	SnapshotSink
+	EndDay(day toplist.Day) error
+}
+
+// SinkFunc adapts a function to a SnapshotSink.
+type SinkFunc func(provider string, day toplist.Day, l *toplist.List) error
+
+// Put calls f.
+func (f SinkFunc) Put(provider string, day toplist.Day, l *toplist.List) error {
+	return f(provider, day, l)
+}
+
+// Engine drives one generator through the simulated calendar.
+type Engine struct {
+	g   *providers.Generator
+	cfg Config
+}
+
+// New builds an engine around a generator.
+func New(g *providers.Generator, cfg Config) *Engine {
+	return &Engine{g: g, cfg: cfg}
+}
+
+// Providers returns the provider names the engine emits, in the fixed
+// output order — what an archive sink should Expect.
+func (e *Engine) Providers() []string { return e.g.EnabledProviders() }
+
+// Run generates days [0, days), burn-in included, streaming every
+// snapshot into sink in deterministic order: days ascending, and
+// within a day the fixed provider order (Alexa, Umbrella, Majestic).
+// The first sink error stops the run and is returned.
+func (e *Engine) Run(days int, sink SnapshotSink) error {
+	if days < 1 {
+		return fmt.Errorf("engine: days must be >= 1, got %d", days)
+	}
+	if sink == nil {
+		return fmt.Errorf("engine: nil sink")
+	}
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = parallel.Workers(workers)
+	}
+	g := e.g
+	for d := -g.Opts.BurnInDays; d < 0; d++ {
+		g.StepDay(d, workers)
+	}
+	emit := func(day toplist.Day, batch []toplist.Snapshot) error {
+		for _, s := range batch {
+			if err := sink.Put(s.Provider, s.Day, s.List); err != nil {
+				return err
+			}
+		}
+		if ds, ok := sink.(DaySink); ok {
+			return ds.EndDay(day)
+		}
+		return nil
+	}
+	if workers <= 1 {
+		for d := 0; d < days; d++ {
+			g.StepDay(d, 1)
+			if err := emit(toplist.Day(d), g.Snapshots(toplist.Day(d), 1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Concurrent path: a writer goroutine drains finished days so the
+	// sink's I/O overlaps stepping. The small channel buffer bounds
+	// how far generation may run ahead of a slow sink.
+	type dayBatch struct {
+		day   toplist.Day
+		snaps []toplist.Snapshot
+	}
+	batches := make(chan dayBatch, 2)
+	errc := make(chan error, 1)
+	go func() {
+		for b := range batches {
+			if err := emit(b.day, b.snaps); err != nil {
+				errc <- err
+				for range batches { // release the producer
+				}
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for d := 0; d < days; d++ {
+		select {
+		case err := <-errc:
+			// The writer only exits early on error; stop generating.
+			close(batches)
+			return err
+		default:
+		}
+		g.StepDay(d, workers)
+		batches <- dayBatch{toplist.Day(d), g.Snapshots(toplist.Day(d), workers)}
+	}
+	close(batches)
+	return <-errc
+}
+
+// Run builds the archive for days [0, days) with a fresh generator
+// drive — the drop-in replacement for providers.Generator.Run with a
+// concurrency knob. The archive's expected provider set is declared,
+// so Complete/Missing report absent providers too.
+func Run(g *providers.Generator, days int, cfg Config) (*toplist.Archive, error) {
+	if days < 1 {
+		return nil, fmt.Errorf("engine: days must be >= 1, got %d", days)
+	}
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	arch.Expect(g.EnabledProviders()...)
+	if err := New(g, cfg).Run(days, arch); err != nil {
+		return nil, err
+	}
+	return arch, nil
+}

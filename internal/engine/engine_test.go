@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+func testWorld(t testing.TB) (*traffic.Model, population.Config) {
+	t.Helper()
+	cfg := population.TestConfig()
+	cfg.Days = 16
+	cfg.Sites = 3000
+	cfg.BirthsPerDay = 25
+	w, err := population.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traffic.NewModel(w), cfg
+}
+
+func testOpts(days int) providers.Options {
+	opts := providers.DefaultOptions(days, 800)
+	opts.BurnInDays = 25
+	return opts
+}
+
+func generate(t testing.TB, m *traffic.Model, opts providers.Options, days, workers int) *toplist.Archive {
+	t.Helper()
+	g, err := providers.NewGenerator(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := Run(g, days, Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+// assertIdentical fails unless the two archives hold byte-identical
+// snapshots: same provider set, and for every provider and day the
+// same names in the same rank order with the same IDs.
+func assertIdentical(t *testing.T, want, got *toplist.Archive, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.SortedProviders(), got.SortedProviders()) {
+		t.Fatalf("%s: providers %v vs %v", label, want.SortedProviders(), got.SortedProviders())
+	}
+	if want.Days() != got.Days() {
+		t.Fatalf("%s: days %d vs %d", label, want.Days(), got.Days())
+	}
+	for _, p := range want.SortedProviders() {
+		for d := want.First(); d <= want.Last(); d++ {
+			wl, gl := want.Get(p, d), got.Get(p, d)
+			if wl == nil || gl == nil {
+				t.Fatalf("%s: %s %v: nil snapshot", label, p, d)
+			}
+			if !reflect.DeepEqual(wl.Names(), gl.Names()) {
+				t.Fatalf("%s: %s %v: names differ", label, p, d)
+			}
+			if !reflect.DeepEqual(wl.IDs(), gl.IDs()) {
+				t.Fatalf("%s: %s %v: IDs differ", label, p, d)
+			}
+		}
+	}
+}
+
+// TestEquivalenceSerialVsConcurrent is the PR's core guarantee: the
+// concurrent engine produces archives byte-identical to the Workers=1
+// serial reference path, for every provider and every day.
+func TestEquivalenceSerialVsConcurrent(t *testing.T) {
+	m, cfg := testWorld(t)
+	for _, workers := range []int{2, 3, 4, 8} {
+		serial := generate(t, m, testOpts(cfg.Days), cfg.Days, 1)
+		conc := generate(t, m, testOpts(cfg.Days), cfg.Days, workers)
+		assertIdentical(t, serial, conc, fmt.Sprintf("workers=%d", workers))
+		if !conc.Complete() {
+			t.Fatalf("workers=%d: archive incomplete", workers)
+		}
+	}
+}
+
+// TestEquivalenceWithLegacyRun pins the engine to the pre-engine
+// generator loop: providers.Generator.Run and the engine must agree.
+func TestEquivalenceWithLegacyRun(t *testing.T) {
+	m, cfg := testWorld(t)
+	g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := g.Run(cfg.Days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := generate(t, m, testOpts(cfg.Days), cfg.Days, 0)
+	assertIdentical(t, legacy, eng, "legacy-vs-engine")
+}
+
+// TestEquivalenceWithInjector covers the §7 manipulation path on all
+// three axes: the injected-name merge (DNS clients into Umbrella,
+// panel visitors into Alexa, backlinks into Majestic) must also be
+// independent of the worker count.
+func TestEquivalenceWithInjector(t *testing.T) {
+	m, cfg := testWorld(t)
+	mkInj := func(clients, queries float64) *traffic.Injector {
+		inj := traffic.NewInjector()
+		for d := -25; d < cfg.Days; d++ {
+			inj.Add("manipulated.example", d, clients, queries)
+		}
+		return inj
+	}
+	mkOpts := func() providers.Options {
+		opts := testOpts(cfg.Days)
+		opts.Injector = mkInj(9000, 90000)
+		opts.AlexaInjector = mkInj(200000, 600000)
+		opts.MajesticInjector = mkInj(150000, 0)
+		return opts
+	}
+	serial := generate(t, m, mkOpts(), cfg.Days, 1)
+	conc := generate(t, m, mkOpts(), cfg.Days, 4)
+	assertIdentical(t, serial, conc, "injector")
+	for _, p := range []string{providers.Alexa, providers.Umbrella, providers.Majestic} {
+		found := false
+		for d := toplist.Day(0); d <= serial.Last(); d++ {
+			if serial.Get(p, d).Contains("manipulated.example") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: injected name never entered the list", p)
+		}
+	}
+}
+
+// recordingSink records Put/EndDay order and can fail on demand.
+type recordingSink struct {
+	puts    []string
+	days    []toplist.Day
+	failPut int // fail the n-th Put (1-based; 0 = never)
+}
+
+func (s *recordingSink) Put(provider string, day toplist.Day, l *toplist.List) error {
+	s.puts = append(s.puts, fmt.Sprintf("%s/%d", provider, int(day)))
+	if s.failPut > 0 && len(s.puts) == s.failPut {
+		return errors.New("sink full")
+	}
+	if l == nil {
+		return errors.New("nil list")
+	}
+	return nil
+}
+
+func (s *recordingSink) EndDay(day toplist.Day) error {
+	s.days = append(s.days, day)
+	return nil
+}
+
+func TestStreamingOrderAndDayBarrier(t *testing.T) {
+	m, cfg := testWorld(t)
+	for _, workers := range []int{1, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &recordingSink{}
+		if err := New(g, Config{Workers: workers}).Run(cfg.Days, sink); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.days) != cfg.Days {
+			t.Fatalf("workers=%d: EndDay fired %d times, want %d", workers, len(sink.days), cfg.Days)
+		}
+		want := make([]string, 0, 3*cfg.Days)
+		for d := 0; d < cfg.Days; d++ {
+			if sink.days[d] != toplist.Day(d) {
+				t.Fatalf("workers=%d: day barrier order %v", workers, sink.days)
+			}
+			for _, p := range []string{providers.Alexa, providers.Umbrella, providers.Majestic} {
+				want = append(want, fmt.Sprintf("%s/%d", p, d))
+			}
+		}
+		if !reflect.DeepEqual(sink.puts, want) {
+			t.Fatalf("workers=%d: put order differs:\n got %v\nwant %v", workers, sink.puts, want)
+		}
+	}
+}
+
+func TestSinkErrorStopsRun(t *testing.T) {
+	m, cfg := testWorld(t)
+	for _, workers := range []int{1, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &recordingSink{failPut: 5}
+		err = New(g, Config{Workers: workers}).Run(cfg.Days, sink)
+		if err == nil || err.Error() != "sink full" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if len(sink.puts) != 5 {
+			t.Fatalf("workers=%d: %d puts after failure", workers, len(sink.puts))
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m, cfg := testWorld(t)
+	g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, 0, Config{}); err == nil {
+		t.Fatal("days=0 should fail")
+	}
+	if err := New(g, Config{}).Run(1, nil); err == nil {
+		t.Fatal("nil sink should fail")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // Env lazily materialises the study shared by the experiment drivers.
@@ -77,15 +79,59 @@ func Run(e *Env, id string) (*Result, error) {
 	return res, nil
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll(e *Env) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(e, id)
+// RunAll executes every experiment on a bounded worker pool sized to
+// GOMAXPROCS and returns the results in ID order. The drivers share
+// the environment's immutable study (each builds its own generators
+// and injectors for what-if runs), so they are safe to run
+// concurrently; the first failure in ID order is returned.
+func RunAll(e *Env) ([]*Result, error) { return RunAllWorkers(e, 0) }
+
+// RunAllWorkers is RunAll with an explicit pool size (< 1 means
+// GOMAXPROCS, 1 runs strictly serially in ID order).
+func RunAllWorkers(e *Env, workers int) ([]*Result, error) {
+	ids := IDs()
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	workers = parallel.Workers(workers)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i, id := range ids {
+			if results[i], errs[i] = Run(e, id); errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) || failed.Load() {
+					return
+				}
+				results[i], errs[i] = Run(e, ids[i])
+				if errs[i] != nil {
+					// Stop claiming new experiments; in-flight ones
+					// finish, matching the serial path's fail-fast
+					// behavior closely enough without cancellation
+					// plumbing through every driver.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return results, nil
 }

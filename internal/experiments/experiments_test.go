@@ -102,6 +102,24 @@ func TestRunAllOrder(t *testing.T) {
 			t.Fatalf("order: %s at %d, want %s", r.ID, i, ids[i])
 		}
 	}
+
+	// The pooled run must agree with a strictly serial run, driver by
+	// driver: same IDs in the same order, same rendered artifacts.
+	serial, err := RunAllWorkers(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(results) {
+		t.Fatalf("serial run returned %d results, pooled %d", len(serial), len(results))
+	}
+	for i := range serial {
+		if serial[i].ID != results[i].ID {
+			t.Fatalf("order diverges at %d: %s vs %s", i, serial[i].ID, results[i].ID)
+		}
+		if serial[i].Render() != results[i].Render() {
+			t.Fatalf("%s: pooled and serial renders differ", serial[i].ID)
+		}
+	}
 }
 
 func TestRenderAlignment(t *testing.T) {

@@ -113,6 +113,18 @@ func NewGatekeeper(archive *toplist.Archive, lastVisible toplist.Day) *Gatekeepe
 	return &Gatekeeper{archive: archive, visible: lastVisible}
 }
 
+// Put stores a snapshot in the underlying archive under the
+// gatekeeper's write lock, making the Gatekeeper a streaming
+// toplist.SnapshotSink: the simulation engine can publish days into a
+// live-served archive while HTTP readers keep going. Visibility does
+// not advance automatically; pair Put with Advance (typically from an
+// engine DaySink's EndDay) once a day is complete.
+func (g *Gatekeeper) Put(provider string, day toplist.Day, l *toplist.List) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.archive.Put(provider, day, l)
+}
+
 // Advance makes days up to d visible. It never retracts visibility.
 func (g *Gatekeeper) Advance(d toplist.Day) {
 	g.mu.Lock()

@@ -1,0 +1,86 @@
+// Package parallel provides the small deterministic fan-out primitives
+// the concurrent simulation engine is built from: contiguous range
+// sharding (For) and independent task groups (Do). Shard boundaries
+// depend only on (workers, n), never on scheduling, so callers that
+// merge per-shard partial results in shard order get run-to-run
+// deterministic output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: values < 1 mean "use
+// GOMAXPROCS", anything else is returned unchanged.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Shard returns the half-open range [lo, hi) of the i-th of workers
+// contiguous shards over n items. Shards differ in size by at most one
+// and depend only on (workers, n, i).
+func Shard(workers, n, i int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// For splits [0, n) into at most workers contiguous shards and runs fn
+// on each concurrently, returning when all shards are done. With
+// workers <= 1 (or n too small to split) fn runs inline over the whole
+// range, making the serial reference path allocation- and
+// scheduling-free.
+func For(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		lo, hi := Shard(workers, n, i)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	lo, hi := Shard(workers, n, 0)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// Do runs the given tasks concurrently and returns when all are done.
+// With one task (or fewer) it runs inline.
+func Do(tasks ...func()) {
+	switch len(tasks) {
+	case 0:
+		return
+	case 1:
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks) - 1)
+	for _, t := range tasks[1:] {
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	tasks[0]()
+	wg.Wait()
+}

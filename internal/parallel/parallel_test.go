@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{1, 2, 15, 16, 17, 1000} {
+			if workers > n {
+				continue
+			}
+			prev := 0
+			for i := 0; i < workers; i++ {
+				lo, hi := Shard(workers, n, i)
+				if lo != prev {
+					t.Fatalf("workers=%d n=%d shard %d: lo=%d want %d", workers, n, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("workers=%d n=%d shard %d: hi<lo", workers, n, i)
+				}
+				if d := hi - lo; d != n/workers && d != n/workers+1 {
+					t.Fatalf("workers=%d n=%d shard %d: size %d", workers, n, i, d)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("workers=%d n=%d: shards end at %d", workers, n, prev)
+			}
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 9} {
+		const n = 257
+		counts := make([]int32, n)
+		For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndOversubscribed(t *testing.T) {
+	ran := false
+	For(8, 0, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("For on empty range ran fn")
+	}
+	var total int32
+	For(64, 3, func(lo, hi int) { atomic.AddInt32(&total, int32(hi-lo)) })
+	if total != 3 {
+		t.Fatalf("oversubscribed For covered %d items", total)
+	}
+}
+
+func TestDo(t *testing.T) {
+	Do() // no-op
+	var total int32
+	Do(
+		func() { atomic.AddInt32(&total, 1) },
+		func() { atomic.AddInt32(&total, 2) },
+		func() { atomic.AddInt32(&total, 4) },
+	)
+	if total != 7 {
+		t.Fatalf("Do total = %d", total)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
+	"repro/internal/population"
 	"repro/internal/toplist"
 	"repro/internal/traffic"
 )
@@ -120,36 +122,42 @@ func NewGenerator(m *traffic.Model, opts Options) (*Generator, error) {
 		return nil, err
 	}
 	g := &Generator{Model: m, Opts: opts}
-	g.alexa = newWebRanker(m, traffic.AxisWeb, opts.AlexaAlphaPre, opts.AlexaInjector)
-	g.majestic = newWebRanker(m, traffic.AxisLink, opts.MajesticAlpha, opts.MajesticInjector)
+	buckets := newBaseBuckets(m.W)
+	g.alexa = newWebRanker(m, traffic.AxisWeb, opts.AlexaAlphaPre, opts.AlexaInjector, buckets)
+	g.majestic = newWebRanker(m, traffic.AxisLink, opts.MajesticAlpha, opts.MajesticInjector, buckets)
 	g.umbrella = newDNSRanker(m, opts)
 	return g, nil
 }
 
+// EnabledProviders returns the providers this generator emits, in the
+// fixed output order (Alexa, Umbrella, Majestic).
+func (g *Generator) EnabledProviders() []string {
+	out := make([]string, 0, 3)
+	for _, p := range []string{Alexa, Umbrella, Majestic} {
+		if g.Opts.enabled(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Run generates the archive for days [0, days): burn-in first, then one
-// snapshot per provider per day.
+// snapshot per provider per day. It is the serial reference
+// implementation; internal/engine drives the same stepping API
+// concurrently and must stay byte-identical to it.
 func (g *Generator) Run(days int) (*toplist.Archive, error) {
 	if days < 1 {
 		return nil, fmt.Errorf("providers: days must be >= 1")
 	}
 	for d := -g.Opts.BurnInDays; d < 0; d++ {
-		g.step(d)
+		g.StepDay(d, 1)
 	}
 	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	arch.Expect(g.EnabledProviders()...)
 	for d := 0; d < days; d++ {
-		g.step(d)
-		lists := make(map[string]*toplist.List, 3)
-		if g.Opts.enabled(Alexa) {
-			lists[Alexa] = g.alexa.list(g.Opts.ListSize)
-		}
-		if g.Opts.enabled(Umbrella) {
-			lists[Umbrella] = g.umbrella.list(g.Opts.ListSize)
-		}
-		if g.Opts.enabled(Majestic) {
-			lists[Majestic] = g.majestic.list(g.Opts.ListSize)
-		}
-		for name, l := range lists {
-			if err := arch.Put(name, toplist.Day(d), l); err != nil {
+		g.StepDay(d, 1)
+		for _, s := range g.Snapshots(toplist.Day(d), 1) {
+			if err := arch.Put(s.Provider, s.Day, s.List); err != nil {
 				return nil, err
 			}
 		}
@@ -157,32 +165,106 @@ func (g *Generator) Run(days int) (*toplist.Archive, error) {
 	return arch, nil
 }
 
-// step advances all enabled providers to day d.
-func (g *Generator) step(d int) {
+// StepDay advances all enabled providers to day d. With workers > 1
+// the three providers step concurrently (their EMA states are fully
+// independent) and each shards its per-domain loops across workers;
+// the result is bitwise identical to workers == 1 because every score
+// accumulator still sums the same values in the same order.
+func (g *Generator) StepDay(d, workers int) {
 	if g.Opts.AlexaChangeDay >= 0 && d == g.Opts.AlexaChangeDay {
 		g.alexa.alpha = g.Opts.AlexaAlphaPost
 	}
+	tasks := make([]func(), 0, 3)
 	if g.Opts.enabled(Alexa) {
-		g.alexa.step(d)
+		tasks = append(tasks, func() { g.alexa.step(d, workers) })
 	}
 	if g.Opts.enabled(Majestic) {
-		g.majestic.step(d)
+		tasks = append(tasks, func() { g.majestic.step(d, workers) })
 	}
 	if g.Opts.enabled(Umbrella) {
-		g.umbrella.step(d)
+		tasks = append(tasks, func() { g.umbrella.step(d, workers) })
 	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	parallel.Do(tasks...)
+}
+
+// Snapshots generates the enabled providers' lists for day, in the
+// fixed output order. With workers > 1 the per-provider top-K
+// selections run concurrently.
+func (g *Generator) Snapshots(day toplist.Day, workers int) []toplist.Snapshot {
+	out := make([]toplist.Snapshot, 0, 3)
+	gen := make([]func(), 0, 3)
+	add := func(provider string, list func(int) *toplist.List) {
+		out = append(out, toplist.Snapshot{Provider: provider, Day: day})
+		s := &out[len(out)-1]
+		gen = append(gen, func() { s.List = list(g.Opts.ListSize) })
+	}
+	if g.Opts.enabled(Alexa) {
+		add(Alexa, g.alexa.list)
+	}
+	if g.Opts.enabled(Umbrella) {
+		add(Umbrella, g.umbrella.list)
+	}
+	if g.Opts.enabled(Majestic) {
+		add(Majestic, g.majestic.list)
+	}
+	if workers <= 1 {
+		for _, fn := range gen {
+			fn()
+		}
+		return out
+	}
+	parallel.Do(gen...)
+	return out
 }
 
 // --- base-domain web/link ranker (Alexa, Majestic) --------------------
+
+// baseBuckets maps every base-domain slot to its member record indices
+// (the base itself plus its subdomains) in ascending order, in CSR
+// form. It lets per-base aggregation be sharded across workers while
+// reproducing the serial accumulation order exactly: each slot's sum
+// visits the same record indices ascending, so the floating-point
+// result is bitwise identical to the serial loop. The layout is a pure
+// function of the immutable world and is shared by all rankers over it.
+type baseBuckets struct {
+	start   []int    // len = W.Len()+1; members of slot b are ids[start[b]:start[b+1]]
+	members []uint32 // record indices, ascending within each slot
+}
+
+func newBaseBuckets(w *population.World) *baseBuckets {
+	n := w.Len()
+	start := make([]int, n+1)
+	for i := range w.Domains {
+		start[w.Domains[i].BaseID+1]++
+	}
+	for b := 0; b < n; b++ {
+		start[b+1] += start[b]
+	}
+	members := make([]uint32, n)
+	fill := make([]int, n)
+	for i := range w.Domains {
+		b := w.Domains[i].BaseID
+		members[start[b]+fill[b]] = uint32(i)
+		fill[b]++
+	}
+	return &baseBuckets{start: start, members: members}
+}
 
 // webRanker aggregates an axis signal per base domain and ranks bases
 // by an EMA of it. An optional injector merges synthetic external
 // activity (the §7 manipulation experiments) under the same window.
 type webRanker struct {
-	m     *traffic.Model
-	axis  traffic.Axis
-	alpha float64
-	inj   *traffic.Injector
+	m       *traffic.Model
+	axis    traffic.Axis
+	alpha   float64
+	inj     *traffic.Injector
+	buckets *baseBuckets
 	// convert maps injected client counts (panel visitors / referring
 	// subnets) into the axis's latent signal units.
 	convert func(float64) float64
@@ -194,7 +276,7 @@ type webRanker struct {
 	started bool
 }
 
-func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traffic.Injector) *webRanker {
+func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traffic.Injector, buckets *baseBuckets) *webRanker {
 	n := m.W.Len()
 	convert := func(v float64) float64 { return v }
 	switch axis {
@@ -208,6 +290,7 @@ func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traff
 		axis:    axis,
 		alpha:   alpha,
 		inj:     inj,
+		buckets: buckets,
 		convert: convert,
 		sig:     make([]float64, n),
 		score:   make([]float64, n),
@@ -216,14 +299,32 @@ func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traff
 	}
 }
 
-func (r *webRanker) step(day int) {
-	r.sig = r.m.Signal(r.axis, day, r.sig)
-	for i := range r.score {
-		r.score[i] = 0
-	}
-	for i := range r.m.W.Domains {
-		bid := r.m.W.Domains[i].BaseID
-		r.score[bid] += r.sig[i]
+func (r *webRanker) step(day, workers int) {
+	n := len(r.sig)
+	parallel.For(workers, n, func(lo, hi int) {
+		r.m.SignalRange(r.axis, day, r.sig, lo, hi)
+	})
+	if workers <= 1 {
+		// Serial reference path: direct accumulation over records.
+		for i := range r.score {
+			r.score[i] = 0
+		}
+		for i := range r.m.W.Domains {
+			bid := r.m.W.Domains[i].BaseID
+			r.score[bid] += r.sig[i]
+		}
+	} else {
+		// Sharded over the base-slot space; each slot sums its members
+		// in the same ascending order the serial loop visits them.
+		parallel.For(workers, n, func(lo, hi int) {
+			for b := lo; b < hi; b++ {
+				var s float64
+				for _, i := range r.buckets.members[r.buckets.start[b]:r.buckets.start[b+1]] {
+					s += r.sig[i]
+				}
+				r.score[b] = s
+			}
+		})
 	}
 	if !r.started {
 		copy(r.ema, r.score)
@@ -232,9 +333,11 @@ func (r *webRanker) step(day int) {
 		return
 	}
 	a := r.alpha
-	for i := range r.ema {
-		r.ema[i] = (1-a)*r.ema[i] + a*r.score[i]
-	}
+	parallel.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.ema[i] = (1-a)*r.ema[i] + a*r.score[i]
+		}
+	})
 	stepExtras(r.extra, r.injectionsFor(day), a, r.convert)
 }
 
@@ -352,21 +455,26 @@ func newDNSRanker(m *traffic.Model, opts Options) *dnsRanker {
 // score under the volume-ranking ablation.
 const queriesPerClient = 12.0
 
-func (r *dnsRanker) step(day int) {
-	r.sig = r.m.Signal(traffic.AxisDNS, day, r.sig)
+func (r *dnsRanker) step(day, workers int) {
+	n := len(r.sig)
 	a := r.opts.UmbrellaAlpha
-	for i, s := range r.sig {
-		clients := r.m.UniqueClients(s)
-		score := clients
-		if r.opts.UmbrellaVolumeRanking {
-			score = clients * queriesPerClient
+	// Signal fill and the per-record EMA update are elementwise, so
+	// sharding them changes nothing about the arithmetic.
+	parallel.For(workers, n, func(lo, hi int) {
+		r.m.SignalRange(traffic.AxisDNS, day, r.sig, lo, hi)
+		for i := lo; i < hi; i++ {
+			clients := r.m.UniqueClients(r.sig[i])
+			score := clients
+			if r.opts.UmbrellaVolumeRanking {
+				score = clients * queriesPerClient
+			}
+			if !r.started {
+				r.ema[i] = score
+			} else {
+				r.ema[i] = (1-a)*r.ema[i] + a*score
+			}
 		}
-		if !r.started {
-			r.ema[i] = score
-		} else {
-			r.ema[i] = (1-a)*r.ema[i] + a*score
-		}
-	}
+	})
 	// Injected names: anything not injected today decays toward zero.
 	var today map[string]traffic.Injection
 	if r.opts.Injector != nil {

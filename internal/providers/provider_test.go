@@ -477,7 +477,7 @@ func BenchmarkGeneratorStep(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.step(i)
+		g.StepDay(i, 1)
 	}
 }
 

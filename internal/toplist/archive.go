@@ -12,13 +12,28 @@ type Snapshot struct {
 	List     *List
 }
 
+// SnapshotSink receives snapshots as they are produced. It is the
+// streaming contract between the simulation engine and whatever stores
+// or forwards lists: Archive materialises them in memory,
+// listserv.Gatekeeper publishes them over HTTP while the run is still
+// going, and cmd/collectd writes them to disk. Put is called once per
+// (provider, day) in day order; implementations need not be safe for
+// concurrent use — the engine serialises calls.
+type SnapshotSink interface {
+	Put(provider string, day Day, l *List) error
+}
+
 // Archive holds daily snapshots for multiple providers over a contiguous
-// day range — the analog of the paper's JOINT dataset.
+// day range — the analog of the paper's JOINT dataset. It implements
+// SnapshotSink.
 type Archive struct {
 	first, last Day
 	byProvider  map[string][]*List // index: day - first
 	providers   []string           // insertion order
+	expected    []string           // providers Complete/Missing require
 }
+
+var _ SnapshotSink = (*Archive)(nil)
 
 // NewArchive creates an empty archive spanning days [first, last].
 func NewArchive(first, last Day) *Archive {
@@ -70,16 +85,67 @@ func (a *Archive) Get(provider string, day Day) *List {
 	return lists[int(day-a.first)]
 }
 
-// Complete reports whether every provider has a list for every day.
-func (a *Archive) Complete() bool {
-	for _, lists := range a.byProvider {
-		for _, l := range lists {
+// Expect declares the providers the archive must contain for
+// Complete to hold; Missing reports gaps against this set. Calling it
+// again replaces the previous expectation. Without it, Complete and
+// Missing only consider providers that have actually been inserted.
+func (a *Archive) Expect(providers ...string) {
+	a.expected = append([]string(nil), providers...)
+}
+
+// Expected returns the declared provider set (nil when none was
+// declared).
+func (a *Archive) Expected() []string {
+	return append([]string(nil), a.expected...)
+}
+
+// Missing returns one stub Snapshot (nil List) for every (provider,
+// day) slot that should hold a list but does not: every day of every
+// inserted provider, plus — when Expect was called — every day of each
+// expected provider that was never inserted at all. The result is
+// ordered by provider (expected set first, in declared order, then any
+// extra inserted providers in insertion order) and day ascending. Note
+// an archive with no insertions and no expectations has nothing it
+// knows to be owed: Missing() is empty there even though Complete() is
+// false (which additionally requires at least one provider).
+func (a *Archive) Missing() []Snapshot {
+	var out []Snapshot
+	seen := make(map[string]bool, len(a.expected))
+	scan := func(p string) {
+		lists := a.byProvider[p]
+		if lists == nil {
+			for d := a.first; d <= a.last; d++ {
+				out = append(out, Snapshot{Provider: p, Day: d})
+			}
+			return
+		}
+		for i, l := range lists {
 			if l == nil {
-				return false
+				out = append(out, Snapshot{Provider: p, Day: a.first + Day(i)})
 			}
 		}
 	}
-	return len(a.byProvider) > 0
+	for _, p := range a.expected {
+		seen[p] = true
+		scan(p)
+	}
+	for _, p := range a.providers {
+		if !seen[p] {
+			scan(p)
+		}
+	}
+	return out
+}
+
+// Complete reports whether the archive holds every snapshot it should:
+// no Missing slots, and at least one provider present. Note the
+// contract: without a prior Expect call this only guarantees that the
+// providers *inserted so far* are gap-free — a generator that never
+// inserted a provider at all goes undetected. Callers that know the
+// full provider set (the engine does) should declare it with Expect so
+// absent providers count as incomplete too.
+func (a *Archive) Complete() bool {
+	return len(a.byProvider) > 0 && len(a.Missing()) == 0
 }
 
 // EachDay calls fn for every day in range, in order.

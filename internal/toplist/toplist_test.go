@@ -195,6 +195,85 @@ func TestArchive(t *testing.T) {
 	}
 }
 
+func TestArchiveExpectAndMissing(t *testing.T) {
+	a := NewArchive(0, 1)
+	l := New([]string{"a.com"})
+
+	// Without Expect, an empty archive is incomplete but reports no
+	// concrete gaps (nothing is known to be owed).
+	if a.Complete() {
+		t.Fatal("empty archive reported complete")
+	}
+	if m := a.Missing(); len(m) != 0 {
+		t.Fatalf("empty archive without expectations missing %v", m)
+	}
+
+	a.Expect("alexa", "umbrella")
+	if got := a.Expected(); len(got) != 2 || got[0] != "alexa" || got[1] != "umbrella" {
+		t.Fatalf("expected %v", got)
+	}
+	// All four (provider, day) slots are owed, expected order first.
+	m := a.Missing()
+	if len(m) != 4 {
+		t.Fatalf("missing %v", m)
+	}
+	if m[0].Provider != "alexa" || m[0].Day != 0 || m[3].Provider != "umbrella" || m[3].Day != 1 {
+		t.Fatalf("missing order %v", m)
+	}
+
+	_ = a.Put("alexa", 0, l)
+	_ = a.Put("alexa", 1, l)
+	_ = a.Put("umbrella", 0, l)
+	// Pre-fix Complete() would have been fooled by a fully absent
+	// provider; with Expect a single missing day is still caught.
+	if a.Complete() {
+		t.Fatal("archive missing umbrella day 1 reported complete")
+	}
+	m = a.Missing()
+	if len(m) != 1 || m[0].Provider != "umbrella" || m[0].Day != 1 || m[0].List != nil {
+		t.Fatalf("missing %v", m)
+	}
+
+	_ = a.Put("umbrella", 1, l)
+	if !a.Complete() || len(a.Missing()) != 0 {
+		t.Fatal("full archive reported incomplete")
+	}
+
+	// Un-expected providers that were inserted still count.
+	_ = a.Put("majestic", 0, l)
+	if a.Complete() {
+		t.Fatal("gappy extra provider reported complete")
+	}
+	m = a.Missing()
+	if len(m) != 1 || m[0].Provider != "majestic" || m[0].Day != 1 {
+		t.Fatalf("missing %v", m)
+	}
+}
+
+func TestArchiveExpectAbsentProvider(t *testing.T) {
+	a := NewArchive(0, 0)
+	l := New([]string{"a.com"})
+	_ = a.Put("alexa", 0, l)
+	if !a.Complete() {
+		t.Fatal("gap-free archive without expectations should be complete")
+	}
+	a.Expect("alexa", "majestic")
+	if a.Complete() {
+		t.Fatal("archive lacking an expected provider reported complete")
+	}
+	m := a.Missing()
+	if len(m) != 1 || m[0].Provider != "majestic" || m[0].Day != 0 {
+		t.Fatalf("missing %v", m)
+	}
+}
+
+func TestArchiveIsSnapshotSink(t *testing.T) {
+	var sink SnapshotSink = NewArchive(0, 0)
+	if err := sink.Put("alexa", 0, New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestArchiveSortedProviders(t *testing.T) {
 	a := NewArchive(0, 0)
 	l := New([]string{"a.com"})

@@ -116,12 +116,19 @@ func (m *Model) Signal(axis Axis, day int, dst []float64) []float64 {
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
-	weekend := toplist.Day(day).IsWeekend()
-	for i := range m.W.Domains {
-		d := &m.W.Domains[i]
-		dst[i] = m.domainSignal(d, axis, day, weekend)
-	}
+	m.SignalRange(axis, day, dst, 0, n)
 	return dst
+}
+
+// SignalRange fills dst[lo:hi] with the per-domain activity for the
+// axis on day. Each element is a pure function of (domain, axis, day),
+// so disjoint ranges may be filled concurrently; the concurrent engine
+// shards the full range across workers this way.
+func (m *Model) SignalRange(axis Axis, day int, dst []float64, lo, hi int) {
+	weekend := toplist.Day(day).IsWeekend()
+	for i := lo; i < hi; i++ {
+		dst[i] = m.domainSignal(&m.W.Domains[i], axis, day, weekend)
+	}
 }
 
 // DomainSignal returns the activity of a single domain.

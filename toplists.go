@@ -21,8 +21,10 @@ package toplists
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/providers"
+	"repro/internal/toplist"
 )
 
 // Scale bundles the simulation sizing knobs (population, list size,
@@ -49,8 +51,30 @@ func TestScale() Scale { return core.TestScale() }
 // DefaultScale returns the EXPERIMENTS.md scale.
 func DefaultScale() Scale { return core.DefaultScale() }
 
+// SnapshotSink receives snapshots as the simulation engine produces
+// them; see Stream.
+type SnapshotSink = toplist.SnapshotSink
+
+// SinkFunc adapts a function to a SnapshotSink.
+type SinkFunc = engine.SinkFunc
+
 // Simulate builds the world and generates the daily snapshot archive.
+// Generation runs on the concurrent engine; set Scale.Workers to 1 to
+// force the serial reference path (the output is identical).
 func Simulate(s Scale) (*Study, error) { return core.Run(s) }
+
+// Stream builds the world and streams every daily snapshot into sink
+// as it is generated — days ascending, providers in Alexa, Umbrella,
+// Majestic order within a day — instead of materialising a Study.
+// Consumers that want a day barrier can also implement
+// EndDay(toplist.Day) error (see internal/engine.DaySink).
+func Stream(s Scale, sink SnapshotSink) error {
+	_, eng, err := core.NewEngine(s)
+	if err != nil {
+		return err
+	}
+	return eng.Run(s.Population.Days, sink)
+}
 
 // ExperimentIDs lists every reproducible table/figure ID.
 func ExperimentIDs() []string { return experiments.IDs() }

@@ -3,6 +3,8 @@ package toplists
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/toplist"
 )
 
 func TestPublicAPI(t *testing.T) {
@@ -44,6 +46,33 @@ func TestLabRunsExperiment(t *testing.T) {
 	}
 	if _, err := l.Study(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStreamDeliversEverySnapshot(t *testing.T) {
+	scale := TestScale()
+	scale.Population.Days = 10
+	scale.BurnInDays = 15
+	got := make(map[string]int)
+	var lastDay toplist.Day
+	err := Stream(scale, SinkFunc(func(provider string, day toplist.Day, l *toplist.List) error {
+		got[provider]++
+		lastDay = day
+		if l.Len() != scale.ListSize {
+			t.Fatalf("%s day %v: list size %d", provider, day, l.Len())
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{Alexa, Umbrella, Majestic} {
+		if got[p] != 10 {
+			t.Fatalf("%s delivered %d days", p, got[p])
+		}
+	}
+	if lastDay != 9 {
+		t.Fatalf("last day %d", lastDay)
 	}
 }
 
