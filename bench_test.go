@@ -1,6 +1,7 @@
 package toplists
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,7 +26,7 @@ var (
 func lab(b *testing.B) *Lab {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchLab = NewLab(TestScale())
+		benchLab = NewLab(WithScale(TestScale()))
 		if _, err := benchLab.Study(); err != nil {
 			panic(err)
 		}
@@ -37,7 +38,7 @@ func benchExperiment(b *testing.B, id string) {
 	l := lab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := l.Run(id)
+		res, err := l.Run(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkSimulate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(scale); err != nil {
+		if _, err := Simulate(context.Background(), WithScale(scale)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkEngine(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			if _, err := engine.Run(g, scale.Population.Days, engine.Config{Workers: workers}); err != nil {
+			if _, err := engine.Run(context.Background(), g, scale.Population.Days, engine.Config{Workers: workers}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -159,7 +160,7 @@ func BenchmarkRunAll(b *testing.B) {
 	l := lab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := l.RunAll()
+		results, err := l.RunAll(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 // Command collectd is the longitudinal collector behind the paper's
 // §4 dataset: pointed at a snapshot publisher (cmd/toplistd or any
 // server speaking the same routes), it downloads every provider's
-// daily CSV it has not stored yet and writes them to disk as
-// <provider>-<date>.csv — exactly the archive layout researchers
-// shared with the authors. Run it with -interval to keep following a
-// live publisher, or -once for a single catch-up pass.
+// daily CSV it has not stored yet and persists it into a durable
+// toplist.DiskStore — gzip snapshots plus a manifest, the same layout
+// `toplists -save` writes, so a collected archive reopens with
+// toplist.OpenArchive and feeds experiments without any HTTP hop or
+// resimulation. Run it with -interval to keep following a live
+// publisher, or -once for a single catch-up pass.
 //
 // Usage:
 //
@@ -37,13 +39,10 @@ func main() {
 func run(args []string, logw io.Writer) error {
 	fs := flag.NewFlagSet("collectd", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8080", "publisher base URL")
-	outDir := fs.String("out", "archive", "output directory for CSV snapshots")
+	outDir := fs.String("out", "archive", "archive directory (toplist.DiskStore layout)")
 	once := fs.Bool("once", false, "catch up and exit instead of following")
 	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
 	logger := log.New(logw, "collectd: ", log.LstdFlags)
@@ -76,9 +75,10 @@ func run(args []string, logw io.Writer) error {
 }
 
 // collectOnce downloads every published snapshot not yet on disk and
-// returns how many files it wrote. Because a live publisher streams
-// days out of a still-running simulation, each pass picks up exactly
-// the days published since the last one.
+// returns how many it wrote. Because a live publisher streams days out
+// of a still-running simulation, each pass picks up exactly the days
+// published since the last one; the store's covered range extends as
+// the publisher's index advances.
 func collectOnce(ctx context.Context, client *listserv.Client, outDir string, logger *log.Logger) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
@@ -92,11 +92,17 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 	if err != nil {
 		return 0, fmt.Errorf("bad index last_day: %w", err)
 	}
-	sink := dirSink{dir: outDir}
+	store, err := openStore(outDir, first, last)
+	if err != nil {
+		return 0, err
+	}
+	if err := store.Expect(idx.Providers...); err != nil {
+		return 0, err
+	}
 	written := 0
 	for _, provider := range idx.Providers {
 		for d := first; d <= last; d++ {
-			if sink.has(provider, d) {
+			if store.Has(provider, d) {
 				continue // already collected
 			}
 			list, err := client.FetchDay(ctx, provider, d)
@@ -107,7 +113,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 			if err != nil {
 				return written, err
 			}
-			if err := sink.Put(provider, d, list); err != nil {
+			if err := store.Put(provider, d, list); err != nil {
 				return written, err
 			}
 			written++
@@ -119,44 +125,25 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 	return written, nil
 }
 
-// dirSink is the collector's storage layer as a toplist.SnapshotSink:
-// one <provider>-<date>.csv per snapshot, the archive layout
-// researchers shared with the authors. Since it satisfies the same
-// interface the simulation engine streams into, the identical on-disk
-// archive can also be produced without the HTTP hop by handing a
-// dirSink straight to engine.Run.
-type dirSink struct {
-	dir string
-}
-
-var _ toplist.SnapshotSink = dirSink{}
-
-func (s dirSink) path(provider string, day toplist.Day) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.csv", provider, day))
-}
-
-// has reports whether the snapshot is already on disk.
-func (s dirSink) has(provider string, day toplist.Day) bool {
-	_, err := os.Stat(s.path(provider, day))
-	return err == nil
-}
-
-// Put writes one snapshot atomically (temp file + rename), so a
-// crashed pass never leaves a partial CSV visible.
-func (s dirSink) Put(provider string, day toplist.Day, list *toplist.List) error {
-	path := s.path(provider, day)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+// openStore opens the durable archive at dir, creating it on the first
+// pass and extending its covered range as the publisher's index
+// advances. The store is the same toplist.DiskStore the simulation
+// engine can stream into directly, so the identical on-disk archive
+// can also be produced without the HTTP hop by handing it to
+// engine.Run — and either way it reopens with toplist.OpenArchive.
+func openStore(dir string, first, last toplist.Day) (*toplist.DiskStore, error) {
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		return toplist.CreateDiskStore(dir, first, last)
+	}
+	store, err := toplist.OpenArchive(dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	err = toplist.WriteCSV(f, list)
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	if err := store.ExtendTo(last); err != nil {
+		return nil, err
 	}
-	if err != nil {
-		os.Remove(tmp) //nolint:errcheck
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store, nil
 }

@@ -6,7 +6,6 @@ import (
 	"io"
 	"log"
 	"net/http/httptest"
-	"os"
 	"path/filepath"
 	"testing"
 
@@ -37,10 +36,11 @@ func publisher(t *testing.T, days int) (*httptest.Server, *toplist.Archive, *lis
 
 func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
 
-// TestDirSinkStreamsFromEngine produces the collector's on-disk
-// archive layout straight from the simulation engine — no HTTP hop —
-// by handing the dirSink to engine.Run as its streaming sink.
-func TestDirSinkStreamsFromEngine(t *testing.T) {
+// TestStoreStreamsFromEngine produces the collector's on-disk archive
+// straight from the simulation engine — no HTTP hop — by handing the
+// same toplist.DiskStore collectOnce writes to engine.Run as its
+// streaming sink, then reopening it cold.
+func TestStoreStreamsFromEngine(t *testing.T) {
 	cfg := population.TestConfig()
 	cfg.Days = 8
 	cfg.Sites = 2000
@@ -55,23 +55,25 @@ func TestDirSinkStreamsFromEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := engine.New(g, engine.Config{}).Run(cfg.Days, dirSink{dir: dir}); err != nil {
+	store, err := openStore(dir, 0, toplist.Day(cfg.Days-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.New(g, engine.Config{}).Run(context.Background(), cfg.Days, store); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := toplist.OpenArchive(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range g.EnabledProviders() {
 		for d := 0; d < cfg.Days; d++ {
-			path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", p, toplist.Day(d)))
-			f, err := os.Open(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			l, err := toplist.ReadCSV(f)
-			f.Close()
-			if err != nil {
-				t.Fatalf("%s: %v", path, err)
+			l := reopened.Get(p, toplist.Day(d))
+			if l == nil {
+				t.Fatalf("%s day %d: missing after reopen", p, d)
 			}
 			if l.Len() != 500 {
-				t.Fatalf("%s: %d entries", path, l.Len())
+				t.Fatalf("%s day %d: %d entries", p, d, l.Len())
 			}
 		}
 	}
@@ -107,7 +109,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	if n != 4 {
 		t.Fatalf("catch-up wrote %d, want 4", n)
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.csv.gz"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +117,17 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 		t.Fatalf("files = %d, want 6", len(matches))
 	}
 	// No temp leftovers.
-	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*", "*.tmp")); len(tmp) != 0 {
 		t.Fatalf("temp files left behind: %v", tmp)
+	}
+	// The collected archive reopens as a servable source covering the
+	// extended day range.
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Days() != 3 || len(store.Providers()) != 2 {
+		t.Fatalf("reopened store: %d days, providers %v", store.Days(), store.Providers())
 	}
 }
 
@@ -126,14 +137,13 @@ func TestCollectedSnapshotsRoundTrip(t *testing.T) {
 	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, quiet()); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(filepath.Join(dir, "alexa-2017-06-06.csv"))
+	store, err := toplist.OpenArchive(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	got, err := toplist.ReadCSV(f)
-	if err != nil {
-		t.Fatal(err)
+	got := store.Get("alexa", 0)
+	if got == nil {
+		t.Fatal("alexa day 0 missing from reopened store")
 	}
 	want := arch.Get("alexa", 0)
 	if got.Len() != want.Len() || got.Name(1) != want.Name(1) {
@@ -167,7 +177,7 @@ func TestRunOnceMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.csv.gz"))
 	if len(matches) == 0 {
 		t.Fatal("once mode wrote nothing")
 	}

@@ -14,10 +14,14 @@
 // the daemon experiences a real longitudinal collection against a
 // still-running simulation.
 //
+// With -archive, no simulation runs at all: the daemon reopens a
+// durable archive previously saved by `toplists -save` (or any
+// toplist.DiskStore producer) and serves it straight from disk.
+//
 // Usage:
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
-//	         [-workers N] [-live] [-live-interval 2s]
+//	         [-workers N] [-live] [-live-interval 2s] [-archive DIR]
 package main
 
 import (
@@ -55,8 +59,12 @@ func run(args []string, out *os.File) error {
 	workers := fs.Int("workers", 0, "engine parallelism (0 = all cores, 1 = serial)")
 	live := fs.Bool("live", false, "stream days out of the engine as they are generated")
 	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication pacing in -live mode")
+	archiveDir := fs.String("archive", "", "serve a saved archive from this directory (no simulation)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *archiveDir != "" && *live {
+		return fmt.Errorf("-archive and -live are mutually exclusive")
 	}
 
 	scale := core.TestScale()
@@ -74,33 +82,64 @@ func run(args []string, out *os.File) error {
 	}
 
 	log.SetOutput(out)
-	log.Printf("building world at scale %q (seed %d)...", *scaleName, *seed)
-	world, eng, err := core.NewEngine(scale)
-	if err != nil {
-		return err
-	}
-	simDays := scale.Population.Days
-	arch := toplist.NewArchive(0, toplist.Day(simDays-1))
-	arch.Expect(eng.Providers()...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// In live mode nothing is visible yet and days stream in as the
-	// engine produces them; otherwise materialise everything first.
-	gk := listserv.NewGatekeeper(arch, -1)
-	if !*live {
-		if err := eng.Run(simDays, arch); err != nil {
+	var (
+		handler *listserv.Server
+		liveRun func()
+		simDays int
+	)
+	if *archiveDir != "" {
+		// Serve a durable archive straight from disk — no world, no
+		// engine, no resimulation.
+		store, err := toplist.OpenArchive(*archiveDir)
+		if err != nil {
 			return err
 		}
-		if missing := arch.Missing(); len(missing) > 0 {
-			return fmt.Errorf("engine left %d snapshots missing", len(missing))
+		if missing := store.Missing(); len(missing) > 0 {
+			log.Printf("warning: archive %s has %d missing snapshots", *archiveDir, len(missing))
 		}
-		gk.Advance(arch.Last())
-		log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
+		handler = listserv.NewServer(store)
+		log.Printf("archive %s ready: %d providers x %d days (served from disk)",
+			*archiveDir, len(store.Providers()), store.Days())
+	} else {
+		log.Printf("building world at scale %q (seed %d)...", *scaleName, *seed)
+		world, eng, err := core.NewEngine(scale)
+		if err != nil {
+			return err
+		}
+		simDays = scale.Population.Days
+		arch := toplist.NewArchive(0, toplist.Day(simDays-1))
+		arch.Expect(eng.Providers()...)
+
+		// In live mode nothing is visible yet and days stream in as the
+		// engine produces them; otherwise materialise everything first.
+		gk := listserv.NewGatekeeper(arch, -1)
+		if !*live {
+			if err := eng.Run(ctx, simDays, arch); err != nil {
+				return err
+			}
+			if missing := arch.Missing(); len(missing) > 0 {
+				return fmt.Errorf("engine left %d snapshots missing", len(missing))
+			}
+			gk.Advance(arch.Last())
+			log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
+		} else {
+			liveRun = func() {
+				sink := newLiveSink(ctx, gk, *liveInterval)
+				defer sink.stop()
+				if err := eng.Run(ctx, simDays, sink); err != nil && ctx.Err() == nil {
+					log.Printf("live generation failed: %v", err)
+					return
+				}
+				log.Printf("live generation complete: %d days published", simDays)
+			}
+		}
+		handler = listserv.NewServerAt(gk).WithZones(worldZones{world})
 	}
 
-	handler := listserv.NewServerAt(gk).WithZones(worldZones{world})
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -112,16 +151,8 @@ func run(args []string, out *os.File) error {
 	}
 	log.Printf("serving on http://%s/v1/index", ln.Addr())
 
-	if *live {
-		go func() {
-			sink := newLiveSink(ctx, gk, *liveInterval)
-			defer sink.stop()
-			if err := eng.Run(simDays, sink); err != nil && ctx.Err() == nil {
-				log.Printf("live generation failed: %v", err)
-				return
-			}
-			log.Printf("live generation complete: %d days published", simDays)
-		}()
+	if liveRun != nil {
+		go liveRun()
 	}
 
 	errc := make(chan error, 1)

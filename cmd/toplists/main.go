@@ -1,6 +1,7 @@
 // Command toplists drives the reproduction: it simulates the top-list
-// ecosystem, regenerates the paper's tables and figures, and exports
-// daily snapshots as CSV files.
+// ecosystem (or reopens a previously saved archive), regenerates the
+// paper's tables and figures, and exports daily snapshots as CSV
+// files.
 //
 // Usage:
 //
@@ -16,32 +17,39 @@
 //	-scale test|default   simulation scale (default "test")
 //	-seed N               root seed (default 1)
 //	-days N               override the simulated JOINT window length
+//	-save DIR             persist the simulated archive to DIR while running
+//	-archive DIR          serve from the archive saved at DIR (no resimulation;
+//	                      -scale/-seed/-days must match the saving run)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"repro"
 	"repro/internal/analysis"
 	"repro/internal/chart"
-	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/simnet"
 	"repro/internal/toplist"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "toplists:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: toplists <list|experiment|all|figures|gen> [flags]")
+		return fmt.Errorf("usage: toplists <list|experiment|all|figures|rank|gen> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -50,6 +58,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "root seed")
 	days := fs.Int("days", 0, "override the simulated window length (days)")
 	outDir := fs.String("out", "snapshots", "output directory for gen")
+	saveDir := fs.String("save", "", "persist the simulated archive to this directory")
+	archiveDir := fs.String("archive", "", "serve from a saved archive instead of simulating")
 
 	// For `experiment` and `rank`, positional arguments come before
 	// the flags; they share a single simulation.
@@ -63,7 +73,7 @@ func run(args []string) error {
 			if cmd == "rank" {
 				return fmt.Errorf("usage: toplists rank <domain>... [flags]")
 			}
-			return fmt.Errorf("usage: toplists experiment <id>... [flags]; IDs: %v", experiments.IDs())
+			return fmt.Errorf("usage: toplists experiment <id>... [flags]; IDs: %v", toplists.ExperimentIDs())
 		}
 	}
 	if err := fs.Parse(rest); err != nil {
@@ -74,17 +84,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	lab, err := newLab(scale, *archiveDir, *saveDir)
+	if err != nil {
+		return err
+	}
 
 	switch cmd {
 	case "list":
-		for _, id := range experiments.IDs() {
-			fmt.Printf("%-16s %s\n", id, experiments.Title(id))
+		for _, id := range toplists.ExperimentIDs() {
+			fmt.Printf("%-16s %s\n", id, toplists.ExperimentTitle(id))
 		}
 		return nil
 	case "experiment":
-		env := experiments.NewEnv(scale)
 		for i, id := range positional {
-			res, err := experiments.Run(env, id)
+			res, err := lab.Run(ctx, id)
 			if err != nil {
 				return err
 			}
@@ -95,10 +108,9 @@ func run(args []string) error {
 		}
 		return nil
 	case "rank":
-		return trackRanks(scale, positional)
+		return trackRanks(lab, positional)
 	case "all":
-		env := experiments.NewEnv(scale)
-		results, err := experiments.RunAll(env)
+		results, err := lab.RunAll(ctx)
 		if err != nil {
 			return err
 		}
@@ -108,20 +120,44 @@ func run(args []string) error {
 		}
 		return nil
 	case "figures":
-		return figures(scale, *outDir)
+		return figures(ctx, lab, *outDir)
 	case "gen":
-		return generate(scale, *outDir)
+		return generate(lab, *outDir)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// newLab assembles the lab from the flag triple: archive (resume from
+// disk, no resimulation), save (simulate and persist), or plain
+// in-memory simulation.
+func newLab(scale toplists.Scale, archiveDir, saveDir string) (*toplists.Lab, error) {
+	if archiveDir != "" && saveDir != "" {
+		return nil, fmt.Errorf("-archive and -save are mutually exclusive")
+	}
+	opts := []toplists.Option{toplists.WithScale(scale)}
+	switch {
+	case archiveDir != "":
+		src, err := toplists.OpenArchive(archiveDir)
+		if err != nil {
+			return nil, err
+		}
+		if name := src.Scale(); name != "" && name != scale.Name {
+			return nil, fmt.Errorf("archive %s was saved at scale %q, flags select %q", archiveDir, name, scale.Name)
+		}
+		opts = append(opts, toplists.WithSource(src))
+	case saveDir != "":
+		opts = append(opts, toplists.WithArchiveDir(saveDir))
+	}
+	return toplists.NewLab(opts...), nil
 }
 
 // trackRanks prints each domain's per-provider rank variation over
 // the simulated window, Table 4 style, with a sparkline (tall bar =
 // near rank 1, '·' = not listed). Unknown domains report zero
 // presence rather than failing, mirroring a real tracker.
-func trackRanks(scale core.Scale, domains []string) error {
-	st, err := core.Run(scale)
+func trackRanks(lab *toplists.Lab, domains []string) error {
+	st, err := lab.Study()
 	if err != nil {
 		return err
 	}
@@ -147,18 +183,17 @@ func trackRanks(scale core.Scale, domains []string) error {
 // figures renders every chartable experiment as an SVG line chart —
 // the reproduction's actual figures. Experiments whose tables are
 // categorical (e.g. the survey) are skipped with a notice.
-func figures(scale core.Scale, outDir string) error {
+func figures(ctx context.Context, lab *toplists.Lab, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	env := experiments.NewEnv(scale)
 	written, skipped := 0, 0
-	for _, id := range experiments.IDs() {
+	for _, id := range toplists.ExperimentIDs() {
 		if !chartable(id) {
 			skipped++
 			continue
 		}
-		res, err := experiments.Run(env, id)
+		res, err := lab.Run(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -192,13 +227,13 @@ func chartable(id string) bool {
 	return false
 }
 
-func pickScale(name string, seed uint64, days int) (core.Scale, error) {
-	var s core.Scale
+func pickScale(name string, seed uint64, days int) (toplists.Scale, error) {
+	var s toplists.Scale
 	switch name {
 	case "test":
-		s = core.TestScale()
+		s = toplists.TestScale()
 	case "default":
-		s = core.DefaultScale()
+		s = toplists.DefaultScale()
 	default:
 		return s, fmt.Errorf("unknown scale %q (want test or default)", name)
 	}
@@ -212,8 +247,8 @@ func pickScale(name string, seed uint64, days int) (core.Scale, error) {
 // generate writes one CSV per provider per day, in the providers'
 // publication format, plus day-0 com/net/org zone files (the general
 // population source, like the TLD zones the paper consumed).
-func generate(scale core.Scale, outDir string) error {
-	st, err := core.Run(scale)
+func generate(lab *toplists.Lab, outDir string) error {
+	st, err := lab.Study()
 	if err != nil {
 		return err
 	}

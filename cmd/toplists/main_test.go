@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,22 +32,22 @@ func TestPickScale(t *testing.T) {
 }
 
 func TestRunUsageErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("no args should fail")
 	}
-	if err := run([]string{"frobnicate"}); err == nil {
+	if err := run(context.Background(), []string{"frobnicate"}); err == nil {
 		t.Fatal("unknown command should fail")
 	}
-	if err := run([]string{"experiment"}); err == nil {
+	if err := run(context.Background(), []string{"experiment"}); err == nil {
 		t.Fatal("experiment without id should fail")
 	}
-	if err := run([]string{"list", "-scale", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"list", "-scale", "bogus"}); err == nil {
 		t.Fatal("bogus scale should fail")
 	}
 }
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"list"}); err != nil {
+	if err := run(context.Background(), []string{"list"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,7 +63,11 @@ func TestGenerateWritesSnapshots(t *testing.T) {
 	scale.Population.BirthsPerDay = 10
 	scale.ListSize = 200
 	scale.HeadSize = 20
-	if err := generate(scale, dir); err != nil {
+	lab, err := newLab(scale, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(lab, dir); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
@@ -113,7 +118,11 @@ func TestFiguresWritesSVGs(t *testing.T) {
 	scale.Population.BirthsPerDay = 10
 	scale.ListSize = 200
 	scale.HeadSize = 20
-	if err := figures(scale, dir); err != nil {
+	lab, err := newLab(scale, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := figures(context.Background(), lab, dir); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig*.svg"))
@@ -142,5 +151,52 @@ func TestChartableSelection(t *testing.T) {
 		if chartable(id) {
 			t.Errorf("%s should stay text-only", id)
 		}
+	}
+}
+
+// TestSaveThenArchiveRoundTrip drives the new flag pair end to end:
+// a lab simulating with -save persists the archive, and a second lab
+// built with -archive regenerates the identical experiment from disk.
+func TestSaveThenArchiveRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	scale, err := pickScale("test", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale.BurnInDays = 10
+	scale.Population.Sites = 2000
+	scale.Population.BirthsPerDay = 10
+	scale.ListSize = 200
+	scale.HeadSize = 20
+
+	dir := filepath.Join(t.TempDir(), "joint")
+	saving, err := newLab(scale, "", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := saving.Run(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := newLab(scale, dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Render() != got.Render() {
+		t.Fatalf("archived rerun differs:\n%s\nvs\n%s", want.Render(), got.Render())
+	}
+
+	if _, err := newLab(scale, dir, dir); err == nil {
+		t.Fatal("-archive with -save should fail")
+	}
+	other := scale
+	other.Name = "default"
+	if _, err := newLab(other, dir, ""); err == nil {
+		t.Fatal("scale mismatch against the manifest should fail")
 	}
 }

@@ -24,7 +24,7 @@ func TestEndToEndCollectionPipeline(t *testing.T) {
 	}
 	scale := TestScale()
 	scale.Population.Days = 21
-	study, err := Simulate(scale)
+	study, err := Simulate(context.Background(), WithScale(scale))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestEndToEndCollectionPipeline(t *testing.T) {
 
 	// Byte-identical snapshots.
 	for _, p := range study.Archive.Providers() {
-		study.Archive.EachDay(func(d toplist.Day) {
+		toplist.EachDay(study.Archive, func(d toplist.Day) {
 			want := study.Archive.Get(p, d).Names()
 			got := collected.Get(p, d).Names()
 			if !reflect.DeepEqual(want, got) {

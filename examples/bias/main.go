@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	lab := toplists.NewLab(toplists.TestScale())
+	lab := toplists.NewLab(toplists.WithScale(toplists.TestScale()))
 	study, err := lab.Study()
 	if err != nil {
 		log.Fatal(err)

@@ -21,7 +21,8 @@ import (
 )
 
 func main() {
-	study, err := toplists.Simulate(toplists.TestScale())
+	study, err := toplists.Simulate(context.Background(),
+		toplists.WithScale(toplists.TestScale()))
 	if err != nil {
 		log.Fatal(err)
 	}

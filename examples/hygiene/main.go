@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,8 @@ import (
 )
 
 func main() {
-	study, err := toplists.Simulate(toplists.TestScale())
+	study, err := toplists.Simulate(context.Background(),
+		toplists.WithScale(toplists.TestScale()))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	scale := toplists.TestScale()
-	lab := toplists.NewLab(scale)
+	lab := toplists.NewLab(toplists.WithScale(scale))
 	study, err := lab.Study()
 	if err != nil {
 		log.Fatal(err)

@@ -23,7 +23,7 @@ import (
 func main() {
 	scale := toplists.TestScale()
 	scale.Population.Days = 14 // two weeks of "collection"
-	study, err := toplists.Simulate(scale)
+	study, err := toplists.Simulate(context.Background(), toplists.WithScale(scale))
 	if err != nil {
 		log.Fatal(err)
 	}

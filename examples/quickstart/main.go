@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ func main() {
 	scale.Population.Days = 21 // three weeks is enough for a first look
 	scale.BurnInDays = 30
 
-	study, err := toplists.Simulate(scale)
+	study, err := toplists.Simulate(context.Background(), toplists.WithScale(scale))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,7 +44,7 @@ func (c Config) Validate() error {
 
 // Build computes the aggregated list as of `day`, combining the window
 // days [day-Window+1, day] for every configured provider.
-func Build(arch *toplist.Archive, day toplist.Day, cfg Config) (*toplist.List, error) {
+func Build(arch toplist.Source, day toplist.Day, cfg Config) (*toplist.List, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +109,7 @@ func Build(arch *toplist.Archive, day toplist.Day, cfg Config) (*toplist.List, e
 
 // Series builds the aggregated list for every day in [from, to],
 // returning one list per day — the input for stability comparisons.
-func Series(arch *toplist.Archive, from, to toplist.Day, cfg Config) ([]*toplist.List, error) {
+func Series(arch toplist.Source, from, to toplist.Day, cfg Config) ([]*toplist.List, error) {
 	if to < from {
 		return nil, fmt.Errorf("aggregate: empty day range")
 	}

@@ -22,7 +22,7 @@ import (
 // The computation scores the real archive, then places the synthetic
 // score among the honest scores; the one-slot shift this ignores is
 // below rank granularity for any realistic configuration.
-func InsertionRank(arch *toplist.Archive, day toplist.Day, cfg Config, listRank, nProviders int) (int, error) {
+func InsertionRank(arch toplist.Source, day toplist.Day, cfg Config, listRank, nProviders int) (int, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
@@ -61,7 +61,7 @@ func InsertionRank(arch *toplist.Archive, day toplist.Day, cfg Config, listRank,
 // top `aggTarget`, holding rank in nProviders providers across the
 // whole window. Returns 0 when even rank 1 in those providers cannot
 // reach the target.
-func RequiredListRank(arch *toplist.Archive, day toplist.Day, cfg Config, aggTarget, nProviders int) (int, error) {
+func RequiredListRank(arch toplist.Source, day toplist.Day, cfg Config, aggTarget, nProviders int) (int, error) {
 	if aggTarget < 1 || aggTarget > cfg.Size {
 		return 0, fmt.Errorf("aggregate: target %d outside [1,%d]", aggTarget, cfg.Size)
 	}
@@ -97,7 +97,7 @@ func RequiredListRank(arch *toplist.Archive, day toplist.Day, cfg Config, aggTar
 // windowScores computes the honest Dowdall scores contributing to the
 // aggregate of `day` and the number of days actually inside the
 // window.
-func windowScores(arch *toplist.Archive, day toplist.Day, cfg Config) ([]float64, int, error) {
+func windowScores(arch toplist.Source, day toplist.Day, cfg Config) ([]float64, int, error) {
 	if day > arch.Last() || day < arch.First() {
 		return nil, 0, fmt.Errorf("aggregate: day %v outside archive", day)
 	}

@@ -13,10 +13,12 @@ import (
 
 // Context caches per-domain parse results so the per-day analyses stay
 // cheap. It is safe for sequential reuse across all analyses of one
-// archive.
+// archive. Arch is the read-side interface, so the same analyses run
+// unchanged against an in-memory Archive or a DiskStore reopened from
+// a previous run.
 type Context struct {
 	W    *population.World
-	Arch *toplist.Archive
+	Arch toplist.Source
 
 	// Per world-record parse cache.
 	info []nameInfo
@@ -33,7 +35,7 @@ type nameInfo struct {
 }
 
 // NewContext builds the cache for the world underlying arch.
-func NewContext(w *population.World, arch *toplist.Archive) *Context {
+func NewContext(w *population.World, arch toplist.Source) *Context {
 	c := &Context{
 		W:        w,
 		Arch:     arch,

@@ -17,7 +17,7 @@ type IntersectionPoint struct {
 // standard providers at the given subset size (0 = full list).
 func (c *Context) IntersectionSeries(alexa, umbrella, majestic string, top int) []IntersectionPoint {
 	var out []IntersectionPoint
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		a := c.baseKeySet(c.subset(alexa, d, top))
 		u := c.baseKeySet(c.subset(umbrella, d, top))
 		m := c.baseKeySet(c.subset(majestic, d, top))

@@ -94,7 +94,7 @@ func (c *Context) Table4(providers []string, alexaProvider string, rankTargets [
 		for _, p := range providers {
 			var ranks []float64
 			days := 0
-			c.Arch.EachDay(func(d toplist.Day) {
+			toplist.EachDay(c.Arch, func(d toplist.Day) {
 				days++
 				if r := c.Arch.Get(p, d).RankOf(name); r > 0 {
 					ranks = append(ranks, float64(r))

@@ -36,7 +36,7 @@ func (c *Context) kendallBetween(a, b *toplist.List) float64 {
 func (c *Context) KendallDayToDay(provider string, top int) []float64 {
 	var out []float64
 	var prev *toplist.List
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		cur := c.subset(provider, d, top)
 		if prev != nil {
 			if tau := c.kendallBetween(prev, cur); !math.IsNaN(tau) {
@@ -53,7 +53,7 @@ func (c *Context) KendallDayToDay(provider string, top int) []float64 {
 func (c *Context) KendallVsFirst(provider string, top int) []float64 {
 	first := c.subset(provider, c.Arch.First(), top)
 	var out []float64
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		if d == c.Arch.First() {
 			return
 		}

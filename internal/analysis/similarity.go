@@ -99,7 +99,7 @@ func compressRanks(pos []int) []int {
 func (c *Context) SimilarityDayToDay(provider string, top int, p float64) []Similarity {
 	var out []Similarity
 	var prev *toplist.List
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		cur := c.subset(provider, d, top)
 		if prev != nil && cur != nil {
 			out = append(out, c.SimilarityBetween(prev, cur, p))
@@ -113,7 +113,7 @@ func (c *Context) SimilarityDayToDay(provider string, top int, p float64) []Simi
 // subsets under every metric, one reading per day.
 func (c *Context) SimilarityAcrossProviders(pa, pb string, top int, p float64) []Similarity {
 	var out []Similarity
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		a, b := c.subset(pa, d, top), c.subset(pb, d, top)
 		if a != nil && b != nil {
 			out = append(out, c.SimilarityBetween(a, b, p))

@@ -12,7 +12,7 @@ import (
 func (c *Context) DailyRemoved(provider string, top int) []int {
 	var out []int
 	var prev stats.IDSet
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		cur := stats.NewIDSet(c.worldIDs(c.subset(provider, d, top)))
 		if prev != nil {
 			out = append(out, prev.RemovedCount(cur))
@@ -65,7 +65,7 @@ func LogSizes(max int) []int {
 func (c *Context) CumulativeUnique(provider string, top int) []int {
 	union := make(map[uint32]struct{})
 	var out []int
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		for _, id := range c.worldIDs(c.subset(provider, d, top)) {
 			union[id] = struct{}{}
 		}
@@ -111,7 +111,7 @@ func (c *Context) DecayFromStart(provider string, top int) []float64 {
 func (c *Context) DaysIncludedCDF(provider string, top int) *stats.ECDF {
 	counts := make(map[uint32]int)
 	days := 0
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		for _, id := range c.worldIDs(c.subset(provider, d, top)) {
 			counts[id]++
 		}
@@ -133,7 +133,7 @@ func (c *Context) NewVsRejoin(provider string, top int) float64 {
 	var prev stats.IDSet
 	var shares []float64
 	day := 0
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		ids := c.worldIDs(c.subset(provider, d, top))
 		cur := stats.NewIDSet(ids)
 		if prev != nil && day >= 8 {

@@ -35,7 +35,7 @@ func (c *Context) Table2(provider string, top int) Table2Row {
 	var deltas, news []float64
 	day := 0
 
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		l := c.subset(provider, d, top)
 		if l == nil {
 			return

@@ -11,7 +11,7 @@ import (
 // behind Table 4 and behind ad-hoc domain tracking (`toplists rank`).
 func (c *Context) RankSeries(provider, name string) []int {
 	out := make([]int, 0, c.Arch.Days())
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		l := c.Arch.Get(provider, d)
 		if l == nil {
 			out = append(out, 0)

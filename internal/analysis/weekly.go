@@ -46,7 +46,7 @@ func (c *Context) buildRankMatrix(provider string, top, maxDomains int) *rankMat
 		return h <= admitThreshold
 	}
 	day := 0
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		l := c.subset(provider, d, top)
 		if l == nil {
 			day++
@@ -165,7 +165,7 @@ func (c *Context) SLDDynamics(provider string, swingPC, minCount float64, fromDa
 	}
 	counts := make(map[string][]float64)
 	day := 0
-	c.Arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(c.Arch, func(d toplist.Day) {
 		for _, id := range c.worldIDs(c.subset(provider, d, 0)) {
 			g := c.info[id].sldGroup
 			if g == "" {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -73,13 +74,17 @@ func (s Scale) Validate() error {
 	return nil
 }
 
-// Study is a fully materialised simulation run.
+// Study is a fully materialised simulation run. Archive is the
+// read-side interface, not a concrete store: a simulated study holds
+// an in-memory toplist.Archive, while a study rebuilt with RunFrom
+// serves straight from whatever Source (e.g. a reopened
+// toplist.DiskStore) it was given.
 type Study struct {
 	Scale    Scale
 	Opts     providers.Options
 	World    *population.World
 	Model    *traffic.Model
-	Archive  *toplist.Archive
+	Archive  toplist.Source
 	Analysis *analysis.Context
 	Campaign *measure.Campaign
 }
@@ -109,6 +114,14 @@ func NewEngine(s Scale) (*population.World, *engine.Engine, error) {
 // Run builds the world, generates the archive (concurrently, per
 // s.Workers), and prepares the analysis layers.
 func Run(s Scale) (*Study, error) {
+	return RunContext(context.Background(), s, nil)
+}
+
+// RunContext is Run with cancellation and an optional tee: when tee is
+// non-nil every generated snapshot is additionally streamed into it
+// (e.g. a toplist.DiskStore persisting the run), and cancelling ctx
+// stops the engine at the next day boundary.
+func RunContext(ctx context.Context, s Scale, tee toplist.SnapshotSink) (*Study, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,8 +136,11 @@ func Run(s Scale) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	arch, err := engine.Run(g, s.Population.Days, engine.Config{Workers: s.Workers})
-	if err != nil {
+	days := s.Population.Days
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	arch.Expect(g.EnabledProviders()...)
+	eng := engine.New(g, engine.Config{Workers: s.Workers})
+	if err := eng.Run(ctx, days, engine.Tee(arch, tee)); err != nil {
 		return nil, err
 	}
 	return &Study{
@@ -134,6 +150,41 @@ func Run(s Scale) (*Study, error) {
 		Model:    m,
 		Archive:  arch,
 		Analysis: analysis.NewContext(w, arch),
+		Campaign: measure.NewCampaign(w),
+	}, nil
+}
+
+// RunFrom rebuilds a study around an already-generated archive: the
+// world, traffic model, and analysis layers are reconstructed
+// deterministically from s (which must match the scale that produced
+// src), but no simulation runs — the engine is never invoked, and src
+// (typically a toplist.DiskStore reopened with toplist.OpenArchive)
+// serves every snapshot read. This is how analyses resume from disk
+// instead of resimulating.
+func RunFrom(s Scale, src toplist.Source) (*Study, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil archive source")
+	}
+	if got, want := src.Days(), s.Population.Days; got != want {
+		return nil, fmt.Errorf("core: archive covers %d days but scale %q simulates %d", got, s.Name, want)
+	}
+	w, err := population.Build(s.Population)
+	if err != nil {
+		return nil, err
+	}
+	m := traffic.NewModel(w)
+	opts := providers.DefaultOptions(s.Population.Days, s.ListSize)
+	opts.BurnInDays = s.BurnInDays
+	return &Study{
+		Scale:    s,
+		Opts:     opts,
+		World:    w,
+		Model:    m,
+		Archive:  src,
+		Analysis: analysis.NewContext(w, src),
 		Campaign: measure.NewCampaign(w),
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/providers"
+	"repro/internal/toplist"
 )
 
 func TestScaleValidation(t *testing.T) {
@@ -36,7 +37,7 @@ func TestRunStudy(t *testing.T) {
 	if st.Days() != 20 {
 		t.Fatalf("days %d", st.Days())
 	}
-	if !st.Archive.Complete() {
+	if !st.Archive.(*toplist.Archive).Complete() {
 		t.Fatal("incomplete archive")
 	}
 	if st.ChangeDay() != 20*2/3 {

@@ -18,10 +18,16 @@
 // identical to it (fixed shard boundaries, per-accumulator addition
 // order preserved, fixed provider emit order), which the equivalence
 // tests assert.
+//
+// Runs are context-aware: cancellation is observed at day boundaries,
+// so a cancelled run stops within one simulated day and the sink never
+// sees a partial day beyond the one in flight.
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 	"repro/internal/providers"
@@ -36,7 +42,8 @@ type Config struct {
 }
 
 // SnapshotSink is re-exported from toplist for callers wiring sinks to
-// the engine; toplist.Archive is the materialising implementation.
+// the engine; toplist.Archive is the materialising implementation and
+// toplist.DiskStore the durable one.
 type SnapshotSink = toplist.SnapshotSink
 
 // DaySink is an optional SnapshotSink extension: after all of a day's
@@ -55,6 +62,55 @@ type SinkFunc func(provider string, day toplist.Day, l *toplist.List) error
 func (f SinkFunc) Put(provider string, day toplist.Day, l *toplist.List) error {
 	return f(provider, day, l)
 }
+
+// teeSink fans every snapshot (and day barrier) out to several sinks
+// in order — how a generation run is archived in memory and persisted
+// to disk at the same time.
+type teeSink []toplist.SnapshotSink
+
+func (t teeSink) Put(provider string, day toplist.Day, l *toplist.List) error {
+	for _, s := range t {
+		if err := s.Put(provider, day, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t teeSink) EndDay(day toplist.Day) error {
+	for _, s := range t {
+		if ds, ok := s.(DaySink); ok {
+			if err := ds.EndDay(day); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tee returns a sink that forwards every Put to each sink in order;
+// EndDay is forwarded to the sinks that implement DaySink. Nil sinks
+// are dropped, and a single remaining sink is returned unwrapped.
+func Tee(sinks ...toplist.SnapshotSink) SnapshotSink {
+	t := make(teeSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			t = append(t, s)
+		}
+	}
+	if len(t) == 1 {
+		return t[0]
+	}
+	return t
+}
+
+// runCount counts engine runs in-process (see RunCount).
+var runCount atomic.Int64
+
+// RunCount reports how many engine runs have started in this process.
+// Resume-from-disk paths assert on it staying flat: a study served
+// from a reopened archive must never invoke the engine.
+func RunCount() int64 { return runCount.Load() }
 
 // Engine drives one generator through the simulated calendar.
 type Engine struct {
@@ -75,22 +131,36 @@ func (e *Engine) Providers() []string { return e.g.EnabledProviders() }
 // snapshot into sink in deterministic order: days ascending, and
 // within a day the fixed provider order (Alexa, Umbrella, Majestic).
 // The first sink error stops the run and is returned.
-func (e *Engine) Run(days int, sink SnapshotSink) error {
+//
+// Cancelling ctx stops the run at the next day boundary — the sink
+// receives no snapshot for any day after the one being emitted when
+// cancellation lands — and returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 	if days < 1 {
 		return fmt.Errorf("engine: days must be >= 1, got %d", days)
 	}
 	if sink == nil {
 		return fmt.Errorf("engine: nil sink")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCount.Add(1)
 	workers := e.cfg.Workers
 	if workers < 1 {
 		workers = parallel.Workers(workers)
 	}
 	g := e.g
 	for d := -g.Opts.BurnInDays; d < 0; d++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		g.StepDay(d, workers)
 	}
 	emit := func(day toplist.Day, batch []toplist.Snapshot) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, s := range batch {
 			if err := sink.Put(s.Provider, s.Day, s.List); err != nil {
 				return err
@@ -103,6 +173,9 @@ func (e *Engine) Run(days int, sink SnapshotSink) error {
 	}
 	if workers <= 1 {
 		for d := 0; d < days; d++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			g.StepDay(d, 1)
 			if err := emit(toplist.Day(d), g.Snapshots(toplist.Day(d), 1)); err != nil {
 				return err
@@ -113,7 +186,9 @@ func (e *Engine) Run(days int, sink SnapshotSink) error {
 
 	// Concurrent path: a writer goroutine drains finished days so the
 	// sink's I/O overlaps stepping. The small channel buffer bounds
-	// how far generation may run ahead of a slow sink.
+	// how far generation may run ahead of a slow sink; emit checks ctx
+	// per day, so cancellation stops deliveries within one day even
+	// while stepping runs ahead.
 	type dayBatch struct {
 		day   toplist.Day
 		snaps []toplist.Snapshot
@@ -137,6 +212,10 @@ func (e *Engine) Run(days int, sink SnapshotSink) error {
 			// The writer only exits early on error; stop generating.
 			close(batches)
 			return err
+		case <-ctx.Done():
+			close(batches)
+			<-errc // wait for the writer to drain and exit
+			return ctx.Err()
 		default:
 		}
 		g.StepDay(d, workers)
@@ -150,13 +229,13 @@ func (e *Engine) Run(days int, sink SnapshotSink) error {
 // drive — the drop-in replacement for providers.Generator.Run with a
 // concurrency knob. The archive's expected provider set is declared,
 // so Complete/Missing report absent providers too.
-func Run(g *providers.Generator, days int, cfg Config) (*toplist.Archive, error) {
+func Run(ctx context.Context, g *providers.Generator, days int, cfg Config) (*toplist.Archive, error) {
 	if days < 1 {
 		return nil, fmt.Errorf("engine: days must be >= 1, got %d", days)
 	}
 	arch := toplist.NewArchive(0, toplist.Day(days-1))
 	arch.Expect(g.EnabledProviders()...)
-	if err := New(g, cfg).Run(days, arch); err != nil {
+	if err := New(g, cfg).Run(ctx, days, arch); err != nil {
 		return nil, err
 	}
 	return arch, nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -37,7 +38,7 @@ func generate(t testing.TB, m *traffic.Model, opts providers.Options, days, work
 	if err != nil {
 		t.Fatal(err)
 	}
-	arch, err := Run(g, days, Config{Workers: workers})
+	arch, err := Run(context.Background(), g, days, Config{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestStreamingOrderAndDayBarrier(t *testing.T) {
 			t.Fatal(err)
 		}
 		sink := &recordingSink{}
-		if err := New(g, Config{Workers: workers}).Run(cfg.Days, sink); err != nil {
+		if err := New(g, Config{Workers: workers}).Run(context.Background(), cfg.Days, sink); err != nil {
 			t.Fatal(err)
 		}
 		if len(sink.days) != cfg.Days {
@@ -198,7 +199,7 @@ func TestSinkErrorStopsRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		sink := &recordingSink{failPut: 5}
-		err = New(g, Config{Workers: workers}).Run(cfg.Days, sink)
+		err = New(g, Config{Workers: workers}).Run(context.Background(), cfg.Days, sink)
 		if err == nil || err.Error() != "sink full" {
 			t.Fatalf("workers=%d: err = %v", workers, err)
 		}
@@ -214,10 +215,101 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(g, 0, Config{}); err == nil {
+	if _, err := Run(context.Background(), g, 0, Config{}); err == nil {
 		t.Fatal("days=0 should fail")
 	}
-	if err := New(g, Config{}).Run(1, nil); err == nil {
+	if err := New(g, Config{}).Run(context.Background(), 1, nil); err == nil {
 		t.Fatal("nil sink should fail")
+	}
+}
+
+// cancellingSink cancels its context during the Put of a target day.
+type cancellingSink struct {
+	cancel    context.CancelFunc
+	cancelDay toplist.Day
+	lastDay   toplist.Day
+}
+
+func (s *cancellingSink) Put(provider string, day toplist.Day, l *toplist.List) error {
+	if day > s.lastDay {
+		s.lastDay = day
+	}
+	if day == s.cancelDay {
+		s.cancel()
+	}
+	return nil
+}
+
+// TestCancellationStopsWithinOneDay: after ctx is cancelled during day
+// N, the sink sees no snapshot for any day beyond N+1 and the run
+// returns ctx.Err() — on both the serial and the concurrent path.
+func TestCancellationStopsWithinOneDay(t *testing.T) {
+	m, cfg := testWorld(t)
+	const cancelDay = 4
+	for _, workers := range []int{1, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &cancellingSink{cancel: cancel, cancelDay: cancelDay}
+		err = New(g, Config{Workers: workers}).Run(ctx, cfg.Days, sink)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if sink.lastDay > cancelDay+1 {
+			t.Fatalf("workers=%d: deliveries reached day %d after cancel at day %d",
+				workers, sink.lastDay, cancelDay)
+		}
+	}
+}
+
+// TestCancelledContextRefusesBurnIn: a context cancelled up front stops
+// the run before any stepping.
+func TestCancelledContextRefusesBurnIn(t *testing.T) {
+	m, cfg := testWorld(t)
+	g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := &recordingSink{}
+	if err := New(g, Config{Workers: 1}).Run(ctx, cfg.Days, sink); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(sink.puts) != 0 {
+		t.Fatalf("%d puts after pre-cancelled run", len(sink.puts))
+	}
+}
+
+// TestTeeFansOut: a teed run fills two archives identically and
+// forwards the day barrier to every DaySink.
+func TestTeeFansOut(t *testing.T) {
+	m, cfg := testWorld(t)
+	g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := toplist.NewArchive(0, toplist.Day(cfg.Days-1))
+	b := toplist.NewArchive(0, toplist.Day(cfg.Days-1))
+	barrier := &recordingSink{}
+	if err := New(g, Config{}).Run(context.Background(), cfg.Days, Tee(a, nil, b, barrier)); err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, a, b, "tee")
+	if len(barrier.days) != cfg.Days {
+		t.Fatalf("EndDay forwarded %d times, want %d", len(barrier.days), cfg.Days)
+	}
+	if Tee(a) != toplist.SnapshotSink(a) {
+		t.Fatal("single-sink Tee should unwrap")
+	}
+	before := RunCount()
+	if err := New(g, Config{}).Run(context.Background(), 1, a); err != nil {
+		t.Fatal(err)
+	}
+	if RunCount() != before+1 {
+		t.Fatal("RunCount did not advance with the run")
 	}
 }

@@ -67,11 +67,11 @@ func runHorizon(e *Env) (*Result, error) {
 
 // meanChurnShare is the mean share of the (top-N) list replaced per
 // day.
-func meanChurnShare(arch *toplist.Archive, provider string, top int) float64 {
+func meanChurnShare(arch toplist.Source, provider string, top int) float64 {
 	var prev *toplist.List
 	var sum float64
 	n := 0
-	arch.EachDay(func(day toplist.Day) {
+	toplist.EachDay(arch, func(day toplist.Day) {
 		cur := arch.Get(provider, day)
 		if cur == nil {
 			return
@@ -99,11 +99,11 @@ func meanChurnShare(arch *toplist.Archive, provider string, top int) float64 {
 
 // weekendAmplification compares churn into weekend days against churn
 // into weekdays; 1.0 means no weekly pattern.
-func weekendAmplification(arch *toplist.Archive, provider string) float64 {
+func weekendAmplification(arch toplist.Source, provider string) float64 {
 	var prev *toplist.List
 	var wkndSum, weekSum float64
 	var wkndN, weekN int
-	arch.EachDay(func(day toplist.Day) {
+	toplist.EachDay(arch, func(day toplist.Day) {
 		cur := arch.Get(provider, day)
 		if cur == nil {
 			return

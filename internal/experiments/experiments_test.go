@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -52,7 +53,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run(env(t), "nope"); err == nil {
+	if _, err := Run(context.Background(), env(t), "nope"); err == nil {
 		t.Fatal("unknown id should fail")
 	}
 }
@@ -62,7 +63,7 @@ func TestRunUnknown(t *testing.T) {
 func TestAllExperimentsRun(t *testing.T) {
 	e := env(t)
 	for _, id := range IDs() {
-		res, err := Run(e, id)
+		res, err := Run(context.Background(), e, id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -89,7 +90,7 @@ func TestRunAllOrder(t *testing.T) {
 	// RunAll re-uses the shared env's study; results come back in ID
 	// order.
 	e := env(t)
-	results, err := RunAll(e)
+	results, err := RunAll(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestRunAllOrder(t *testing.T) {
 
 	// The pooled run must agree with a strictly serial run, driver by
 	// driver: same IDs in the same order, same rendered artifacts.
-	serial, err := RunAllWorkers(e, 1)
+	serial, err := RunAllWorkers(context.Background(), e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Result is a regenerated table or figure.
@@ -20,6 +21,10 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Elapsed is the driver's wall time, recorded by Run. RunAll's
+	// worker pool feeds it back into its longest-job-first ordering;
+	// it is not rendered (it would make output non-deterministic).
+	Elapsed time.Duration
 }
 
 // Render formats the result as an aligned text table.

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+)
+
+// costClass is the static expected-cost ranking used by the worker
+// pool before any wall times have been observed. Higher runs earlier.
+// The classes come from the benchmark harness (bench_test.go at the
+// module root): the Atlas probe grids (fig5, ttl) and the drivers that
+// resimulate whole generator runs (manipulation, ablation-horizon,
+// ablation-volume) dominate RunAll's critical path, so a pool that
+// starts them last finishes one long job alone at the end.
+var costClass = map[string]int{
+	"fig5":             100, // probe-count × frequency grid, per-cell generator runs
+	"ttl":              95,  // TTL grid over the same Atlas machinery
+	"manipulation":     90,  // binary search over full generator runs
+	"ablation-horizon": 85,  // four full Alexa-mechanism regenerations
+	"ablation-volume":  80,  // full Umbrella regeneration under volume ranking
+	"aggregation":      60,  // Dowdall series over every day × provider
+	"similarity":       55,  // four rank-similarity metrics over all days
+	"hygiene":          50,  // pipeline applied to every provider × day
+	"table5":           40,  // full measurement campaign over four name sets
+}
+
+// cost returns the scheduling weight for id in microseconds: the wall
+// time observed on this Env earlier when available — so a Lab that
+// runs RunAll repeatedly converges on true longest-job-first — and
+// otherwise the static class read as a (deliberately generous)
+// expected runtime in seconds. The generosity is what keeps the
+// ordering safe under partial information: a never-observed grid
+// driver outranks any observed cheap table, so a single lab.Run of a
+// trivial experiment before RunAll cannot push the critical-path jobs
+// to the back of the queue.
+func cost(e *Env, id string) int64 {
+	if d := e.observedElapsed(id); d > 0 {
+		return int64(d / time.Microsecond)
+	}
+	return int64(costClass[id]) * int64(time.Second/time.Microsecond)
+}
+
+// schedule returns ids reordered longest-job-first for the worker
+// pool, with the ID order as a deterministic tie-break for the
+// unranked cheap majority.
+func schedule(e *Env, ids []string) []string {
+	out := append([]string(nil), ids...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := cost(e, out[i]), cost(e, out[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -11,10 +11,10 @@ import (
 // "conduct repeated, longitudinal measurements" recommendation turned
 // into a membership rule. minShare of 0.5 keeps names listed at least
 // half the days.
-func Presence(arch *toplist.Archive, provider string, minShare float64) Filter {
+func Presence(arch toplist.Source, provider string, minShare float64) Filter {
 	days := 0
 	counts := make(map[string]int)
-	arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(arch, func(d toplist.Day) {
 		l := arch.Get(provider, d)
 		if l == nil {
 			return
@@ -61,13 +61,13 @@ type Impact struct {
 // archive, cutting both raw and cleaned lists to topN (0 = full list),
 // and reports the churn change. Cleaning with a Presence filter is the
 // combination the §9 recommendations imply.
-func StabilityImpact(arch *toplist.Archive, provider string, p *Pipeline, topN int) Impact {
+func StabilityImpact(arch toplist.Source, provider string, p *Pipeline, topN int) Impact {
 	imp := Impact{Provider: provider}
 	var prevRaw, prevClean *toplist.List
 	var dropSum float64
 	var rawSum, cleanSum float64
 	transitions := 0
-	arch.EachDay(func(d toplist.Day) {
+	toplist.EachDay(arch, func(d toplist.Day) {
 		l := arch.Get(provider, d)
 		if l == nil {
 			return

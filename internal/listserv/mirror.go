@@ -162,7 +162,7 @@ func (r Run) Days() int { return int(r.Last-r.First) + 1 }
 // provider in the archive has a snapshot — the paper's "only used
 // periods with continuous daily data" selection rule. ok is false when
 // no day is complete.
-func LongestContinuousRun(a *toplist.Archive) (Run, bool) {
+func LongestContinuousRun(a toplist.Source) (Run, bool) {
 	providers := a.Providers()
 	if len(providers) == 0 {
 		return Run{}, false

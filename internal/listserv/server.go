@@ -99,30 +99,39 @@ type Server struct {
 	cache map[blobKey]blob
 }
 
-// Gatekeeper mediates read access to an archive, so a Server can also
-// publish a still-growing collection: Clip limits which days are
-// visible, mimicking a provider that publishes one file per day.
+// Gatekeeper mediates read access to an archive source, so a Server
+// can also publish a still-growing collection: visibility limits which
+// days readers see, mimicking a provider that publishes one file per
+// day. The source may be any toplist.Source — an in-memory Archive, a
+// DiskStore reopened from a previous run, or a store still being
+// written.
 type Gatekeeper struct {
 	mu      sync.RWMutex
-	archive *toplist.Archive
+	archive toplist.Source
 	visible toplist.Day // last visible day
 }
 
 // NewGatekeeper exposes archive up to (and including) lastVisible.
-func NewGatekeeper(archive *toplist.Archive, lastVisible toplist.Day) *Gatekeeper {
+func NewGatekeeper(archive toplist.Source, lastVisible toplist.Day) *Gatekeeper {
 	return &Gatekeeper{archive: archive, visible: lastVisible}
 }
 
 // Put stores a snapshot in the underlying archive under the
 // gatekeeper's write lock, making the Gatekeeper a streaming
 // toplist.SnapshotSink: the simulation engine can publish days into a
-// live-served archive while HTTP readers keep going. Visibility does
-// not advance automatically; pair Put with Advance (typically from an
-// engine DaySink's EndDay) once a day is complete.
+// live-served archive while HTTP readers keep going. It requires the
+// gatekept source to also be a sink (a toplist.Store); gatekeeping a
+// read-only source makes Put fail. Visibility does not advance
+// automatically; pair Put with Advance (typically from an engine
+// DaySink's EndDay) once a day is complete.
 func (g *Gatekeeper) Put(provider string, day toplist.Day, l *toplist.List) error {
+	sink, ok := g.archive.(toplist.SnapshotSink)
+	if !ok {
+		return fmt.Errorf("listserv: gatekept source %T is read-only", g.archive)
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.archive.Put(provider, day, l)
+	return sink.Put(provider, day, l)
 }
 
 // Advance makes days up to d visible. It never retracts visibility.
@@ -158,7 +167,7 @@ func (g *Gatekeeper) index() Index {
 		last = g.archive.Last()
 	}
 	return Index{
-		Providers: g.archive.SortedProviders(),
+		Providers: toplist.SortedProviders(g.archive),
 		FirstDay:  g.archive.First().String(),
 		LastDay:   last.String(),
 		Days:      int(last-g.archive.First()) + 1,
@@ -176,8 +185,10 @@ type blob struct {
 	etag string
 }
 
-// NewServer publishes every day of archive immediately.
-func NewServer(archive *toplist.Archive) *Server {
+// NewServer publishes every day of the archive source immediately —
+// hand it an in-memory Archive or a toplist.DiskStore reopened from
+// disk; the HTTP surface is identical either way.
+func NewServer(archive toplist.Source) *Server {
 	return NewServerAt(NewGatekeeper(archive, archive.Last()))
 }
 

@@ -106,6 +106,18 @@ const (
 	Majestic = "majestic"
 )
 
+// EnabledProviders returns the providers these options emit, in the
+// fixed output order (Alexa, Umbrella, Majestic).
+func (o Options) EnabledProviders() []string {
+	out := make([]string, 0, 3)
+	for _, p := range []string{Alexa, Umbrella, Majestic} {
+		if o.enabled(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Generator produces daily snapshots for all three providers.
 type Generator struct {
 	Model *traffic.Model
@@ -131,15 +143,7 @@ func NewGenerator(m *traffic.Model, opts Options) (*Generator, error) {
 
 // EnabledProviders returns the providers this generator emits, in the
 // fixed output order (Alexa, Umbrella, Majestic).
-func (g *Generator) EnabledProviders() []string {
-	out := make([]string, 0, 3)
-	for _, p := range []string{Alexa, Umbrella, Majestic} {
-		if g.Opts.enabled(p) {
-			out = append(out, p)
-		}
-	}
-	return out
-}
+func (g *Generator) EnabledProviders() []string { return g.Opts.EnabledProviders() }
 
 // Run generates the archive for days [0, days): burn-in first, then one
 // snapshot per provider per day. It is the serial reference

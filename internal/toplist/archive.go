@@ -25,7 +25,8 @@ type SnapshotSink interface {
 
 // Archive holds daily snapshots for multiple providers over a contiguous
 // day range — the analog of the paper's JOINT dataset. It implements
-// SnapshotSink.
+// Store: the engine streams into it as a SnapshotSink and readers
+// consume it as a Source.
 type Archive struct {
 	first, last Day
 	byProvider  map[string][]*List // index: day - first
@@ -33,7 +34,7 @@ type Archive struct {
 	expected    []string           // providers Complete/Missing require
 }
 
-var _ SnapshotSink = (*Archive)(nil)
+var _ Store = (*Archive)(nil)
 
 // NewArchive creates an empty archive spanning days [first, last].
 func NewArchive(first, last Day) *Archive {

@@ -1,0 +1,408 @@
+package toplist
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// manifestName is the store's metadata file inside the archive dir.
+const manifestName = "manifest.json"
+
+// snapshotExt is the per-snapshot file suffix.
+const snapshotExt = ".csv.gz"
+
+// manifest is the JSON document at <dir>/manifest.json describing a
+// DiskStore: what scale produced it, the day range it covers, and the
+// provider set it holds (and is expected to hold).
+type manifest struct {
+	Version   int      `json:"version"`
+	Scale     string   `json:"scale,omitempty"`
+	FirstDay  string   `json:"first_day"`
+	LastDay   string   `json:"last_day"`
+	Providers []string `json:"providers"`          // insertion order
+	Expected  []string `json:"expected,omitempty"` // providers Complete/Missing require
+}
+
+// DiskStore is a durable snapshot archive: one gzip-compressed CSV per
+// (provider, day) under <dir>/<provider>/<date>.csv.gz, plus a JSON
+// manifest with the day range, provider order, and expected provider
+// set — the paper's JOINT dataset as a directory that outlives the
+// process. It implements both SnapshotSink (the engine can stream
+// straight into it) and Source (analyses can serve straight from it),
+// so a simulation teed to disk and a later OpenArchive of the same
+// directory are interchangeable.
+//
+// Writes are atomic (temp file + rename) so a crashed run never leaves
+// a partial snapshot visible, and writing stays O(1) in memory — a
+// streaming run teeing into the store holds no snapshots. Reads are
+// cached: lists are immutable, so each snapshot is decoded at most
+// once per open store (the cache grows to the read working set, like
+// an in-memory Archive). All methods are safe for concurrent use.
+type DiskStore struct {
+	dir string
+
+	mu      sync.RWMutex
+	man     manifest
+	first   Day
+	last    Day
+	present map[string][]bool // provider -> day-index bitmap
+	cache   map[storeKey]*List
+}
+
+type storeKey struct {
+	provider string
+	day      Day
+}
+
+var _ Store = (*DiskStore)(nil)
+
+// CreateDiskStore initialises a new durable archive at dir spanning
+// days [first, last]. dir is created if needed; it must not already
+// hold a store manifest.
+func CreateDiskStore(dir string, first, last Day) (*DiskStore, error) {
+	if last < first {
+		return nil, fmt.Errorf("toplist: disk store with last < first")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("toplist: %s already holds an archive (use OpenArchive)", dir)
+	}
+	ds := &DiskStore{
+		dir:     dir,
+		man:     manifest{Version: 1, FirstDay: first.String(), LastDay: last.String()},
+		first:   first,
+		last:    last,
+		present: make(map[string][]bool),
+		cache:   make(map[storeKey]*List),
+	}
+	if err := ds.flushManifestLocked(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// OpenArchive opens the durable archive previously written at dir,
+// ready to serve snapshots without resimulating. The present-snapshot
+// set is recovered by scanning the per-provider directories, so a
+// store interrupted mid-run reopens with exactly the snapshots whose
+// writes completed.
+func OpenArchive(dir string) (*DiskStore, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("toplist: open archive %s: %w", dir, err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("toplist: archive %s: bad manifest: %w", dir, err)
+	}
+	first, err := ParseDay(man.FirstDay)
+	if err != nil {
+		return nil, fmt.Errorf("toplist: archive %s: bad first_day: %w", dir, err)
+	}
+	last, err := ParseDay(man.LastDay)
+	if err != nil {
+		return nil, fmt.Errorf("toplist: archive %s: bad last_day: %w", dir, err)
+	}
+	if last < first {
+		return nil, fmt.Errorf("toplist: archive %s: last %v < first %v", dir, last, first)
+	}
+	ds := &DiskStore{
+		dir:     dir,
+		man:     man,
+		first:   first,
+		last:    last,
+		present: make(map[string][]bool),
+		cache:   make(map[storeKey]*List),
+	}
+	for _, p := range man.Providers {
+		bitmap := make([]bool, ds.daysLocked())
+		entries, err := os.ReadDir(filepath.Join(dir, p))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		for _, e := range entries {
+			name, ok := strings.CutSuffix(e.Name(), snapshotExt)
+			if !ok {
+				continue
+			}
+			d, err := ParseDay(name)
+			if err != nil || d < first || d > last {
+				continue
+			}
+			bitmap[int(d-first)] = true
+		}
+		ds.present[p] = bitmap
+	}
+	return ds, nil
+}
+
+// Dir returns the archive directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// Scale returns the scale name recorded in the manifest ("" when the
+// producer did not record one).
+func (ds *DiskStore) Scale() string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.man.Scale
+}
+
+// SetScale records the producing scale's name in the manifest.
+func (ds *DiskStore) SetScale(name string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.man.Scale = name
+	return ds.flushManifestLocked()
+}
+
+// First returns the first day covered.
+func (ds *DiskStore) First() Day {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.first
+}
+
+// Last returns the last day covered.
+func (ds *DiskStore) Last() Day {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.last
+}
+
+// Days returns the number of days covered.
+func (ds *DiskStore) Days() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.daysLocked()
+}
+
+func (ds *DiskStore) daysLocked() int { return int(ds.last-ds.first) + 1 }
+
+// Providers returns provider names in insertion order.
+func (ds *DiskStore) Providers() []string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return append([]string(nil), ds.man.Providers...)
+}
+
+// ExtendTo grows the covered day range so Put accepts days up to last
+// — a live collector following a still-publishing source extends its
+// store as the publisher's index advances. It never shrinks the range.
+func (ds *DiskStore) ExtendTo(last Day) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if last <= ds.last {
+		return nil
+	}
+	grow := int(last - ds.last)
+	for p, bitmap := range ds.present {
+		ds.present[p] = append(bitmap, make([]bool, grow)...)
+	}
+	ds.last = last
+	ds.man.LastDay = last.String()
+	return ds.flushManifestLocked()
+}
+
+// Expect declares the providers the archive must contain for Complete
+// to hold, recorded durably in the manifest; Missing reports gaps
+// against this set. Calling it again replaces the previous
+// expectation.
+func (ds *DiskStore) Expect(providers ...string) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.man.Expected = append([]string(nil), providers...)
+	return ds.flushManifestLocked()
+}
+
+// Expected returns the declared provider set (nil when none was
+// declared).
+func (ds *DiskStore) Expected() []string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return append([]string(nil), ds.man.Expected...)
+}
+
+// Has reports whether the snapshot is already stored, without decoding
+// it.
+func (ds *DiskStore) Has(provider string, day Day) bool {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if day < ds.first || day > ds.last {
+		return false
+	}
+	bitmap, ok := ds.present[provider]
+	return ok && bitmap[int(day-ds.first)]
+}
+
+func (ds *DiskStore) path(provider string, day Day) string {
+	return filepath.Join(ds.dir, provider, day.String()+snapshotExt)
+}
+
+// Put stores a snapshot durably. Days outside the store range or nil
+// lists are rejected, matching Archive semantics.
+func (ds *DiskStore) Put(provider string, day Day, l *List) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if day < ds.first || day > ds.last {
+		return fmt.Errorf("toplist: day %v outside archive range [%v,%v]", day, ds.first, ds.last)
+	}
+	if l == nil {
+		return fmt.Errorf("toplist: nil list")
+	}
+	if _, ok := ds.present[provider]; !ok {
+		if err := os.MkdirAll(filepath.Join(ds.dir, provider), 0o755); err != nil {
+			return err
+		}
+		ds.present[provider] = make([]bool, ds.daysLocked())
+		ds.man.Providers = append(ds.man.Providers, provider)
+		if err := ds.flushManifestLocked(); err != nil {
+			return err
+		}
+	}
+	if err := ds.writeSnapshot(ds.path(provider, day), l); err != nil {
+		return err
+	}
+	ds.present[provider][int(day-ds.first)] = true
+	// Deliberately not cached: a write-through cache would make a
+	// streaming run teeing into the store retain every snapshot in
+	// memory — the exact materialisation streaming exists to avoid.
+	// Readers pay one decode per snapshot via Get instead.
+	delete(ds.cache, storeKey{provider, day})
+	return nil
+}
+
+// writeSnapshot writes one gzip CSV atomically (temp file + rename).
+func (ds *DiskStore) writeSnapshot(path string, l *List) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	err = WriteCSV(zw, l)
+	if zerr := zw.Close(); err == nil {
+		err = zerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Get returns the snapshot for provider on day, or nil if absent.
+// Decoded lists are cached, so repeated analysis passes over the same
+// store pay the disk and gzip cost once per snapshot.
+func (ds *DiskStore) Get(provider string, day Day) *List {
+	ds.mu.RLock()
+	if day < ds.first || day > ds.last {
+		ds.mu.RUnlock()
+		return nil
+	}
+	bitmap, ok := ds.present[provider]
+	if !ok || !bitmap[int(day-ds.first)] {
+		ds.mu.RUnlock()
+		return nil
+	}
+	if l, ok := ds.cache[storeKey{provider, day}]; ok {
+		ds.mu.RUnlock()
+		return l
+	}
+	ds.mu.RUnlock()
+
+	l, err := ds.readSnapshot(ds.path(provider, day))
+	if err != nil {
+		// A snapshot the bitmap says exists but cannot be decoded is
+		// indistinguishable from an absent one for readers; Missing
+		// still reports it present, so operators can spot corruption
+		// by comparing Get against Missing.
+		return nil
+	}
+	ds.mu.Lock()
+	ds.cache[storeKey{provider, day}] = l
+	ds.mu.Unlock()
+	return l
+}
+
+func (ds *DiskStore) readSnapshot(path string) (*List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return ReadCSV(zr)
+}
+
+// Missing returns one stub Snapshot per absent (provider, day) slot,
+// with the same contract as Archive.Missing: every day of every
+// inserted provider, plus every day of each expected-but-absent
+// provider, ordered by provider (expected first) and day ascending.
+func (ds *DiskStore) Missing() []Snapshot {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var out []Snapshot
+	seen := make(map[string]bool, len(ds.man.Expected))
+	scan := func(p string) {
+		bitmap := ds.present[p]
+		if bitmap == nil {
+			for d := ds.first; d <= ds.last; d++ {
+				out = append(out, Snapshot{Provider: p, Day: d})
+			}
+			return
+		}
+		for i, ok := range bitmap {
+			if !ok {
+				out = append(out, Snapshot{Provider: p, Day: ds.first + Day(i)})
+			}
+		}
+	}
+	for _, p := range ds.man.Expected {
+		seen[p] = true
+		scan(p)
+	}
+	for _, p := range ds.man.Providers {
+		if !seen[p] {
+			scan(p)
+		}
+	}
+	return out
+}
+
+// Complete reports whether the store holds every snapshot it should —
+// the Archive.Complete contract over the durable manifest.
+func (ds *DiskStore) Complete() bool {
+	ds.mu.RLock()
+	nProviders := len(ds.present)
+	ds.mu.RUnlock()
+	return nProviders > 0 && len(ds.Missing()) == 0
+}
+
+// flushManifestLocked rewrites manifest.json atomically; callers hold
+// ds.mu.
+func (ds *DiskStore) flushManifestLocked() error {
+	raw, err := json.MarshalIndent(ds.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(ds.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,241 @@
+package toplist
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randomList builds a small list with names derived deterministically
+// from the rng.
+func randomList(rng *rand.Rand) *List {
+	n := 1 + rng.Intn(20)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%04d-%02d.example.com", rng.Intn(5000), i)
+	}
+	return New(names)
+}
+
+// TestDiskStoreRoundTripProperty is the round-trip property pinning
+// DiskStore to Archive: for random day ranges, provider subsets, and
+// gap patterns, Put into both stores, reopen the disk store cold, and
+// require bitwise-equal Get results plus Missing()/Complete() parity
+// via the manifest.
+func TestDiskStoreRoundTripProperty(t *testing.T) {
+	providers := []string{"alexa", "umbrella", "majestic", "quantcast"}
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		first := Day(rng.Intn(40) - 20)
+		days := 1 + rng.Intn(12)
+		last := first + Day(days-1)
+
+		dir := t.TempDir()
+		disk, err := CreateDiskStore(dir, first, last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := NewArchive(first, last)
+
+		nProviders := 1 + rng.Intn(len(providers))
+		expected := providers[:1+rng.Intn(nProviders)]
+		if err := disk.Expect(expected...); err != nil {
+			t.Fatal(err)
+		}
+		mem.Expect(expected...)
+
+		for _, p := range providers[:nProviders] {
+			for d := first; d <= last; d++ {
+				if rng.Float64() < 0.25 {
+					continue // leave a gap
+				}
+				l := randomList(rng)
+				if err := disk.Put(p, d, l); err != nil {
+					t.Fatalf("trial %d: disk put: %v", trial, err)
+				}
+				if err := mem.Put(p, d, l); err != nil {
+					t.Fatalf("trial %d: mem put: %v", trial, err)
+				}
+			}
+		}
+
+		// Reopen cold so every read decodes from disk, not the write
+		// cache.
+		reopened, err := OpenArchive(dir)
+		if err != nil {
+			t.Fatalf("trial %d: reopen: %v", trial, err)
+		}
+		for _, src := range []Source{disk, reopened} {
+			if src.First() != mem.First() || src.Last() != mem.Last() || src.Days() != mem.Days() {
+				t.Fatalf("trial %d: range (%v,%v,%d) vs (%v,%v,%d)", trial,
+					src.First(), src.Last(), src.Days(), mem.First(), mem.Last(), mem.Days())
+			}
+			if !reflect.DeepEqual(src.Providers(), mem.Providers()) {
+				t.Fatalf("trial %d: providers %v vs %v", trial, src.Providers(), mem.Providers())
+			}
+			for _, p := range providers {
+				for d := first - 2; d <= last+2; d++ {
+					want, got := mem.Get(p, d), src.Get(p, d)
+					if (want == nil) != (got == nil) {
+						t.Fatalf("trial %d: %s %v: nil mismatch (mem %v, disk %v)", trial, p, d, want != nil, got != nil)
+					}
+					if want != nil && !reflect.DeepEqual(want.Names(), got.Names()) {
+						t.Fatalf("trial %d: %s %v: names differ", trial, p, d)
+					}
+				}
+			}
+		}
+		if !reflect.DeepEqual(reopened.Expected(), mem.Expected()) {
+			t.Fatalf("trial %d: expected set %v vs %v after reopen", trial, reopened.Expected(), mem.Expected())
+		}
+		if !reflect.DeepEqual(reopened.Missing(), mem.Missing()) {
+			t.Fatalf("trial %d: Missing differs after reopen:\n disk %v\n mem  %v", trial, reopened.Missing(), mem.Missing())
+		}
+		if reopened.Complete() != mem.Complete() {
+			t.Fatalf("trial %d: Complete %v vs %v", trial, reopened.Complete(), mem.Complete())
+		}
+	}
+}
+
+func TestDiskStoreRejectsBadPuts(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 4, New([]string{"a.com"})); err == nil {
+		t.Fatal("day beyond range accepted")
+	}
+	if err := ds.Put("alexa", -1, New([]string{"a.com"})); err == nil {
+		t.Fatal("day before range accepted")
+	}
+	if err := ds.Put("alexa", 0, nil); err == nil {
+		t.Fatal("nil list accepted")
+	}
+}
+
+func TestDiskStoreCreateOverExistingFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateDiskStore(dir, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateDiskStore(dir, 0, 1); err == nil {
+		t.Fatal("second create over the same dir should fail")
+	}
+	if _, err := OpenArchive(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("open of a dir without a manifest should fail")
+	}
+}
+
+func TestDiskStoreExtendTo(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 2, New([]string{"late.com"})); err == nil {
+		t.Fatal("day 2 accepted before extend")
+	}
+	if err := ds.ExtendTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 2, New([]string{"late.com"})); err != nil {
+		t.Fatal(err)
+	}
+	// Extending never shrinks.
+	if err := ds.ExtendTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Last() != 4 || ds.Days() != 5 {
+		t.Fatalf("range after extend: last %v, days %d", ds.Last(), ds.Days())
+	}
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Days() != 5 || reopened.Get("alexa", 2) == nil {
+		t.Fatal("extension not durable")
+	}
+	if !reopened.Has("alexa", 0) || reopened.Has("alexa", 1) {
+		t.Fatal("Has disagrees with stored set")
+	}
+}
+
+// TestDiskStoreAtomicity: a leftover temp file (simulating a crash
+// mid-write) is neither served nor counted as present after reopen.
+func TestDiskStoreCrashLeftoversIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+	// Fake an interrupted write of day 1.
+	tmp := filepath.Join(dir, "alexa", Day(1).String()+snapshotExt+".tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Has("alexa", 1) || reopened.Get("alexa", 1) != nil {
+		t.Fatal("partial temp file served as a snapshot")
+	}
+	if len(reopened.Missing()) != 1 {
+		t.Fatalf("Missing = %v, want exactly day 1", reopened.Missing())
+	}
+}
+
+// TestDiskStoreConcurrentGet exercises the read cache under parallel
+// readers (the experiment pool fans out over one Source).
+func TestDiskStoreConcurrentGet(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Day][]string)
+	for d := Day(0); d <= 9; d++ {
+		l := New([]string{fmt.Sprintf("rank1-%d.com", d), fmt.Sprintf("rank2-%d.com", d)})
+		if err := ds.Put("alexa", d, l); err != nil {
+			t.Fatal(err)
+		}
+		want[d] = l.Names()
+	}
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 4; pass++ {
+				for d := Day(0); d <= 9; d++ {
+					l := reopened.Get("alexa", d)
+					if l == nil || !reflect.DeepEqual(l.Names(), want[d]) {
+						errs <- fmt.Errorf("day %v: wrong snapshot", d)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

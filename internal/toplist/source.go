@@ -1,0 +1,49 @@
+package toplist
+
+import "sort"
+
+// Source is the read side of a snapshot archive — the counterpart of
+// SnapshotSink. Everything that consumes a multi-provider day range
+// (the analyses, the experiment drivers, the HTTP publisher) depends
+// on this interface rather than on a concrete store, so the same study
+// can run against an in-memory Archive, a DiskStore reopened from a
+// previous run, or any future backend.
+//
+// Get returns nil for absent snapshots; implementations must be safe
+// for concurrent readers (the experiment pool fans out over one
+// Source).
+type Source interface {
+	// Get returns the snapshot for provider on day, or nil if absent.
+	Get(provider string, day Day) *List
+	// First returns the first day covered.
+	First() Day
+	// Last returns the last day covered.
+	Last() Day
+	// Days returns the number of days covered.
+	Days() int
+	// Providers returns provider names in insertion order.
+	Providers() []string
+}
+
+// Store is a snapshot archive usable from both sides: the engine
+// streams into it as a SnapshotSink and readers consume it as a
+// Source. Archive and DiskStore are the two implementations.
+type Store interface {
+	SnapshotSink
+	Source
+}
+
+// EachDay calls fn for every day the source covers, in order.
+func EachDay(s Source, fn func(Day)) {
+	for d := s.First(); d <= s.Last(); d++ {
+		fn(d)
+	}
+}
+
+// SortedProviders returns the source's provider names sorted
+// alphabetically (stable presentation order for reports).
+func SortedProviders(s Source) []string {
+	out := s.Providers()
+	sort.Strings(out)
+	return out
+}

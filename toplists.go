@@ -8,18 +8,57 @@
 // Atlas-style probe fleet — and regenerates every table and figure of
 // the paper's evaluation from it.
 //
-// Quick start:
+// # API v2
 //
-//	study, err := toplists.Simulate(toplists.TestScale())
+// The entry points are context-aware and option-driven, and every
+// consumer reads snapshots through the Source interface rather than a
+// concrete in-memory store, so a study can serve from a live
+// simulation or from an archive reopened from disk:
+//
+//	ctx := context.Background()
+//
+//	// Simulate and keep the archive in memory.
+//	study, err := toplists.Simulate(ctx, toplists.WithScale(toplists.TestScale()))
 //	if err != nil { ... }
 //	list := study.Archive.Get(toplists.Alexa, 0) // day-0 Alexa snapshot
 //
-//	lab := toplists.NewLab(toplists.TestScale())
-//	res, err := lab.Run("table5")
+//	// Simulate once, persisting every snapshot to a durable archive.
+//	study, err = toplists.Simulate(ctx,
+//		toplists.WithScale(toplists.TestScale()),
+//		toplists.WithArchiveDir("joint"))
+//
+//	// Any later process: reopen the archive and rerun an experiment
+//	// without resimulating.
+//	src, err := toplists.OpenArchive("joint")
+//	if err != nil { ... }
+//	lab := toplists.NewLab(
+//		toplists.WithScale(toplists.TestScale()),
+//		toplists.WithSource(src))
+//	res, err := lab.Run(ctx, "table5")
 //	fmt.Print(res.Render())
+//
+// Migration from v1:
+//
+//	v1                          v2
+//	--------------------------  --------------------------------------------
+//	Simulate(scale)             Simulate(ctx, WithScale(scale))
+//	Stream(scale, sink)         Stream(ctx, sink, WithScale(scale))
+//	NewLab(scale)               NewLab(WithScale(scale))
+//	lab.Run(id)                 lab.Run(ctx, id)
+//	lab.RunAll()                lab.RunAll(ctx)
+//	scale.Workers = n           WithWorkers(n) (or still via the Scale)
+//	(no equivalent)             WithArchiveDir(dir) — persist while simulating
+//	(no equivalent)             WithSource(src) — serve from a loaded archive
+//
+// The v1 entry points survive as deprecated shims (SimulateScale,
+// StreamScale, NewLabScale) for external callers migrating gradually;
+// nothing inside this repository uses them (CI enforces that).
 package toplists
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -32,7 +71,9 @@ import (
 type Scale = core.Scale
 
 // Study is a fully materialised simulation: world, model, archive, and
-// the analysis/measurement layers.
+// the analysis/measurement layers. Study.Archive is a Source — an
+// in-memory archive for simulated studies, or whatever WithSource
+// provided for studies loaded from disk.
 type Study = core.Study
 
 // Experiment is a regenerated table or figure.
@@ -55,25 +96,168 @@ func DefaultScale() Scale { return core.DefaultScale() }
 // them; see Stream.
 type SnapshotSink = toplist.SnapshotSink
 
+// Source is the read side of a snapshot archive: Get, First, Last,
+// Days, Providers. Every analysis and server consumes this interface,
+// so in-memory archives and durable on-disk stores are
+// interchangeable.
+type Source = toplist.Source
+
+// DiskStore is a durable snapshot archive on disk: one gzip CSV per
+// (provider, day) plus a JSON manifest recording the producing scale,
+// the day range, and the expected provider set. It implements both
+// SnapshotSink and Source.
+type DiskStore = toplist.DiskStore
+
 // SinkFunc adapts a function to a SnapshotSink.
 type SinkFunc = engine.SinkFunc
 
+// OpenArchive reopens the durable archive previously written at dir
+// (by WithArchiveDir, CreateArchive, or cmd/collectd), ready to serve
+// snapshots without resimulating.
+func OpenArchive(dir string) (*DiskStore, error) { return toplist.OpenArchive(dir) }
+
+// CreateArchive initialises an empty durable archive at dir spanning
+// days [first, last] — the sink to hand to Stream when persisting a
+// run shaped by something other than a Scale.
+func CreateArchive(dir string, first, last toplist.Day) (*DiskStore, error) {
+	return toplist.CreateDiskStore(dir, first, last)
+}
+
+// Option configures the v2 entry points (Simulate, Stream, NewLab).
+type Option func(*config)
+
+type config struct {
+	scale      Scale
+	scaleSet   bool
+	workers    int
+	workersSet bool
+	archiveDir string
+	source     Source
+}
+
+// WithScale selects the simulation scale (DefaultScale when omitted).
+func WithScale(s Scale) Option {
+	return func(c *config) {
+		c.scale = s
+		c.scaleSet = true
+	}
+}
+
+// WithWorkers overrides the engine parallelism: 0 uses every core,
+// 1 forces the serial reference path. The archive is bitwise identical
+// either way; the knob only trades wall-clock.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		c.workers = n
+		c.workersSet = true
+	}
+}
+
+// WithArchiveDir tees every generated snapshot into a durable
+// DiskStore at dir (created fresh), so the simulation persists as it
+// runs and a later OpenArchive(dir) can serve it without
+// resimulating. The store's manifest records the scale name and the
+// engine's expected provider set.
+func WithArchiveDir(dir string) Option {
+	return func(c *config) { c.archiveDir = dir }
+}
+
+// WithSource backs the study with an already-generated archive instead
+// of simulating: the world and analysis layers are rebuilt
+// deterministically from the scale (which must match the one that
+// produced the source), and the engine is never invoked. Typical
+// source: a DiskStore from OpenArchive.
+func WithSource(src Source) Option {
+	return func(c *config) { c.source = src }
+}
+
+func buildConfig(opts []Option) (config, error) {
+	c := config{scale: DefaultScale()}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.workersSet {
+		c.scale.Workers = c.workers
+	}
+	if c.source != nil && c.archiveDir != "" {
+		return c, fmt.Errorf("toplists: WithSource and WithArchiveDir are mutually exclusive (nothing is generated from a source)")
+	}
+	return c, nil
+}
+
+// newArchiveStore creates the durable store for WithArchiveDir, sized
+// to the scale's day range, annotated with the scale name, and
+// expecting the provider set the engine will emit — so the manifest's
+// Complete/Missing contract mirrors the in-memory archive's.
+func newArchiveStore(c config) (*DiskStore, error) {
+	store, err := toplist.CreateDiskStore(c.archiveDir, 0, toplist.Day(c.scale.Population.Days-1))
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SetScale(c.scale.Name); err != nil {
+		return nil, err
+	}
+	expected := providers.DefaultOptions(c.scale.Population.Days, c.scale.ListSize).EnabledProviders()
+	if err := store.Expect(expected...); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
 // Simulate builds the world and generates the daily snapshot archive.
-// Generation runs on the concurrent engine; set Scale.Workers to 1 to
-// force the serial reference path (the output is identical).
-func Simulate(s Scale) (*Study, error) { return core.Run(s) }
+// Generation runs on the concurrent engine (WithWorkers(1) forces the
+// serial reference path; the output is identical); cancelling ctx
+// stops the run at the next day boundary. With WithArchiveDir the run
+// is additionally persisted to disk as it generates; with WithSource
+// nothing is simulated at all — the study is rebuilt around the given
+// archive and the engine is never invoked.
+func Simulate(ctx context.Context, opts ...Option) (*Study, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.source != nil {
+		return core.RunFrom(c.scale, c.source)
+	}
+	var tee toplist.SnapshotSink
+	if c.archiveDir != "" {
+		store, err := newArchiveStore(c)
+		if err != nil {
+			return nil, err
+		}
+		tee = store
+	}
+	return core.RunContext(ctx, c.scale, tee)
+}
 
 // Stream builds the world and streams every daily snapshot into sink
 // as it is generated — days ascending, providers in Alexa, Umbrella,
 // Majestic order within a day — instead of materialising a Study.
 // Consumers that want a day barrier can also implement
-// EndDay(toplist.Day) error (see internal/engine.DaySink).
-func Stream(s Scale, sink SnapshotSink) error {
-	_, eng, err := core.NewEngine(s)
+// EndDay(toplist.Day) error (see internal/engine.DaySink). Cancelling
+// ctx stops the stream within one day boundary: no snapshot for any
+// later day is delivered, and ctx.Err() is returned. WithArchiveDir
+// tees the stream into a durable store as well.
+func Stream(ctx context.Context, sink SnapshotSink, opts ...Option) error {
+	c, err := buildConfig(opts)
 	if err != nil {
 		return err
 	}
-	return eng.Run(s.Population.Days, sink)
+	if c.source != nil {
+		return fmt.Errorf("toplists: Stream simulates; it cannot run from WithSource")
+	}
+	_, eng, err := core.NewEngine(c.scale)
+	if err != nil {
+		return err
+	}
+	if c.archiveDir != "" {
+		store, err := newArchiveStore(c)
+		if err != nil {
+			return err
+		}
+		sink = engine.Tee(sink, store)
+	}
+	return eng.Run(ctx, c.scale.Population.Days, sink)
 }
 
 // ExperimentIDs lists every reproducible table/figure ID.
@@ -82,27 +266,101 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // ExperimentTitle returns the display title for an experiment ID.
 func ExperimentTitle(id string) string { return experiments.Title(id) }
 
-// Lab runs experiments against one shared simulation.
+// Lab runs experiments against one shared simulation (or one shared
+// loaded archive; see WithSource).
 type Lab struct {
 	env *experiments.Env
 }
 
-// NewLab prepares a lab at the given scale; the simulation runs on
-// first use and is shared by all experiments.
-func NewLab(scale Scale) *Lab {
-	return &Lab{env: experiments.NewEnv(scale)}
+// NewLab prepares a lab from the given options. With WithSource the
+// lab serves from the loaded archive and never simulates; otherwise
+// the simulation runs on first use — persisted through WithArchiveDir
+// when given — and is shared by all experiments.
+func NewLab(opts ...Option) *Lab {
+	c, err := buildConfig(opts)
+	if err != nil {
+		// Surface the configuration error through the lazy study,
+		// where every Lab method can report it.
+		return &Lab{env: experiments.NewEnvError(c.scale, err)}
+	}
+	if c.source != nil {
+		return &Lab{env: experiments.NewEnvFrom(c.scale, c.source)}
+	}
+	env := experiments.NewEnv(c.scale)
+	if c.archiveDir != "" {
+		store, err := newArchiveStore(c)
+		if err != nil {
+			return &Lab{env: experiments.NewEnvError(c.scale, err)}
+		}
+		env.SetTee(store)
+	}
+	return &Lab{env: env}
 }
 
 // Study returns the lab's underlying study (materialising it if
 // needed).
 func (l *Lab) Study() (*Study, error) { return l.env.Study() }
 
+// Run regenerates one table or figure. The context governs the shared
+// study's one-time materialisation and is checked before the driver
+// starts.
+func (l *Lab) Run(ctx context.Context, id string) (*Experiment, error) {
+	return experiments.Run(ctx, l.env, id)
+}
+
+// RunAll regenerates every table and figure, returned in ID order. The
+// worker pool (sized to GOMAXPROCS) claims experiments
+// longest-job-first, so the grid-heavy drivers that dominate the
+// critical path start before the cheap table lookups.
+func (l *Lab) RunAll(ctx context.Context) ([]*Experiment, error) {
+	return experiments.RunAll(ctx, l.env)
+}
+
+// Deprecated v1 shims. These preserve the pre-v2 call shapes for
+// external callers; inside this repository everything uses the
+// context-aware option-driven API above (CI rejects in-repo shim use).
+
+// SimulateScale is the v1 Simulate.
+//
+// Deprecated: use Simulate(ctx, WithScale(s)).
+func SimulateScale(s Scale) (*Study, error) {
+	return Simulate(context.Background(), WithScale(s))
+}
+
+// StreamScale is the v1 Stream.
+//
+// Deprecated: use Stream(ctx, sink, WithScale(s)).
+func StreamScale(s Scale, sink SnapshotSink) error {
+	return Stream(context.Background(), sink, WithScale(s))
+}
+
+// LegacyLab wraps a Lab with the v1 context-free method set.
+//
+// Deprecated: use NewLab(WithScale(s)) and the context-aware methods.
+type LegacyLab struct{ lab *Lab }
+
+// NewLabScale is the v1 NewLab.
+//
+// Deprecated: use NewLab(WithScale(s)).
+func NewLabScale(s Scale) *LegacyLab {
+	return &LegacyLab{lab: NewLab(WithScale(s))}
+}
+
+// Study returns the lab's underlying study.
+//
+// Deprecated: part of the v1 shim surface.
+func (l *LegacyLab) Study() (*Study, error) { return l.lab.Study() }
+
 // Run regenerates one table or figure.
-func (l *Lab) Run(id string) (*Experiment, error) {
-	return experiments.Run(l.env, id)
+//
+// Deprecated: use Lab.Run(ctx, id).
+func (l *LegacyLab) Run(id string) (*Experiment, error) {
+	return l.lab.Run(context.Background(), id)
 }
 
 // RunAll regenerates every table and figure in ID order.
-func (l *Lab) RunAll() ([]*Experiment, error) {
-	return experiments.RunAll(l.env)
+//
+// Deprecated: use Lab.RunAll(ctx).
+func (l *LegacyLab) RunAll() ([]*Experiment, error) {
+	return l.lab.RunAll(context.Background())
 }

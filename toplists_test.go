@@ -1,6 +1,7 @@
 package toplists
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestPublicAPI(t *testing.T) {
 	scale := TestScale()
 	scale.Population.Days = 14
 	scale.BurnInDays = 20
-	study, err := Simulate(scale)
+	study, err := Simulate(context.Background(), WithScale(scale))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,8 +33,8 @@ func TestPublicAPI(t *testing.T) {
 }
 
 func TestLabRunsExperiment(t *testing.T) {
-	l := NewLab(TestScale())
-	res, err := l.Run("table1")
+	l := NewLab(WithScale(TestScale()))
+	res, err := l.Run(context.Background(), "table1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestLabRunsExperiment(t *testing.T) {
 	if !strings.Contains(out, "ACM IMC") || !strings.Contains(out, "Total") {
 		t.Fatalf("table1 render missing venues:\n%s", out)
 	}
-	if _, err := l.Run("not-an-experiment"); err == nil {
+	if _, err := l.Run(context.Background(), "not-an-experiment"); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 	if _, err := l.Study(); err != nil {
@@ -55,14 +56,14 @@ func TestStreamDeliversEverySnapshot(t *testing.T) {
 	scale.BurnInDays = 15
 	got := make(map[string]int)
 	var lastDay toplist.Day
-	err := Stream(scale, SinkFunc(func(provider string, day toplist.Day, l *toplist.List) error {
+	err := Stream(context.Background(), SinkFunc(func(provider string, day toplist.Day, l *toplist.List) error {
 		got[provider]++
 		lastDay = day
 		if l.Len() != scale.ListSize {
 			t.Fatalf("%s day %v: list size %d", provider, day, l.Len())
 		}
 		return nil
-	}))
+	}), WithScale(scale))
 	if err != nil {
 		t.Fatal(err)
 	}
