@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/population"
 	"repro/internal/providers"
+	"repro/internal/toplist"
 	"repro/internal/traffic"
 )
 
@@ -113,11 +114,25 @@ func BenchmarkSimulate(b *testing.B) {
 }
 
 // BenchmarkEngine measures archive generation alone (world build
-// excluded) through the simulation engine, serial reference path vs
-// all cores, reporting simulated days (burn-in included) per second.
-// The two variants produce byte-identical archives — see
-// internal/engine's equivalence tests — so the days/sec ratio is the
-// end-to-end speedup of the concurrent engine.
+// excluded), reporting simulated days (burn-in included) per second
+// across three variants that all produce byte-identical archives (see
+// internal/engine's equivalence tests):
+//
+//   - serial: the Workers=1 reference path;
+//   - barriered-N: a fully synchronous day loop at N workers — step
+//     the day, rank it, emit it, with a barrier between phases. This
+//     is intra-phase parallelism only: it strips out ALL cross-phase
+//     overlap, including the step-vs-emit writer overlap the engine
+//     already had before the day pipeline, so it is the floor the
+//     overlap machinery as a whole is measured against;
+//   - pipelined-N: engine.Run at N workers, where day d+1 steps while
+//     day d ranks and day d-1 emits.
+//
+// pipelined/barriered is the wall-clock value of cross-phase overlap
+// (day pipeline + streaming emit); pipelined/serial is the end-to-end
+// concurrent-engine speedup. Both ratios need real parallel hardware:
+// on a single-core box all three variants coincide within noise, since
+// overlapped CPU-bound stages just timeslice.
 func BenchmarkEngine(b *testing.B) {
 	scale := TestScale()
 	scale.Population.Days = 14
@@ -127,6 +142,19 @@ func BenchmarkEngine(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := traffic.NewModel(w)
+	mkGen := func(b *testing.B) *providers.Generator {
+		opts := providers.DefaultOptions(scale.Population.Days, scale.ListSize)
+		opts.BurnInDays = scale.BurnInDays
+		g, err := providers.NewGenerator(m, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	reportDays := func(b *testing.B) {
+		stepped := scale.BurnInDays + scale.Population.Days
+		b.ReportMetric(float64(stepped)*float64(b.N)/b.Elapsed().Seconds(), "days/sec")
+	}
 	run := func(b *testing.B, workers int) {
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -134,22 +162,45 @@ func BenchmarkEngine(b *testing.B) {
 			// Generator construction (state arrays + base buckets) is
 			// untimed so days/sec reflects the stepping loop alone.
 			b.StopTimer()
-			opts := providers.DefaultOptions(scale.Population.Days, scale.ListSize)
-			opts.BurnInDays = scale.BurnInDays
-			g, err := providers.NewGenerator(m, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
+			g := mkGen(b)
 			b.StartTimer()
 			if _, err := engine.Run(context.Background(), g, scale.Population.Days, engine.Config{Workers: workers}); err != nil {
 				b.Fatal(err)
 			}
 		}
-		stepped := scale.BurnInDays + scale.Population.Days
-		b.ReportMetric(float64(stepped)*float64(b.N)/b.Elapsed().Seconds(), "days/sec")
+		reportDays(b)
 	}
+	// runBarriered reproduces the pre-pipeline day loop: every phase of
+	// a day completes before the next begins, with intra-phase
+	// parallelism only.
+	runBarriered := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := mkGen(b)
+			b.StartTimer()
+			days := scale.Population.Days
+			arch := toplist.NewArchive(0, toplist.Day(days-1))
+			arch.Expect(g.EnabledProviders()...)
+			for d := -scale.BurnInDays; d < 0; d++ {
+				g.StepDay(d, workers)
+			}
+			for d := 0; d < days; d++ {
+				g.StepDay(d, workers)
+				for _, s := range g.Snapshots(toplist.Day(d), workers) {
+					if err := arch.Put(s.Provider, s.Day, s.List); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		reportDays(b)
+	}
+	n := runtime.GOMAXPROCS(0)
 	b.Run("serial", func(b *testing.B) { run(b, 1) })
-	b.Run(fmt.Sprintf("workers-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
+	b.Run(fmt.Sprintf("barriered-%d", n), func(b *testing.B) { runBarriered(b, n) })
+	b.Run(fmt.Sprintf("pipelined-%d", n), func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkRunAll regenerates every table and figure through the

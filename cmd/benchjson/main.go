@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a machine-readable JSON document on stdout — the format of the
+// BENCH_engine.json perf-trajectory artifact CI uploads per run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkEngine$' . | go run ./cmd/benchjson > BENCH_engine.json
+//
+// Every benchmark result line becomes one entry preserving input
+// order; the ns/op figure plus any custom metrics (days/sec, B/op,
+// allocs/op) are parsed into numeric fields, so a trajectory of
+// artifacts diffs cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// document is the artifact root.
+type document struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Package string   `json:"pkg,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*document, error) {
+	doc := &document{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8   12   93111 ns/op   42.1 days/sec   16 B/op   3 allocs/op
+func parseResult(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -12,7 +12,12 @@
 // -live-interval): nothing is visible at startup, each finished day is
 // published the moment its snapshots exist, and a Mirror pointed at
 // the daemon experiences a real longitudinal collection against a
-// still-running simulation.
+// still-running simulation. The engine's day pipeline keeps working
+// while publication paces: when EndDay waits on the interval ticker,
+// the next day ranks and the one after steps, bounded at one day per
+// stage — so each tick publishes a day that is typically already
+// generated, and a cancelled daemon stops the engine at the next stage
+// boundary rather than simulating unpublishable days.
 //
 // With -archive, no simulation runs at all: the daemon reopens a
 // durable archive previously saved by `toplists -save` (or any
@@ -185,7 +190,11 @@ func (z worldZones) ZoneDomains(tld string) []string { return z.w.ZoneDomains(0,
 // liveSink streams engine output into a served archive: snapshots go
 // into the gatekeeper's archive under its lock, and each completed day
 // becomes visible to HTTP readers at most once per interval. It is the
-// engine.DaySink wired up by -live.
+// engine.DaySink wired up by -live. It runs on the engine's emit
+// stage, so blocking here on the pacing ticker does not stall the
+// pipeline: the engine ranks the next day and steps the one after
+// while this sink waits, and publication latency per tick is just the
+// archive insert.
 type liveSink struct {
 	ctx    context.Context
 	gk     *listserv.Gatekeeper

@@ -9,9 +9,16 @@
 //     providers.Generator.StepDay;
 //  2. the three providers step and rank concurrently per day (their
 //     window states are fully independent);
-//  3. snapshots stream to the sink from a writer goroutine, so sink
-//     I/O (in-memory archiving, HTTP publication, CSV writing)
-//     overlaps the next day's stepping.
+//  3. the days themselves are pipelined through three stages — step,
+//     rank, emit — so while day d+1's signals and EMAs step, day d's
+//     top-K selection runs on a frozen rank view
+//     (providers.Generator.Freeze) and day d-1 streams to the sink.
+//
+// The pipeline depth is bounded at one day per stage by the providers'
+// double-buffered EMA state: stepping day d+2 reclaims the buffer day
+// d's rank view reads, so the step stage hands views over an
+// unbuffered channel — a completed handoff proves the rank stage has
+// retired the view from two days ago.
 //
 // Workers = 1 selects the legacy serial path, kept as the reference
 // implementation; every concurrent level is constructed to be bitwise
@@ -21,7 +28,10 @@
 //
 // Runs are context-aware: cancellation is observed at day boundaries,
 // so a cancelled run stops within one simulated day and the sink never
-// sees a partial day beyond the one in flight.
+// sees a partial day beyond the one in flight. Errors propagate
+// promptly: a sink failure cancels the internal pipeline context, so
+// the step stage stops at its next stage boundary instead of stepping
+// days that will never be emitted.
 package engine
 
 import (
@@ -184,45 +194,97 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 		return nil
 	}
 
-	// Concurrent path: a writer goroutine drains finished days so the
-	// sink's I/O overlaps stepping. The small channel buffer bounds
-	// how far generation may run ahead of a slow sink; emit checks ctx
-	// per day, so cancellation stops deliveries within one day even
-	// while stepping runs ahead.
+	// Concurrent path: a bounded three-stage day pipeline.
+	//
+	//	step(d+1) ─views→ rank(d) ─batches→ emit(d-1)
+	//
+	// The step stage (this goroutine) advances the providers' signals
+	// and EMAs; the rank stage runs top-K selection over the frozen
+	// view of the previous day; the emit stage streams the day before
+	// that into the sink in deterministic order.
+	//
+	// views is deliberately unbuffered: a completed send proves the
+	// rank stage has retired the view from two days ago, which is
+	// exactly when the providers' double-buffered EMA state lets the
+	// next StepDay reclaim that view's buffer. batches holds one day so
+	// ranking day d overlaps emitting day d-1.
+	//
+	// Error and cancel propagation is prompt: the first emit error (or
+	// the parent ctx's cancellation surfacing through emit) cancels
+	// pctx, and every stage selects on pctx at its next boundary — the
+	// step stage finishes at most the StepDay in flight, instead of
+	// running whole days for snapshots that will never be delivered.
 	type dayBatch struct {
 		day   toplist.Day
 		snaps []toplist.Snapshot
 	}
-	batches := make(chan dayBatch, 2)
-	errc := make(chan error, 1)
-	go func() {
-		for b := range batches {
-			if err := emit(b.day, b.snaps); err != nil {
-				errc <- err
-				for range batches { // release the producer
-				}
-				return
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	views := make(chan *providers.RankView)
+	batches := make(chan dayBatch, 1)
+	grp := parallel.NewGroup(cancel)
+
+	// Rank stage: top-K selection over frozen views. Shutdown paths
+	// return nil — the emit stage owns the run's error, and the final
+	// ctx.Err() check below owns parent cancellation.
+	grp.Go(func() error {
+		defer close(batches)
+		for v := range views {
+			b := dayBatch{v.Day(), v.Snapshots(workers)}
+			select {
+			case batches <- b:
+			case <-pctx.Done():
+				return nil
 			}
 		}
-		errc <- nil
-	}()
-	for d := 0; d < days; d++ {
-		select {
-		case err := <-errc:
-			// The writer only exits early on error; stop generating.
-			close(batches)
-			return err
-		case <-ctx.Done():
-			close(batches)
-			<-errc // wait for the writer to drain and exit
-			return ctx.Err()
-		default:
+		return nil
+	})
+
+	// Emit stage: the only stage that touches the sink, preserving the
+	// serial path's delivery order exactly. emitted counts delivered
+	// days; it is read after Wait (which orders it) to tell a complete
+	// run from a cancelled one.
+	emitted := 0
+	grp.Go(func() error {
+		for b := range batches {
+			if err := emit(b.day, b.snaps); err != nil {
+				return err
+			}
+			emitted++
 		}
-		g.StepDay(d, workers)
-		batches <- dayBatch{toplist.Day(d), g.Snapshots(toplist.Day(d), workers)}
+		return nil
+	})
+
+	// Step stage, inline on the caller's goroutine.
+	grp.Do(func() error {
+		defer close(views)
+		for d := 0; d < days; d++ {
+			if pctx.Err() != nil {
+				return nil
+			}
+			g.StepDay(d, workers)
+			select {
+			case views <- g.Freeze(toplist.Day(d)):
+			case <-pctx.Done():
+				return nil
+			}
+		}
+		return nil
+	})
+
+	if err := grp.Wait(); err != nil {
+		return err
 	}
-	close(batches)
-	return <-errc
+	if emitted == days {
+		// Every day was delivered: the run is complete, and — like the
+		// serial reference path — a cancellation racing the very last
+		// delivery does not retroactively fail it.
+		return nil
+	}
+	// No stage errored but days are missing: the parent ctx was
+	// cancelled mid-run (internal cancellation only ever follows a
+	// stage error, which Wait would have returned).
+	return ctx.Err()
 }
 
 // Run builds the archive for days [0, days) with a fresh generator

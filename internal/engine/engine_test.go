@@ -313,3 +313,85 @@ func TestTeeFansOut(t *testing.T) {
 		t.Fatal("RunCount did not advance with the run")
 	}
 }
+
+// failingDaySink fails EndDay for a target day; the pipeline must
+// return that error and deliver nothing past the failing day.
+type failingDaySink struct {
+	recordingSink
+	failDay toplist.Day
+}
+
+func (s *failingDaySink) EndDay(day toplist.Day) error {
+	s.days = append(s.days, day)
+	if day == s.failDay {
+		return fmt.Errorf("day barrier %v failed", day)
+	}
+	return nil
+}
+
+// TestEndDayErrorStopsRun: an error from the day barrier (not just
+// Put) stops the run on both paths — the emit stage owns the error and
+// the pipeline shuts down without delivering any later day.
+func TestEndDayErrorStopsRun(t *testing.T) {
+	m, cfg := testWorld(t)
+	const failDay = 3
+	for _, workers := range []int{1, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &failingDaySink{failDay: failDay}
+		err = New(g, Config{Workers: workers}).Run(context.Background(), cfg.Days, sink)
+		want := fmt.Sprintf("day barrier %v failed", toplist.Day(failDay))
+		if err == nil || err.Error() != want {
+			t.Fatalf("workers=%d: err = %v, want %q", workers, err, want)
+		}
+		if len(sink.days) != failDay+1 {
+			t.Fatalf("workers=%d: EndDay fired %d times, want %d", workers, len(sink.days), failDay+1)
+		}
+		wantPuts := 3 * (failDay + 1)
+		if len(sink.puts) != wantPuts {
+			t.Fatalf("workers=%d: %d puts delivered after day-barrier failure, want %d",
+				workers, len(sink.puts), wantPuts)
+		}
+	}
+}
+
+// lastDayCancelSink cancels the context during the final day's
+// barrier — after every snapshot has been delivered.
+type lastDayCancelSink struct {
+	recordingSink
+	cancel  context.CancelFunc
+	lastDay toplist.Day
+}
+
+func (s *lastDayCancelSink) EndDay(day toplist.Day) error {
+	s.days = append(s.days, day)
+	if day == s.lastDay {
+		s.cancel()
+	}
+	return nil
+}
+
+// TestCancelAfterLastDeliveryStillSucceeds: a cancellation racing the
+// very last delivery must not retroactively fail a complete run — on
+// the pipelined path exactly as on the serial reference path.
+func TestCancelAfterLastDeliveryStillSucceeds(t *testing.T) {
+	m, cfg := testWorld(t)
+	for _, workers := range []int{1, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &lastDayCancelSink{cancel: cancel, lastDay: toplist.Day(cfg.Days - 1)}
+		err = New(g, Config{Workers: workers}).Run(ctx, cfg.Days, sink)
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: complete run failed with %v", workers, err)
+		}
+		if len(sink.puts) != 3*cfg.Days {
+			t.Fatalf("workers=%d: %d puts, want %d", workers, len(sink.puts), 3*cfg.Days)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/toplist"
 )
 
 // TestScheduleLongestJobFirst: with no observations, the static cost
@@ -126,5 +127,72 @@ func TestStudyRetriesAfterCancelledMaterialisation(t *testing.T) {
 	}
 	if res.ID != "table2" {
 		t.Fatalf("retry ran %q", res.ID)
+	}
+}
+
+// TestPersistedTimingsCalibrateFreshEnv: wall times recorded into a
+// durable archive by an earlier process preload a fresh Env built from
+// that archive, so its first pooled round is already ordered by real
+// observations — and new observations are persisted back.
+func TestPersistedTimingsCalibrateFreshEnv(t *testing.T) {
+	dir := t.TempDir()
+	store, err := toplist.CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "previous process" observed table1 to be pathologically slow
+	// and fig5 (statically the heaviest grid) to be cheap here.
+	if err := store.RecordTiming("table1", 500*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RecordTiming("fig5", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnvFrom(core.TestScale(), reopened)
+	if e.observedElapsed("table1") != 500*time.Second {
+		t.Fatal("persisted timing not preloaded into the fresh Env")
+	}
+	q := schedule(e, IDs())
+	pos := make(map[string]int, len(q))
+	for i, id := range q {
+		pos[id] = i
+	}
+	if pos["table1"] != 0 {
+		t.Fatalf("persisted-slow table1 at position %d: %v", pos["table1"], q)
+	}
+	if pos["fig5"] < pos["ttl"] {
+		t.Fatalf("persisted-fast fig5 still ahead of unobserved ttl: %v", q)
+	}
+
+	// A new observation on this Env lands back in the archive for the
+	// next process.
+	e.noteElapsed("fig8", 2*time.Second)
+	again, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Timings()["fig8"]; got != 2*time.Second {
+		t.Fatalf("new observation not persisted: fig8 = %v", got)
+	}
+}
+
+// TestTeeStoreRecordsTimings: an Env persisting its simulation through
+// SetTee(DiskStore) records wall times into the same archive.
+func TestTeeStoreRecordsTimings(t *testing.T) {
+	dir := t.TempDir()
+	store, err := toplist.CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnv(core.TestScale())
+	e.SetTee(store)
+	e.noteElapsed("table2", 7*time.Second)
+	if got := store.Timings()["table2"]; got != 7*time.Second {
+		t.Fatalf("tee store timing = %v, want 7s", got)
 	}
 }

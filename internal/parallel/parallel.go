@@ -1,9 +1,9 @@
 // Package parallel provides the small deterministic fan-out primitives
 // the concurrent simulation engine is built from: contiguous range
-// sharding (For) and independent task groups (Do). Shard boundaries
-// depend only on (workers, n), never on scheduling, so callers that
-// merge per-shard partial results in shard order get run-to-run
-// deterministic output.
+// sharding (For), independent task groups (Do), and fail-fast stage
+// groups for pipelines (Group). Shard boundaries depend only on
+// (workers, n), never on scheduling, so callers that merge per-shard
+// partial results in shard order get run-to-run deterministic output.
 package parallel
 
 import (
@@ -61,6 +61,60 @@ func For(workers, n int, fn func(lo, hi int)) {
 	lo, hi := Shard(workers, n, 0)
 	fn(lo, hi)
 	wg.Wait()
+}
+
+// Group runs a set of cooperating stage functions and collects the
+// first error — the pipeline primitive behind the engine's day
+// overlap. Unlike Do, the stages are long-lived, may fail, and a
+// failure must promptly unblock the others: the first non-nil error
+// (from a goroutine started with Go or an inline stage run with Do)
+// fires the group's cancel hook exactly once, so stages selecting on
+// the matching Done channel observe the failure at their next stage
+// boundary instead of running useless work to completion.
+type Group struct {
+	cancel func()
+	wg     sync.WaitGroup
+	once   sync.Once
+	err    error
+}
+
+// NewGroup returns a group whose cancel hook fires on the first stage
+// error (nil is allowed for groups that only collect errors).
+func NewGroup(cancel func()) *Group { return &Group{cancel: cancel} }
+
+// Go runs fn on its own goroutine.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := fn(); err != nil {
+			g.fail(err)
+		}
+	}()
+}
+
+// Do runs fn inline on the caller's goroutine — how the caller makes
+// itself one of the group's stages without a goroutine handoff.
+func (g *Group) Do(fn func() error) {
+	if err := fn(); err != nil {
+		g.fail(err)
+	}
+}
+
+// Wait blocks until every Go'd stage has returned and reports the
+// first error any stage (including inline Do stages) returned.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+func (g *Group) fail(err error) {
+	g.once.Do(func() {
+		g.err = err
+		if g.cancel != nil {
+			g.cancel()
+		}
+	})
 }
 
 // Do runs the given tasks concurrently and returns when all are done.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -85,5 +86,50 @@ func TestDo(t *testing.T) {
 	)
 	if total != 7 {
 		t.Fatalf("Do total = %d", total)
+	}
+}
+
+// TestGroupFirstErrorCancels: the first stage error fires the cancel
+// hook exactly once and promptly unblocks stages waiting on it, and
+// Wait reports that first error.
+func TestGroupFirstErrorCancels(t *testing.T) {
+	done := make(chan struct{})
+	var cancels int32
+	g := NewGroup(func() {
+		atomic.AddInt32(&cancels, 1)
+		close(done)
+	})
+	g.Go(func() error {
+		<-done // unblocked only by the other stage's failure
+		return nil
+	})
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Do(func() error {
+		<-done
+		return errors.New("later, must not win")
+	})
+	if err := g.Wait(); err != boom {
+		t.Fatalf("Wait() = %v, want the first error", err)
+	}
+	if n := atomic.LoadInt32(&cancels); n != 1 {
+		t.Fatalf("cancel hook fired %d times", n)
+	}
+}
+
+// TestGroupCleanRun: no errors, nil cancel hook allowed, Wait returns
+// nil after every stage finishes.
+func TestGroupCleanRun(t *testing.T) {
+	g := NewGroup(nil)
+	var total int32
+	for i := 0; i < 4; i++ {
+		g.Go(func() error { atomic.AddInt32(&total, 1); return nil })
+	}
+	g.Do(func() error { atomic.AddInt32(&total, 1); return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("ran %d stages, want 5", total)
 	}
 }

@@ -169,11 +169,15 @@ func (g *Generator) Run(days int) (*toplist.Archive, error) {
 	return arch, nil
 }
 
-// StepDay advances all enabled providers to day d. With workers > 1
-// the three providers step concurrently (their EMA states are fully
-// independent) and each shards its per-domain loops across workers;
-// the result is bitwise identical to workers == 1 because every score
-// accumulator still sums the same values in the same order.
+// StepDay advances all enabled providers to day d — the signal/EMA
+// stepping phase of the day, with rank/top-K selection split out into
+// Freeze(d).Snapshots. With workers > 1 the three providers step
+// concurrently (their EMA states are fully independent) and each
+// shards its per-domain loops across workers; the result is bitwise
+// identical to workers == 1 because every score accumulator still sums
+// the same values in the same order. The EMA state is double-buffered:
+// StepDay(d+1) leaves day d's frozen rank view intact, and only
+// StepDay(d+2) reclaims it.
 func (g *Generator) StepDay(d, workers int) {
 	if g.Opts.AlexaChangeDay >= 0 && d == g.Opts.AlexaChangeDay {
 		g.alexa.alpha = g.Opts.AlexaAlphaPost
@@ -199,23 +203,80 @@ func (g *Generator) StepDay(d, workers int) {
 
 // Snapshots generates the enabled providers' lists for day, in the
 // fixed output order. With workers > 1 the per-provider top-K
-// selections run concurrently.
+// selections run concurrently. It is Freeze followed by an immediate
+// rank — the barriered composition the pipelined engine splits apart.
 func (g *Generator) Snapshots(day toplist.Day, workers int) []toplist.Snapshot {
-	out := make([]toplist.Snapshot, 0, 3)
-	gen := make([]func(), 0, 3)
-	add := func(provider string, list func(int) *toplist.List) {
-		out = append(out, toplist.Snapshot{Provider: provider, Day: day})
-		s := &out[len(out)-1]
-		gen = append(gen, func() { s.List = list(g.Opts.ListSize) })
+	return g.Freeze(day).Snapshots(workers)
+}
+
+// RankView is a frozen view of the rank inputs for one day, captured
+// by Freeze after StepDay(d): the EMA front buffers by reference
+// (copy-free — they are double-buffered) plus a clone of the small
+// injected-name states. The view stays valid while StepDay(d+1) runs
+// and is invalidated by StepDay(d+2), which reclaims the buffers; the
+// engine's pipeline enforces that ordering, giving it one full day of
+// top-K selection overlapped with the next day's stepping.
+type RankView struct {
+	day      toplist.Day
+	listSize int
+	views    []providerView
+}
+
+// providerView is one provider's frozen rank input.
+type providerView struct {
+	provider string
+	m        *traffic.Model
+	ema      []float64
+	extra    map[string]float64
+}
+
+func (pv *providerView) list(size int) *toplist.List {
+	top := topIDs(pv.ema, size)
+	return mergeExtras(pv.m, top, pv.ema, pv.extra, size)
+}
+
+func cloneExtra(extra map[string]float64) map[string]float64 {
+	if len(extra) == 0 {
+		return nil
 	}
+	out := make(map[string]float64, len(extra))
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// Freeze captures the rank inputs for day — which must be the day of
+// the latest StepDay — so top-K selection can run concurrently with
+// the next day's stepping. See RankView for the validity window.
+func (g *Generator) Freeze(day toplist.Day) *RankView {
+	v := &RankView{day: day, listSize: g.Opts.ListSize, views: make([]providerView, 0, 3)}
 	if g.Opts.enabled(Alexa) {
-		add(Alexa, g.alexa.list)
+		v.views = append(v.views, providerView{Alexa, g.Model, g.alexa.ema.Front(), cloneExtra(g.alexa.extra)})
 	}
 	if g.Opts.enabled(Umbrella) {
-		add(Umbrella, g.umbrella.list)
+		v.views = append(v.views, providerView{Umbrella, g.Model, g.umbrella.ema.Front(), cloneExtra(g.umbrella.extra)})
 	}
 	if g.Opts.enabled(Majestic) {
-		add(Majestic, g.majestic.list)
+		v.views = append(v.views, providerView{Majestic, g.Model, g.majestic.ema.Front(), cloneExtra(g.majestic.extra)})
+	}
+	return v
+}
+
+// Day returns the day the view was frozen at.
+func (v *RankView) Day() toplist.Day { return v.day }
+
+// Snapshots runs the rank/top-K selection phase over the frozen state,
+// producing the day's lists in the fixed provider output order. With
+// workers > 1 the per-provider selections run concurrently.
+func (v *RankView) Snapshots(workers int) []toplist.Snapshot {
+	out := make([]toplist.Snapshot, len(v.views))
+	gen := make([]func(), 0, len(v.views))
+	for i := range v.views {
+		pv := &v.views[i]
+		out[i] = toplist.Snapshot{Provider: pv.provider, Day: v.day}
+		s := &out[i]
+		gen = append(gen, func() { s.List = pv.list(v.listSize) })
 	}
 	if workers <= 1 {
 		for _, fn := range gen {
@@ -275,7 +336,7 @@ type webRanker struct {
 
 	sig     []float64          // per-record scratch
 	score   []float64          // per-base aggregated daily signal
-	ema     []float64          // per-base window state
+	ema     *dualEMA           // per-base window state, double-buffered
 	extra   map[string]float64 // injected names' EMA
 	started bool
 }
@@ -298,7 +359,7 @@ func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traff
 		convert: convert,
 		sig:     make([]float64, n),
 		score:   make([]float64, n),
-		ema:     make([]float64, n),
+		ema:     newDualEMA(n),
 		extra:   make(map[string]float64),
 	}
 }
@@ -330,8 +391,13 @@ func (r *webRanker) step(day, workers int) {
 			}
 		})
 	}
+	// The EMA advance reads yesterday's front buffer and writes the
+	// back buffer, then flips — never in place, so the previous front
+	// remains a valid frozen rank view while the next day steps.
+	prev, next := r.ema.Front(), r.ema.Back()
 	if !r.started {
-		copy(r.ema, r.score)
+		copy(next, r.score)
+		r.ema.Flip()
 		r.started = true
 		stepExtras(r.extra, r.injectionsFor(day), r.alpha, r.convert)
 		return
@@ -339,9 +405,10 @@ func (r *webRanker) step(day, workers int) {
 	a := r.alpha
 	parallel.For(workers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			r.ema[i] = (1-a)*r.ema[i] + a*r.score[i]
+			next[i] = (1-a)*prev[i] + a*r.score[i]
 		}
 	})
+	r.ema.Flip()
 	stepExtras(r.extra, r.injectionsFor(day), a, r.convert)
 }
 
@@ -350,11 +417,6 @@ func (r *webRanker) injectionsFor(day int) map[string]traffic.Injection {
 		return nil
 	}
 	return r.inj.For(day)
-}
-
-func (r *webRanker) list(size int) *toplist.List {
-	top := topIDs(r.ema, size)
-	return mergeExtras(r.m, top, r.ema, r.extra, size)
 }
 
 // stepExtras advances injected names' EMA one day: today's injections
@@ -438,7 +500,7 @@ type dnsRanker struct {
 	opts Options
 
 	sig     []float64
-	ema     []float64
+	ema     *dualEMA           // per-record window state, double-buffered
 	extra   map[string]float64 // injected names' EMA
 	started bool
 }
@@ -449,7 +511,7 @@ func newDNSRanker(m *traffic.Model, opts Options) *dnsRanker {
 		m:     m,
 		opts:  opts,
 		sig:   make([]float64, n),
-		ema:   make([]float64, n),
+		ema:   newDualEMA(n),
 		extra: make(map[string]float64),
 	}
 }
@@ -463,7 +525,10 @@ func (r *dnsRanker) step(day, workers int) {
 	n := len(r.sig)
 	a := r.opts.UmbrellaAlpha
 	// Signal fill and the per-record EMA update are elementwise, so
-	// sharding them changes nothing about the arithmetic.
+	// sharding them changes nothing about the arithmetic. As in
+	// webRanker, the update reads the front buffer and writes the back
+	// so a frozen rank view of yesterday survives this step.
+	prev, next := r.ema.Front(), r.ema.Back()
 	parallel.For(workers, n, func(lo, hi int) {
 		r.m.SignalRange(traffic.AxisDNS, day, r.sig, lo, hi)
 		for i := lo; i < hi; i++ {
@@ -473,12 +538,13 @@ func (r *dnsRanker) step(day, workers int) {
 				score = clients * queriesPerClient
 			}
 			if !r.started {
-				r.ema[i] = score
+				next[i] = score
 			} else {
-				r.ema[i] = (1-a)*r.ema[i] + a*score
+				next[i] = (1-a)*prev[i] + a*score
 			}
 		}
 	})
+	r.ema.Flip()
 	// Injected names: anything not injected today decays toward zero.
 	var today map[string]traffic.Injection
 	if r.opts.Injector != nil {
@@ -503,11 +569,6 @@ func (r *dnsRanker) step(day, workers int) {
 		r.extra[name] = (1-a)*r.extra[name] + a*score
 	}
 	r.started = true
-}
-
-func (r *dnsRanker) list(size int) *toplist.List {
-	top := topIDs(r.ema, size)
-	return mergeExtras(r.m, top, r.ema, r.extra, size)
 }
 
 // --- top-K selection ---------------------------------------------------

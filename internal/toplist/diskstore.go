@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // manifestName is the store's metadata file inside the archive dir.
@@ -15,6 +16,12 @@ const manifestName = "manifest.json"
 
 // snapshotExt is the per-snapshot file suffix.
 const snapshotExt = ".csv.gz"
+
+// manifestVersion is the manifest format this build reads and writes.
+// OpenArchive rejects any other version outright: a future-format
+// archive must fail loudly instead of half-opening with silently
+// dropped fields.
+const manifestVersion = 1
 
 // manifest is the JSON document at <dir>/manifest.json describing a
 // DiskStore: what scale produced it, the day range it covers, and the
@@ -26,6 +33,10 @@ type manifest struct {
 	LastDay   string   `json:"last_day"`
 	Providers []string `json:"providers"`          // insertion order
 	Expected  []string `json:"expected,omitempty"` // providers Complete/Missing require
+	// Timings persists observed experiment wall times (microseconds
+	// by experiment ID) so a fresh process reopening the archive can
+	// schedule its first pooled run longest-job-first from real data.
+	Timings map[string]int64 `json:"timings_us,omitempty"`
 }
 
 // DiskStore is a durable snapshot archive: one gzip-compressed CSV per
@@ -51,12 +62,23 @@ type DiskStore struct {
 	first   Day
 	last    Day
 	present map[string][]bool // provider -> day-index bitmap
-	cache   map[storeKey]*List
+	cache   map[storeKey]*cacheEntry
 }
 
 type storeKey struct {
 	provider string
 	day      Day
+}
+
+// cacheEntry is one snapshot's decode slot. The first Get for a key
+// installs the entry and decodes outside the store lock; concurrent
+// readers of the same key wait on ready instead of each re-decoding
+// the same file. A decode failure is memoized as a final nil list, so
+// a corrupt snapshot costs one read — not one per call — until a Put
+// replaces it and invalidates the entry.
+type cacheEntry struct {
+	ready chan struct{} // closed once list is final
+	list  *List         // nil after a decode failure
 }
 
 var _ Store = (*DiskStore)(nil)
@@ -76,11 +98,11 @@ func CreateDiskStore(dir string, first, last Day) (*DiskStore, error) {
 	}
 	ds := &DiskStore{
 		dir:     dir,
-		man:     manifest{Version: 1, FirstDay: first.String(), LastDay: last.String()},
+		man:     manifest{Version: manifestVersion, FirstDay: first.String(), LastDay: last.String()},
 		first:   first,
 		last:    last,
 		present: make(map[string][]bool),
-		cache:   make(map[storeKey]*List),
+		cache:   make(map[storeKey]*cacheEntry),
 	}
 	if err := ds.flushManifestLocked(); err != nil {
 		return nil, err
@@ -102,6 +124,10 @@ func OpenArchive(dir string) (*DiskStore, error) {
 	if err := json.Unmarshal(raw, &man); err != nil {
 		return nil, fmt.Errorf("toplist: archive %s: bad manifest: %w", dir, err)
 	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("toplist: archive %s: manifest version %d not supported (this build reads version %d); refusing to half-open it",
+			dir, man.Version, manifestVersion)
+	}
 	first, err := ParseDay(man.FirstDay)
 	if err != nil {
 		return nil, fmt.Errorf("toplist: archive %s: bad first_day: %w", dir, err)
@@ -119,7 +145,7 @@ func OpenArchive(dir string) (*DiskStore, error) {
 		first:   first,
 		last:    last,
 		present: make(map[string][]bool),
-		cache:   make(map[storeKey]*List),
+		cache:   make(map[storeKey]*cacheEntry),
 	}
 	for _, p := range man.Providers {
 		bitmap := make([]bool, ds.daysLocked())
@@ -273,7 +299,9 @@ func (ds *DiskStore) Put(provider string, day Day, l *List) error {
 	// Deliberately not cached: a write-through cache would make a
 	// streaming run teeing into the store retain every snapshot in
 	// memory — the exact materialisation streaming exists to avoid.
-	// Readers pay one decode per snapshot via Get instead.
+	// Readers pay one decode per snapshot via Get instead. The delete
+	// also invalidates any memoized decode failure for this slot, so a
+	// rewrite of a corrupt snapshot becomes readable again.
 	delete(ds.cache, storeKey{provider, day})
 	return nil
 }
@@ -301,9 +329,16 @@ func (ds *DiskStore) writeSnapshot(path string, l *List) error {
 }
 
 // Get returns the snapshot for provider on day, or nil if absent.
-// Decoded lists are cached, so repeated analysis passes over the same
-// store pay the disk and gzip cost once per snapshot.
+// Decoded lists are cached and decodes are single-flight: concurrent
+// readers of the same uncached snapshot wait for one open+gunzip+parse
+// instead of each doing their own, so repeated analysis passes over
+// the same store pay the disk and gzip cost once per snapshot. Decode
+// failures are memoized the same way — a corrupt snapshot is read once
+// and then served as nil until a Put replaces it. Missing still
+// reports a corrupt snapshot as present, so operators can spot
+// corruption by comparing Get against Missing.
 func (ds *DiskStore) Get(provider string, day Day) *List {
+	key := storeKey{provider, day}
 	ds.mu.RLock()
 	if day < ds.first || day > ds.last {
 		ds.mu.RUnlock()
@@ -314,24 +349,28 @@ func (ds *DiskStore) Get(provider string, day Day) *List {
 		ds.mu.RUnlock()
 		return nil
 	}
-	if l, ok := ds.cache[storeKey{provider, day}]; ok {
-		ds.mu.RUnlock()
-		return l
-	}
+	e := ds.cache[key]
 	ds.mu.RUnlock()
 
-	l, err := ds.readSnapshot(ds.path(provider, day))
-	if err != nil {
-		// A snapshot the bitmap says exists but cannot be decoded is
-		// indistinguishable from an absent one for readers; Missing
-		// still reports it present, so operators can spot corruption
-		// by comparing Get against Missing.
-		return nil
+	if e == nil {
+		ds.mu.Lock()
+		if e = ds.cache[key]; e == nil {
+			// This reader won the install race: decode outside the
+			// lock and publish via the entry's ready channel. A Put
+			// meanwhile deletes the entry from the map; waiters on
+			// this decode still complete against it, and later Gets
+			// decode the replacement fresh.
+			e = &cacheEntry{ready: make(chan struct{})}
+			ds.cache[key] = e
+			ds.mu.Unlock()
+			e.list, _ = ds.readSnapshot(ds.path(provider, day))
+			close(e.ready)
+			return e.list
+		}
+		ds.mu.Unlock()
 	}
-	ds.mu.Lock()
-	ds.cache[storeKey{provider, day}] = l
-	ds.mu.Unlock()
-	return l
+	<-e.ready
+	return e.list
 }
 
 func (ds *DiskStore) readSnapshot(path string) (*List, error) {
@@ -355,6 +394,10 @@ func (ds *DiskStore) readSnapshot(path string) (*List, error) {
 func (ds *DiskStore) Missing() []Snapshot {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
+	return ds.missingLocked()
+}
+
+func (ds *DiskStore) missingLocked() []Snapshot {
 	var out []Snapshot
 	seen := make(map[string]bool, len(ds.man.Expected))
 	scan := func(p string) {
@@ -384,12 +427,43 @@ func (ds *DiskStore) Missing() []Snapshot {
 }
 
 // Complete reports whether the store holds every snapshot it should —
-// the Archive.Complete contract over the durable manifest.
+// the Archive.Complete contract over the durable manifest. The
+// provider count and the gap scan are evaluated under one RLock, so a
+// concurrent Put or ExtendTo can never slip between the two checks and
+// make Complete report a state the store was never in.
 func (ds *DiskStore) Complete() bool {
 	ds.mu.RLock()
-	nProviders := len(ds.present)
-	ds.mu.RUnlock()
-	return nProviders > 0 && len(ds.Missing()) == 0
+	defer ds.mu.RUnlock()
+	return len(ds.present) > 0 && len(ds.missingLocked()) == 0
+}
+
+// RecordTiming durably notes an observed experiment wall time in the
+// manifest, keyed by experiment ID. The experiment pool calls it after
+// every run, so a fresh process reopening the archive starts its first
+// pooled round already calibrated (see Timings).
+func (ds *DiskStore) RecordTiming(id string, d time.Duration) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.man.Timings == nil {
+		ds.man.Timings = make(map[string]int64)
+	}
+	ds.man.Timings[id] = int64(d / time.Microsecond)
+	return ds.flushManifestLocked()
+}
+
+// Timings returns the experiment wall times recorded in the manifest
+// (nil when none were recorded).
+func (ds *DiskStore) Timings() map[string]time.Duration {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if len(ds.man.Timings) == 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(ds.man.Timings))
+	for id, us := range ds.man.Timings {
+		out[id] = time.Duration(us) * time.Microsecond
+	}
+	return out
 }
 
 // flushManifestLocked rewrites manifest.json atomically; callers hold
