@@ -158,17 +158,30 @@ func BenchmarkEngine(b *testing.B) {
 	run := func(b *testing.B, workers int) {
 		b.ReportAllocs()
 		b.ResetTimer()
+		var st engine.Stats
 		for i := 0; i < b.N; i++ {
 			// Generator construction (state arrays + base buckets) is
 			// untimed so days/sec reflects the stepping loop alone.
 			b.StopTimer()
 			g := mkGen(b)
 			b.StartTimer()
-			if _, err := engine.Run(context.Background(), g, scale.Population.Days, engine.Config{Workers: workers}); err != nil {
+			e := engine.New(g, engine.Config{Workers: workers})
+			arch := toplist.NewArchive(0, toplist.Day(scale.Population.Days-1))
+			arch.Expect(g.EnabledProviders()...)
+			if err := e.Run(context.Background(), scale.Population.Days, arch); err != nil {
 				b.Fatal(err)
 			}
+			st = e.Stats()
 		}
 		reportDays(b)
+		// Stage observability: per-day step/rank wall time and the
+		// adaptive split the run settled on, so the perf-trajectory
+		// artifacts record where the day went, not just how fast it was.
+		days := float64(scale.Population.Days)
+		b.ReportMetric(st.StepTime.Seconds()*1e3/days, "step-ms/day")
+		b.ReportMetric(st.RankTime.Seconds()*1e3/days, "rank-ms/day")
+		b.ReportMetric(float64(st.StepWorkers), "step-workers")
+		b.ReportMetric(float64(st.RankWorkers), "rank-workers")
 	}
 	// runBarriered reproduces the pre-pipeline day loop: every phase of
 	// a day completes before the next begins, with intra-phase

@@ -1,22 +1,35 @@
 // Command benchjson converts `go test -bench` text output on stdin
 // into a machine-readable JSON document on stdout — the format of the
-// BENCH_engine.json perf-trajectory artifact CI uploads per run.
+// BENCH_engine.json perf-trajectory artifact CI uploads per run — and
+// compares two such artifacts for regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench '^BenchmarkEngine$' . | go run ./cmd/benchjson > BENCH_engine.json
+//	go run ./cmd/benchjson -diff [-max-regress 0.30] old.json new.json
 //
-// Every benchmark result line becomes one entry preserving input
-// order; the ns/op figure plus any custom metrics (days/sec, B/op,
-// allocs/op) are parsed into numeric fields, so a trajectory of
-// artifacts diffs cleanly.
+// In convert mode, every benchmark result line becomes one entry
+// preserving input order; the ns/op figure plus any custom metrics
+// (days/sec, B/op, allocs/op) are parsed into numeric fields, so a
+// trajectory of artifacts diffs cleanly.
+//
+// In -diff mode the two artifacts are joined on benchmark name with
+// GOMAXPROCS and worker-count suffixes stripped (so "serial-2" on a
+// 2-core runner matches "serial-4" on a 4-core one), days/sec, B/op,
+// and allocs/op are compared, and the exit status is nonzero if any
+// metric regressed by more than -max-regress (a fraction; default
+// 0.30, generous enough to absorb shared-runner noise). Improvements
+// never fail the diff.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +52,33 @@ type document struct {
 }
 
 func main() {
+	diffMode := flag.Bool("diff", false, "compare two benchmark artifacts instead of converting")
+	maxRegress := flag.Float64("max-regress", 0.30, "fractional regression tolerated per metric in -diff mode")
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifact paths")
+			os.Exit(2)
+		}
+		old, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		regressions := diff(os.Stdout, old, cur, *maxRegress)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n", regressions, *maxRegress*100)
+			os.Exit(1)
+		}
+		return
+	}
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -54,6 +94,101 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadDoc reads a previously written artifact.
+func loadDoc(path string) (*document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// procSuffix strips trailing "-N" worker/GOMAXPROCS decorations, so
+// artifacts from runners with different core counts join on the same
+// logical benchmark ("BenchmarkEngine/pipelined-2-2" → ".../pipelined").
+var procSuffix = regexp.MustCompile(`(-\d+)+$`)
+
+func normalize(name string) string {
+	return procSuffix.ReplaceAllString(name, "")
+}
+
+// diffMetric describes one compared metric: its key in the Metrics map
+// and whether larger values are better.
+var diffMetrics = []struct {
+	key          string
+	higherBetter bool
+}{
+	{"days/sec", true},
+	{"B/op", false},
+	{"allocs/op", false},
+}
+
+// diff compares the common benchmarks of two artifacts and returns the
+// number of metrics regressed beyond maxRegress. Benchmarks or metrics
+// present on only one side are reported but never fail the diff — a
+// renamed variant should not brick CI.
+func diff(w io.Writer, old, cur *document, maxRegress float64) int {
+	newByName := make(map[string]result, len(cur.Results))
+	for _, r := range cur.Results {
+		newByName[normalize(r.Name)] = r
+	}
+	oldSeen := make(map[string]bool, len(old.Results))
+	regressions := 0
+	for _, o := range old.Results {
+		key := normalize(o.Name)
+		oldSeen[key] = true
+		n, ok := newByName[key]
+		if !ok {
+			fmt.Fprintf(w, "%-40s only in old artifact, skipped\n", key)
+			continue
+		}
+		for _, m := range diffMetrics {
+			ov, oOK := o.Metrics[m.key]
+			nv, nOK := n.Metrics[m.key]
+			if oOK != nOK {
+				// A metric present on only one side means the gate no
+				// longer covers it — say so instead of silently
+				// disarming (a dropped ReportAllocs would otherwise
+				// uncheck B/op and allocs/op with CI staying green).
+				side := "new"
+				if nOK {
+					side = "old"
+				}
+				fmt.Fprintf(w, "%-40s %-10s missing from %s artifact, skipped\n", key, m.key, side)
+				continue
+			}
+			if !oOK || ov == 0 {
+				continue
+			}
+			ratio := nv / ov
+			change := ratio - 1
+			bad := false
+			if m.higherBetter {
+				bad = ratio < 1-maxRegress
+			} else {
+				bad = ratio > 1+maxRegress
+			}
+			status := "ok"
+			if bad {
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-40s %-10s %14.1f -> %14.1f  (%+6.1f%%)  %s\n",
+				key, m.key, ov, nv, change*100, status)
+		}
+	}
+	for _, r := range cur.Results {
+		if key := normalize(r.Name); !oldSeen[key] {
+			fmt.Fprintf(w, "%-40s only in new artifact, skipped\n", key)
+		}
+	}
+	return regressions
 }
 
 func parse(sc *bufio.Scanner) (*document, error) {

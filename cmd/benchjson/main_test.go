@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeStripsProcSuffixes(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEngine/serial-2":        "BenchmarkEngine/serial",
+		"BenchmarkEngine/barriered-2-2":   "BenchmarkEngine/barriered",
+		"BenchmarkEngine/pipelined-16-16": "BenchmarkEngine/pipelined",
+		"BenchmarkEngine/pipelined":       "BenchmarkEngine/pipelined",
+		"BenchmarkTable1-8":               "BenchmarkTable1",
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mkDoc(days, bop, allocs float64) *document {
+	return &document{Results: []result{{
+		Name:       "BenchmarkEngine/pipelined-2-2",
+		Iterations: 3,
+		NsPerOp:    1e8,
+		Metrics:    map[string]float64{"days/sec": days, "B/op": bop, "allocs/op": allocs},
+	}}}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := mkDoc(160, 15e6, 1800)
+	// 20% slower, 20% more bytes: inside a 30% gate.
+	cur := mkDoc(128, 18e6, 1900)
+	cur.Results[0].Name = "BenchmarkEngine/pipelined-4-4" // different runner class
+	var sb strings.Builder
+	if n := diff(&sb, old, cur, 0.30); n != 0 {
+		t.Fatalf("diff flagged %d regressions within threshold:\n%s", n, sb.String())
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := mkDoc(160, 15e6, 1800)
+	cur := mkDoc(100, 25e6, 6000) // all three metrics past 30%
+	var sb strings.Builder
+	if n := diff(&sb, old, cur, 0.30); n != 3 {
+		t.Fatalf("diff flagged %d regressions, want 3:\n%s", n, sb.String())
+	}
+}
+
+func TestDiffImprovementsNeverFail(t *testing.T) {
+	old := mkDoc(160, 15e6, 1800)
+	cur := mkDoc(400, 4e6, 300) // large improvements everywhere
+	var sb strings.Builder
+	if n := diff(&sb, old, cur, 0.30); n != 0 {
+		t.Fatalf("diff flagged %d improvements as regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestDiffSkipsMissingBenchmarks(t *testing.T) {
+	old := mkDoc(160, 15e6, 1800)
+	cur := &document{Results: []result{{Name: "BenchmarkEngine/renamed-2", Metrics: map[string]float64{"days/sec": 1}}}}
+	var sb strings.Builder
+	if n := diff(&sb, old, cur, 0.30); n != 0 {
+		t.Fatalf("missing counterpart must skip, not fail: %d", n)
+	}
+	if !strings.Contains(sb.String(), "only in old artifact") {
+		t.Fatalf("old-only skip not reported:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "only in new artifact") {
+		t.Fatalf("new-only entry not reported:\n%s", sb.String())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngine/serial-2   3   199026480 ns/op   170.8 days/sec   15452277 B/op   1095 allocs/op
+PASS
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("parsed %d results", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.NsPerOp != 199026480 || r.Metrics["days/sec"] != 170.8 || r.Metrics["allocs/op"] != 1095 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	if doc.CPU == "" || doc.GOOS != "linux" {
+		t.Fatalf("header lost: %+v", doc)
+	}
+}
+
+func TestDiffReportsMissingMetrics(t *testing.T) {
+	old := mkDoc(160, 15e6, 1800)
+	cur := mkDoc(160, 0, 0)
+	delete(cur.Results[0].Metrics, "B/op")
+	delete(cur.Results[0].Metrics, "allocs/op")
+	var sb strings.Builder
+	if n := diff(&sb, old, cur, 0.30); n != 0 {
+		t.Fatalf("missing metrics must skip, not fail: %d\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "B/op") || !strings.Contains(out, "missing from new artifact") {
+		t.Fatalf("missing-metric not reported:\n%s", out)
+	}
+}

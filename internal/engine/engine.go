@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/providers"
@@ -122,11 +123,27 @@ var runCount atomic.Int64
 // from a reopened archive must never invoke the engine.
 func RunCount() int64 { return runCount.Load() }
 
+// Stats reports the stage timings and worker split of an engine run —
+// the observability behind the adaptive rank/step split. StepTime and
+// RankTime are cumulative wall time the step and rank phases spent over
+// the archive days (burn-in excluded); on serial runs both are measured
+// the same way and the split fields stay 1/1. StepWorkers/RankWorkers
+// are the split in effect when the run finished.
+type Stats struct {
+	StepTime, RankTime       time.Duration
+	StepWorkers, RankWorkers int
+}
+
 // Engine drives one generator through the simulated calendar.
 type Engine struct {
-	g   *providers.Generator
-	cfg Config
+	g     *providers.Generator
+	cfg   Config
+	stats Stats // last completed Run's stage report (see Stats)
 }
+
+// Stats returns the stage timings and worker split observed by the most
+// recent Run. It must not be called concurrently with Run.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // New builds an engine around a generator.
 func New(g *providers.Generator, cfg Config) *Engine {
@@ -161,11 +178,20 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 		workers = parallel.Workers(workers)
 	}
 	g := e.g
+	// Burn-in warms the windows with the step stage's worker share (the
+	// full budget minus the rank stage's initial slice): burn-in days
+	// are dominated by loop overhead, not math — most domains are
+	// unborn before day 0 — so fanning wider than the day loop's step
+	// stage buys nothing and costs a spawn barrier per day.
+	burnW := workers
+	if workers > 1 {
+		burnW, _ = parallel.Split(workers, len(g.EnabledProviders()), 0, 0)
+	}
 	for d := -g.Opts.BurnInDays; d < 0; d++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		g.StepDay(d, workers)
+		g.StepDay(d, burnW)
 	}
 	emit := func(day toplist.Day, batch []toplist.Snapshot) error {
 		if err := ctx.Err(); err != nil {
@@ -182,15 +208,22 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 		return nil
 	}
 	if workers <= 1 {
+		st := Stats{StepWorkers: 1, RankWorkers: 1}
 		for d := 0; d < days; d++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			t0 := time.Now()
 			g.StepDay(d, 1)
-			if err := emit(toplist.Day(d), g.Snapshots(toplist.Day(d), 1)); err != nil {
+			t1 := time.Now()
+			snaps := g.Snapshots(toplist.Day(d), 1)
+			st.StepTime += t1.Sub(t0)
+			st.RankTime += time.Since(t1)
+			if err := emit(toplist.Day(d), snaps); err != nil {
 				return err
 			}
 		}
+		e.stats = st
 		return nil
 	}
 
@@ -224,13 +257,45 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 	batches := make(chan dayBatch, 1)
 	grp := parallel.NewGroup(cancel)
 
+	// Adaptive rank/step worker split. The step and rank stages run
+	// concurrently, so handing each the full worker count — what the
+	// pipeline did before — oversubscribes small machines: every
+	// fan-out barrier inside StepDay then waits on a core the rank
+	// stage holds, which is exactly how the 2-core pipelined run
+	// benchmarked slower than serial. Instead the budget is divided
+	// proportionally to the measured per-day stage costs (EWMA over
+	// recent days, cost = wall × workers): the step stage recomputes
+	// the split before each day and publishes the rank stage's share
+	// through rankShare. Worker counts never affect archive bytes —
+	// only shard boundaries move — so adapting day by day is free of
+	// determinism hazards.
+	nprov := len(g.EnabledProviders())
+	var stepCost, rankCost atomic.Int64 // EWMA per-day stage cost, ns
+	var stepWall, rankWall atomic.Int64 // cumulative stage wall, ns
+	var rankShare atomic.Int32
+	stepW, rankW := parallel.Split(workers, nprov, 0, 0)
+	rankShare.Store(int32(rankW))
+	ewma := func(a *atomic.Int64, sample int64) {
+		// Single-writer EWMA (weight 1/4): the step stage owns
+		// stepCost, the rank stage owns rankCost.
+		if old := a.Load(); old != 0 {
+			sample = old + (sample-old)/4
+		}
+		a.Store(sample)
+	}
+
 	// Rank stage: top-K selection over frozen views. Shutdown paths
 	// return nil — the emit stage owns the run's error, and the final
 	// ctx.Err() check below owns parent cancellation.
 	grp.Go(func() error {
 		defer close(batches)
 		for v := range views {
-			b := dayBatch{v.Day(), v.Snapshots(workers)}
+			rw := int(rankShare.Load())
+			t0 := time.Now()
+			b := dayBatch{v.Day(), v.Snapshots(rw)}
+			dur := time.Since(t0)
+			rankWall.Add(int64(dur))
+			ewma(&rankCost, int64(dur)*int64(min(rw, nprov)))
 			select {
 			case batches <- b:
 			case <-pctx.Done():
@@ -262,7 +327,14 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 			if pctx.Err() != nil {
 				return nil
 			}
-			g.StepDay(d, workers)
+			stepW, rankW = parallel.Split(workers, nprov,
+				float64(stepCost.Load()), float64(rankCost.Load()))
+			rankShare.Store(int32(rankW))
+			t0 := time.Now()
+			g.StepDay(d, stepW)
+			dur := time.Since(t0)
+			stepWall.Add(int64(dur))
+			ewma(&stepCost, int64(dur)*int64(stepW))
 			select {
 			case views <- g.Freeze(toplist.Day(d)):
 			case <-pctx.Done():
@@ -274,6 +346,12 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 
 	if err := grp.Wait(); err != nil {
 		return err
+	}
+	e.stats = Stats{
+		StepTime:    time.Duration(stepWall.Load()),
+		RankTime:    time.Duration(rankWall.Load()),
+		StepWorkers: stepW,
+		RankWorkers: rankW,
 	}
 	if emitted == days {
 		// Every day was delivered: the run is complete, and — like the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/population"
@@ -392,6 +393,87 @@ func TestCancelAfterLastDeliveryStillSucceeds(t *testing.T) {
 		}
 		if len(sink.puts) != 3*cfg.Days {
 			t.Fatalf("workers=%d: %d puts, want %d", workers, len(sink.puts), 3*cfg.Days)
+		}
+	}
+}
+
+// TestStatsPopulated: a completed run reports stage wall time and a
+// non-oversubscribed worker split on both the serial and the pipelined
+// path.
+func TestStatsPopulated(t *testing.T) {
+	m, cfg := testWorld(t)
+	for _, workers := range []int{1, 2, 4} {
+		g, err := providers.NewGenerator(m, testOpts(cfg.Days))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(g, Config{Workers: workers})
+		arch := toplist.NewArchive(0, toplist.Day(cfg.Days-1))
+		if err := e.Run(context.Background(), cfg.Days, arch); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		if st.StepTime <= 0 || st.RankTime <= 0 {
+			t.Fatalf("workers=%d: zero stage time: %+v", workers, st)
+		}
+		if st.StepWorkers < 1 || st.RankWorkers < 1 {
+			t.Fatalf("workers=%d: empty stage: %+v", workers, st)
+		}
+		if workers > 1 && st.StepWorkers+st.RankWorkers > workers {
+			t.Fatalf("workers=%d: oversubscribed split: %+v", workers, st)
+		}
+		if workers == 1 && (st.StepWorkers != 1 || st.RankWorkers != 1) {
+			t.Fatalf("serial split reported as %+v", st)
+		}
+	}
+}
+
+// TestKernelArchiveEquivalence is the tentpole's cross-option bitwise
+// guarantee: archives generated through the precomputed signal kernel
+// are identical to the retained reference implementation
+// (traffic.Model with DisableKernel) across the ablation options, the
+// Alexa regime change, all three injectors, and worker counts 1, 2,
+// and GOMAXPROCS.
+func TestKernelArchiveEquivalence(t *testing.T) {
+	m, cfg := testWorld(t)
+	mkInj := func(clients, queries float64) *traffic.Injector {
+		inj := traffic.NewInjector()
+		for d := -25; d < cfg.Days; d++ {
+			inj.Add("kernel-equiv.example", d, clients, queries)
+		}
+		return inj
+	}
+	cases := []struct {
+		name string
+		opts func() providers.Options
+	}{
+		{"default", func() providers.Options { return testOpts(cfg.Days) }},
+		{"umbrella-volume-ranking", func() providers.Options {
+			opts := testOpts(cfg.Days)
+			opts.UmbrellaVolumeRanking = true
+			return opts
+		}},
+		{"alexa-regime-change", func() providers.Options {
+			opts := testOpts(cfg.Days)
+			opts.AlexaChangeDay = 3 // early flip: most days run post-regime
+			return opts
+		}},
+		{"all-injectors", func() providers.Options {
+			opts := testOpts(cfg.Days)
+			opts.Injector = mkInj(9000, 90000)
+			opts.AlexaInjector = mkInj(200000, 600000)
+			opts.MajesticInjector = mkInj(150000, 0)
+			return opts
+		}},
+	}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, c := range cases {
+		m.DisableKernel = true
+		ref := generate(t, m, c.opts(), cfg.Days, 1)
+		m.DisableKernel = false
+		for _, workers := range workerCounts {
+			got := generate(t, m, c.opts(), cfg.Days, workers)
+			assertIdentical(t, ref, got, fmt.Sprintf("%s/workers=%d", c.name, workers))
 		}
 	}
 }

@@ -11,6 +11,7 @@ package providers
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/parallel"
@@ -182,6 +183,20 @@ func (g *Generator) StepDay(d, workers int) {
 	if g.Opts.AlexaChangeDay >= 0 && d == g.Opts.AlexaChangeDay {
 		g.alexa.alpha = g.Opts.AlexaAlphaPost
 	}
+	if workers <= 1 {
+		// Closure-free serial path: the steady-state day allocates
+		// nothing here.
+		if g.Opts.enabled(Alexa) {
+			g.alexa.step(d, 1)
+		}
+		if g.Opts.enabled(Majestic) {
+			g.majestic.step(d, 1)
+		}
+		if g.Opts.enabled(Umbrella) {
+			g.umbrella.step(d, 1)
+		}
+		return
+	}
 	tasks := make([]func(), 0, 3)
 	if g.Opts.enabled(Alexa) {
 		tasks = append(tasks, func() { g.alexa.step(d, workers) })
@@ -191,12 +206,6 @@ func (g *Generator) StepDay(d, workers int) {
 	}
 	if g.Opts.enabled(Umbrella) {
 		tasks = append(tasks, func() { g.umbrella.step(d, workers) })
-	}
-	if workers <= 1 {
-		for _, t := range tasks {
-			t()
-		}
-		return
 	}
 	parallel.Do(tasks...)
 }
@@ -228,11 +237,28 @@ type providerView struct {
 	m        *traffic.Model
 	ema      []float64
 	extra    map[string]float64
+	// scratch is the provider's persistent top-K selection scratch.
+	// Only one rank view per generator may rank at a time (the pipeline
+	// hands views over an unbuffered channel, which enforces exactly
+	// that), so sharing the ranker-owned buffers across days is safe
+	// and makes the steady-state rank phase allocation-free.
+	scratch *rankScratch
 }
 
 func (pv *providerView) list(size int) *toplist.List {
-	top := topIDs(pv.ema, size)
-	return mergeExtras(pv.m, top, pv.ema, pv.extra, size)
+	top := topIDsInto(&pv.scratch.cand, pv.ema, size)
+	return mergeExtras(pv.m, top, pv.ema, pv.extra, size, pv.scratch)
+}
+
+// rankScratch holds one provider's reusable top-K selection buffers:
+// the candidate-ID slice (previously a fresh len(scores) allocation per
+// provider per day) and the rank-ordered name output (copied into the
+// immutable List on construction, so reuse never aliases a published
+// snapshot).
+type rankScratch struct {
+	cand  []uint32
+	names []string
+	ids   []uint32
 }
 
 func cloneExtra(extra map[string]float64) map[string]float64 {
@@ -252,13 +278,13 @@ func cloneExtra(extra map[string]float64) map[string]float64 {
 func (g *Generator) Freeze(day toplist.Day) *RankView {
 	v := &RankView{day: day, listSize: g.Opts.ListSize, views: make([]providerView, 0, 3)}
 	if g.Opts.enabled(Alexa) {
-		v.views = append(v.views, providerView{Alexa, g.Model, g.alexa.ema.Front(), cloneExtra(g.alexa.extra)})
+		v.views = append(v.views, providerView{Alexa, g.Model, g.alexa.ema.Front(), cloneExtra(g.alexa.extra), &g.alexa.scratch})
 	}
 	if g.Opts.enabled(Umbrella) {
-		v.views = append(v.views, providerView{Umbrella, g.Model, g.umbrella.ema.Front(), cloneExtra(g.umbrella.extra)})
+		v.views = append(v.views, providerView{Umbrella, g.Model, g.umbrella.ema.Front(), cloneExtra(g.umbrella.extra), &g.umbrella.scratch})
 	}
 	if g.Opts.enabled(Majestic) {
-		v.views = append(v.views, providerView{Majestic, g.Model, g.majestic.ema.Front(), cloneExtra(g.majestic.extra)})
+		v.views = append(v.views, providerView{Majestic, g.Model, g.majestic.ema.Front(), cloneExtra(g.majestic.extra), &g.majestic.scratch})
 	}
 	return v
 }
@@ -268,21 +294,24 @@ func (v *RankView) Day() toplist.Day { return v.day }
 
 // Snapshots runs the rank/top-K selection phase over the frozen state,
 // producing the day's lists in the fixed provider output order. With
-// workers > 1 the per-provider selections run concurrently.
+// workers > 1 the per-provider selections run concurrently; with
+// workers <= 1 they run inline, closure-free, so the serial steady
+// state allocates nothing beyond the lists themselves.
 func (v *RankView) Snapshots(workers int) []toplist.Snapshot {
 	out := make([]toplist.Snapshot, len(v.views))
+	if workers <= 1 {
+		for i := range v.views {
+			pv := &v.views[i]
+			out[i] = toplist.Snapshot{Provider: pv.provider, Day: v.day, List: pv.list(v.listSize)}
+		}
+		return out
+	}
 	gen := make([]func(), 0, len(v.views))
 	for i := range v.views {
 		pv := &v.views[i]
 		out[i] = toplist.Snapshot{Provider: pv.provider, Day: v.day}
 		s := &out[i]
 		gen = append(gen, func() { s.List = pv.list(v.listSize) })
-	}
-	if workers <= 1 {
-		for _, fn := range gen {
-			fn()
-		}
-		return out
 	}
 	parallel.Do(gen...)
 	return out
@@ -338,6 +367,7 @@ type webRanker struct {
 	score   []float64          // per-base aggregated daily signal
 	ema     *dualEMA           // per-base window state, double-buffered
 	extra   map[string]float64 // injected names' EMA
+	scratch rankScratch        // persistent top-K selection buffers
 	started bool
 }
 
@@ -366,11 +396,22 @@ func newWebRanker(m *traffic.Model, axis traffic.Axis, alpha float64, inj *traff
 
 func (r *webRanker) step(day, workers int) {
 	n := len(r.sig)
-	parallel.For(workers, n, func(lo, hi int) {
-		r.m.SignalRange(r.axis, day, r.sig, lo, hi)
-	})
 	if workers <= 1 {
-		// Serial reference path: direct accumulation over records.
+		r.m.SignalRange(r.axis, day, r.sig, 0, n)
+	} else {
+		parallel.For(workers, n, func(lo, hi int) {
+			r.m.SignalRange(r.axis, day, r.sig, lo, hi)
+		})
+	}
+	// The EMA advance reads yesterday's front buffer and writes the
+	// back buffer, then flips — never in place, so the previous front
+	// remains a valid frozen rank view while the next day steps.
+	prev, next := r.ema.Front(), r.ema.Back()
+	a := r.alpha
+	started := r.started
+	if workers <= 1 {
+		// Serial reference path: direct accumulation over records,
+		// then a separate EMA pass.
 		for i := range r.score {
 			r.score[i] = 0
 		}
@@ -378,9 +419,19 @@ func (r *webRanker) step(day, workers int) {
 			bid := r.m.W.Domains[i].BaseID
 			r.score[bid] += r.sig[i]
 		}
+		if !started {
+			copy(next, r.score)
+		} else {
+			for i := range r.score {
+				next[i] = (1-a)*prev[i] + a*r.score[i]
+			}
+		}
 	} else {
 		// Sharded over the base-slot space; each slot sums its members
-		// in the same ascending order the serial loop visits them.
+		// in the same ascending order the serial loop visits them, and
+		// the EMA advance is fused into the same pass (the operands are
+		// the identical values, so the fusion changes no arithmetic —
+		// it only saves one fan-out barrier per provider per day).
 		parallel.For(workers, n, func(lo, hi int) {
 			for b := lo; b < hi; b++ {
 				var s float64
@@ -388,27 +439,16 @@ func (r *webRanker) step(day, workers int) {
 					s += r.sig[i]
 				}
 				r.score[b] = s
+				if !started {
+					next[b] = s
+				} else {
+					next[b] = (1-a)*prev[b] + a*s
+				}
 			}
 		})
 	}
-	// The EMA advance reads yesterday's front buffer and writes the
-	// back buffer, then flips — never in place, so the previous front
-	// remains a valid frozen rank view while the next day steps.
-	prev, next := r.ema.Front(), r.ema.Back()
-	if !r.started {
-		copy(next, r.score)
-		r.ema.Flip()
-		r.started = true
-		stepExtras(r.extra, r.injectionsFor(day), r.alpha, r.convert)
-		return
-	}
-	a := r.alpha
-	parallel.For(workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			next[i] = (1-a)*prev[i] + a*r.score[i]
-		}
-	})
 	r.ema.Flip()
+	r.started = true
 	stepExtras(r.extra, r.injectionsFor(day), a, r.convert)
 }
 
@@ -440,13 +480,15 @@ func stepExtras(extra map[string]float64, today map[string]traffic.Injection, al
 
 // mergeExtras merges the world's top IDs with injected names into one
 // descending-rank list; injected names get synthetic IDs above the
-// world range.
-func mergeExtras(m *traffic.Model, top []uint32, ema []float64, extra map[string]float64, size int) *toplist.List {
+// world range. Output is staged in sc's reusable buffers — the List
+// constructor copies, so reuse never aliases a published snapshot.
+func mergeExtras(m *traffic.Model, top []uint32, ema []float64, extra map[string]float64, size int, sc *rankScratch) *toplist.List {
 	if len(extra) == 0 {
-		names := make([]string, len(top))
-		for i, id := range top {
-			names[i] = m.W.Domains[id].Name
+		names := sc.names[:0]
+		for _, id := range top {
+			names = append(names, m.W.Domains[id].Name)
 		}
+		sc.names = names
 		return toplist.NewWithIDs(names, top)
 	}
 	type ext struct {
@@ -463,8 +505,8 @@ func mergeExtras(m *traffic.Model, top []uint32, ema []float64, extra map[string
 		}
 		return extras[i].name < extras[j].name
 	})
-	names := make([]string, 0, size)
-	ids := make([]uint32, 0, size)
+	names := sc.names[:0]
+	ids := sc.ids[:0]
 	wi, ei := 0, 0
 	worldLen := uint32(m.W.Len())
 	for len(names) < size && (wi < len(top) || ei < len(extras)) {
@@ -487,6 +529,7 @@ func mergeExtras(m *traffic.Model, top []uint32, ema []float64, extra map[string
 			wi++
 		}
 	}
+	sc.names, sc.ids = names, ids
 	return toplist.NewWithIDs(names, ids)
 }
 
@@ -502,6 +545,7 @@ type dnsRanker struct {
 	sig     []float64
 	ema     *dualEMA           // per-record window state, double-buffered
 	extra   map[string]float64 // injected names' EMA
+	scratch rankScratch        // persistent top-K selection buffers
 	started bool
 }
 
@@ -523,28 +567,20 @@ const queriesPerClient = 12.0
 
 func (r *dnsRanker) step(day, workers int) {
 	n := len(r.sig)
-	a := r.opts.UmbrellaAlpha
 	// Signal fill and the per-record EMA update are elementwise, so
 	// sharding them changes nothing about the arithmetic. As in
 	// webRanker, the update reads the front buffer and writes the back
 	// so a frozen rank view of yesterday survives this step.
 	prev, next := r.ema.Front(), r.ema.Back()
-	parallel.For(workers, n, func(lo, hi int) {
-		r.m.SignalRange(traffic.AxisDNS, day, r.sig, lo, hi)
-		for i := lo; i < hi; i++ {
-			clients := r.m.UniqueClients(r.sig[i])
-			score := clients
-			if r.opts.UmbrellaVolumeRanking {
-				score = clients * queriesPerClient
-			}
-			if !r.started {
-				next[i] = score
-			} else {
-				next[i] = (1-a)*prev[i] + a*score
-			}
-		}
-	})
+	if workers <= 1 {
+		r.stepRange(day, prev, next, 0, n)
+	} else {
+		parallel.For(workers, n, func(lo, hi int) {
+			r.stepRange(day, prev, next, lo, hi)
+		})
+	}
 	r.ema.Flip()
+	a := r.opts.UmbrellaAlpha
 	// Injected names: anything not injected today decays toward zero.
 	var today map[string]traffic.Injection
 	if r.opts.Injector != nil {
@@ -571,17 +607,49 @@ func (r *dnsRanker) step(day, workers int) {
 	r.started = true
 }
 
+// stepRange fills signal and advances the EMA over records [lo, hi) —
+// the shardable body of step, also callable directly so the serial
+// path stays closure-free.
+func (r *dnsRanker) stepRange(day int, prev, next []float64, lo, hi int) {
+	a := r.opts.UmbrellaAlpha
+	r.m.SignalRange(traffic.AxisDNS, day, r.sig, lo, hi)
+	for i := lo; i < hi; i++ {
+		clients := r.m.UniqueClients(r.sig[i])
+		score := clients
+		if r.opts.UmbrellaVolumeRanking {
+			score = clients * queriesPerClient
+		}
+		if !r.started {
+			next[i] = score
+		} else {
+			next[i] = (1-a)*prev[i] + a*score
+		}
+	}
+}
+
 // --- top-K selection ---------------------------------------------------
 
 // topIDs returns the indexes of the size largest positive scores, in
 // descending score order (ties broken by index for determinism).
 func topIDs(scores []float64, size int) []uint32 {
-	cand := make([]uint32, 0, len(scores))
+	buf := make([]uint32, 0, len(scores))
+	return topIDsInto(&buf, scores, size)
+}
+
+// topIDsInto is topIDs over a caller-owned candidate buffer: *buf is
+// reset, grown as needed (and written back so the capacity persists),
+// and the returned slice aliases it — valid until the next call with
+// the same buffer. The steady-state day loop passes each provider's
+// rankScratch here, eliminating the per-provider-per-day len(scores)
+// candidate allocation.
+func topIDsInto(buf *[]uint32, scores []float64, size int) []uint32 {
+	cand := (*buf)[:0]
 	for i, s := range scores {
 		if s > 0 {
 			cand = append(cand, uint32(i))
 		}
 	}
+	*buf = cand
 	if size > len(cand) {
 		size = len(cand)
 	}
@@ -597,7 +665,16 @@ func topIDs(scores []float64, size int) []uint32 {
 	}
 	quickselect(cand, size, less)
 	top := cand[:size]
-	sort.Slice(top, func(i, j int) bool { return less(top[i], top[j]) })
+	// The comparator is a strict total order (indices are distinct), so
+	// the sorted result is unique — switching sort implementations can
+	// never change the emitted order, and SortFunc avoids sort.Slice's
+	// per-call reflection setup.
+	slices.SortFunc(top, func(a, b uint32) int {
+		if less(a, b) {
+			return -1
+		}
+		return 1
+	})
 	return top
 }
 

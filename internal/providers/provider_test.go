@@ -567,3 +567,49 @@ func TestFreezeViewSurvivesNextStep(t *testing.T) {
 		}
 	}
 }
+
+// TestSteadyStateDayAllocations is the allocation regression gate for
+// the zero-alloc day-loop work: a steady-state serial step+rank day —
+// after warm-up has sized every reusable scratch buffer — must stay
+// within a small fixed allocation budget. The remaining allocations
+// are the immutable Lists themselves (one struct + two copies per
+// provider), the frozen RankView, and the snapshots slice; the former
+// per-day candidate slices, name buffers, and eager rank maps are
+// gone. A regression (a new per-domain or per-list-entry allocation on
+// the day path) blows the budget immediately.
+func TestSteadyStateDayAllocations(t *testing.T) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	opts := DefaultOptions(w.Cfg.Days, 2000)
+	opts.BurnInDays = 10
+	g, err := NewGenerator(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := -opts.BurnInDays; d < 0; d++ {
+		g.StepDay(d, 1)
+	}
+	// Warm up: size the EMA state, scratch buffers, and kernel.
+	day := 0
+	for ; day < 5; day++ {
+		g.StepDay(day, 1)
+		g.Freeze(toplist.Day(day)).Snapshots(1)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		g.StepDay(day, 1)
+		if got := g.Freeze(toplist.Day(day)).Snapshots(1); len(got) != 3 {
+			t.Fatalf("day %d: %d snapshots", day, len(got))
+		}
+		day++
+	})
+	// ~12 in practice; the headroom absorbs occasional scratch growth
+	// as newborn domains enter the candidate set.
+	const budget = 32
+	if avg > budget {
+		t.Fatalf("steady-state day allocates %.1f objects, budget %d", avg, budget)
+	}
+	t.Logf("steady-state step+rank day: %.1f allocs", avg)
+}

@@ -6,19 +6,49 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// csvBufPool recycles the encode buffers behind WriteCSV: the bufio
+// writer smoothing small line writes and the per-line scratch. A
+// streaming run persists one snapshot per provider per day; without the
+// pool each Put would construct both from scratch.
+var csvBufPool = sync.Pool{
+	New: func() any {
+		return &csvEncoder{bw: bufio.NewWriterSize(nil, 1<<15)}
+	},
+}
+
+type csvEncoder struct {
+	bw   *bufio.Writer
+	line []byte
+}
 
 // WriteCSV writes the list in the providers' publication format:
 // "rank,domain" lines, rank ascending, no header — the same shape as the
 // Alexa/Umbrella/Majestic CSV downloads.
 func WriteCSV(w io.Writer, l *List) error {
-	bw := bufio.NewWriter(w)
+	enc := csvBufPool.Get().(*csvEncoder)
+	defer func() {
+		// Drop the caller's writer on every path — error returns
+		// included — so the pool never retains a reference to it.
+		enc.bw.Reset(nil)
+		csvBufPool.Put(enc)
+	}()
+	enc.bw.Reset(w)
+	line := enc.line
 	for i, name := range l.names {
-		if _, err := fmt.Fprintf(bw, "%d,%s\n", i+1, name); err != nil {
+		line = strconv.AppendInt(line[:0], int64(i+1), 10)
+		line = append(line, ',')
+		line = append(line, name...)
+		line = append(line, '\n')
+		if _, err := enc.bw.Write(line); err != nil {
+			enc.line = line
 			return err
 		}
 	}
-	return bw.Flush()
+	enc.line = line
+	return enc.bw.Flush()
 }
 
 // ReadCSV parses a "rank,domain" file. Ranks must be positive, strictly

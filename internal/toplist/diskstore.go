@@ -306,6 +306,14 @@ func (ds *DiskStore) Put(provider string, day Day, l *List) error {
 	return nil
 }
 
+// gzipPool recycles gzip compressors across snapshot writes: a
+// gzip.Writer carries ~800 KB of deflate state, and before pooling
+// every Put of a streaming run constructed (and discarded) a fresh one
+// per (provider, day).
+var gzipPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(nil) },
+}
+
 // writeSnapshot writes one gzip CSV atomically (temp file + rename).
 func (ds *DiskStore) writeSnapshot(path string, l *List) error {
 	tmp := path + ".tmp"
@@ -313,11 +321,14 @@ func (ds *DiskStore) writeSnapshot(path string, l *List) error {
 	if err != nil {
 		return err
 	}
-	zw := gzip.NewWriter(f)
+	zw := gzipPool.Get().(*gzip.Writer)
+	zw.Reset(f)
 	err = WriteCSV(zw, l)
 	if zerr := zw.Close(); err == nil {
 		err = zerr
 	}
+	zw.Reset(nil) // drop the file handle before pooling
+	gzipPool.Put(zw)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -3,6 +3,7 @@ package toplist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/domainname"
 )
@@ -18,22 +19,35 @@ type Entry struct {
 type List struct {
 	names []string
 	ids   []uint32 // optional compact IDs parallel to names (0 if unset)
-	rank  map[string]int
+
+	// rank is built lazily on the first RankOf/Contains: lists that
+	// stream straight from the engine into a gzip sink are never
+	// queried by name, and eagerly building a map per snapshot was the
+	// single largest steady-state allocation of the day loop.
+	rankOnce sync.Once
+	rank     map[string]int
 }
 
 // New builds a list from names in rank order. Duplicate names keep their
 // best (lowest) rank.
 func New(names []string) *List {
-	l := &List{
-		names: append([]string(nil), names...),
-		rank:  make(map[string]int, len(names)),
-	}
-	for i, n := range names {
-		if _, ok := l.rank[n]; !ok {
-			l.rank[n] = i + 1
+	return &List{names: append([]string(nil), names...)}
+}
+
+// rankMap returns the name→rank index, building it on first use.
+// Concurrent readers share one build via rankOnce; the list itself is
+// immutable, so the map never changes afterwards.
+func (l *List) rankMap() map[string]int {
+	l.rankOnce.Do(func() {
+		m := make(map[string]int, len(l.names))
+		for i, n := range l.names {
+			if _, ok := m[n]; !ok {
+				m[n] = i + 1
+			}
 		}
-	}
-	return l
+		l.rank = m
+	})
+	return l.rank
 }
 
 // NewWithIDs builds a list from parallel name/ID slices in rank order.
@@ -71,11 +85,11 @@ func (l *List) IDs() []uint32 {
 }
 
 // RankOf returns the 1-based rank of name, or 0 if absent.
-func (l *List) RankOf(name string) int { return l.rank[name] }
+func (l *List) RankOf(name string) int { return l.rankMap()[name] }
 
 // Contains reports whether name is in the list.
 func (l *List) Contains(name string) bool {
-	_, ok := l.rank[name]
+	_, ok := l.rankMap()[name]
 	return ok
 }
 

@@ -1,0 +1,251 @@
+package traffic
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/population"
+)
+
+// kernelParams is the fingerprint of every Model scalar the signal
+// computation reads. The cached kernel is keyed on it: a caller that
+// tweaks a sigma after NewModel (ablations do) gets a transparent
+// rebuild on the next SignalRange instead of stale invariants.
+type kernelParams struct {
+	sigmaWeb, sigmaDNS, sigmaLinkWeekly, sigmaLinkDaily float64
+	weekendExpWeb, weekendExpDNS                        float64
+	deadDNSFactor                                       float64
+	webCountScale, dnsCountScale, linkCountScale        float64
+	countSigma                                          float64
+}
+
+func (m *Model) params() kernelParams {
+	return kernelParams{
+		sigmaWeb:        m.SigmaWeb,
+		sigmaDNS:        m.SigmaDNS,
+		sigmaLinkWeekly: m.SigmaLinkWeekly,
+		sigmaLinkDaily:  m.SigmaLinkDaily,
+		weekendExpWeb:   m.WeekendExpWeb,
+		weekendExpDNS:   m.WeekendExpDNS,
+		deadDNSFactor:   m.DeadDNSFactor,
+		webCountScale:   m.WebCountScale,
+		dnsCountScale:   m.DNSCountScale,
+		linkCountScale:  m.LinkCountScale,
+		countSigma:      m.CountSigma,
+	}
+}
+
+// kernel is the precomputed hot-path signal table: a structure-of-arrays
+// snapshot of every per-domain quantity that is invariant across days,
+// so the day loop touches flat float64/int32 arrays instead of chasing
+// Domain structs and recomputing math.Pow per domain per day.
+//
+// Determinism contract: every floating-point operation the per-axis
+// loops perform is argument-for-argument identical to the retained
+// reference implementation (Model.domainSignal) — hoisting only moves
+// *when* an operation runs, never which operands it sees or in which
+// order results combine. The equivalence tests in traffic and engine
+// pin this bitwise.
+type kernel struct {
+	params kernelParams
+	n      int
+
+	birth, death []int32
+	seed         []uint64
+
+	// Per-axis base populations with the category gating resolved:
+	// webBase is zero for never-resolving categories (a dead ghost
+	// "site" never loads); dnsDead is the residual base after death
+	// (DNSPop * DeadDNSFactor, except never-resolvers which keep their
+	// full base — they were never "alive" to begin with).
+	webBase, linkBase []float64
+	dnsBase, dnsDead  []float64
+
+	// Hoisted weekend-season powers: Pow(WeekendFactor, WeekendExp*).
+	powWeb, powDNS []float64
+
+	// Per-axis daily log-noise scales: Sigma* × VolMul.
+	sigWeb, sigDNS, sigLinkDaily []float64
+
+	trendBoost, trendTau []float64
+}
+
+func buildKernel(w *population.World, p kernelParams) *kernel {
+	n := w.Len()
+	k := &kernel{
+		params:       p,
+		n:            n,
+		birth:        make([]int32, n),
+		death:        make([]int32, n),
+		seed:         make([]uint64, n),
+		webBase:      make([]float64, n),
+		linkBase:     make([]float64, n),
+		dnsBase:      make([]float64, n),
+		dnsDead:      make([]float64, n),
+		powWeb:       make([]float64, n),
+		powDNS:       make([]float64, n),
+		sigWeb:       make([]float64, n),
+		sigDNS:       make([]float64, n),
+		sigLinkDaily: make([]float64, n),
+		trendBoost:   make([]float64, n),
+		trendTau:     make([]float64, n),
+	}
+	for i := range w.Domains {
+		d := &w.Domains[i]
+		k.birth[i] = d.BirthDay
+		k.death[i] = d.DeathDay
+		k.seed[i] = d.Seed
+		if d.Category.NeverResolves() {
+			// Web: junk fails the liveness gate, ghosts the
+			// never-resolves gate — either way, zero.
+			k.webBase[i] = 0
+			// DNS: never-resolvers skip the dead-traffic attenuation.
+			k.dnsDead[i] = d.DNSPop
+		} else {
+			k.webBase[i] = d.WebPop
+			k.dnsDead[i] = d.DNSPop * p.deadDNSFactor
+		}
+		k.dnsBase[i] = d.DNSPop
+		k.linkBase[i] = d.LinkPop
+		k.powWeb[i] = math.Pow(d.WeekendFactor, p.weekendExpWeb)
+		k.powDNS[i] = math.Pow(d.WeekendFactor, p.weekendExpDNS)
+		k.sigWeb[i] = p.sigmaWeb * d.VolMul
+		k.sigDNS[i] = p.sigmaDNS * d.VolMul
+		k.sigLinkDaily[i] = p.sigmaLinkDaily * d.VolMul
+		k.trendBoost[i] = d.TrendBoost
+		k.trendTau[i] = d.TrendTau
+	}
+	return k
+}
+
+// kernelFor returns the cached kernel, rebuilding it when the model's
+// scalar parameters (or the world) changed since it was built. The
+// cache is an atomic pointer so concurrent shard fills share one table
+// without locking; a rare parameter-change race builds twice and keeps
+// the last, which is harmless — both are correct for their params.
+func (m *Model) kernelFor() *kernel {
+	p := m.params()
+	if k := m.kern.Load(); k != nil && k.params == p && k.n == m.W.Len() {
+		return k
+	}
+	k := buildKernel(m.W, p)
+	m.kern.Store(k)
+	return k
+}
+
+// kernelCache is the Model-embedded cache slot (kept in its own type so
+// Model's field list stays readable).
+type kernelCache = atomic.Pointer[kernel]
+
+// countNoise mirrors Model.countNoise over the kernel's copied scalar.
+func (k *kernel) countNoise(count float64) float64 {
+	if count < 0 {
+		count = 0
+	}
+	return k.params.countSigma / math.Sqrt(1+count)
+}
+
+// alive reports date-based liveness: born and not yet dead. Category
+// gating is already folded into the per-axis base arrays, so the loops
+// below never touch Category.
+func (k *kernel) alive(i, day int) bool {
+	return k.death[i] < 0 || int32(day) < k.death[i]
+}
+
+// signalRange fills dst[lo:hi] for one axis on one day — the branch-
+// light flat-array replacement for the per-domain domainSignal calls.
+func (k *kernel) signalRange(axis Axis, day int, weekend bool, dst []float64, lo, hi int) {
+	switch axis {
+	case AxisWeb:
+		k.webRange(day, weekend, dst, lo, hi)
+	case AxisDNS:
+		k.dnsRange(day, weekend, dst, lo, hi)
+	case AxisLink:
+		k.linkRange(day, dst, lo, hi)
+	}
+}
+
+func (k *kernel) trend(i, day int, link bool) float64 {
+	trend := 1.0
+	if k.trendBoost[i] > 0 {
+		boost := k.trendBoost[i] * math.Exp(-float64(day-int(k.birth[i]))/k.trendTau[i])
+		if link {
+			// Backlinks accumulate far more slowly than visits or
+			// queries; a trending domain barely moves the link graph.
+			boost *= 0.3
+		}
+		trend += boost
+	}
+	return trend
+}
+
+func (k *kernel) webRange(day int, weekend bool, dst []float64, lo, hi int) {
+	d32 := int32(day)
+	for i := lo; i < hi; i++ {
+		if d32 < k.birth[i] {
+			dst[i] = 0
+			continue
+		}
+		var base float64
+		if k.alive(i, day) {
+			base = k.webBase[i]
+		}
+		if base == 0 {
+			dst[i] = 0
+			continue
+		}
+		season := 1.0
+		if weekend {
+			season = k.powWeb[i]
+		}
+		mu := base * season * k.trend(i, day, false)
+		sigma := k.sigWeb[i] + k.countNoise(mu*k.params.webCountScale)
+		dst[i] = mu * math.Exp(sigma*hashNorm(k.seed[i], uint64(day), 0))
+	}
+}
+
+func (k *kernel) dnsRange(day int, weekend bool, dst []float64, lo, hi int) {
+	d32 := int32(day)
+	for i := lo; i < hi; i++ {
+		if d32 < k.birth[i] {
+			dst[i] = 0
+			continue
+		}
+		base := k.dnsBase[i]
+		if !k.alive(i, day) {
+			base = k.dnsDead[i]
+		}
+		if base == 0 {
+			dst[i] = 0
+			continue
+		}
+		season := 1.0
+		if weekend {
+			season = k.powDNS[i]
+		}
+		mu := base * season * k.trend(i, day, false)
+		sigma := k.sigDNS[i] + k.countNoise(mu*k.params.dnsCountScale)
+		dst[i] = mu * math.Exp(sigma*hashNorm(k.seed[i], uint64(day), 1))
+	}
+}
+
+func (k *kernel) linkRange(day int, dst []float64, lo, hi int) {
+	d32 := int32(day)
+	weekStep := uint64(day / 7)
+	for i := lo; i < hi; i++ {
+		if d32 < k.birth[i] {
+			dst[i] = 0
+			continue
+		}
+		base := k.linkBase[i]
+		if base == 0 {
+			dst[i] = 0
+			continue
+		}
+		mu := base * k.trend(i, day, true)
+		z := k.params.sigmaLinkWeekly*hashNorm(k.seed[i], weekStep, 2) +
+			(k.sigLinkDaily[i]+k.countNoise(mu*k.params.linkCountScale))*
+				hashNorm(k.seed[i], uint64(day), 3)
+		dst[i] = mu * math.Exp(z)
+	}
+}

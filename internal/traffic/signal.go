@@ -71,6 +71,17 @@ type Model struct {
 	// BacklinkSubnetScale maps link signal to referring /24 subnets —
 	// the unit of Majestic-side injections (§7.3 purchased backlinks).
 	BacklinkSubnetScale float64
+
+	// DisableKernel forces SignalRange through the retained per-domain
+	// reference implementation (domainSignal) instead of the
+	// precomputed signal kernel. The two are bitwise identical — the
+	// equivalence tests run both and compare archives — so this exists
+	// only for those tests and for debugging suspected kernel drift.
+	DisableKernel bool
+
+	// kern caches the precomputed day-invariant signal table, keyed by
+	// the scalar parameters above (see kernelFor).
+	kern kernelCache
 }
 
 // NewModel returns a model with the calibrated defaults.
@@ -124,8 +135,18 @@ func (m *Model) Signal(axis Axis, day int, dst []float64) []float64 {
 // axis on day. Each element is a pure function of (domain, axis, day),
 // so disjoint ranges may be filled concurrently; the concurrent engine
 // shards the full range across workers this way.
+//
+// The fill runs through the precomputed signal kernel — flat arrays of
+// the per-domain day-invariant factors — whose floating-point
+// operations are argument-for-argument identical to the reference
+// per-domain path (domainSignal), so archives stay bitwise identical
+// either way.
 func (m *Model) SignalRange(axis Axis, day int, dst []float64, lo, hi int) {
 	weekend := toplist.Day(day).IsWeekend()
+	if !m.DisableKernel {
+		m.kernelFor().signalRange(axis, day, weekend, dst, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		dst[i] = m.domainSignal(&m.W.Domains[i], axis, day, weekend)
 	}
@@ -137,6 +158,11 @@ func (m *Model) DomainSignal(id uint32, axis Axis, day int) float64 {
 	return m.domainSignal(d, axis, day, toplist.Day(day).IsWeekend())
 }
 
+// domainSignal is the retained reference implementation of the signal
+// computation: one domain, straight off the Domain struct, no
+// precomputation. The hot path (SignalRange) runs the kernel instead;
+// the equivalence tests pin the two bitwise, which is what licenses
+// every hoist the kernel performs.
 func (m *Model) domainSignal(d *population.Domain, axis Axis, day int, weekend bool) float64 {
 	if !d.Born(day) {
 		return 0
