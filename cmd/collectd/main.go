@@ -8,9 +8,17 @@
 // resimulation. Run it with -interval to keep following a live
 // publisher, or -once for a single catch-up pass.
 //
+// With -peer, days the publisher has not published (gaps — the
+// longitudinal reality the paper's §4 collection fought) are fetched
+// from a second archive server speaking the structured wire API
+// (cmd/toplistd -serve-archive), so a fleet of collectors can mirror
+// each other's archives and converge on a complete dataset even when
+// none of them observed every publication window.
+//
 // Usage:
 //
 //	collectd -url http://host:8080 -out archive [-once] [-interval 1h]
+//	         [-peer http://other:8080]
 package main
 
 import (
@@ -42,6 +50,7 @@ func run(args []string, logw io.Writer) error {
 	outDir := fs.String("out", "archive", "archive directory (toplist.DiskStore layout)")
 	once := fs.Bool("once", false, "catch up and exit instead of following")
 	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
+	peer := fs.String("peer", "", "archive wire API base URL to fill publication gaps from")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +60,7 @@ func run(args []string, logw io.Writer) error {
 	defer stop()
 	client := listserv.NewClient(*url, listserv.WithFormat(listserv.FormatZip))
 
-	if _, err := collectOnce(ctx, client, *outDir, logger); err != nil {
+	if _, err := collectOnce(ctx, client, *outDir, *peer, logger); err != nil {
 		return err
 	}
 	if *once {
@@ -65,7 +74,7 @@ func run(args []string, logw io.Writer) error {
 			logger.Print("stopping")
 			return nil
 		case <-t.C:
-			if _, err := collectOnce(ctx, client, *outDir, logger); err != nil {
+			if _, err := collectOnce(ctx, client, *outDir, *peer, logger); err != nil {
 				// A failed pass is not fatal in follow mode: the next
 				// tick retries, like a cron-driven collector.
 				logger.Printf("pass failed: %v", err)
@@ -78,8 +87,11 @@ func run(args []string, logw io.Writer) error {
 // returns how many it wrote. Because a live publisher streams days out
 // of a still-running simulation, each pass picks up exactly the days
 // published since the last one; the store's covered range extends as
-// the publisher's index advances.
-func collectOnce(ctx context.Context, client *listserv.Client, outDir string, logger *log.Logger) (int, error) {
+// the publisher's index advances. Days the publisher 404s are recorded
+// as gaps and — when peerURL names an archive wire API — fetched from
+// the peer afterwards, so one collector's outage window heals from
+// another's archive.
+func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, logger *log.Logger) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
 		return 0, err
@@ -100,6 +112,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 		return 0, err
 	}
 	written := 0
+	var gaps []toplist.Snapshot
 	for _, provider := range idx.Providers {
 		for d := first; d <= last; d++ {
 			if store.Has(provider, d) {
@@ -108,6 +121,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 			list, err := client.FetchDay(ctx, provider, d)
 			if listserv.IsNotFound(err) {
 				logger.Printf("gap: %s %s not published", provider, d)
+				gaps = append(gaps, toplist.Snapshot{Provider: provider, Day: d})
 				continue
 			}
 			if err != nil {
@@ -119,10 +133,47 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir string, lo
 			written++
 		}
 	}
+	if len(gaps) > 0 && peerURL != "" {
+		n, err := fillFromPeer(ctx, peerURL, store, gaps, logger)
+		written += n
+		if err != nil {
+			// Peer trouble never fails the pass: the publisher's data
+			// is safely stored, and the next pass retries the gaps.
+			logger.Printf("peer %s: %v", peerURL, err)
+		}
+	}
 	if written > 0 {
 		logger.Printf("collected %d new snapshots into %s", written, outDir)
 	}
 	return written, nil
+}
+
+// fillFromPeer fetches publication gaps from a peer archive server
+// (the structured wire API cmd/toplistd -serve-archive mounts) and
+// returns how many it stored. The peer's manifest is fetched fresh per
+// pass, so a peer that is itself still collecting contributes whatever
+// it has so far; gaps the peer is also missing stay gaps.
+func fillFromPeer(ctx context.Context, peerURL string, store *toplist.DiskStore, gaps []toplist.Snapshot, logger *log.Logger) (int, error) {
+	peer, err := toplist.OpenRemote(ctx, peerURL)
+	if err != nil {
+		return 0, err
+	}
+	filled := 0
+	for _, gap := range gaps {
+		list, err := peer.GetContext(ctx, gap.Provider, gap.Day)
+		if err != nil {
+			return filled, err
+		}
+		if list == nil {
+			continue // the peer has the same gap (or a corrupt copy)
+		}
+		if err := store.Put(gap.Provider, gap.Day, list); err != nil {
+			return filled, err
+		}
+		logger.Printf("gap filled from peer: %s %s", gap.Provider, gap.Day)
+		filled++
+	}
+	return filled, nil
 }
 
 // openStore opens the durable archive at dir, creating it on the first

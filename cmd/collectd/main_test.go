@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/archived"
 	"repro/internal/engine"
 	"repro/internal/listserv"
 	"repro/internal/population"
@@ -85,7 +86,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
 
-	n, err := collectOnce(ctx, client, dir, quiet())
+	n, err := collectOnce(ctx, client, dir, "", quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 		t.Fatalf("wrote %d, want 2", n)
 	}
 	// Re-running collects nothing new.
-	n, err = collectOnce(ctx, client, dir, quiet())
+	n, err = collectOnce(ctx, client, dir, "", quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	}
 	// Publisher advances two days; the collector catches up.
 	gk.Advance(2)
-	n, err = collectOnce(ctx, client, dir, quiet())
+	n, err = collectOnce(ctx, client, dir, "", quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 func TestCollectedSnapshotsRoundTrip(t *testing.T) {
 	ts, arch, _ := publisher(t, 1)
 	dir := t.TempDir()
-	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, quiet()); err != nil {
+	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", quiet()); err != nil {
 		t.Fatal(err)
 	}
 	store, err := toplist.OpenArchive(dir)
@@ -161,7 +162,7 @@ func TestCollectOnceRecordsGapsWithoutFailing(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, quiet())
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,5 +190,67 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://127.0.0.1:1", "-once", "-out", t.TempDir()}, io.Discard); err == nil {
 		t.Fatal("unreachable publisher should fail in -once mode")
+	}
+}
+
+// TestCollectOnceFillsGapsFromPeer: days the publisher never published
+// are fetched from a peer archive server speaking the wire API, so two
+// collectors with different outage windows converge on a complete
+// dataset.
+func TestCollectOnceFillsGapsFromPeer(t *testing.T) {
+	// Publisher misses umbrella day 1.
+	arch := toplist.NewArchive(0, 1)
+	arch.Put("alexa", 0, toplist.New([]string{"a.com"}))    //nolint:errcheck
+	arch.Put("alexa", 1, toplist.New([]string{"a2.com"}))   //nolint:errcheck
+	arch.Put("umbrella", 0, toplist.New([]string{"u.com"})) //nolint:errcheck
+	ts := httptest.NewServer(listserv.NewServer(arch))
+	defer ts.Close()
+
+	// The peer's archive has the day the publisher is missing.
+	peerArch := toplist.NewArchive(0, 1)
+	peerArch.Put("umbrella", 1, toplist.New([]string{"u2.com"})) //nolint:errcheck
+	peer := httptest.NewServer(archived.NewServer(peerArch))
+	defer peer.Close()
+
+	dir := t.TempDir()
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 3 from the publisher + 1 gap filled from the peer
+		t.Fatalf("wrote %d, want 4", n)
+	}
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := store.Get("umbrella", 1)
+	if got == nil || got.Name(1) != "u2.com" {
+		t.Fatalf("peer-filled snapshot = %v", got)
+	}
+	if missing := store.Missing(); len(missing) != 0 {
+		t.Fatalf("archive still missing %v after peer fill", missing)
+	}
+}
+
+// TestCollectOnceSurvivesDeadPeer: an unreachable peer never fails the
+// pass — the publisher's snapshots are stored and the gaps simply
+// remain for the next pass.
+func TestCollectOnceSurvivesDeadPeer(t *testing.T) {
+	// The publisher covers two days but published only day 0, so the
+	// pass records one gap and consults the (dead) peer for it.
+	arch := toplist.NewArchive(0, 1)
+	arch.Put("alexa", 0, toplist.New([]string{"a.com"})) //nolint:errcheck
+	ts := httptest.NewServer(listserv.NewServer(arch))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir,
+		"http://127.0.0.1:1", quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("wrote %d, want 1 (gap left open, pass not failed)", n)
 	}
 }

@@ -23,10 +23,19 @@
 // durable archive previously saved by `toplists -save` (or any
 // toplist.DiskStore producer) and serves it straight from disk.
 //
+// With -serve-archive, the daemon additionally mounts the structured
+// archive wire API (internal/archived) under /archive/v1 beside the
+// provider-style routes, so remote consumers can reopen the served
+// archive as a toplist.Source with toplist.OpenRemote and run analyses
+// against it without any local copy. In -live mode the wire API sees
+// the same day-by-day visibility as the CSV routes: days appear in its
+// manifest as they are published.
+//
 // Usage:
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
 //	         [-workers N] [-live] [-live-interval 2s] [-archive DIR]
+//	         [-serve-archive]
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archived"
 	"repro/internal/core"
 	"repro/internal/listserv"
 	"repro/internal/population"
@@ -65,6 +75,7 @@ func run(args []string, out *os.File) error {
 	live := fs.Bool("live", false, "stream days out of the engine as they are generated")
 	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication pacing in -live mode")
 	archiveDir := fs.String("archive", "", "serve a saved archive from this directory (no simulation)")
+	serveArchive := fs.Bool("serve-archive", false, "also mount the archive wire API under "+toplist.RemoteAPIPrefix)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +104,7 @@ func run(args []string, out *os.File) error {
 
 	var (
 		handler *listserv.Server
+		source  toplist.Source // what -serve-archive exposes
 		liveRun func()
 		simDays int
 	)
@@ -107,6 +119,7 @@ func run(args []string, out *os.File) error {
 			log.Printf("warning: archive %s has %d missing snapshots", *archiveDir, len(missing))
 		}
 		handler = listserv.NewServer(store)
+		source = store
 		log.Printf("archive %s ready: %d providers x %d days (served from disk)",
 			*archiveDir, len(store.Providers()), store.Days())
 	} else {
@@ -143,10 +156,20 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		handler = listserv.NewServerAt(gk).WithZones(worldZones{world})
+		// The wire API sees exactly what the CSV routes see: in live
+		// mode the gatekeeper's visibility frontier, otherwise the
+		// fully materialised archive.
+		source = gk.View()
+	}
+
+	var root http.Handler = handler
+	if *serveArchive {
+		root = withArchiveAPI(handler, source)
+		log.Printf("archive wire API mounted at %s", toplist.RemoteAPIPrefix)
 	}
 
 	srv := &http.Server{
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -175,6 +198,17 @@ func run(args []string, out *os.File) error {
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)
 	}
+}
+
+// withArchiveAPI mounts the structured archive wire API
+// (internal/archived, under /archive/v1) beside the provider-style
+// publication routes, so one daemon serves both humans-and-mirrors CSV
+// downloads and archive-to-archive replication.
+func withArchiveAPI(h http.Handler, src toplist.Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle(toplist.RemoteAPIPrefix+"/", archived.NewServer(src))
+	mux.Handle("/", h)
+	return mux
 }
 
 // worldZones publishes the simulated world's day-0 com/net/org zone

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -65,5 +66,43 @@ func TestLiveSinkStopsOnCancel(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("EndDay ignored cancellation")
+	}
+}
+
+// TestArchiveAPIMountsBesideCSVRoutes: with -serve-archive both
+// surfaces share one daemon — the provider-style CSV routes keep
+// working and the wire API serves the same source to OpenRemote.
+func TestArchiveAPIMountsBesideCSVRoutes(t *testing.T) {
+	arch := toplist.NewArchive(0, 1)
+	for d := toplist.Day(0); d <= 1; d++ {
+		if err := arch.Put("alexa", d, toplist.New([]string{"a.com", "b.org"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := withArchiveAPI(listserv.NewServer(arch), arch)
+	ts := httptest.NewServer(root)
+	defer ts.Close()
+
+	// Provider-style route still answers.
+	idx, err := listserv.NewClient(ts.URL).Index(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Days != 2 {
+		t.Fatalf("CSV index days = %d, want 2", idx.Days)
+	}
+
+	// Wire API answers on the same listener.
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Days() != 2 {
+		t.Fatalf("remote days = %d, want 2", remote.Days())
+	}
+	got := remote.Get("alexa", 1)
+	want := arch.Get("alexa", 1)
+	if got == nil || got.Len() != want.Len() || got.Name(1) != want.Name(1) {
+		t.Fatalf("remote snapshot = %v, want %v", got, want)
 	}
 }

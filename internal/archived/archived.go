@@ -1,0 +1,274 @@
+// Package archived serves a snapshot archive over HTTP as a
+// versioned, read-only wire API — the network half of the
+// toplist.Source abstraction. Anything implementing Source can be
+// mounted: an in-memory toplist.Archive, a durable toplist.DiskStore,
+// or a listserv.Gatekeeper view of a still-publishing collection. The
+// client side is toplist.OpenRemote, which turns a served archive back
+// into a Source, so analyses and experiment labs run against a remote
+// archive exactly as they do against a local one.
+//
+// The wire protocol is defined once, in internal/toplist (the
+// RemoteAPIPrefix path helpers and the RemoteManifest document); this
+// package only binds it to an http.Handler:
+//
+//	GET /archive/v1/manifest                    RemoteManifest (JSON)
+//	GET /archive/v1/days                        JSON array of ISO dates
+//	GET /archive/v1/providers                   JSON array of names
+//	GET /archive/v1/snapshots/{provider}/{day}  gzip-compressed CSV
+//
+// Snapshot documents are byte-for-byte the gzip CSV a DiskStore keeps
+// on disk (same encoder, deterministic output), served with a strong
+// content-hash ETag and a Last-Modified of the provider's publication
+// instant, so conditional and range requests behave like a static
+// mirror of the archive directory. Absent and undecodable snapshots
+// are both a plain 404 — exactly the nil Source.Get already returns
+// for them — which is what lets the client mirror DiskStore.Get
+// semantics without a richer wire contract.
+//
+// cmd/toplistd mounts this API with -serve-archive; cmd/collectd can
+// fill collection gaps from a peer serving it (-peer).
+package archived
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/toplist"
+)
+
+// scaler is implemented by sources that know the scale that produced
+// them (toplist.DiskStore does, via its manifest); the wire manifest
+// passes the name through to remote consumers.
+type scaler interface {
+	Scale() string
+}
+
+// Server publishes a toplist.Source over the archive wire API. It
+// implements http.Handler and is safe for concurrent use.
+//
+// Encoded snapshot documents are cached per (provider, day) in a
+// bounded LRU (WithBlobCache), keyed by the *toplist.List pointer they
+// encoded: lists are immutable, so a cache hit is valid for as long as
+// the source keeps returning the same list, a source that replaces a
+// snapshot (a DiskStore Put repairing a corrupt slot) is re-encoded on
+// the next request instead of served stale, and a long-running daemon
+// serving a large archive holds at most the cache bound — not every
+// blob it ever served.
+type Server struct {
+	src toplist.Source
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	blobs    map[blobKey]*blobEntry
+	order    *list.List // LRU: front = most recent; values are blobKey
+	capacity int
+}
+
+type blobKey struct {
+	provider string
+	day      toplist.Day
+}
+
+// blobEntry is one snapshot's encode slot. The first request for a
+// (provider, day) installs the entry and encodes outside the lock;
+// concurrent requests for the same snapshot wait on ready instead of
+// each re-running the WriteCSV+gzip pass — the server-side analog of
+// DiskStore.Get's single-flight decode.
+type blobEntry struct {
+	list  *toplist.List // the list these bytes encode
+	ready chan struct{} // closed once data/etag (or err) are final
+	data  []byte
+	etag  string
+	err   error
+	elem  *list.Element
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithBlobCache bounds the encoded-snapshot LRU cache to n documents
+// (default 256). Each entry holds one gzip CSV plus a reference to its
+// decoded list, so the bound is what keeps a daemon serving a huge
+// archive from growing to the archive's full size; size it to the
+// working set remote readers actually sweep.
+func WithBlobCache(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.capacity = n
+		}
+	}
+}
+
+// NewServer builds the handler serving src under
+// toplist.RemoteAPIPrefix. Mount it at the host root (the prefix is
+// part of every route), beside other handlers if desired — cmd/toplistd
+// mounts it next to the provider-style publication routes.
+func NewServer(src toplist.Source, opts ...Option) *Server {
+	s := &Server{
+		src:      src,
+		mux:      http.NewServeMux(),
+		blobs:    make(map[blobKey]*blobEntry),
+		order:    list.New(),
+		capacity: 256,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET "+toplist.RemoteManifestPath(), s.handleManifest)
+	s.mux.HandleFunc("GET "+toplist.RemoteDaysPath(), s.handleDays)
+	s.mux.HandleFunc("GET "+toplist.RemoteProvidersPath(), s.handleProviders)
+	s.mux.HandleFunc("GET "+toplist.RemoteAPIPrefix+"/snapshots/{provider}/{day}", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Manifest returns the wire manifest the server currently publishes.
+// It is rebuilt per call, so a served archive that is still growing
+// (ExtendTo, live publication) reports its current range. The range is
+// read once, so the document is self-consistent even when an Advance
+// or ExtendTo lands mid-build.
+func (s *Server) Manifest() toplist.RemoteManifest {
+	first, last := s.src.First(), s.src.Last()
+	man := toplist.RemoteManifest{
+		Version:   toplist.RemoteAPIVersion,
+		FirstDay:  first.String(),
+		LastDay:   last.String(),
+		Days:      toplist.DayCount(first, last),
+		Providers: s.src.Providers(),
+	}
+	if sc, ok := s.src.(scaler); ok {
+		man.Scale = sc.Scale()
+	}
+	if man.Providers == nil {
+		man.Providers = []string{}
+	}
+	return man
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Manifest())
+}
+
+func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
+	days := []string{}
+	first, last := s.src.First(), s.src.Last()
+	for d := first; d <= last; d++ {
+		days = append(days, d.String())
+	}
+	writeJSON(w, days)
+}
+
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	providers := s.src.Providers()
+	if providers == nil {
+		providers = []string{}
+	}
+	writeJSON(w, providers)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	provider := r.PathValue("provider")
+	day, err := toplist.ParseDay(r.PathValue("day"))
+	if err != nil {
+		http.Error(w, "bad date: "+r.PathValue("day"), http.StatusBadRequest)
+		return
+	}
+	list := s.src.Get(provider, day)
+	if list == nil {
+		// Absent and corrupt-on-the-server are deliberately the same
+		// status: Source.Get is nil for both, and the client memoizes
+		// the nil either way.
+		http.NotFound(w, r)
+		return
+	}
+	b, err := s.blobFor(provider, day, list)
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("ETag", b.etag)
+	w.Header().Set("X-Toplist-Day", day.String())
+	// Same publication instant the provider-style routes use: 00:00 UTC
+	// of the day after the data day.
+	published := day.Date().Add(24 * time.Hour)
+	http.ServeContent(w, r, day.String()+".csv.gz", published, bytes.NewReader(b.data))
+}
+
+// blobFor returns the encoded document for l, reusing the cached
+// encoding when the source still returns the same immutable list.
+// Encodes are single-flight: concurrent cold requests for one snapshot
+// share a single WriteCSV+gzip pass.
+func (s *Server) blobFor(provider string, day toplist.Day, l *toplist.List) (*blobEntry, error) {
+	key := blobKey{provider, day}
+	s.mu.Lock()
+	if e, ok := s.blobs[key]; ok && e.list == l {
+		s.order.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		// Encode failures are not memoized; the entry was removed and
+		// the next request re-encodes (it may well succeed — the list
+		// is immutable but memory pressure is not).
+		return e, e.err
+	}
+	// Install (or replace a stale entry for a since-repaired slot) and
+	// encode outside the lock.
+	e := &blobEntry{list: l, ready: make(chan struct{})}
+	if old, ok := s.blobs[key]; ok {
+		s.order.Remove(old.elem)
+	}
+	e.elem = s.order.PushFront(key)
+	s.blobs[key] = e
+	for len(s.blobs) > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		evict := back.Value.(blobKey)
+		s.order.Remove(back)
+		delete(s.blobs, evict)
+	}
+	s.mu.Unlock()
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	err := toplist.WriteCSV(zw, l)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		e.err = err
+		s.mu.Lock()
+		if cur, ok := s.blobs[key]; ok && cur == e {
+			delete(s.blobs, key)
+			s.order.Remove(e.elem)
+		}
+		s.mu.Unlock()
+		close(e.ready)
+		return nil, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	e.data, e.etag = buf.Bytes(), `"`+hex.EncodeToString(sum[:16])+`"`
+	close(e.ready)
+	return e, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// The manifest governs what a client believes the archive covers;
+	// a growing archive must not be pinned by intermediaries.
+	w.Header().Set("Cache-Control", "no-cache")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do beyond dropping the conn.
+		return
+	}
+}

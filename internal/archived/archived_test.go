@@ -1,0 +1,578 @@
+package archived
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/listserv"
+	"repro/internal/toplist"
+)
+
+// testStore builds a 2-provider x 4-day DiskStore with one gap
+// (umbrella day 2) and one corrupt snapshot (alexa day 3, garbage
+// bytes written behind the store's back).
+func testStore(t *testing.T) *toplist.DiskStore {
+	t.Helper()
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetScale("unit"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"alexa", "umbrella"} {
+		for d := toplist.Day(0); d <= 3; d++ {
+			if p == "umbrella" && d == 2 {
+				continue // gap
+			}
+			names := []string{
+				fmt.Sprintf("%s-top-%d.com", p, d),
+				fmt.Sprintf("%s-second-%d.org", p, d),
+				"shared.net",
+			}
+			if err := ds.Put(p, d, toplist.New(names)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Corrupt alexa day 3 on disk; the store still believes it present.
+	path := filepath.Join(dir, "alexa", toplist.Day(3).String()+".csv.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen cold so the corrupt bytes are what Get decodes.
+	reopened, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reopened
+}
+
+// countingHandler wraps a handler counting requests per URL path.
+type countingHandler struct {
+	h http.Handler
+
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func newCounting(h http.Handler) *countingHandler {
+	return &countingHandler{h: h, hits: make(map[string]int)}
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.hits[r.URL.Path]++
+	c.mu.Unlock()
+	c.h.ServeHTTP(w, r)
+}
+
+func (c *countingHandler) count(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits[path]
+}
+
+func serve(t *testing.T, src toplist.Source) (*httptest.Server, *countingHandler) {
+	t.Helper()
+	ch := newCounting(NewServer(src))
+	ts := httptest.NewServer(ch)
+	t.Cleanup(ts.Close)
+	return ts, ch
+}
+
+func csvBytes(t *testing.T, l *toplist.List) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := toplist.WriteCSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRemoteSourceEquivalence is the wire round trip: every Source
+// observation over OpenRemote — range, providers, snapshot bytes, the
+// absent slot, the corrupt slot — matches the DiskStore it serves.
+func TestRemoteSourceEquivalence(t *testing.T) {
+	ds := testStore(t)
+	ts, _ := serve(t, ds)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.First() != ds.First() || remote.Last() != ds.Last() || remote.Days() != ds.Days() {
+		t.Fatalf("range mismatch: remote [%v,%v] %d days, store [%v,%v] %d days",
+			remote.First(), remote.Last(), remote.Days(), ds.First(), ds.Last(), ds.Days())
+	}
+	if got, want := remote.Providers(), ds.Providers(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("providers = %v, want %v", got, want)
+	}
+	if got, want := remote.Scale(), ds.Scale(); got != want {
+		t.Fatalf("scale = %q, want %q", got, want)
+	}
+	for _, p := range ds.Providers() {
+		for d := ds.First(); d <= ds.Last(); d++ {
+			want := ds.Get(p, d)
+			got := remote.Get(p, d)
+			switch {
+			case want == nil && got == nil:
+				// gap or corrupt: both sides agree on nil
+			case want == nil || got == nil:
+				t.Fatalf("%s day %v: remote %v, store %v", p, d, got != nil, want != nil)
+			default:
+				if !bytes.Equal(csvBytes(t, got), csvBytes(t, want)) {
+					t.Fatalf("%s day %v: snapshot bytes differ over the wire", p, d)
+				}
+			}
+		}
+	}
+	// The store distinguishes absent from corrupt; so does the remote's
+	// advisory listing (the nil for alexa/3 came from a decoded 404 —
+	// server-side corrupt — so it is NOT remote-corrupt, just absent on
+	// the wire).
+	if c := ds.Corrupt(); len(c) != 1 || c[0].Provider != "alexa" || c[0].Day != 3 {
+		t.Fatalf("store Corrupt() = %v, want [alexa 3]", c)
+	}
+	if c := remote.Corrupt(); len(c) != 0 {
+		t.Fatalf("remote Corrupt() = %v, want none (server 404s its corrupt slot)", c)
+	}
+	// Unknown provider and out-of-range day are nil without a request.
+	if remote.Get("majestic", 0) != nil || remote.Get("alexa", 99) != nil {
+		t.Fatal("unknown provider / out-of-range day not nil")
+	}
+}
+
+// TestRemoteMemoizesAbsentAndCaches: repeated Gets of the same present
+// snapshot hit the server once (LRU cache), and repeated Gets of an
+// absent snapshot also hit it once (memoized nil) — the DiskStore
+// decode-once contract over HTTP.
+func TestRemoteMemoizesAbsentAndCaches(t *testing.T) {
+	ds := testStore(t)
+	ts, ch := serve(t, ds)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presentPath := toplist.RemoteSnapshotPath("alexa", 0)
+	gapPath := toplist.RemoteSnapshotPath("umbrella", 2)
+	for i := 0; i < 3; i++ {
+		if remote.Get("alexa", 0) == nil {
+			t.Fatal("present snapshot nil")
+		}
+		if remote.Get("umbrella", 2) != nil {
+			t.Fatal("gap snapshot not nil")
+		}
+	}
+	if n := ch.count(presentPath); n != 1 {
+		t.Fatalf("present snapshot fetched %d times, want 1", n)
+	}
+	if n := ch.count(gapPath); n != 1 {
+		t.Fatalf("absent snapshot fetched %d times, want 1 (memoized)", n)
+	}
+}
+
+// TestRemoteCorruptPayloadMemoized: a payload that transfers as 200
+// but does not decode is memoized as nil and listed by Corrupt — one
+// fetch, not one per call.
+func TestRemoteCorruptPayloadMemoized(t *testing.T) {
+	ds := testStore(t)
+	inner := NewServer(ds)
+	corruptPath := toplist.RemoteSnapshotPath("alexa", 1)
+	var hits atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == corruptPath {
+			hits.Add(1)
+			w.Header().Set("Content-Type", "application/gzip")
+			w.Write([]byte("definitely not gzip")) //nolint:errcheck
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l, err := remote.GetContext(context.Background(), "alexa", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != nil {
+			t.Fatal("corrupt payload decoded")
+		}
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("corrupt payload fetched %d times, want 1 (memoized)", n)
+	}
+	if c := remote.Corrupt(); len(c) != 1 || c[0].Provider != "alexa" || c[0].Day != 1 {
+		t.Fatalf("Corrupt() = %v, want [alexa 1]", c)
+	}
+	// A healthy slot fetched afterwards is not polluted.
+	if remote.Get("alexa", 0) == nil {
+		t.Fatal("healthy snapshot nil after corrupt fetch")
+	}
+}
+
+// TestRemoteGetSingleFlight: concurrent readers of one uncached
+// snapshot share a single fetch. Run under -race this also proves the
+// entry publication is properly synchronised.
+func TestRemoteGetSingleFlight(t *testing.T) {
+	ds := testStore(t)
+	inner := NewServer(ds)
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	var hits atomic.Int32
+	gate := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == path {
+			hits.Add(1)
+			<-gate // hold every fetch until all readers queued
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 16
+	var wg sync.WaitGroup
+	results := make([]*toplist.List, readers)
+	wg.Add(readers)
+	var started sync.WaitGroup
+	started.Add(readers)
+	for i := 0; i < readers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			results[i] = remote.Get("alexa", 0)
+		}(i)
+	}
+	started.Wait()
+	close(gate)
+	wg.Wait()
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("%d concurrent readers made %d fetches, want 1", readers, n)
+	}
+	for i, l := range results {
+		if l == nil {
+			t.Fatalf("reader %d got nil", i)
+		}
+		if l != results[0] {
+			t.Fatalf("reader %d got a different decoded list (no shared cache entry)", i)
+		}
+	}
+}
+
+// TestRemoteCancellationMidFetch: cancelling a GetContext mid-transfer
+// returns ctx.Err() promptly and does NOT poison the slot — the next
+// reader fetches fresh and succeeds.
+func TestRemoteCancellationMidFetch(t *testing.T) {
+	ds := testStore(t)
+	inner := NewServer(ds)
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	var block atomic.Bool
+	block.Store(true)
+	reached := make(chan struct{}, 8)
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == path && block.Load() {
+			reached <- struct{}{}
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() { close(release); ts.Close() })
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.GetContext(ctx, "alexa", 0)
+		done <- err
+	}()
+	<-reached // fetch is in flight
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled fetch returned nil error")
+	}
+	// The failed fetch must not be memoized: a fresh context succeeds.
+	block.Store(false)
+	l, err := remote.GetContext(context.Background(), "alexa", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == nil {
+		t.Fatal("snapshot nil after recovered fetch")
+	}
+}
+
+// TestRemoteLRUEviction: the decoded-snapshot cache is bounded; the
+// least recently used slot is refetched after eviction.
+func TestRemoteLRUEviction(t *testing.T) {
+	ds := testStore(t)
+	ts, ch := serve(t, ds)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL,
+		toplist.WithRemoteCacheSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day0 := toplist.RemoteSnapshotPath("alexa", 0)
+	remote.Get("alexa", 0) // cache: {0}
+	remote.Get("alexa", 1) // cache: {0,1}
+	remote.Get("alexa", 2) // cache: {1,2} — 0 evicted
+	if remote.Get("alexa", 0) == nil {
+		t.Fatal("evicted snapshot nil on refetch")
+	}
+	if n := ch.count(day0); n != 2 {
+		t.Fatalf("evicted snapshot fetched %d times, want 2", n)
+	}
+}
+
+// TestRemoteRefreshFollowsGrowth: a Remote following a still-growing
+// archive picks up new days and providers via Refresh, and its range
+// never shrinks.
+func TestRemoteRefreshFollowsGrowth(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, toplist.New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := serve(t, ds)
+	ctx := context.Background()
+	remote, err := toplist.OpenRemote(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Days() != 1 || len(remote.Providers()) != 1 {
+		t.Fatalf("initial: %d days, providers %v", remote.Days(), remote.Providers())
+	}
+	if err := ds.ExtendTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("umbrella", 1, toplist.New([]string{"u.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Last() != 2 || remote.Days() != 3 {
+		t.Fatalf("after refresh: last %v, %d days", remote.Last(), remote.Days())
+	}
+	if got := remote.Providers(); len(got) != 2 || got[1] != "umbrella" {
+		t.Fatalf("after refresh: providers %v", got)
+	}
+	if remote.Get("umbrella", 1) == nil {
+		t.Fatal("new provider's snapshot nil after refresh")
+	}
+	// A slot probed while absent is memoized nil — until a Refresh
+	// declares the archive may have changed, after which the server's
+	// later fill becomes visible (the client-side analog of Put
+	// invalidating a DiskStore's memoized decode failure).
+	if remote.Get("alexa", 2) != nil {
+		t.Fatal("unfilled day not nil")
+	}
+	if err := ds.Put("alexa", 2, toplist.New([]string{"a2.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Get("alexa", 2) != nil {
+		t.Fatal("memoized-absent day served without a refresh")
+	}
+	if err := remote.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Get("alexa", 2) == nil {
+		t.Fatal("filled day still nil after refresh")
+	}
+}
+
+// TestRemoteRejectsUnknownProtocolVersion mirrors OpenArchive's
+// manifest check: a server speaking a different protocol version must
+// fail loudly at open, not half-work.
+func TestRemoteRejectsUnknownProtocolVersion(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(toplist.RemoteManifest{ //nolint:errcheck
+			Version:  99,
+			FirstDay: "2017-06-06", LastDay: "2017-06-06", Days: 1,
+			Providers: []string{"alexa"},
+		})
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	if _, err := toplist.OpenRemote(context.Background(), ts.URL); err == nil {
+		t.Fatal("unknown protocol version accepted")
+	}
+}
+
+// TestListingEndpoints pins the days/providers listings of the wire
+// API.
+func TestListingEndpoints(t *testing.T) {
+	ds := testStore(t)
+	ts, _ := serve(t, ds)
+	var days []string
+	resp, err := http.Get(ts.URL + toplist.RemoteDaysPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&days); err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 4 || days[0] != toplist.Day(0).String() || days[3] != toplist.Day(3).String() {
+		t.Fatalf("days listing = %v", days)
+	}
+	var provs []string
+	resp2, err := http.Get(ts.URL + toplist.RemoteProvidersPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&provs); err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) != 2 || provs[0] != "alexa" {
+		t.Fatalf("providers listing = %v", provs)
+	}
+}
+
+// TestGatekeeperViewOverWireAPI: serving a gatekept live collection
+// over the wire API honours day-by-day visibility — the manifest and
+// the snapshots advance together, and a Remote follows via Refresh.
+func TestGatekeeperViewOverWireAPI(t *testing.T) {
+	arch := toplist.NewArchive(0, 2)
+	for d := toplist.Day(0); d <= 2; d++ {
+		if err := arch.Put("alexa", d, toplist.New([]string{fmt.Sprintf("d%d.com", d)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gk := listserv.NewGatekeeper(arch, 0)
+	ts, _ := serve(t, gk.View())
+	ctx := context.Background()
+	remote, err := toplist.OpenRemote(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Days() != 1 {
+		t.Fatalf("visible days = %d, want 1", remote.Days())
+	}
+	if remote.Get("alexa", 0) == nil {
+		t.Fatal("published day nil")
+	}
+	if remote.Get("alexa", 1) != nil {
+		t.Fatal("unpublished day served")
+	}
+	gk.Advance(2)
+	if err := remote.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Days() != 3 {
+		t.Fatalf("after advance: %d days, want 3", remote.Days())
+	}
+	if remote.Get("alexa", 2) == nil {
+		t.Fatal("newly published day nil after refresh")
+	}
+	// Day 1 was never fetched while unpublished (it sat outside the
+	// manifest's range, so the range check answered nil locally); after
+	// Refresh it is in range and serves.
+	if remote.Get("alexa", 1) == nil {
+		t.Fatal("day inside refreshed range nil")
+	}
+}
+
+// TestRemoteRetriesTransientFailures: a transient server failure (5xx)
+// does not degrade a read into a spurious nil — the fetch retries with
+// backoff and succeeds, so an analysis over a remote source survives a
+// blip instead of silently treating the day as a gap.
+func TestRemoteRetriesTransientFailures(t *testing.T) {
+	ds := testStore(t)
+	inner := NewServer(ds)
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	var hits atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == path && hits.Add(1) <= 2 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL,
+		toplist.WithRemoteBaseBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := remote.GetContext(context.Background(), "alexa", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == nil {
+		t.Fatal("snapshot nil despite eventual success")
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server hit %d times, want 3 (two transient failures + success)", n)
+	}
+}
+
+// TestRemoteGivesUpAfterRetryBudget: persistent server failure
+// surfaces as an error from GetContext (never memoized — a later call
+// against a recovered server succeeds).
+func TestRemoteGivesUpAfterRetryBudget(t *testing.T) {
+	ds := testStore(t)
+	inner := NewServer(ds)
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == path && failing.Load() {
+			hits.Add(1)
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	remote, err := toplist.OpenRemote(context.Background(), ts.URL,
+		toplist.WithRemoteBaseBackoff(time.Millisecond),
+		toplist.WithRemoteMaxAttempts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.GetContext(context.Background(), "alexa", 0); err == nil {
+		t.Fatal("persistent failure returned nil error")
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server hit %d times, want 2 (retry budget)", n)
+	}
+	// The failure was not memoized: the recovered server serves.
+	failing.Store(false)
+	l, err := remote.GetContext(context.Background(), "alexa", 0)
+	if err != nil || l == nil {
+		t.Fatalf("recovered fetch: list=%v err=%v", l != nil, err)
+	}
+}

@@ -4,12 +4,16 @@
 // The paper's §4 dataset is assembled by downloading each provider's
 // daily CSV publication (e.g. Alexa's top-1m.csv.zip from S3) over
 // many months. This package reproduces that pipeline end to end: a
-// Server publishes an Archive the way providers publish their lists
-// (dated CSV documents, also gzip- and zip-wrapped, with strong
+// Server publishes any toplist.Source the way providers publish their
+// lists (dated CSV documents, also gzip- and zip-wrapped, with strong
 // validators for caching), a Client downloads and decodes snapshots
 // with retries and conditional requests, and a Mirror drives a Client
 // once per simulated day to rebuild an Archive — including the gap
 // handling a real longitudinal collection needs.
+//
+// These are the provider-shaped routes (one CSV per day, formats per
+// provider); the structured archive-to-archive wire API lives in
+// internal/archived and serves the same sources.
 package listserv
 
 import (
@@ -78,7 +82,8 @@ type Index struct {
 	Days      int      `json:"days"`
 }
 
-// Server publishes an Archive over HTTP. It implements http.Handler.
+// Server publishes an archive source over HTTP. It implements
+// http.Handler.
 //
 // Routes (all GET/HEAD):
 //
@@ -149,6 +154,41 @@ func (g *Gatekeeper) LastVisible() toplist.Day {
 	defer g.mu.RUnlock()
 	return g.visible
 }
+
+// View returns a read-side toplist.Source bounded by the gatekeeper's
+// visibility: Get serves only published days, and Last/Days track the
+// publication frontier instead of the backing archive's full range.
+// It is what lets the archive wire API (internal/archived, mounted by
+// toplistd -serve-archive) publish a still-growing live collection
+// with the same day-by-day visibility the provider-style routes have.
+func (g *Gatekeeper) View() toplist.Source { return gateView{g} }
+
+// gateView adapts a Gatekeeper to toplist.Source.
+type gateView struct{ g *Gatekeeper }
+
+func (v gateView) Get(provider string, day toplist.Day) *toplist.List {
+	return v.g.get(provider, day)
+}
+
+func (v gateView) First() toplist.Day { return v.g.archive.First() }
+
+// Last returns the newest published day, clamped to the backing
+// archive's range. Before the first Advance it sits below First —
+// callers observe an empty (zero-day) source, and toplist.Remote
+// handles that range explicitly.
+func (v gateView) Last() toplist.Day {
+	v.g.mu.RLock()
+	defer v.g.mu.RUnlock()
+	last := v.g.visible
+	if last > v.g.archive.Last() {
+		last = v.g.archive.Last()
+	}
+	return last
+}
+
+func (v gateView) Days() int { return toplist.DayCount(v.First(), v.Last()) }
+
+func (v gateView) Providers() []string { return v.g.archive.Providers() }
 
 func (g *Gatekeeper) get(provider string, day toplist.Day) *toplist.List {
 	g.mu.RLock()

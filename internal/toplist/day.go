@@ -1,6 +1,11 @@
 // Package toplist defines the list data model shared by the simulator
 // and the analyses: ranked lists, daily snapshots, multi-provider
-// archives, CSV encoding, and the simulated calendar.
+// archives, CSV encoding, and the simulated calendar. It owns both
+// sides of the snapshot contract — SnapshotSink (write) and Source
+// (read) — and its three Source backends: the in-memory Archive, the
+// durable on-disk DiskStore (OpenArchive), and the HTTP-backed Remote
+// (OpenRemote, with the archive wire protocol it shares with
+// internal/archived).
 package toplist
 
 import "time"

@@ -437,6 +437,35 @@ func (ds *DiskStore) missingLocked() []Snapshot {
 	return out
 }
 
+// Corrupt returns one stub Snapshot per (provider, day) whose file is
+// present but whose decode failed — the memoized decode failures Get
+// has accumulated — ordered by provider (manifest order) and day
+// ascending. It is the Verify()-lite operators pair with Missing:
+// Missing lists what was never written, Corrupt lists what was written
+// and cannot be read back. Only slots a Get has actually probed are
+// listed (decodes are lazy); to sweep the whole store, Get every
+// (provider, day) first and then read Corrupt. A Put over a corrupt
+// slot clears its entry, so a re-collection pass (cmd/collectd knows
+// how to fetch individual days) empties the listing as it repairs.
+func (ds *DiskStore) Corrupt() []Snapshot {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	var found []storeKey
+	for key, e := range ds.cache {
+		select {
+		case <-e.ready:
+			// A settled nil decode is corruption by construction: Get
+			// only installs entries for slots the presence bitmap says
+			// were written.
+			if e.list == nil {
+				found = append(found, key)
+			}
+		default:
+		}
+	}
+	return corruptSnapshots(found, ds.man.Providers)
+}
+
 // Complete reports whether the store holds every snapshot it should —
 // the Archive.Complete contract over the durable manifest. The
 // provider count and the gap scan are evaluated under one RLock, so a

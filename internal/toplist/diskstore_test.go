@@ -468,3 +468,70 @@ func TestDiskStoreTimingsRoundTrip(t *testing.T) {
 		t.Fatalf("timings after reopen: %v, want %v", got, want)
 	}
 }
+
+// TestDiskStoreCorruptListing: Corrupt() surfaces exactly the memoized
+// decode failures — nothing before a probe, each corrupt slot after
+// its Get, ordered by provider (manifest order) then day — and a Put
+// repairing a slot removes it from the listing. This is the
+// Verify()-lite operators pair with Missing(): absent vs unreadable
+// without probing Get per day themselves.
+func TestDiskStoreCorruptListing(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"umbrella", "alexa"} { // manifest order: umbrella first
+		for d := Day(0); d <= 1; d++ {
+			if err := ds.Put(p, d, New([]string{p + ".com"})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Corrupt three slots behind the store's back.
+	for _, s := range []Snapshot{{Provider: "alexa", Day: 1}, {Provider: "alexa", Day: 0}, {Provider: "umbrella", Day: 1}} {
+		path := filepath.Join(dir, s.Provider, s.Day.String()+snapshotExt)
+		if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing probed yet: the listing is empty (decodes are lazy).
+	if c := reopened.Corrupt(); len(c) != 0 {
+		t.Fatalf("Corrupt() before any Get = %v", c)
+	}
+	// Sweep every slot, then read the listing.
+	for _, p := range reopened.Providers() {
+		for d := reopened.First(); d <= reopened.Last(); d++ {
+			reopened.Get(p, d)
+		}
+	}
+	want := []Snapshot{
+		{Provider: "umbrella", Day: 1},
+		{Provider: "alexa", Day: 0},
+		{Provider: "alexa", Day: 1},
+	}
+	got := reopened.Corrupt()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Corrupt() = %v, want %v", got, want)
+	}
+	// Missing stays empty: corrupt is present-but-unreadable.
+	if m := reopened.Missing(); len(m) != 0 {
+		t.Fatalf("Missing() = %v, want none", m)
+	}
+	// Repairing one slot clears its entry.
+	if err := reopened.Put("alexa", 0, New([]string{"fixed.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Get("alexa", 0) == nil {
+		t.Fatal("repaired slot still nil")
+	}
+	got = reopened.Corrupt()
+	want = []Snapshot{{Provider: "umbrella", Day: 1}, {Provider: "alexa", Day: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Corrupt() after repair = %v, want %v", got, want)
+	}
+}

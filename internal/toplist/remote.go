@@ -1,0 +1,644 @@
+package toplist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file defines the archive wire protocol — the versioned
+// read-only HTTP API that makes a Source servable across machines —
+// and the client side of it, OpenRemote. The server side lives in
+// internal/archived and is mounted by `toplistd -serve-archive`; both
+// halves share the path helpers and the RemoteManifest document below,
+// so the protocol has exactly one definition.
+//
+// The protocol (all endpoints GET/HEAD, rooted at RemoteAPIPrefix):
+//
+//	GET /archive/v1/manifest                    RemoteManifest (JSON)
+//	GET /archive/v1/days                        ["2017-06-06", ...] (JSON)
+//	GET /archive/v1/providers                   ["alexa", ...] (JSON)
+//	GET /archive/v1/snapshots/{provider}/{day}  gzip-compressed CSV
+//
+// Snapshot responses are the same gzip CSV a DiskStore keeps on disk;
+// an absent snapshot is a plain 404, indistinguishable on the wire
+// from one the server's own Source cannot decode — exactly the
+// contract Source.Get already has (nil for both).
+
+// RemoteAPIVersion is the archive wire-protocol version this build
+// speaks. The manifest carries it; OpenRemote refuses any other
+// version outright, mirroring OpenArchive's manifest-version check.
+const RemoteAPIVersion = 1
+
+// RemoteAPIPrefix roots every archive-API route. The version is part
+// of the path, so a future incompatible protocol mounts beside this
+// one instead of redefining it.
+const RemoteAPIPrefix = "/archive/v1"
+
+// RemoteManifestPath returns the server-relative path of the manifest
+// document.
+func RemoteManifestPath() string { return RemoteAPIPrefix + "/manifest" }
+
+// RemoteDaysPath returns the server-relative path of the day listing.
+func RemoteDaysPath() string { return RemoteAPIPrefix + "/days" }
+
+// RemoteProvidersPath returns the server-relative path of the provider
+// listing.
+func RemoteProvidersPath() string { return RemoteAPIPrefix + "/providers" }
+
+// RemoteSnapshotPath returns the server-relative path of one
+// (provider, day) snapshot document. The provider segment is
+// path-escaped, so sources with unusual provider names round-trip
+// (the server's PathValue decodes it back).
+func RemoteSnapshotPath(provider string, day Day) string {
+	return RemoteAPIPrefix + "/snapshots/" + url.PathEscape(provider) + "/" + day.String()
+}
+
+// RemoteManifest is the JSON document at RemoteManifestPath describing
+// a served archive: the protocol version, the producing scale (when
+// recorded), the covered day range, and the provider set. It is the
+// wire analog of a DiskStore's manifest.json.
+type RemoteManifest struct {
+	Version   int      `json:"version"`
+	Scale     string   `json:"scale,omitempty"`
+	FirstDay  string   `json:"first_day"`
+	LastDay   string   `json:"last_day"`
+	Days      int      `json:"days"`
+	Providers []string `json:"providers"` // insertion order
+}
+
+// Remote is a Source served over HTTP by an archive server
+// (internal/archived). It mirrors DiskStore.Get's read semantics
+// across the network hop: snapshots are fetched lazily, decoded once,
+// and held in a bounded LRU cache; concurrent readers of the same
+// uncached snapshot share one in-flight fetch; and a payload that
+// arrives but does not decode is memoized as nil (one fetch per
+// corrupt snapshot, not one per call) for as long as it stays cached.
+// Absent snapshots (404) are memoized the same way.
+//
+// The day range and provider set are snapshotted from the manifest at
+// OpenRemote time — First, Last, Days, and Providers never touch the
+// network — and can be re-synchronised against a still-growing archive
+// with Refresh. All methods are safe for concurrent use.
+//
+// The Source methods carry no context, so Get runs requests under the
+// context OpenRemote was given; callers that need per-call deadlines
+// or cancellation use GetContext.
+type Remote struct {
+	baseURL string
+	httpc   *http.Client
+	base    context.Context
+	maxBody int64
+
+	maxAttempts int
+	baseBackoff time.Duration
+	jitter      func() float64
+	sleep       func(context.Context, time.Duration) error
+
+	mu        sync.Mutex
+	synced    bool // first manifest fetch folded in
+	first     Day
+	last      Day
+	scale     string
+	providers []string
+	known     map[string]bool
+	cache     map[storeKey]*remoteEntry
+	order     *list.List // LRU: front = most recent; values are storeKey
+	capacity  int
+}
+
+// remoteEntry is one snapshot's fetch slot, the network analog of
+// DiskStore's cacheEntry. The first reader of a key installs the entry
+// and fetches outside the lock; concurrent readers wait on ready. A
+// final entry (absent or corrupt payload) memoizes list == nil; a
+// failed transfer records err and is removed from the cache so the
+// next reader retries instead of inheriting a transient failure.
+type remoteEntry struct {
+	ready   chan struct{} // closed once the fetch settles
+	elem    *list.Element
+	list    *List
+	corrupt bool  // payload arrived but did not decode
+	err     error // transfer failed; entry was uncached
+}
+
+var _ Source = (*Remote)(nil)
+
+// RemoteOption configures OpenRemote.
+type RemoteOption func(*Remote)
+
+// WithRemoteHTTPClient substitutes the underlying *http.Client
+// (timeouts, transports, test doubles).
+func WithRemoteHTTPClient(h *http.Client) RemoteOption {
+	return func(r *Remote) { r.httpc = h }
+}
+
+// WithRemoteCacheSize bounds the client's decoded-snapshot LRU cache
+// to n entries (default 256). Analyses typically sweep day ranges per
+// provider, so the default comfortably covers a test-scale JOINT
+// window; shrink it when lists are huge, grow it to pin a whole
+// archive in memory.
+func WithRemoteCacheSize(n int) RemoteOption {
+	return func(r *Remote) {
+		if n > 0 {
+			r.capacity = n
+		}
+	}
+}
+
+// WithRemoteMaxBodyBytes caps accepted response bodies (default
+// 256 MiB), bounding what a misbehaving server can make the client
+// buffer.
+func WithRemoteMaxBodyBytes(n int64) RemoteOption {
+	return func(r *Remote) {
+		if n > 0 {
+			r.maxBody = n
+		}
+	}
+}
+
+// WithRemoteMaxAttempts bounds the tries per transfer (default 4).
+// Transient failures — connection errors, 5xx, 429 — are retried with
+// jittered exponential backoff before a fetch is declared failed;
+// 404s, undecodable payloads, and cancellation are never retried.
+func WithRemoteMaxAttempts(n int) RemoteOption {
+	return func(r *Remote) {
+		if n > 0 {
+			r.maxAttempts = n
+		}
+	}
+}
+
+// WithRemoteBaseBackoff sets the first retry delay (default 250ms;
+// doubled per attempt with ±50% jitter).
+func WithRemoteBaseBackoff(d time.Duration) RemoteOption {
+	return func(r *Remote) {
+		if d > 0 {
+			r.baseBackoff = d
+		}
+	}
+}
+
+// OpenRemote opens the archive served at baseURL (the host root — the
+// wire API lives under RemoteAPIPrefix), fetches its manifest, and
+// returns a Source reading through the wire API. It is the network
+// counterpart of OpenArchive: analyses, labs, and servers built over a
+// Source run unchanged against the returned Remote.
+//
+// ctx governs the manifest fetch and becomes the base context for
+// context-free Get calls; cancelling it fails every later fetch, so
+// tie it to the consumer's lifetime (or just use
+// context.Background()).
+func OpenRemote(ctx context.Context, baseURL string, opts ...RemoteOption) (*Remote, error) {
+	r := &Remote{
+		baseURL:     strings.TrimRight(baseURL, "/"),
+		httpc:       &http.Client{Timeout: 30 * time.Second},
+		base:        ctx,
+		maxBody:     256 << 20,
+		maxAttempts: 4,
+		baseBackoff: 250 * time.Millisecond,
+		jitter:      rand.Float64,
+		known:       make(map[string]bool),
+		cache:       make(map[storeKey]*remoteEntry),
+		order:       list.New(),
+		capacity:    256,
+	}
+	r.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if err := r.Refresh(ctx); err != nil {
+		return nil, fmt.Errorf("toplist: open remote %s: %w", baseURL, err)
+	}
+	return r, nil
+}
+
+// Refresh re-fetches the manifest and folds it in: the covered day
+// range only ever grows (mirroring DiskStore.ExtendTo) and new
+// providers are appended in server order, so a Remote following a
+// still-publishing archive sees days appear without reopening. It
+// also forgets memoized-nil snapshots (absent and corrupt slots), so
+// days the server filled or repaired since the last sync become
+// readable; cached present snapshots are immutable and survive.
+// Transient transport failures are retried like any other fetch.
+func (r *Remote) Refresh(ctx context.Context) error {
+	var man RemoteManifest
+	err := r.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+RemoteManifestPath(), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := r.httpc.Do(req)
+		if err != nil {
+			return &remoteTransient{err}
+		}
+		defer drainBody(resp.Body)
+		if err := classifyRemoteStatus(req.URL.String(), resp.StatusCode); err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, r.maxBody))
+		if err != nil {
+			return &remoteTransient{err}
+		}
+		man = RemoteManifest{}
+		if err := json.Unmarshal(raw, &man); err != nil {
+			return fmt.Errorf("toplist: remote manifest: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if man.Version != RemoteAPIVersion {
+		return fmt.Errorf("toplist: remote archive speaks protocol version %d (this build speaks %d); refusing to half-open it",
+			man.Version, RemoteAPIVersion)
+	}
+	first, err := ParseDay(man.FirstDay)
+	if err != nil {
+		return fmt.Errorf("toplist: remote manifest: bad first_day: %w", err)
+	}
+	last, err := ParseDay(man.LastDay)
+	if err != nil {
+		return fmt.Errorf("toplist: remote manifest: bad last_day: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.synced {
+		// First sync (OpenRemote): adopt the server's range verbatim,
+		// including an empty one (last < first — a live publisher that
+		// has not published its first day yet).
+		r.first, r.last = first, last
+		r.synced = true
+	} else {
+		if first < r.first {
+			r.first = first
+		}
+		if last > r.last {
+			r.last = last
+		}
+	}
+	r.scale = man.Scale
+	for _, p := range man.Providers {
+		if !r.known[p] {
+			r.known[p] = true
+			r.providers = append(r.providers, p)
+		}
+	}
+	// Drop memoized-nil entries (absent 404s and corrupt payloads): a
+	// refresh declares "the archive may have changed", and a slot the
+	// server has since filled or repaired must become fetchable again —
+	// the client-side analog of Put invalidating a DiskStore's memoized
+	// decode failure. Present snapshots are immutable and stay cached;
+	// in-flight fetches settle against their own entry either way.
+	for key, e := range r.cache {
+		select {
+		case <-e.ready:
+			if e.list == nil {
+				delete(r.cache, key)
+				r.order.Remove(e.elem)
+			}
+		default:
+		}
+	}
+	return nil
+}
+
+// BaseURL returns the archive server's root URL.
+func (r *Remote) BaseURL() string { return r.baseURL }
+
+// Scale returns the scale name the server's manifest reported ("" when
+// the producing archive did not record one).
+func (r *Remote) Scale() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scale
+}
+
+// First returns the first day covered.
+func (r *Remote) First() Day {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.first
+}
+
+// Last returns the last day covered.
+func (r *Remote) Last() Day {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Days returns the number of days covered (0 for an archive that has
+// not published its first day yet).
+func (r *Remote) Days() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return DayCount(r.first, r.last)
+}
+
+// Providers returns provider names in the server's insertion order.
+func (r *Remote) Providers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.providers...)
+}
+
+// Get returns the snapshot for provider on day, or nil if absent,
+// running any fetch under the OpenRemote context. It implements
+// Source. Transient transport failures are retried (see
+// WithRemoteMaxAttempts) before a fetch is abandoned; a failure that
+// exhausts the retry budget is reported as nil — the only answer the
+// Source contract allows — so consumers that must distinguish a dead
+// server from a genuine gap use GetContext, which surfaces the error
+// (and never memoizes it: the next call retries fresh).
+func (r *Remote) Get(provider string, day Day) *List {
+	l, _ := r.GetContext(r.base, provider, day)
+	return l
+}
+
+// GetContext returns the snapshot for provider on day, fetching it
+// over the wire if it is not cached. Absent snapshots return
+// (nil, nil). A payload that arrives but does not decode also returns
+// (nil, nil) and is memoized — the DiskStore corrupt-snapshot contract
+// over HTTP (see Corrupt). Transfer failures (connection errors,
+// non-404 error statuses, cancellation) return a non-nil error and are
+// never memoized: the next call retries.
+func (r *Remote) GetContext(ctx context.Context, provider string, day Day) (*List, error) {
+	key := storeKey{provider, day}
+	for {
+		r.mu.Lock()
+		if day < r.first || day > r.last || !r.known[provider] {
+			r.mu.Unlock()
+			return nil, nil
+		}
+		if e, ok := r.cache[key]; ok {
+			r.order.MoveToFront(e.elem)
+			r.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil {
+				// The in-flight fetch we piggybacked on failed and was
+				// uncached; fetch with our own context instead of
+				// inheriting a failure we might not share (theirs may
+				// simply have been cancelled).
+				continue
+			}
+			return e.list, nil
+		}
+		e := &remoteEntry{ready: make(chan struct{})}
+		e.elem = r.order.PushFront(key)
+		r.cache[key] = e
+		r.evictLocked()
+		r.mu.Unlock()
+
+		l, corrupt, err := r.fetchSnapshot(ctx, provider, day)
+		if err != nil {
+			e.err = err
+			r.mu.Lock()
+			// Only remove our own entry: a concurrent Put-like Refresh
+			// cannot replace entries, but eviction may already have
+			// dropped it.
+			if cur, ok := r.cache[key]; ok && cur == e {
+				delete(r.cache, key)
+				r.order.Remove(e.elem)
+			}
+			r.mu.Unlock()
+			close(e.ready)
+			return nil, err
+		}
+		e.list, e.corrupt = l, corrupt
+		close(e.ready)
+		return l, nil
+	}
+}
+
+// evictLocked trims the LRU cache to capacity; callers hold r.mu.
+// Evicting an in-flight entry is safe: its waiters hold the entry
+// pointer and still complete against it, the slot just becomes
+// refetchable for later readers.
+func (r *Remote) evictLocked() {
+	for len(r.cache) > r.capacity {
+		back := r.order.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(storeKey)
+		r.order.Remove(back)
+		delete(r.cache, key)
+	}
+}
+
+// Corrupt returns one stub Snapshot per cached (provider, day) whose
+// payload arrived over the wire but did not decode — the client-side
+// analog of DiskStore.Corrupt. Entries are ordered by provider (server
+// order) and day ascending. The listing is advisory: it only covers
+// slots still in the LRU cache, and an evicted corrupt slot is simply
+// refetched (the server may have repaired it meanwhile).
+func (r *Remote) Corrupt() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var found []storeKey
+	for key, e := range r.cache {
+		select {
+		case <-e.ready:
+			if e.corrupt {
+				found = append(found, key)
+			}
+		default:
+		}
+	}
+	return corruptSnapshots(found, r.providers)
+}
+
+// corruptSnapshots converts the settled-corrupt keys of a snapshot
+// cache into Missing-style stub Snapshots, ordered by provider (in the
+// given order, with unknown providers last, alphabetically) and day
+// ascending. Shared by DiskStore.Corrupt and Remote.Corrupt.
+func corruptSnapshots(found []storeKey, providerOrder []string) []Snapshot {
+	if len(found) == 0 {
+		return nil
+	}
+	rank := make(map[string]int, len(providerOrder))
+	for i, p := range providerOrder {
+		rank[p] = i
+	}
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		ra, aok := rank[a.provider]
+		rb, bok := rank[b.provider]
+		switch {
+		case aok && bok && ra != rb:
+			return ra < rb
+		case aok != bok:
+			return aok // known providers first
+		case !aok && a.provider != b.provider:
+			return a.provider < b.provider
+		}
+		return a.day < b.day
+	})
+	out := make([]Snapshot, len(found))
+	for i, key := range found {
+		out[i] = Snapshot{Provider: key.provider, Day: key.day}
+	}
+	return out
+}
+
+// RemoteStatusError reports a non-404 HTTP failure from an archive
+// server.
+type RemoteStatusError struct {
+	URL  string
+	Code int
+}
+
+func (e *RemoteStatusError) Error() string {
+	return fmt.Sprintf("toplist: GET %s: status %d", e.URL, e.Code)
+}
+
+// fetchSnapshot downloads and decodes one snapshot document. The
+// outcomes mirror DiskStore.Get: (list, false, nil) on success,
+// (nil, false, nil) for an absent snapshot (404), (nil, true, nil) for
+// a payload that arrived but did not decode, and (nil, false, err) for
+// transfer failures the caller should not memoize. Transient failures
+// (connection errors, 5xx, 429, truncated bodies) are retried with
+// jittered exponential backoff before the error is surfaced.
+func (r *Remote) fetchSnapshot(ctx context.Context, provider string, day Day) (*List, bool, error) {
+	url := r.baseURL + RemoteSnapshotPath(provider, day)
+	var list *List
+	var corrupt bool
+	err := r.retry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := r.httpc.Do(req)
+		if err != nil {
+			return &remoteTransient{err}
+		}
+		defer drainBody(resp.Body)
+		if resp.StatusCode == http.StatusNotFound {
+			list, corrupt = nil, false
+			return nil
+		}
+		if err := classifyRemoteStatus(url, resp.StatusCode); err != nil {
+			return err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, r.maxBody+1))
+		if err != nil {
+			return &remoteTransient{err} // truncated transfer
+		}
+		if int64(len(body)) > r.maxBody {
+			return fmt.Errorf("toplist: GET %s: body exceeds %d bytes", url, r.maxBody)
+		}
+		l, derr := decodeSnapshotDoc(body)
+		if derr != nil {
+			// The document transferred intact (the HTTP layer said 200
+			// and the body completed) but is not a snapshot — the wire
+			// analog of a corrupt file on disk. Final and memoized,
+			// like DiskStore; deliberately not retried.
+			list, corrupt = nil, true
+			return nil
+		}
+		list, corrupt = l, false
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return list, corrupt, nil
+}
+
+// remoteTransient marks failures worth retrying.
+type remoteTransient struct{ err error }
+
+func (e *remoteTransient) Error() string { return e.err.Error() }
+func (e *remoteTransient) Unwrap() error { return e.err }
+
+// classifyRemoteStatus maps a non-404 status to nil (200), a transient
+// error (5xx and 429 — server trouble a retry can outlive), or a final
+// RemoteStatusError.
+func classifyRemoteStatus(url string, code int) error {
+	switch {
+	case code == http.StatusOK:
+		return nil
+	case code >= 500 || code == http.StatusTooManyRequests:
+		return &remoteTransient{&RemoteStatusError{URL: url, Code: code}}
+	default:
+		return &RemoteStatusError{URL: url, Code: code}
+	}
+}
+
+// retry runs op, retrying transient failures with jittered exponential
+// backoff up to maxAttempts, and honouring ctx between attempts — so a
+// single network blip does not degrade a Source read into a spurious
+// nil (which an analysis would misread as a gap).
+func (r *Remote) retry(ctx context.Context, op func() error) error {
+	var lastErr error
+	backoff := r.baseBackoff
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+			return err
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var te *remoteTransient
+		if !errors.As(err, &te) {
+			return err
+		}
+		lastErr = te.err
+		if attempt >= r.maxAttempts {
+			return fmt.Errorf("toplist: remote: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		// ±50% jitter decorrelates the retry storms a fleet of remote
+		// readers would otherwise synchronise into.
+		d := time.Duration(float64(backoff) * (0.5 + r.jitter()))
+		if err := r.sleep(ctx, d); err != nil {
+			return fmt.Errorf("%w (last error: %v)", err, lastErr)
+		}
+		backoff *= 2
+	}
+}
+
+// decodeSnapshotDoc decodes one wire snapshot document (gzip CSV).
+func decodeSnapshotDoc(data []byte) (*List, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return ReadCSV(zr)
+}
+
+// drainBody consumes and closes a response body so the underlying
+// connection can be reused.
+func drainBody(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 1<<20)) //nolint:errcheck // best-effort keepalive drain
+	rc.Close()
+}

@@ -4,10 +4,11 @@ import "sort"
 
 // Source is the read side of a snapshot archive — the counterpart of
 // SnapshotSink. Everything that consumes a multi-provider day range
-// (the analyses, the experiment drivers, the HTTP publisher) depends
+// (the analyses, the experiment drivers, the HTTP publishers) depends
 // on this interface rather than on a concrete store, so the same study
 // can run against an in-memory Archive, a DiskStore reopened from a
-// previous run, or any future backend.
+// previous run, or a Remote served over HTTP from another machine
+// (OpenRemote) — byte-identically, as the equivalence tests pin.
 //
 // Get returns nil for absent snapshots; implementations must be safe
 // for concurrent readers (the experiment pool fans out over one
@@ -31,6 +32,18 @@ type Source interface {
 type Store interface {
 	SnapshotSink
 	Source
+}
+
+// DayCount returns the number of days in the inclusive range
+// [first, last], or 0 when the range is empty (last < first — e.g. a
+// live archive that has not published its first day yet). Sources with
+// possibly-empty ranges (Remote, gatekept views) share this so the
+// empty-range convention has one definition.
+func DayCount(first, last Day) int {
+	if d := int(last-first) + 1; d > 0 {
+		return d
+	}
+	return 0
 }
 
 // EachDay calls fn for every day the source covers, in order.

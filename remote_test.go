@@ -1,0 +1,67 @@
+package toplists
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRemoteAnalysisIsByteIdenticalToDiskStore is the remote-archive
+// acceptance scenario: simulate once persisting to disk, serve that
+// archive over the versioned wire API, reopen it with OpenRemote, and
+// run the same analysis against the remote Source and the local
+// DiskStore — the rendered outputs must be byte-identical and the
+// engine must never run on either read path. This is the proof of the
+// ROADMAP's interface claim: an HTTP-backed source slots in behind
+// toplist.Source without touching analyses, servers, or experiments.
+func TestRemoteAnalysisIsByteIdenticalToDiskStore(t *testing.T) {
+	scale := smallScale()
+	dir := filepath.Join(t.TempDir(), "joint")
+	ctx := context.Background()
+
+	// Simulate once, teeing to disk.
+	simLab := NewLab(WithScale(scale), WithArchiveDir(dir))
+	if _, err := simLab.Run(ctx, "table5"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read path 1: the DiskStore directly.
+	store, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := engine.RunCount()
+	diskLab := NewLab(WithScale(scale), WithSource(store))
+	diskRes, err := diskLab.Run(ctx, "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read path 2: the same DiskStore served over HTTP, reopened as a
+	// remote Source.
+	ts := httptest.NewServer(ArchiveHandler(store))
+	defer ts.Close()
+	remote, err := OpenRemote(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Scale() != store.Scale() {
+		t.Fatalf("remote scale %q, store scale %q", remote.Scale(), store.Scale())
+	}
+	remoteLab := NewLab(WithScale(scale), WithSource(remote))
+	remoteRes, err := remoteLab.Run(ctx, "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := engine.RunCount(); got != runsBefore {
+		t.Fatalf("engine invoked %d times on the read paths", got-runsBefore)
+	}
+	if diskRes.Render() != remoteRes.Render() {
+		t.Fatalf("remote output differs:\n--- from disk ---\n%s\n--- over HTTP ---\n%s",
+			diskRes.Render(), remoteRes.Render())
+	}
+}

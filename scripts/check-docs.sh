@@ -1,0 +1,48 @@
+#!/bin/sh
+# check-docs.sh — docs-staleness guard, run in CI.
+#
+# The README's Layout section claims to describe the directory tree;
+# this script makes that claim checkable: it fails if any package
+# directory under internal/ or any command under cmd/ is absent from
+# the Layout section, so adding a package without documenting it (or
+# renaming one and leaving the stale row) breaks the build instead of
+# silently rotting the docs.
+#
+# Usage: scripts/check-docs.sh [repo-root]
+set -eu
+
+root="${1:-.}"
+readme="$root/README.md"
+
+if [ ! -f "$readme" ]; then
+    echo "check-docs: $readme not found" >&2
+    exit 1
+fi
+
+# Extract the Layout section (from the '## Layout' heading to the next
+# '## ' heading or EOF).
+layout=$(awk '/^## Layout$/{in_sec=1; next} /^## /{in_sec=0} in_sec' "$readme")
+if [ -z "$layout" ]; then
+    echo "check-docs: README has no '## Layout' section" >&2
+    exit 1
+fi
+
+status=0
+for dir in "$root"/internal/*/ "$root"/cmd/*/; do
+    [ -d "$dir" ] || continue
+    # Only directories that actually hold Go code are packages.
+    if ! ls "$dir"*.go >/dev/null 2>&1; then
+        continue
+    fi
+    rel=${dir#"$root"/}
+    rel=${rel%/}
+    if ! printf '%s\n' "$layout" | grep -qF "\`$rel\`"; then
+        echo "check-docs: $rel is missing from README's Layout section" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check-docs: add the missing packages to the Layout table in README.md" >&2
+fi
+exit "$status"

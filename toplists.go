@@ -37,6 +37,11 @@
 //	res, err := lab.Run(ctx, "table5")
 //	fmt.Print(res.Render())
 //
+//	// Or reopen it across the network from an archive server
+//	// (`toplistd -serve-archive` or ArchiveHandler) — same Source,
+//	// byte-identical results.
+//	rsrc, err := toplists.OpenRemote(ctx, "http://archive-host:8080")
+//
 // Migration from v1:
 //
 //	v1                          v2
@@ -58,7 +63,9 @@ package toplists
 import (
 	"context"
 	"fmt"
+	"net/http"
 
+	"repro/internal/archived"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -121,6 +128,44 @@ func OpenArchive(dir string) (*DiskStore, error) { return toplist.OpenArchive(di
 // run shaped by something other than a Scale.
 func CreateArchive(dir string, first, last toplist.Day) (*DiskStore, error) {
 	return toplist.CreateDiskStore(dir, first, last)
+}
+
+// Remote is a Source served over HTTP by an archive server (see
+// ArchiveHandler and `toplistd -serve-archive`): snapshots are fetched
+// lazily with single-flight de-duplication, cached in a bounded LRU,
+// and decode failures of corrupt payloads are memoized — the DiskStore
+// read contract over the network.
+type Remote = toplist.Remote
+
+// RemoteOption configures OpenRemote (HTTP client, cache size, body
+// cap).
+type RemoteOption = toplist.RemoteOption
+
+// OpenRemote opens the archive served at baseURL over the versioned
+// archive wire API and returns it as a Source — the network
+// counterpart of OpenArchive. Analyses and labs built over a Source
+// run unchanged (and byte-identically) against the result:
+//
+//	src, err := toplists.OpenRemote(ctx, "http://archive-host:8080")
+//	if err != nil { ... }
+//	lab := toplists.NewLab(
+//		toplists.WithScale(toplists.TestScale()),
+//		toplists.WithSource(src))
+//
+// ctx governs the manifest fetch and becomes the base context for the
+// Source-interface Get calls; per-call control uses Remote.GetContext.
+func OpenRemote(ctx context.Context, baseURL string, opts ...RemoteOption) (*Remote, error) {
+	return toplist.OpenRemote(ctx, baseURL, opts...)
+}
+
+// ArchiveHandler returns an http.Handler exposing src over the
+// versioned read-only archive wire API (manifest, day and provider
+// listings, gzipped snapshots) under toplist.RemoteAPIPrefix. Mount it
+// at a server root and any OpenRemote pointed at that server reads the
+// archive as a Source. `toplistd -serve-archive` mounts the same
+// handler.
+func ArchiveHandler(src Source) http.Handler {
+	return archived.NewServer(src)
 }
 
 // Option configures the v2 entry points (Simulate, Stream, NewLab).
