@@ -10,16 +10,16 @@
 //
 // In convert mode, every benchmark result line becomes one entry
 // preserving input order; the ns/op figure plus any custom metrics
-// (days/sec, B/op, allocs/op) are parsed into numeric fields, so a
-// trajectory of artifacts diffs cleanly.
+// (days/sec, req/sec, B/op, allocs/op) are parsed into numeric fields,
+// so a trajectory of artifacts diffs cleanly.
 //
 // In -diff mode the two artifacts are joined on benchmark name with
 // GOMAXPROCS and worker-count suffixes stripped (so "serial-2" on a
-// 2-core runner matches "serial-4" on a 4-core one), days/sec, B/op,
-// and allocs/op are compared, and the exit status is nonzero if any
-// metric regressed by more than -max-regress (a fraction; default
-// 0.30, generous enough to absorb shared-runner noise). Improvements
-// never fail the diff.
+// 2-core runner matches "serial-4" on a 4-core one), days/sec,
+// req/sec, B/op, and allocs/op are compared, and the exit status is
+// nonzero if any metric regressed by more than -max-regress (a
+// fraction; default 0.30, generous enough to absorb shared-runner
+// noise). Improvements never fail the diff.
 package main
 
 import (
@@ -125,6 +125,7 @@ var diffMetrics = []struct {
 	higherBetter bool
 }{
 	{"days/sec", true},
+	{"req/sec", true},
 	{"B/op", false},
 	{"allocs/op", false},
 }

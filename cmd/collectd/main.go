@@ -15,10 +15,15 @@
 // each other's archives and converge on a complete dataset even when
 // none of them observed every publication window.
 //
+// With -verify, the existing archive is integrity-swept
+// (toplist.DiskStore.Verify) before the first pass: corrupt snapshots
+// are logged and recollected from the publisher or the peer, so a
+// damaged archive heals instead of silently serving bad slots.
+//
 // Usage:
 //
 //	collectd -url http://host:8080 -out archive [-once] [-interval 1h]
-//	         [-peer http://other:8080]
+//	         [-peer http://other:8080] [-verify]
 package main
 
 import (
@@ -51,6 +56,7 @@ func run(args []string, logw io.Writer) error {
 	once := fs.Bool("once", false, "catch up and exit instead of following")
 	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
 	peer := fs.String("peer", "", "archive wire API base URL to fill publication gaps from")
+	verify := fs.Bool("verify", false, "integrity-sweep the existing archive before collecting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,9 +64,17 @@ func run(args []string, logw io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var recollect map[toplist.Snapshot]bool
+	if *verify {
+		var err error
+		if recollect, err = verifyArchive(*outDir, logger); err != nil {
+			return err
+		}
+	}
 	client := listserv.NewClient(*url, listserv.WithFormat(listserv.FormatZip))
 
-	if _, err := collectOnce(ctx, client, *outDir, *peer, logger); err != nil {
+	if _, err := collectOnce(ctx, client, *outDir, *peer, recollect, logger); err != nil {
 		return err
 	}
 	if *once {
@@ -74,7 +88,7 @@ func run(args []string, logw io.Writer) error {
 			logger.Print("stopping")
 			return nil
 		case <-t.C:
-			if _, err := collectOnce(ctx, client, *outDir, *peer, logger); err != nil {
+			if _, err := collectOnce(ctx, client, *outDir, *peer, nil, logger); err != nil {
 				// A failed pass is not fatal in follow mode: the next
 				// tick retries, like a cron-driven collector.
 				logger.Printf("pass failed: %v", err)
@@ -90,8 +104,10 @@ func run(args []string, logw io.Writer) error {
 // the publisher's index advances. Days the publisher 404s are recorded
 // as gaps and — when peerURL names an archive wire API — fetched from
 // the peer afterwards, so one collector's outage window heals from
-// another's archive.
-func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, logger *log.Logger) (int, error) {
+// another's archive. Slots in recollect are refetched even though the
+// store already has them: that is how a -verify sweep's corrupt
+// findings get repaired (Put over a corrupt slot heals it).
+func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, recollect map[toplist.Snapshot]bool, logger *log.Logger) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
 		return 0, err
@@ -115,7 +131,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL s
 	var gaps []toplist.Snapshot
 	for _, provider := range idx.Providers {
 		for d := first; d <= last; d++ {
-			if store.Has(provider, d) {
+			if store.Has(provider, d) && !recollect[toplist.Snapshot{Provider: provider, Day: d}] {
 				continue // already collected
 			}
 			list, err := client.FetchDay(ctx, provider, d)
@@ -160,20 +176,55 @@ func fillFromPeer(ctx context.Context, peerURL string, store *toplist.DiskStore,
 	}
 	filled := 0
 	for _, gap := range gaps {
-		list, err := peer.GetContext(ctx, gap.Provider, gap.Day)
+		// A gap fill is a byte copy, not a decode+re-encode round trip:
+		// the peer's compressed wire document goes straight to disk via
+		// PutRaw, which validates it by decoding once before writing —
+		// the only CSV parse in the whole replication path.
+		raw, err := peer.GetRawContext(ctx, gap.Provider, gap.Day)
 		if err != nil {
 			return filled, err
 		}
-		if list == nil {
+		if raw == nil {
 			continue // the peer has the same gap (or a corrupt copy)
 		}
-		if err := store.Put(gap.Provider, gap.Day, list); err != nil {
+		if err := store.PutRaw(gap.Provider, gap.Day, raw.Data); err != nil {
 			return filled, err
 		}
 		logger.Printf("gap filled from peer: %s %s", gap.Provider, gap.Day)
 		filled++
 	}
 	return filled, nil
+}
+
+// verifyArchive runs DiskStore.Verify over an existing archive before
+// the first collection pass: every stored snapshot is read back and
+// checked, corrupt slots are logged up front, and the set is returned
+// so the first pass recollects them (a Put over a corrupt slot repairs
+// it). A directory with no archive yet is not an error; there is
+// simply nothing to sweep.
+func verifyArchive(dir string, logger *log.Logger) (map[toplist.Snapshot]bool, error) {
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		return nil, err
+	}
+	corrupt := store.Verify()
+	if len(corrupt) == 0 {
+		logger.Printf("verify: %s clean", dir)
+		return nil, nil
+	}
+	recollect := make(map[toplist.Snapshot]bool, len(corrupt))
+	for _, s := range corrupt {
+		logger.Printf("verify: corrupt snapshot %s %s", s.Provider, s.Day)
+		recollect[s] = true
+	}
+	logger.Printf("verify: %d corrupt snapshots in %s (will recollect)", len(corrupt), dir)
+	return recollect, nil
 }
 
 // openStore opens the durable archive at dir, creating it on the first

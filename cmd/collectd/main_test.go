@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
 
-	n, err := collectOnce(ctx, client, dir, "", quiet())
+	n, err := collectOnce(ctx, client, dir, "", nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 		t.Fatalf("wrote %d, want 2", n)
 	}
 	// Re-running collects nothing new.
-	n, err = collectOnce(ctx, client, dir, "", quiet())
+	n, err = collectOnce(ctx, client, dir, "", nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	}
 	// Publisher advances two days; the collector catches up.
 	gk.Advance(2)
-	n, err = collectOnce(ctx, client, dir, "", quiet())
+	n, err = collectOnce(ctx, client, dir, "", nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 func TestCollectedSnapshotsRoundTrip(t *testing.T) {
 	ts, arch, _ := publisher(t, 1)
 	dir := t.TempDir()
-	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", quiet()); err != nil {
+	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet()); err != nil {
 		t.Fatal(err)
 	}
 	store, err := toplist.OpenArchive(dir)
@@ -162,7 +163,7 @@ func TestCollectOnceRecordsGapsWithoutFailing(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", quiet())
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestCollectOnceFillsGapsFromPeer(t *testing.T) {
 	defer peer.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, quiet())
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,11 +247,92 @@ func TestCollectOnceSurvivesDeadPeer(t *testing.T) {
 
 	dir := t.TempDir()
 	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir,
-		"http://127.0.0.1:1", quiet())
+		"http://127.0.0.1:1", nil, quiet())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("wrote %d, want 1 (gap left open, pass not failed)", n)
+	}
+}
+
+// TestVerifyRecollectsCorruptSnapshots: the -verify startup sweep turns
+// corrupt slots into recollection work — the first pass refetches them
+// from the publisher even though Has() reports them present, and the
+// repaired archive passes a clean sweep.
+func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
+	ts, _, _ := publisher(t, 1)
+	dir := t.TempDir()
+	client := listserv.NewClient(ts.URL)
+	ctx := context.Background()
+	if _, err := collectOnce(ctx, client, dir, "", nil, quiet()); err != nil {
+		t.Fatal(err)
+	}
+	// Rot one collected snapshot on disk.
+	path := filepath.Join(dir, "alexa", toplist.Day(0).String()+".csv.gz")
+	if err := os.WriteFile(path, []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recollect, err := verifyArchive(dir, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := toplist.Snapshot{Provider: "alexa", Day: 0}
+	if len(recollect) != 1 || !recollect[want] {
+		t.Fatalf("verify sweep found %v, want {%v}", recollect, want)
+	}
+	// Without the recollect set the slot is skipped as present...
+	n, err := collectOnce(ctx, client, dir, "", nil, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("pass without recollect wrote %d, want 0", n)
+	}
+	// ...with it, the corrupt slot is refetched and healed.
+	n, err = collectOnce(ctx, client, dir, "", recollect, quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recollect pass wrote %d, want 1", n)
+	}
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := store.Verify(); len(c) != 0 {
+		t.Fatalf("archive still corrupt after recollect: %v", c)
+	}
+	if got := store.Get("alexa", 0); got == nil || got.Name(1) != "alexa-top-0.com" {
+		t.Fatalf("healed snapshot = %v", got)
+	}
+	// A fresh out dir has no manifest: the sweep is a quiet no-op.
+	if m, err := verifyArchive(t.TempDir(), quiet()); err != nil || m != nil {
+		t.Fatalf("sweep over empty dir = %v, %v", m, err)
+	}
+}
+
+// TestRunOnceWithVerify is the wired-up flag: -verify -once on a
+// tampered archive repairs it in the same invocation.
+func TestRunOnceWithVerify(t *testing.T) {
+	ts, _, _ := publisher(t, 1)
+	dir := t.TempDir()
+	if err := run([]string{"-url", ts.URL, "-out", dir, "-once"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "umbrella", toplist.Day(0).String()+".csv.gz")
+	if err := os.WriteFile(path, []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-url", ts.URL, "-out", dir, "-once", "-verify"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := store.Verify(); len(c) != 0 {
+		t.Fatalf("still corrupt after -verify run: %v", c)
 	}
 }

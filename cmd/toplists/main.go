@@ -11,6 +11,7 @@
 //	toplists figures -out DIR [flags]     # render experiments as SVG charts
 //	toplists rank <domain>... [flags]     # track domains' ranks (Table 4 style)
 //	toplists gen -out DIR [flags]         # write rank,domain CSVs
+//	toplists verify -archive DIR          # integrity-sweep a saved archive
 //
 // Flags:
 //
@@ -49,7 +50,7 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: toplists <list|experiment|all|figures|rank|gen> [flags]")
+		return fmt.Errorf("usage: toplists <list|experiment|all|figures|rank|gen|verify> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -78,6 +79,15 @@ func run(ctx context.Context, args []string) error {
 	}
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+
+	// verify needs no lab (and must not: the point is to inspect the
+	// archive as it is on disk, not to require matching -scale flags).
+	if cmd == "verify" {
+		if *archiveDir == "" {
+			return fmt.Errorf("usage: toplists verify -archive DIR")
+		}
+		return verifyArchive(*archiveDir)
 	}
 
 	scale, err := pickScale(*scaleName, *seed, *days)
@@ -126,6 +136,31 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// verifyArchive is the operator entry point for DiskStore.Verify: an
+// eager integrity sweep that reads back every stored snapshot (hash
+// check, then full decode) and prints the slots that fail, before any
+// reader — or any raw-serving daemon — trips over them. It exits
+// non-zero when corruption is found, so it slots into cron and CI.
+func verifyArchive(dir string) error {
+	store, err := toplists.OpenArchive(dir)
+	if err != nil {
+		return err
+	}
+	corrupt := store.Verify()
+	for _, s := range corrupt {
+		fmt.Printf("corrupt: %s %s\n", s.Provider, s.Day)
+	}
+	if missing := store.Missing(); len(missing) > 0 {
+		fmt.Printf("note: %d snapshots missing (never written)\n", len(missing))
+	}
+	if len(corrupt) > 0 {
+		return fmt.Errorf("%d corrupt snapshots in %s", len(corrupt), dir)
+	}
+	fmt.Printf("%s: %d providers, %d days, all stored snapshots verified\n",
+		dir, len(store.Providers()), store.Days())
+	return nil
 }
 
 // newLab assembles the lab from the flag triple: archive (resume from

@@ -200,3 +200,40 @@ func TestSaveThenArchiveRoundTrip(t *testing.T) {
 		t.Fatal("scale mismatch against the manifest should fail")
 	}
 }
+
+// TestVerifySubcommand drives `toplists verify` over a healthy archive,
+// a tampered one, and bad usage.
+func TestVerifySubcommand(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := toplist.Day(0); d <= 1; d++ {
+		if err := ds.Put("alexa", d, toplist.New([]string{"a.com", "b.org"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(ctx, []string{"verify", "-archive", dir}); err != nil {
+		t.Fatalf("verify over healthy archive: %v", err)
+	}
+	// Tamper with one snapshot behind the store's back.
+	path := filepath.Join(dir, "alexa", toplist.Day(1).String()+".csv.gz")
+	if err := os.WriteFile(path, []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(ctx, []string{"verify", "-archive", dir})
+	if err == nil {
+		t.Fatal("verify over tampered archive returned nil")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("verify error %q does not mention corruption", err)
+	}
+	if err := run(ctx, []string{"verify"}); err == nil {
+		t.Fatal("verify without -archive should be a usage error")
+	}
+	if err := run(ctx, []string{"verify", "-archive", filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("verify over a non-archive dir should fail")
+	}
+}

@@ -17,13 +17,25 @@
 //	GET /archive/v1/snapshots/{provider}/{day}  gzip-compressed CSV
 //
 // Snapshot documents are byte-for-byte the gzip CSV a DiskStore keeps
-// on disk (same encoder, deterministic output), served with a strong
-// content-hash ETag and a Last-Modified of the provider's publication
-// instant, so conditional and range requests behave like a static
-// mirror of the archive directory. Absent and undecodable snapshots
-// are both a plain 404 — exactly the nil Source.Get already returns
-// for them — which is what lets the client mirror DiskStore.Get
-// semantics without a richer wire contract.
+// on disk, served as Content-Encoding: gzip with a strong content-hash
+// ETag and a Last-Modified of the provider's publication instant, so
+// conditional and range requests behave like a static mirror of the
+// archive directory. When the source implements toplist.RawSource
+// (DiskStore does), the bytes are a verbatim copy of the stored file —
+// the serving fast path: no decode, no re-encode, ETag straight from
+// the hash the manifest persisted at Put time. Other sources
+// (in-memory archives, gatekept live views) fall back to encoding the
+// decoded list with the same deterministic encoder, so the wire bytes
+// are identical on both paths.
+//
+// Absent snapshots are a plain 404 — exactly the nil Source.Get
+// already returns for them. Corrupt snapshots differ by path: the
+// decode path cannot tell them from absent (its own Get is nil → 404),
+// but the raw path refuses them with a 500 — a server holding bytes it
+// knows cannot decode must fail loudly rather than 200-with-garbage,
+// and must not silently re-encode what its own store rejects. The
+// client maps both to nil; it does not retry the 500 (the verdict is
+// the store's, not the connection's).
 //
 // cmd/toplistd mounts this API with -serve-archive; cmd/collectd can
 // fill collection gaps from a peer serving it (-peer).
@@ -33,9 +45,8 @@ import (
 	"bytes"
 	"compress/gzip"
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sync"
 	"time"
@@ -53,17 +64,24 @@ type scaler interface {
 // Server publishes a toplist.Source over the archive wire API. It
 // implements http.Handler and is safe for concurrent use.
 //
-// Encoded snapshot documents are cached per (provider, day) in a
-// bounded LRU (WithBlobCache), keyed by the *toplist.List pointer they
-// encoded: lists are immutable, so a cache hit is valid for as long as
-// the source keeps returning the same list, a source that replaces a
-// snapshot (a DiskStore Put repairing a corrupt slot) is re-encoded on
-// the next request instead of served stale, and a long-running daemon
-// serving a large archive holds at most the cache bound — not every
+// Snapshot documents are cached per (provider, day) in a bounded LRU
+// (WithBlobCache) holding the compressed bytes actually sent on the
+// wire. On the raw fast path those are the source's stored bytes,
+// keyed by the content hash the store persisted at Put time: a cache
+// hit is valid exactly as long as the store reports the same hash, so
+// a DiskStore Put repairing a slot (new hash) misses and re-reads
+// instead of serving stale bytes. On the encode fallback they are the
+// re-encoded document, keyed by the *toplist.List pointer it encoded —
+// lists are immutable, so the same reasoning applies with pointer
+// identity in place of the hash. Either way a long-running daemon
+// serving a large archive holds at most the cache bound, not every
 // blob it ever served.
 type Server struct {
 	src toplist.Source
+	raw toplist.RawSource // non-nil when src supports the fast path (and it is not disabled)
 	mux *http.ServeMux
+
+	noRaw bool // WithoutRawFastPath
 
 	mu       sync.Mutex
 	blobs    map[blobKey]*blobEntry
@@ -76,13 +94,17 @@ type blobKey struct {
 	day      toplist.Day
 }
 
-// blobEntry is one snapshot's encode slot. The first request for a
-// (provider, day) installs the entry and encodes outside the lock;
-// concurrent requests for the same snapshot wait on ready instead of
-// each re-running the WriteCSV+gzip pass — the server-side analog of
-// DiskStore.Get's single-flight decode.
+// blobEntry is one snapshot's blob slot. The first request for a
+// (provider, day) installs the entry and fills it outside the lock —
+// a raw store read on the fast path, a WriteCSV+gzip pass on the
+// fallback; concurrent requests for the same snapshot wait on ready
+// instead of each re-running the fill — the server-side analog of
+// DiskStore.Get's single-flight decode. Exactly one of list/hash is
+// set, identifying which path filled the entry and what validates a
+// hit (see Server).
 type blobEntry struct {
-	list  *toplist.List // the list these bytes encode
+	list  *toplist.List // encode path: the list these bytes encode
+	hash  string        // raw path: the persisted content hash of these bytes
 	ready chan struct{} // closed once data/etag (or err) are final
 	data  []byte
 	etag  string
@@ -93,11 +115,12 @@ type blobEntry struct {
 // Option configures a Server.
 type Option func(*Server)
 
-// WithBlobCache bounds the encoded-snapshot LRU cache to n documents
-// (default 256). Each entry holds one gzip CSV plus a reference to its
-// decoded list, so the bound is what keeps a daemon serving a huge
-// archive from growing to the archive's full size; size it to the
-// working set remote readers actually sweep.
+// WithBlobCache bounds the snapshot blob LRU cache to n documents
+// (default 256). Each entry holds one compressed document (plus, on
+// the encode path, a reference to its decoded list), so the bound is
+// what keeps a daemon serving a huge archive from growing to the
+// archive's full size; size it to the working set remote readers
+// actually sweep.
 func WithBlobCache(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -106,10 +129,21 @@ func WithBlobCache(n int) Option {
 	}
 }
 
+// WithoutRawFastPath forces the encode fallback even when the source
+// implements toplist.RawSource. The wire bytes are identical either
+// way (the equivalence tests pin it); this exists so benchmarks and
+// tests can run the two paths side by side on one store, and as an
+// operational escape hatch.
+func WithoutRawFastPath() Option {
+	return func(s *Server) { s.noRaw = true }
+}
+
 // NewServer builds the handler serving src under
 // toplist.RemoteAPIPrefix. Mount it at the host root (the prefix is
 // part of every route), beside other handlers if desired — cmd/toplistd
-// mounts it next to the provider-style publication routes.
+// mounts it next to the provider-style publication routes. If src
+// implements toplist.RawSource, snapshots are served over the raw fast
+// path automatically.
 func NewServer(src toplist.Source, opts ...Option) *Server {
 	s := &Server{
 		src:      src,
@@ -120,6 +154,11 @@ func NewServer(src toplist.Source, opts ...Option) *Server {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if !s.noRaw {
+		if rs, ok := src.(toplist.RawSource); ok {
+			s.raw = rs
+		}
 	}
 	s.mux.HandleFunc("GET "+toplist.RemoteManifestPath(), s.handleManifest)
 	s.mux.HandleFunc("GET "+toplist.RemoteDaysPath(), s.handleDays)
@@ -155,7 +194,24 @@ func (s *Server) Manifest() toplist.RemoteManifest {
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Manifest())
+	// The manifest gets real conditional-request handling (unlike the
+	// advisory day/provider listings): pollers following a growing
+	// archive re-validate it constantly, and a 304 on an If-None-Match
+	// hit costs neither body bytes nor client re-parsing. The ETag is
+	// the content hash of the encoded document, so it is stable across
+	// server restarts for an unchanged archive. The zero modtime keeps
+	// ServeContent on ETag-only validation — there is no meaningful
+	// Last-Modified for a document rebuilt per request.
+	body, err := json.Marshal(s.Manifest())
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("ETag", `"`+toplist.ContentHash(body)+`"`)
+	http.ServeContent(w, r, "manifest.json", time.Time{}, bytes.NewReader(body))
 }
 
 func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
@@ -182,11 +238,40 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad date: "+r.PathValue("day"), http.StatusBadRequest)
 		return
 	}
+	// Raw fast path: the store has the wire bytes and their persisted
+	// hash — serve a verbatim copy, no decode, no encode. The hash
+	// probe is what routes: "" means absent or written before hashes
+	// existed, both of which the decode path below answers.
+	if s.raw != nil {
+		if hash := s.raw.RawHash(provider, day); hash != "" {
+			b, err := s.rawBlobFor(provider, day, hash)
+			switch {
+			case err == nil:
+				s.serveBlob(w, r, day, b)
+				return
+			case errors.Is(err, toplist.ErrCorruptSnapshot):
+				// Refuse, loudly. Serving the stored bytes would be
+				// 200-with-garbage; quietly falling back to re-encoding
+				// what the store itself rejects would hide the damage
+				// from operators. The 500 is final on the client side
+				// (not retried): the verdict is the store's, and it
+				// stands until a Put repairs the slot.
+				http.Error(w, "snapshot is corrupt on this archive", http.StatusInternalServerError)
+				return
+			case errors.Is(err, errRawRaced):
+				// The slot changed between the hash probe and the read;
+				// the decode path serves whatever is current.
+			default:
+				http.Error(w, "read: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	}
 	list := s.src.Get(provider, day)
 	if list == nil {
-		// Absent and corrupt-on-the-server are deliberately the same
-		// status: Source.Get is nil for both, and the client memoizes
-		// the nil either way.
+		// Absent and corrupt are the same status on this path:
+		// Source.Get is nil for both, and the client memoizes the nil
+		// either way. (Only the raw path above can tell them apart.)
 		http.NotFound(w, r)
 		return
 	}
@@ -195,13 +280,66 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/gzip")
+	s.serveBlob(w, r, day, b)
+}
+
+// serveBlob writes one snapshot document. The bytes are the stored
+// gzip CSV on both paths, declared as Content-Encoding: gzip over
+// text/csv: a plain HTTP consumer (browser, curl) transparently
+// receives CSV, while archive-aware clients (toplist.Remote sends
+// Accept-Encoding: gzip itself) take the compressed document verbatim.
+// ServeContent supplies the conditional-request handling — the
+// content-hash ETag answers If-None-Match with 304, and because the
+// hash is persisted in the store manifest, the ETag is stable across
+// server restarts.
+func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, day toplist.Day, b *blobEntry) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Encoding", "gzip")
 	w.Header().Set("ETag", b.etag)
 	w.Header().Set("X-Toplist-Day", day.String())
 	// Same publication instant the provider-style routes use: 00:00 UTC
 	// of the day after the data day.
 	published := day.Date().Add(24 * time.Hour)
-	http.ServeContent(w, r, day.String()+".csv.gz", published, bytes.NewReader(b.data))
+	http.ServeContent(w, r, day.String()+".csv", published, bytes.NewReader(b.data))
+}
+
+// errRawRaced marks a raw read that found no bytes for a slot whose
+// hash probe just said there were some — a Put landed in between. The
+// handler falls back to the decode path, which serves current state.
+var errRawRaced = errors.New("archived: raw read raced a store write")
+
+// rawBlobFor returns the stored document for (provider, day), reusing
+// the cached copy while the store still reports the same persisted
+// hash (a repairing Put changes the hash, so a stale blob misses and
+// the slot is re-read). Fills are single-flight like encodes; a raw
+// read error — including the store refusing a corrupt slot — is not
+// memoized here (the store memoizes its own verdicts, so re-probes are
+// cheap and a repair is picked up immediately).
+func (s *Server) rawBlobFor(provider string, day toplist.Day, hash string) (*blobEntry, error) {
+	key := blobKey{provider, day}
+	s.mu.Lock()
+	if e, ok := s.blobs[key]; ok && e.hash == hash {
+		s.order.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		return e, e.err
+	}
+	e := s.installLocked(key, &blobEntry{hash: hash, ready: make(chan struct{})})
+	s.mu.Unlock()
+
+	raw, err := s.raw.GetRaw(provider, day)
+	if err == nil && raw == nil {
+		err = errRawRaced
+	}
+	if err != nil {
+		e.err = err
+		s.dropEntry(key, e)
+		close(e.ready)
+		return nil, err
+	}
+	e.data, e.etag = raw.Data, `"`+raw.Hash+`"`
+	close(e.ready)
+	return e, nil
 }
 
 // blobFor returns the encoded document for l, reusing the cached
@@ -220,9 +358,30 @@ func (s *Server) blobFor(provider string, day toplist.Day, l *toplist.List) (*bl
 		// is immutable but memory pressure is not).
 		return e, e.err
 	}
-	// Install (or replace a stale entry for a since-repaired slot) and
-	// encode outside the lock.
-	e := &blobEntry{list: l, ready: make(chan struct{})}
+	e := s.installLocked(key, &blobEntry{list: l, ready: make(chan struct{})})
+	s.mu.Unlock()
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	err := toplist.WriteCSV(zw, l)
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		e.err = err
+		s.dropEntry(key, e)
+		close(e.ready)
+		return nil, err
+	}
+	e.data, e.etag = buf.Bytes(), `"`+toplist.ContentHash(buf.Bytes())+`"`
+	close(e.ready)
+	return e, nil
+}
+
+// installLocked inserts e for key — replacing any stale entry for a
+// since-changed slot — and trims the LRU to capacity; callers hold
+// s.mu and fill the entry outside the lock.
+func (s *Server) installLocked(key blobKey, e *blobEntry) *blobEntry {
 	if old, ok := s.blobs[key]; ok {
 		s.order.Remove(old.elem)
 	}
@@ -237,29 +396,18 @@ func (s *Server) blobFor(provider string, day toplist.Day, l *toplist.List) (*bl
 		s.order.Remove(back)
 		delete(s.blobs, evict)
 	}
-	s.mu.Unlock()
+	return e
+}
 
-	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
-	err := toplist.WriteCSV(zw, l)
-	if cerr := zw.Close(); err == nil {
-		err = cerr
+// dropEntry removes e from the cache after a failed fill, if it is
+// still the entry for key (eviction or replacement may have raced).
+func (s *Server) dropEntry(key blobKey, e *blobEntry) {
+	s.mu.Lock()
+	if cur, ok := s.blobs[key]; ok && cur == e {
+		delete(s.blobs, key)
+		s.order.Remove(e.elem)
 	}
-	if err != nil {
-		e.err = err
-		s.mu.Lock()
-		if cur, ok := s.blobs[key]; ok && cur == e {
-			delete(s.blobs, key)
-			s.order.Remove(e.elem)
-		}
-		s.mu.Unlock()
-		close(e.ready)
-		return nil, err
-	}
-	sum := sha256.Sum256(buf.Bytes())
-	e.data, e.etag = buf.Bytes(), `"`+hex.EncodeToString(sum[:16])+`"`
-	close(e.ready)
-	return e, nil
+	s.mu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -137,15 +138,17 @@ func TestRemoteSourceEquivalence(t *testing.T) {
 			}
 		}
 	}
-	// The store distinguishes absent from corrupt; so does the remote's
-	// advisory listing (the nil for alexa/3 came from a decoded 404 —
-	// server-side corrupt — so it is NOT remote-corrupt, just absent on
-	// the wire).
+	// The store distinguishes absent from corrupt; the remote's
+	// advisory listing stays empty either way. On the raw fast path the
+	// server refuses the corrupt slot with a 500 — a final, non-retried
+	// error the client reports as nil without ever receiving (let alone
+	// decoding) a payload, so the slot is not remote-corrupt; it is
+	// simply unreadable over the wire until the server's store repairs.
 	if c := ds.Corrupt(); len(c) != 1 || c[0].Provider != "alexa" || c[0].Day != 3 {
 		t.Fatalf("store Corrupt() = %v, want [alexa 3]", c)
 	}
 	if c := remote.Corrupt(); len(c) != 0 {
-		t.Fatalf("remote Corrupt() = %v, want none (server 404s its corrupt slot)", c)
+		t.Fatalf("remote Corrupt() = %v, want none (server refuses its corrupt slot)", c)
 	}
 	// Unknown provider and out-of-range day are nil without a request.
 	if remote.Get("majestic", 0) != nil || remote.Get("alexa", 99) != nil {
@@ -574,5 +577,189 @@ func TestRemoteGivesUpAfterRetryBudget(t *testing.T) {
 	l, err := remote.GetContext(context.Background(), "alexa", 0)
 	if err != nil || l == nil {
 		t.Fatalf("recovered fetch: list=%v err=%v", l != nil, err)
+	}
+}
+
+// serveOpts is serve with server options (raw fast path off, cache
+// sizing) for the paired-path tests.
+func serveOpts(t *testing.T, src toplist.Source, opts ...Option) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(src, opts...))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fetchStored GETs a path requesting the stored encoding (what
+// toplist.Remote sends), optionally conditional on an ETag, and
+// returns the response with its body drained.
+func fetchStored(t *testing.T, ts *httptest.Server, path, ifNoneMatch string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// cleanStore builds a small corruption-free archive and returns the
+// cold-reopened store plus its directory for on-disk comparisons.
+func cleanStore(t *testing.T) (*toplist.DiskStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := toplist.Day(0); d <= 1; d++ {
+		l := toplist.New([]string{fmt.Sprintf("day%d-a.com", d), fmt.Sprintf("day%d-b.org", d)})
+		if err := ds.Put("alexa", d, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reopened, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reopened, dir
+}
+
+// TestRawAndEncodePathsByteIdentical is the fast-path equivalence
+// acceptance check: for the same slot, the raw path and the encode
+// fallback produce byte-identical compressed bodies and equal ETags,
+// and the raw body is exactly the on-disk file — gzip determinism is
+// what makes the paths interchangeable.
+func TestRawAndEncodePathsByteIdentical(t *testing.T) {
+	ds, dir := cleanStore(t)
+	rawTS := serveOpts(t, ds)
+	encTS := serveOpts(t, ds, WithoutRawFastPath())
+	for d := toplist.Day(0); d <= 1; d++ {
+		path := toplist.RemoteSnapshotPath("alexa", d)
+		rawResp, rawBody := fetchStored(t, rawTS, path, "")
+		encResp, encBody := fetchStored(t, encTS, path, "")
+		if rawResp.StatusCode != http.StatusOK || encResp.StatusCode != http.StatusOK {
+			t.Fatalf("day %v: status raw %d, encode %d", d, rawResp.StatusCode, encResp.StatusCode)
+		}
+		for _, r := range []*http.Response{rawResp, encResp} {
+			if ce := r.Header.Get("Content-Encoding"); ce != "gzip" {
+				t.Fatalf("day %v: Content-Encoding %q, want gzip", d, ce)
+			}
+		}
+		if !bytes.Equal(rawBody, encBody) {
+			t.Fatalf("day %v: raw and encode bodies differ (%d vs %d bytes)", d, len(rawBody), len(encBody))
+		}
+		rawETag, encETag := rawResp.Header.Get("ETag"), encResp.Header.Get("ETag")
+		if rawETag == "" || rawETag != encETag {
+			t.Fatalf("day %v: ETag raw %q vs encode %q", d, rawETag, encETag)
+		}
+		disk, err := os.ReadFile(filepath.Join(dir, "alexa", d.String()+".csv.gz"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rawBody, disk) {
+			t.Fatalf("day %v: raw body is not the on-disk file", d)
+		}
+	}
+}
+
+// TestConditionalRequests pins If-None-Match handling: a matching ETag
+// turns both snapshot paths and the manifest route into an empty 304.
+func TestConditionalRequests(t *testing.T) {
+	ds, _ := cleanStore(t)
+	for name, ts := range map[string]*httptest.Server{
+		"raw":    serveOpts(t, ds),
+		"encode": serveOpts(t, ds, WithoutRawFastPath()),
+	} {
+		for _, path := range []string{
+			toplist.RemoteSnapshotPath("alexa", 0),
+			toplist.RemoteManifestPath(),
+		} {
+			first, body := fetchStored(t, ts, path, "")
+			if first.StatusCode != http.StatusOK || len(body) == 0 {
+				t.Fatalf("%s %s: first GET status %d, %d bytes", name, path, first.StatusCode, len(body))
+			}
+			etag := first.Header.Get("ETag")
+			if etag == "" {
+				t.Fatalf("%s %s: no ETag", name, path)
+			}
+			second, body := fetchStored(t, ts, path, etag)
+			if second.StatusCode != http.StatusNotModified {
+				t.Fatalf("%s %s: conditional GET status %d, want 304", name, path, second.StatusCode)
+			}
+			if len(body) != 0 {
+				t.Fatalf("%s %s: 304 carried %d body bytes", name, path, len(body))
+			}
+			// A stale validator still gets the full representation.
+			third, body := fetchStored(t, ts, path, `"different"`)
+			if third.StatusCode != http.StatusOK || len(body) == 0 {
+				t.Fatalf("%s %s: mismatched If-None-Match status %d, %d bytes", name, path, third.StatusCode, len(body))
+			}
+		}
+	}
+}
+
+// TestETagStableAcrossRestarts: the snapshot ETag comes from the hash
+// persisted in the manifest, so a cold store reopen plus a brand-new
+// server yields the same validator — clients' cached 304s survive
+// server restarts.
+func TestETagStableAcrossRestarts(t *testing.T) {
+	ds, dir := cleanStore(t)
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	first, _ := fetchStored(t, serveOpts(t, ds), path, "")
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on first serve")
+	}
+	reopened, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := fetchStored(t, serveOpts(t, reopened), path, "")
+	if got := second.Header.Get("ETag"); got != etag {
+		t.Fatalf("ETag changed across restart: %q -> %q", etag, got)
+	}
+	// And the restarted server honours a validator minted before it
+	// existed.
+	cond, _ := fetchStored(t, serveOpts(t, reopened), path, etag)
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("pre-restart ETag got status %d, want 304", cond.StatusCode)
+	}
+}
+
+// TestCorruptSlotRefusal is the integrity acceptance flow: Verify()
+// flags the tampered slot before any reader request, and the raw path
+// then refuses it with a 5xx — never a 200 over bytes that fail their
+// hash — while the encode fallback (which cannot distinguish corrupt
+// from undecodable) keeps its historical 404.
+func TestCorruptSlotRefusal(t *testing.T) {
+	ds := testStore(t) // alexa day 3 corrupted behind the store's back
+	if c := ds.Verify(); len(c) != 1 || c[0].Provider != "alexa" || c[0].Day != 3 {
+		t.Fatalf("Verify() = %v, want [alexa 3]", c)
+	}
+	path := toplist.RemoteSnapshotPath("alexa", 3)
+	resp, _ := fetchStored(t, serveOpts(t, ds), path, "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("raw path served corrupt slot with status %d, want 500", resp.StatusCode)
+	}
+	encResp, _ := fetchStored(t, serveOpts(t, ds, WithoutRawFastPath()), path, "")
+	if encResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("encode path status %d, want 404", encResp.StatusCode)
+	}
+	// Healthy slots on the same server still serve.
+	ok, _ := fetchStored(t, serveOpts(t, ds), toplist.RemoteSnapshotPath("alexa", 0), "")
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("healthy slot status %d after corrupt refusal", ok.StatusCode)
 	}
 }

@@ -1,0 +1,150 @@
+package archived
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/toplist"
+)
+
+// BenchmarkArchiveServe is the HTTP load benchmark gating the serving
+// fast path (the req/sec analog of BenchmarkEngine's days/sec): a real
+// httptest server over a DiskStore, measured end to end through the
+// client socket. Variants pin the claim the fast path makes:
+//
+//   - raw/hot:      fast path, blob cache holding the working set — the
+//     steady state of a daemon serving a mirrored archive.
+//   - raw/cold:     fast path with an effectively disabled blob cache,
+//     so every request is a store read + hash check.
+//   - encode/hot:   fallback path (WithoutRawFastPath), warm blob
+//     cache — the pre-fast-path steady state.
+//   - encode/cold:  fallback path, every request re-runs WriteCSV+gzip
+//     over the decoded list (DiskStore decode cache is warm — this is
+//     the encoder cost alone, the exact work the raw path deletes).
+//   - raw/parallel: fast path, hot cache, concurrent readers.
+//
+// The acceptance bar is raw ≥ 2x req/sec and ≤ 1/4 B/op of encode on
+// warm DiskStore-backed serving — compare the cold variants, where
+// each request does per-request work on both paths; the hot variants
+// both serve from the blob cache and differ little by construction.
+func BenchmarkArchiveServe(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		opts []Option
+	}{
+		{"raw/hot", nil},
+		{"raw/cold", []Option{WithBlobCache(1)}},
+		{"encode/hot", []Option{WithoutRawFastPath()}},
+		{"encode/cold", []Option{WithoutRawFastPath(), WithBlobCache(1)}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			ts, paths := benchServer(b, v.opts)
+			client, fetch := benchFetcher(b, ts)
+			warmServe(b, client, fetch, paths)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fetch(client, paths[i%len(paths)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+		})
+	}
+	b.Run("raw/parallel", func(b *testing.B) {
+		ts, paths := benchServer(b, nil)
+		client, fetch := benchFetcher(b, ts)
+		warmServe(b, client, fetch, paths)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				fetch(client, paths[int(i)%len(paths)])
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+	})
+}
+
+// benchServer builds a cold-reopened DiskStore (2 providers × 8 days ×
+// 1000 names) and serves it; returns the server and every snapshot
+// URL.
+func benchServer(b *testing.B, opts []Option) (*httptest.Server, []string) {
+	b.Helper()
+	const days, listSize = 8, 1000
+	providers := []string{"alexa", "umbrella"}
+	dir := b.TempDir()
+	store, err := toplist.CreateDiskStore(dir, 0, days-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, listSize)
+	for _, p := range providers {
+		for d := 0; d < days; d++ {
+			for i := range names {
+				names[i] = fmt.Sprintf("%s-%d-site-%04d.example.com", p, d, i)
+			}
+			if err := store.Put(p, toplist.Day(d), toplist.New(names)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Reopen cold so the server starts from disk state, like a daemon.
+	store, err = toplist.OpenArchive(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store, opts...))
+	b.Cleanup(ts.Close)
+	var paths []string
+	for _, p := range providers {
+		for d := 0; d < days; d++ {
+			paths = append(paths, ts.URL+toplist.RemoteSnapshotPath(p, toplist.Day(d)))
+		}
+	}
+	return ts, paths
+}
+
+// benchFetcher returns a keepalive client and a fetch that does what
+// toplist.Remote does: request the stored encoding and read the
+// compressed body to completion.
+func benchFetcher(b *testing.B, ts *httptest.Server) (*http.Client, func(*http.Client, string)) {
+	b.Helper()
+	client := ts.Client()
+	fetch := func(c *http.Client, url string) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Accept-Encoding", "gzip")
+		resp, err := c.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	return client, fetch
+}
+
+// warmServe touches every slot once before timing: the DiskStore
+// decode cache (encode path) and the blob cache (hot variants) are
+// steady-state warm, so the timed loop measures serving, not first-hit
+// fills.
+func warmServe(b *testing.B, client *http.Client, fetch func(*http.Client, string), paths []string) {
+	b.Helper()
+	for _, p := range paths {
+		fetch(client, p)
+	}
+}

@@ -2,8 +2,11 @@ package toplist
 
 import (
 	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,11 +20,18 @@ const manifestName = "manifest.json"
 // snapshotExt is the per-snapshot file suffix.
 const snapshotExt = ".csv.gz"
 
-// manifestVersion is the manifest format this build reads and writes.
-// OpenArchive rejects any other version outright: a future-format
-// archive must fail loudly instead of half-opening with silently
-// dropped fields.
-const manifestVersion = 1
+// manifestVersion is the manifest format this build writes. OpenArchive
+// reads this version and manifestVersionNoHashes; any other version is
+// rejected outright — a future-format archive must fail loudly instead
+// of half-opening with silently dropped fields.
+const manifestVersion = 2
+
+// manifestVersionNoHashes is the previous manifest format: identical
+// except that no per-snapshot content hashes were persisted. Archives
+// written by it open fine; their slots serve through the decode path
+// until rewritten (GetRaw returns nil without a persisted hash), and
+// the first manifest flush upgrades the document in place.
+const manifestVersionNoHashes = 1
 
 // manifest is the JSON document at <dir>/manifest.json describing a
 // DiskStore: what scale produced it, the day range it covers, and the
@@ -33,6 +43,13 @@ type manifest struct {
 	LastDay   string   `json:"last_day"`
 	Providers []string `json:"providers"`          // insertion order
 	Expected  []string `json:"expected,omitempty"` // providers Complete/Missing require
+	// Hashes persists each stored snapshot's content hash
+	// (provider → ISO date → ContentHash of the gzip document),
+	// recorded at Put time. They are what lets the serving fast path
+	// hand out ETags and validate raw reads without ever decoding a
+	// snapshot. Slots written by a version-1 store have no entry and
+	// fall back to the decode path.
+	Hashes map[string]map[string]string `json:"hashes,omitempty"`
 	// Timings persists observed experiment wall times (microseconds
 	// by experiment ID) so a fresh process reopening the archive can
 	// schedule its first pooled run longest-job-first from real data.
@@ -81,7 +98,10 @@ type cacheEntry struct {
 	list  *List         // nil after a decode failure
 }
 
-var _ Store = (*DiskStore)(nil)
+var (
+	_ Store     = (*DiskStore)(nil)
+	_ RawSource = (*DiskStore)(nil)
+)
 
 // CreateDiskStore initialises a new durable archive at dir spanning
 // days [first, last]. dir is created if needed; it must not already
@@ -124,9 +144,9 @@ func OpenArchive(dir string) (*DiskStore, error) {
 	if err := json.Unmarshal(raw, &man); err != nil {
 		return nil, fmt.Errorf("toplist: archive %s: bad manifest: %w", dir, err)
 	}
-	if man.Version != manifestVersion {
-		return nil, fmt.Errorf("toplist: archive %s: manifest version %d not supported (this build reads version %d); refusing to half-open it",
-			dir, man.Version, manifestVersion)
+	if man.Version != manifestVersion && man.Version != manifestVersionNoHashes {
+		return nil, fmt.Errorf("toplist: archive %s: manifest version %d not supported (this build reads versions %d and %d); refusing to half-open it",
+			dir, man.Version, manifestVersionNoHashes, manifestVersion)
 	}
 	first, err := ParseDay(man.FirstDay)
 	if err != nil {
@@ -274,13 +294,38 @@ func (ds *DiskStore) path(provider string, day Day) string {
 // Put stores a snapshot durably. Days outside the store range or nil
 // lists are rejected, matching Archive semantics.
 func (ds *DiskStore) Put(provider string, day Day, l *List) error {
+	if l == nil {
+		return fmt.Errorf("toplist: nil list")
+	}
+	return ds.store(provider, day, func(path string) (string, error) {
+		return ds.writeSnapshot(path, l)
+	})
+}
+
+// PutRaw stores an already-encoded snapshot document — the gzip CSV
+// bytes a DiskStore keeps on disk and the wire API serves — without
+// re-encoding it, the write half of the serving fast path (collectd's
+// peer gap-fill copies compressed bytes straight from the wire to
+// disk). The document is decoded once for validation before anything
+// is written, so a corrupted transfer can never enter the store.
+func (ds *DiskStore) PutRaw(provider string, day Day, data []byte) error {
+	if _, err := decodeSnapshotDoc(data); err != nil {
+		return fmt.Errorf("toplist: raw snapshot for %s %v does not decode: %w", provider, day, err)
+	}
+	return ds.store(provider, day, func(path string) (string, error) {
+		return ContentHash(data), writeFileAtomic(path, data)
+	})
+}
+
+// store is the shared Put/PutRaw write path: range check, provider
+// registration, the write itself (which reports the content hash of
+// the bytes it put on disk), presence and hash bookkeeping, and cache
+// invalidation — all under the store lock.
+func (ds *DiskStore) store(provider string, day Day, write func(path string) (string, error)) error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if day < ds.first || day > ds.last {
 		return fmt.Errorf("toplist: day %v outside archive range [%v,%v]", day, ds.first, ds.last)
-	}
-	if l == nil {
-		return fmt.Errorf("toplist: nil list")
 	}
 	if _, ok := ds.present[provider]; !ok {
 		if err := os.MkdirAll(filepath.Join(ds.dir, provider), 0o755); err != nil {
@@ -288,14 +333,19 @@ func (ds *DiskStore) Put(provider string, day Day, l *List) error {
 		}
 		ds.present[provider] = make([]bool, ds.daysLocked())
 		ds.man.Providers = append(ds.man.Providers, provider)
-		if err := ds.flushManifestLocked(); err != nil {
-			return err
-		}
 	}
-	if err := ds.writeSnapshot(ds.path(provider, day), l); err != nil {
+	hash, err := write(ds.path(provider, day))
+	if err != nil {
 		return err
 	}
 	ds.present[provider][int(day-ds.first)] = true
+	if ds.man.Hashes == nil {
+		ds.man.Hashes = make(map[string]map[string]string)
+	}
+	if ds.man.Hashes[provider] == nil {
+		ds.man.Hashes[provider] = make(map[string]string)
+	}
+	ds.man.Hashes[provider][day.String()] = hash
 	// Deliberately not cached: a write-through cache would make a
 	// streaming run teeing into the store retain every snapshot in
 	// memory — the exact materialisation streaming exists to avoid.
@@ -303,7 +353,11 @@ func (ds *DiskStore) Put(provider string, day Day, l *List) error {
 	// also invalidates any memoized decode failure for this slot, so a
 	// rewrite of a corrupt snapshot becomes readable again.
 	delete(ds.cache, storeKey{provider, day})
-	return nil
+	// The manifest is flushed per write because it now carries the
+	// snapshot's content hash; a crash between rename and flush leaves
+	// a readable slot without a hash, which simply serves through the
+	// decode path until the next write lands.
+	return ds.flushManifestLocked()
 }
 
 // gzipPool recycles gzip compressors across snapshot writes: a
@@ -314,15 +368,19 @@ var gzipPool = sync.Pool{
 	New: func() any { return gzip.NewWriter(nil) },
 }
 
-// writeSnapshot writes one gzip CSV atomically (temp file + rename).
-func (ds *DiskStore) writeSnapshot(path string, l *List) error {
+// writeSnapshot writes one gzip CSV atomically (temp file + rename)
+// and returns the content hash of the written document, computed by
+// teeing the compressed stream through the hasher — no second read of
+// what was just written.
+func (ds *DiskStore) writeSnapshot(path string, l *List) (string, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return "", err
 	}
+	h := sha256.New()
 	zw := gzipPool.Get().(*gzip.Writer)
-	zw.Reset(f)
+	zw.Reset(io.MultiWriter(f, h))
 	err = WriteCSV(zw, l)
 	if zerr := zw.Close(); err == nil {
 		err = zerr
@@ -334,6 +392,16 @@ func (ds *DiskStore) writeSnapshot(path string, l *List) error {
 	}
 	if err != nil {
 		os.Remove(tmp) //nolint:errcheck
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), os.Rename(tmp, path)
+}
+
+// writeFileAtomic writes data to path via temp file + rename, the same
+// crash discipline writeSnapshot and the manifest flush use.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -398,6 +466,157 @@ func (ds *DiskStore) readSnapshot(path string) (*List, error) {
 	return ReadCSV(zr)
 }
 
+// RawHash returns the content hash persisted for provider on day at
+// Put time, or "" when the slot is absent or was written by a store
+// that predates persisted hashes — the cheap no-I/O probe the archive
+// server keys its raw-path decision, blob cache, and ETags on. It
+// implements RawSource.
+func (ds *DiskStore) RawHash(provider string, day Day) string {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if day < ds.first || day > ds.last {
+		return ""
+	}
+	bitmap, ok := ds.present[provider]
+	if !ok || !bitmap[int(day-ds.first)] {
+		return ""
+	}
+	return ds.man.Hashes[provider][day.String()]
+}
+
+// GetRaw returns the stored gzip document and persisted content hash
+// for provider on day without decompressing it — the zero-copy read
+// the archive server's fast path serves. It implements RawSource.
+//
+// (nil, nil) means there are no raw bytes to serve — the slot is
+// absent, or has no persisted hash (written before hashes existed) —
+// and the caller should read through Get instead. An error wrapping
+// ErrCorruptSnapshot means the slot is present but must not be served:
+// either a previous decode already settled it as corrupt (Get,
+// Verify), or the bytes read here fail the persisted-hash check — in
+// which case the failure is memoized exactly as a failed Get would be,
+// so Corrupt() lists the slot and a Put over it heals the listing.
+func (ds *DiskStore) GetRaw(provider string, day Day) (*RawSnapshot, error) {
+	key := storeKey{provider, day}
+	ds.mu.RLock()
+	if day < ds.first || day > ds.last {
+		ds.mu.RUnlock()
+		return nil, nil
+	}
+	bitmap, ok := ds.present[provider]
+	if !ok || !bitmap[int(day-ds.first)] {
+		ds.mu.RUnlock()
+		return nil, nil
+	}
+	hash := ds.man.Hashes[provider][day.String()]
+	e := ds.cache[key]
+	ds.mu.RUnlock()
+	if e != nil {
+		select {
+		case <-e.ready:
+			if e.list == nil {
+				return nil, fmt.Errorf("toplist: %s %v: %w", provider, day, ErrCorruptSnapshot)
+			}
+		default:
+			// A decode is in flight; the raw read is independent of it.
+		}
+	}
+	if hash == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(ds.path(provider, day))
+	if err != nil {
+		return nil, err
+	}
+	if ContentHash(data) != hash {
+		ds.memoizeCorrupt(key, hash)
+		return nil, fmt.Errorf("toplist: %s %v: stored bytes do not match persisted hash: %w", provider, day, ErrCorruptSnapshot)
+	}
+	return &RawSnapshot{Data: data, Hash: hash}, nil
+}
+
+// memoizeCorrupt settles a slot's cache entry as a decode failure
+// without reading the file again, so Corrupt() lists it and both read
+// paths refuse it until a Put repairs the slot. hashWas is the
+// persisted hash the verdict was reached against: if a concurrent Put
+// has since replaced the slot (new hash), the verdict is stale and is
+// dropped instead of poisoning the fresh write.
+func (ds *DiskStore) memoizeCorrupt(key storeKey, hashWas string) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.man.Hashes[key.provider][key.day.String()] != hashWas {
+		return
+	}
+	if _, ok := ds.cache[key]; ok {
+		return
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	close(e.ready)
+	ds.cache[key] = e
+}
+
+// Verify eagerly sweeps the whole store: every present snapshot is
+// read back and checked — persisted hash first (catches bit rot and
+// external modification), then a full gunzip+parse — without waiting
+// for a reader to trip over it. That ordering is what makes raw
+// serving safe to switch on: the sweep runs before traffic, so a slot
+// that cannot decode is already refused when the first request
+// arrives. Failures are memoized exactly as a failed Get would be
+// (Corrupt() lists them, both read paths refuse them, a Put repairs
+// them); successfully decoded lists are NOT retained, so a sweep of an
+// arbitrarily large archive stays O(1) in memory instead of
+// materialising the read cache. Slots already settled in the cache —
+// decoded fine, or already known corrupt — are not re-read. Returns
+// the resulting Corrupt() listing.
+func (ds *DiskStore) Verify() []Snapshot {
+	ds.mu.RLock()
+	var slots []storeKey
+	for _, p := range ds.man.Providers {
+		for i, present := range ds.present[p] {
+			if present {
+				slots = append(slots, storeKey{p, ds.first + Day(i)})
+			}
+		}
+	}
+	ds.mu.RUnlock()
+	for _, key := range slots {
+		ds.verifySlot(key)
+	}
+	return ds.Corrupt()
+}
+
+// verifySlot checks one present snapshot and memoizes a failure; see
+// Verify.
+func (ds *DiskStore) verifySlot(key storeKey) {
+	ds.mu.RLock()
+	e := ds.cache[key]
+	hash := ds.man.Hashes[key.provider][key.day.String()]
+	ds.mu.RUnlock()
+	if e != nil {
+		select {
+		case <-e.ready:
+			return // settled: decoded fine, or already known corrupt
+		default:
+			// In flight: that decode will settle the slot itself.
+			return
+		}
+	}
+	data, err := os.ReadFile(ds.path(key.provider, key.day))
+	if err != nil {
+		// Present per the bitmap but unreadable — as corrupt as a file
+		// that fails to decode.
+		ds.memoizeCorrupt(key, hash)
+		return
+	}
+	if hash != "" && ContentHash(data) != hash {
+		ds.memoizeCorrupt(key, hash)
+		return
+	}
+	if _, err := decodeSnapshotDoc(data); err != nil {
+		ds.memoizeCorrupt(key, hash)
+	}
+}
+
 // Missing returns one stub Snapshot per absent (provider, day) slot,
 // with the same contract as Archive.Missing: every day of every
 // inserted provider, plus every day of each expected-but-absent
@@ -438,15 +657,15 @@ func (ds *DiskStore) missingLocked() []Snapshot {
 }
 
 // Corrupt returns one stub Snapshot per (provider, day) whose file is
-// present but whose decode failed — the memoized decode failures Get
-// has accumulated — ordered by provider (manifest order) and day
-// ascending. It is the Verify()-lite operators pair with Missing:
-// Missing lists what was never written, Corrupt lists what was written
-// and cannot be read back. Only slots a Get has actually probed are
-// listed (decodes are lazy); to sweep the whole store, Get every
-// (provider, day) first and then read Corrupt. A Put over a corrupt
-// slot clears its entry, so a re-collection pass (cmd/collectd knows
-// how to fetch individual days) empties the listing as it repairs.
+// present but whose decode failed — the memoized failures Get, GetRaw,
+// and Verify have accumulated — ordered by provider (manifest order)
+// and day ascending. It pairs with Missing: Missing lists what was
+// never written, Corrupt lists what was written and cannot be read
+// back. Only slots a read has actually probed are listed (decodes are
+// lazy); Verify() sweeps the whole store eagerly and settles every
+// slot up front. A Put over a corrupt slot clears its entry, so a
+// re-collection pass (cmd/collectd knows how to fetch individual days)
+// empties the listing as it repairs.
 func (ds *DiskStore) Corrupt() []Snapshot {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
@@ -507,16 +726,13 @@ func (ds *DiskStore) Timings() map[string]time.Duration {
 }
 
 // flushManifestLocked rewrites manifest.json atomically; callers hold
-// ds.mu.
+// ds.mu. It always writes the current format, so the first write to a
+// reopened version-1 archive upgrades its manifest in place.
 func (ds *DiskStore) flushManifestLocked() error {
+	ds.man.Version = manifestVersion
 	raw, err := json.MarshalIndent(ds.man, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(ds.dir, manifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return writeFileAtomic(filepath.Join(ds.dir, manifestName), append(raw, '\n'))
 }

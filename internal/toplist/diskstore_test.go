@@ -1,6 +1,7 @@
 package toplist
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -425,7 +426,7 @@ func TestOpenArchiveRejectsUnknownVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	futur := []byte(strings.Replace(string(raw), `"version": 1`, `"version": 2`, 1))
+	futur := []byte(strings.Replace(string(raw), fmt.Sprintf(`"version": %d`, manifestVersion), `"version": 99`, 1))
 	if reflect.DeepEqual(raw, futur) {
 		t.Fatal("test did not rewrite the version field")
 	}
@@ -433,7 +434,7 @@ func TestOpenArchiveRejectsUnknownVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = OpenArchive(dir)
-	if err == nil || !strings.Contains(err.Error(), "version 2") {
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
 		t.Fatalf("future-version archive opened: err = %v", err)
 	}
 }
@@ -533,5 +534,281 @@ func TestDiskStoreCorruptListing(t *testing.T) {
 	want = []Snapshot{{Provider: "umbrella", Day: 1}, {Provider: "alexa", Day: 1}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Corrupt() after repair = %v, want %v", got, want)
+	}
+}
+
+// TestDiskStoreRawReadRoundTrip: Put persists a content hash in the
+// manifest, GetRaw returns the exact on-disk bytes with that hash, and
+// both survive a cold reopen — the contract the serving fast path's
+// restart-stable ETags are built on.
+func TestDiskStoreRawReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New([]string{"a.com", "b.org", "c.net"})
+	if err := ds.Put("alexa", 0, l); err != nil {
+		t.Fatal(err)
+	}
+	hash := ds.RawHash("alexa", 0)
+	if hash == "" {
+		t.Fatal("Put did not persist a content hash")
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, "alexa", Day(0).String()+snapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ContentHash(disk); got != hash {
+		t.Fatalf("persisted hash %s != ContentHash(disk bytes) %s", hash, got)
+	}
+	raw, err := ds.GetRaw("alexa", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw == nil || !reflect.DeepEqual(raw.Data, disk) || raw.Hash != hash {
+		t.Fatal("GetRaw does not return the on-disk bytes + persisted hash")
+	}
+	// Absent slots have no raw read and no hash.
+	if h := ds.RawHash("alexa", 1); h != "" {
+		t.Fatalf("absent slot has hash %q", h)
+	}
+	if raw, err := ds.GetRaw("alexa", 1); raw != nil || err != nil {
+		t.Fatalf("absent slot GetRaw = %v, %v; want nil, nil", raw, err)
+	}
+	// Cold reopen: same hash, same bytes.
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := reopened.RawHash("alexa", 0); h != hash {
+		t.Fatalf("hash after reopen = %q, want %q", h, hash)
+	}
+	raw2, err := reopened.GetRaw("alexa", 0)
+	if err != nil || raw2 == nil || !reflect.DeepEqual(raw2.Data, disk) {
+		t.Fatalf("GetRaw after reopen = %v, %v", raw2, err)
+	}
+}
+
+// TestDiskStorePutRaw: an encoded document round-trips byte-for-byte
+// through PutRaw (the peer gap-fill path), while a document that does
+// not decode is rejected before anything touches disk.
+func TestDiskStorePutRaw(t *testing.T) {
+	src := t.TempDir()
+	from, err := CreateDiskStore(src, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New([]string{"x.com", "y.org"})
+	if err := from.Put("alexa", 0, l); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := from.GetRaw("alexa", 0)
+	if err != nil || raw == nil {
+		t.Fatalf("GetRaw = %v, %v", raw, err)
+	}
+
+	dst := t.TempDir()
+	to, err := CreateDiskStore(dst, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := to.PutRaw("alexa", 0, raw.Data); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(filepath.Join(src, "alexa", Day(0).String()+snapshotExt))
+	b, _ := os.ReadFile(filepath.Join(dst, "alexa", Day(0).String()+snapshotExt))
+	if !reflect.DeepEqual(a, b) || len(a) == 0 {
+		t.Fatal("PutRaw did not replicate the document byte-for-byte")
+	}
+	if to.RawHash("alexa", 0) != from.RawHash("alexa", 0) {
+		t.Fatal("replicated slot's persisted hash differs")
+	}
+	got := to.Get("alexa", 0)
+	if got == nil || got.Len() != l.Len() || got.Name(1) != l.Name(1) {
+		t.Fatalf("replicated slot decodes to %v", got)
+	}
+
+	if err := to.PutRaw("alexa", 0, []byte("not a gzip document")); err == nil {
+		t.Fatal("PutRaw accepted an undecodable document")
+	}
+	if to.Get("alexa", 0) == nil {
+		t.Fatal("rejected PutRaw destroyed the existing slot")
+	}
+}
+
+// TestDiskStoreVerifySweep is the eager-integrity acceptance scenario:
+// corruption injected behind the store's back is detected by Verify()
+// before any reader ever requests the slot, and both read paths then
+// refuse it until a Put repairs it.
+func TestDiskStoreVerifySweep(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := Day(0); d <= 2; d++ {
+		if err := ds.Put("alexa", d, New([]string{fmt.Sprintf("day%d.com", d)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt day 1 on disk and reopen cold: no reader has touched
+	// anything yet.
+	path := filepath.Join(dir, "alexa", Day(1).String()+snapshotExt)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ds.Corrupt(); len(c) != 0 {
+		t.Fatalf("Corrupt() before any read = %v", c)
+	}
+	corrupt := ds.Verify()
+	if len(corrupt) != 1 || corrupt[0].Provider != "alexa" || corrupt[0].Day != 1 {
+		t.Fatalf("Verify() = %v, want [alexa 1]", corrupt)
+	}
+	if _, err := ds.GetRaw("alexa", 1); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("GetRaw after Verify = %v, want corrupt error", err)
+	}
+	if ds.Get("alexa", 1) != nil {
+		t.Fatal("Get served a slot Verify flagged")
+	}
+	// Healthy slots are untouched — and Verify did not materialise
+	// them into the decode cache (a second Verify re-reads nothing
+	// settled, and Get still works).
+	if ds.Get("alexa", 0) == nil || ds.Get("alexa", 2) == nil {
+		t.Fatal("Verify broke healthy slots")
+	}
+	// A Put over the corrupt slot repairs it.
+	if err := ds.Put("alexa", 1, New([]string{"repaired.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if c := ds.Verify(); len(c) != 0 {
+		t.Fatalf("Verify after repair = %v", c)
+	}
+	if got := ds.Get("alexa", 1); got == nil || got.Name(1) != "repaired.com" {
+		t.Fatalf("repaired slot = %v", got)
+	}
+}
+
+// TestDiskStoreVerifyCatchesHashMismatch: a snapshot replaced on disk
+// by a different but well-formed document decodes fine — only the
+// persisted hash can tell it is not what was stored. This is the
+// tamper/bit-rot case hashing exists for.
+func TestDiskStoreVerifyCatchesHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, New([]string{"original.com"})); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a valid document in place, bypassing the store.
+	other := t.TempDir()
+	forge, err := CreateDiskStore(other, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forge.Put("alexa", 0, New([]string{"forged.com"})); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(filepath.Join(other, "alexa", Day(0).String()+snapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "alexa", Day(0).String()+snapshotExt), doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ds.Verify(); len(c) != 1 {
+		t.Fatalf("Verify() = %v, want the hash-mismatched slot", c)
+	}
+	if _, err := ds.GetRaw("alexa", 0); err == nil {
+		t.Fatal("GetRaw served bytes whose hash does not match the manifest")
+	}
+}
+
+// TestOpenArchiveV1ManifestUpgrade: an archive written by the previous
+// manifest format (version 1, no hashes) still opens and reads, raw
+// access reports "no hash" rather than failing, and the first write
+// upgrades the manifest in place — new slots get hashes, old slots
+// keep serving through the decode path.
+func TestOpenArchiveV1ManifestUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, New([]string{"old.com"})); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest as the version-1 format: drop the hashes,
+	// set the old version number.
+	manPath := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fields["hashes"]; !ok {
+		t.Fatal("manifest has no hashes block to strip")
+	}
+	delete(fields, "hashes")
+	fields["version"] = manifestVersionNoHashes
+	v1, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("version-1 archive did not open: %v", err)
+	}
+	if got := ds.Get("alexa", 0); got == nil || got.Name(1) != "old.com" {
+		t.Fatalf("v1 slot reads as %v", got)
+	}
+	if h := ds.RawHash("alexa", 0); h != "" {
+		t.Fatalf("v1 slot reports hash %q, want none", h)
+	}
+	if raw, err := ds.GetRaw("alexa", 0); raw != nil || err != nil {
+		t.Fatalf("v1 slot GetRaw = %v, %v; want nil, nil (decode-path fallback)", raw, err)
+	}
+	if c := ds.Verify(); len(c) != 0 {
+		t.Fatalf("Verify over v1 archive = %v (decode check should still pass)", c)
+	}
+
+	// First write upgrades: manifest flushes as the current version and
+	// the new slot is raw-readable; the old slot still has no hash.
+	if err := ds.Put("alexa", 1, New([]string{"new.com"})); err != nil {
+		t.Fatal(err)
+	}
+	if h := ds.RawHash("alexa", 1); h == "" {
+		t.Fatal("post-upgrade write has no hash")
+	}
+	upgraded, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(upgraded), fmt.Sprintf(`"version": %d`, manifestVersion)) {
+		t.Fatal("manifest not upgraded to the current version on write")
+	}
+	reopened, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.RawHash("alexa", 0) != "" || reopened.RawHash("alexa", 1) == "" {
+		t.Fatal("upgrade changed the wrong slots' hashes")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,10 +33,20 @@ import (
 //	GET /archive/v1/providers                   ["alexa", ...] (JSON)
 //	GET /archive/v1/snapshots/{provider}/{day}  gzip-compressed CSV
 //
-// Snapshot responses are the same gzip CSV a DiskStore keeps on disk;
-// an absent snapshot is a plain 404, indistinguishable on the wire
-// from one the server's own Source cannot decode — exactly the
-// contract Source.Get already has (nil for both).
+// Snapshot responses are the same gzip CSV a DiskStore keeps on disk.
+// A server with raw access to those bytes (toplist.RawSource) serves
+// them as a verbatim copy with Content-Encoding: gzip; one without
+// (in-memory archives, gatekept views) re-encodes from the decoded
+// list — the same deterministic encoder, so the bytes match either
+// way. This client always requests the stored encoding (it sets
+// Accept-Encoding: gzip itself, which also disables the transport's
+// transparent decompression) and treats the body as the compressed
+// document under both response shapes.
+//
+// An absent snapshot is a plain 404 — the nil Source.Get already
+// returns for it. A slot the server knows is corrupt is a 500 on the
+// raw path (it refuses to serve bytes that cannot decode) and a 404 on
+// the decode path (its own Get is nil); the client maps both to nil.
 
 // RemoteAPIVersion is the archive wire-protocol version this build
 // speaks. The manifest carries it; OpenRemote refuses any other
@@ -81,12 +92,18 @@ type RemoteManifest struct {
 
 // Remote is a Source served over HTTP by an archive server
 // (internal/archived). It mirrors DiskStore.Get's read semantics
-// across the network hop: snapshots are fetched lazily, decoded once,
-// and held in a bounded LRU cache; concurrent readers of the same
-// uncached snapshot share one in-flight fetch; and a payload that
-// arrives but does not decode is memoized as nil (one fetch per
-// corrupt snapshot, not one per call) for as long as it stays cached.
-// Absent snapshots (404) are memoized the same way.
+// across the network hop: snapshots are fetched lazily and held in a
+// bounded LRU cache; concurrent readers of the same uncached snapshot
+// share one in-flight fetch; and a payload that arrives but does not
+// decode is memoized as nil (one fetch per corrupt snapshot, not one
+// per call) for as long as it stays cached. Absent snapshots (404) are
+// memoized the same way.
+//
+// The cache holds snapshots in their compressed wire form; a slot pays
+// gunzip+parse lazily, once, on its first Get. That keeps client
+// memory near the on-disk archive size rather than the decoded size,
+// and slots that are only ever byte-copied onward — GetRawContext,
+// collectd's peer gap-fill — never decode at all.
 //
 // The day range and provider set are snapshotted from the manifest at
 // OpenRemote time — First, Last, Days, and Providers never touch the
@@ -122,15 +139,49 @@ type Remote struct {
 // remoteEntry is one snapshot's fetch slot, the network analog of
 // DiskStore's cacheEntry. The first reader of a key installs the entry
 // and fetches outside the lock; concurrent readers wait on ready. A
-// final entry (absent or corrupt payload) memoizes list == nil; a
-// failed transfer records err and is removed from the cache so the
-// next reader retries instead of inheriting a transient failure.
+// settled entry holds the compressed wire document (raw == nil
+// memoizes an absent slot); a failed transfer records err and is
+// removed from the cache so the next reader retries instead of
+// inheriting a transient failure.
+//
+// Decoding is lazy and memoized separately from the fetch: decode()
+// runs gunzip+parse at most once (sync.Once), so the LRU stores
+// compressed bytes and only slots a Get actually touches pay the
+// decode. decoded is an atomic flag observers that must not trigger a
+// decode (Corrupt, Refresh) read; decodeOnce alone orders the fields
+// for decode() callers.
 type remoteEntry struct {
-	ready   chan struct{} // closed once the fetch settles
-	elem    *list.Element
-	list    *List
-	corrupt bool  // payload arrived but did not decode
-	err     error // transfer failed; entry was uncached
+	ready chan struct{} // closed once the fetch settles
+	elem  *list.Element
+	raw   []byte // compressed wire document; nil memoizes absent (404)
+	hash  string // content hash from the wire ETag ("" when not sent)
+	err   error  // transfer failed; entry was uncached
+
+	decodeOnce sync.Once
+	decoded    atomic.Bool
+	list       *List
+	corrupt    bool // payload arrived but did not decode
+}
+
+// decode lazily decompresses and parses the entry's document, at most
+// once; callers must have observed ready closed. Returns the decoded
+// list (nil for absent or corrupt slots).
+func (e *remoteEntry) decode() *List {
+	e.decodeOnce.Do(func() {
+		if e.raw != nil {
+			if l, err := decodeSnapshotDoc(e.raw); err != nil {
+				// The document transferred intact (the HTTP layer said
+				// 200 and the body completed) but is not a snapshot —
+				// the wire analog of a corrupt file on disk. Final and
+				// memoized, like DiskStore; deliberately not retried.
+				e.corrupt = true
+			} else {
+				e.list = l
+			}
+		}
+		e.decoded.Store(true)
+	})
+	return e.list
 }
 
 var _ Source = (*Remote)(nil)
@@ -144,11 +195,12 @@ func WithRemoteHTTPClient(h *http.Client) RemoteOption {
 	return func(r *Remote) { r.httpc = h }
 }
 
-// WithRemoteCacheSize bounds the client's decoded-snapshot LRU cache
-// to n entries (default 256). Analyses typically sweep day ranges per
-// provider, so the default comfortably covers a test-scale JOINT
-// window; shrink it when lists are huge, grow it to pin a whole
-// archive in memory.
+// WithRemoteCacheSize bounds the client's snapshot LRU cache to n
+// entries (default 256). Entries hold the compressed wire document
+// plus, once a Get has touched the slot, its decoded list. Analyses
+// typically sweep day ranges per provider, so the default comfortably
+// covers a test-scale JOINT window; shrink it when lists are huge,
+// grow it to pin a whole archive in memory.
 func WithRemoteCacheSize(n int) RemoteOption {
 	return func(r *Remote) {
 		if n > 0 {
@@ -169,9 +221,10 @@ func WithRemoteMaxBodyBytes(n int64) RemoteOption {
 }
 
 // WithRemoteMaxAttempts bounds the tries per transfer (default 4).
-// Transient failures — connection errors, 5xx, 429 — are retried with
-// jittered exponential backoff before a fetch is declared failed;
-// 404s, undecodable payloads, and cancellation are never retried.
+// Transient failures — connection errors, 502/503/504, 429 — are
+// retried with jittered exponential backoff before a fetch is declared
+// failed; 404s, plain 500s (a raw-serving archive refusing a corrupt
+// slot), undecodable payloads, and cancellation are never retried.
 func WithRemoteMaxAttempts(n int) RemoteOption {
 	return func(r *Remote) {
 		if n > 0 {
@@ -304,16 +357,17 @@ func (r *Remote) Refresh(ctx context.Context) error {
 			r.providers = append(r.providers, p)
 		}
 	}
-	// Drop memoized-nil entries (absent 404s and corrupt payloads): a
-	// refresh declares "the archive may have changed", and a slot the
-	// server has since filled or repaired must become fetchable again —
-	// the client-side analog of Put invalidating a DiskStore's memoized
-	// decode failure. Present snapshots are immutable and stay cached;
-	// in-flight fetches settle against their own entry either way.
+	// Drop memoized-nil entries (absent 404s and payloads that decoded
+	// as corrupt): a refresh declares "the archive may have changed",
+	// and a slot the server has since filled or repaired must become
+	// fetchable again — the client-side analog of Put invalidating a
+	// DiskStore's memoized decode failure. Present snapshots are
+	// immutable and stay cached (decoded or not); in-flight fetches
+	// settle against their own entry either way.
 	for key, e := range r.cache {
 		select {
 		case <-e.ready:
-			if e.list == nil {
+			if e.raw == nil || (e.decoded.Load() && e.corrupt) {
 				delete(r.cache, key)
 				r.order.Remove(e.elem)
 			}
@@ -377,13 +431,45 @@ func (r *Remote) Get(provider string, day Day) *List {
 }
 
 // GetContext returns the snapshot for provider on day, fetching it
-// over the wire if it is not cached. Absent snapshots return
-// (nil, nil). A payload that arrives but does not decode also returns
-// (nil, nil) and is memoized — the DiskStore corrupt-snapshot contract
-// over HTTP (see Corrupt). Transfer failures (connection errors,
-// non-404 error statuses, cancellation) return a non-nil error and are
-// never memoized: the next call retries.
+// over the wire if it is not cached and decoding it if this is the
+// slot's first Get (the cache holds compressed documents; see Remote).
+// Absent snapshots return (nil, nil). A payload that arrives but does
+// not decode also returns (nil, nil) and is memoized — the DiskStore
+// corrupt-snapshot contract over HTTP (see Corrupt). Transfer failures
+// (connection errors, non-404 error statuses, cancellation) return a
+// non-nil error and are never memoized: the next call retries.
 func (r *Remote) GetContext(ctx context.Context, provider string, day Day) (*List, error) {
+	e, err := r.entryFor(ctx, provider, day)
+	if e == nil || err != nil {
+		return nil, err
+	}
+	return e.decode(), nil
+}
+
+// GetRawContext returns the compressed snapshot document for provider
+// on day — the same bytes GetContext would decode — without decoding
+// it: a cache hit or one wire fetch, then a byte handoff. It is the
+// client half of the serving fast path; collectd's peer gap-fill pairs
+// it with DiskStore.PutRaw so replicating a snapshot never touches a
+// CSV codec. Absent snapshots and slots already memoized as corrupt
+// return (nil, nil). The bytes are not validated here — a consumer
+// that stores them must decode-check (PutRaw does).
+func (r *Remote) GetRawContext(ctx context.Context, provider string, day Day) (*RawSnapshot, error) {
+	e, err := r.entryFor(ctx, provider, day)
+	if e == nil || err != nil {
+		return nil, err
+	}
+	if e.raw == nil || (e.decoded.Load() && e.corrupt) {
+		return nil, nil
+	}
+	return &RawSnapshot{Data: e.raw, Hash: e.hash}, nil
+}
+
+// entryFor returns the settled cache entry for (provider, day),
+// fetching the document if the slot is uncached — the shared
+// single-flight core of GetContext and GetRawContext. A nil entry with
+// nil error means the slot is outside the known range or provider set.
+func (r *Remote) entryFor(ctx context.Context, provider string, day Day) (*remoteEntry, error) {
 	key := storeKey{provider, day}
 	for {
 		r.mu.Lock()
@@ -406,7 +492,7 @@ func (r *Remote) GetContext(ctx context.Context, provider string, day Day) (*Lis
 				// simply have been cancelled).
 				continue
 			}
-			return e.list, nil
+			return e, nil
 		}
 		e := &remoteEntry{ready: make(chan struct{})}
 		e.elem = r.order.PushFront(key)
@@ -414,7 +500,7 @@ func (r *Remote) GetContext(ctx context.Context, provider string, day Day) (*Lis
 		r.evictLocked()
 		r.mu.Unlock()
 
-		l, corrupt, err := r.fetchSnapshot(ctx, provider, day)
+		raw, hash, err := r.fetchSnapshot(ctx, provider, day)
 		if err != nil {
 			e.err = err
 			r.mu.Lock()
@@ -429,9 +515,9 @@ func (r *Remote) GetContext(ctx context.Context, provider string, day Day) (*Lis
 			close(e.ready)
 			return nil, err
 		}
-		e.list, e.corrupt = l, corrupt
+		e.raw, e.hash = raw, hash
 		close(e.ready)
-		return l, nil
+		return e, nil
 	}
 }
 
@@ -454,9 +540,11 @@ func (r *Remote) evictLocked() {
 // Corrupt returns one stub Snapshot per cached (provider, day) whose
 // payload arrived over the wire but did not decode — the client-side
 // analog of DiskStore.Corrupt. Entries are ordered by provider (server
-// order) and day ascending. The listing is advisory: it only covers
-// slots still in the LRU cache, and an evicted corrupt slot is simply
-// refetched (the server may have repaired it meanwhile).
+// order) and day ascending. The listing is advisory twice over: it
+// only covers slots still in the LRU cache (an evicted corrupt slot is
+// simply refetched — the server may have repaired it meanwhile), and
+// since decoding is lazy, only slots some Get has actually decoded can
+// appear (an undecoded cached document has not been judged yet).
 func (r *Remote) Corrupt() []Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -464,7 +552,7 @@ func (r *Remote) Corrupt() []Snapshot {
 	for key, e := range r.cache {
 		select {
 		case <-e.ready:
-			if e.corrupt {
+			if e.decoded.Load() && e.corrupt {
 				found = append(found, key)
 			}
 		default:
@@ -517,57 +605,69 @@ func (e *RemoteStatusError) Error() string {
 	return fmt.Sprintf("toplist: GET %s: status %d", e.URL, e.Code)
 }
 
-// fetchSnapshot downloads and decodes one snapshot document. The
-// outcomes mirror DiskStore.Get: (list, false, nil) on success,
-// (nil, false, nil) for an absent snapshot (404), (nil, true, nil) for
-// a payload that arrived but did not decode, and (nil, false, err) for
-// transfer failures the caller should not memoize. Transient failures
-// (connection errors, 5xx, 429, truncated bodies) are retried with
-// jittered exponential backoff before the error is surfaced.
-func (r *Remote) fetchSnapshot(ctx context.Context, provider string, day Day) (*List, bool, error) {
+// fetchSnapshot downloads one snapshot document without decoding it:
+// (body, hash, nil) on success (hash is the bare content hash from the
+// wire ETag, "" when the server sent none), (nil, "", nil) for an
+// absent snapshot (404), and (nil, "", err) for transfer failures the
+// caller must not memoize. Transient failures (connection errors,
+// 502/503/504, 429, truncated bodies) are retried with jittered
+// exponential backoff before the error is surfaced; a plain 500 is
+// final — it is how a raw-serving archive refuses a slot it knows is
+// corrupt, and hammering that slot with retries cannot change the
+// verdict.
+func (r *Remote) fetchSnapshot(ctx context.Context, provider string, day Day) ([]byte, string, error) {
 	url := r.baseURL + RemoteSnapshotPath(provider, day)
-	var list *List
-	var corrupt bool
+	var body []byte
+	var hash string
 	err := r.retry(ctx, func() error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return err
 		}
+		// Ask for the stored encoding explicitly. The raw fast path
+		// answers with Content-Encoding: gzip, and setting the header
+		// ourselves keeps the transport from transparently gunzipping
+		// the body — which would hand us CSV where the cache, the hash,
+		// and PutRaw all want the compressed document. Older servers
+		// label the same bytes application/gzip; the body is the
+		// compressed document either way.
+		req.Header.Set("Accept-Encoding", "gzip")
 		resp, err := r.httpc.Do(req)
 		if err != nil {
 			return &remoteTransient{err}
 		}
 		defer drainBody(resp.Body)
 		if resp.StatusCode == http.StatusNotFound {
-			list, corrupt = nil, false
+			body, hash = nil, ""
 			return nil
 		}
 		if err := classifyRemoteStatus(url, resp.StatusCode); err != nil {
 			return err
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, r.maxBody+1))
+		data, err := io.ReadAll(io.LimitReader(resp.Body, r.maxBody+1))
 		if err != nil {
 			return &remoteTransient{err} // truncated transfer
 		}
-		if int64(len(body)) > r.maxBody {
+		if int64(len(data)) > r.maxBody {
 			return fmt.Errorf("toplist: GET %s: body exceeds %d bytes", url, r.maxBody)
 		}
-		l, derr := decodeSnapshotDoc(body)
-		if derr != nil {
-			// The document transferred intact (the HTTP layer said 200
-			// and the body completed) but is not a snapshot — the wire
-			// analog of a corrupt file on disk. Final and memoized,
-			// like DiskStore; deliberately not retried.
-			list, corrupt = nil, true
-			return nil
-		}
-		list, corrupt = l, false
+		body, hash = data, etagHash(resp.Header.Get("ETag"))
 		return nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, "", err
 	}
-	return list, corrupt, nil
+	return body, hash, nil
+}
+
+// etagHash extracts the bare content hash from a wire ETag ("" when
+// absent or not a quoted tag).
+func etagHash(etag string) string {
+	etag = strings.TrimPrefix(etag, "W/")
+	if len(etag) >= 2 && etag[0] == '"' && etag[len(etag)-1] == '"' {
+		return etag[1 : len(etag)-1]
+	}
+	return ""
 }
 
 // remoteTransient marks failures worth retrying.
@@ -577,13 +677,18 @@ func (e *remoteTransient) Error() string { return e.err.Error() }
 func (e *remoteTransient) Unwrap() error { return e.err }
 
 // classifyRemoteStatus maps a non-404 status to nil (200), a transient
-// error (5xx and 429 — server trouble a retry can outlive), or a final
-// RemoteStatusError.
+// error (502/503/504 and 429 — server or gateway trouble a retry can
+// outlive), or a final RemoteStatusError. A plain 500 is deliberately
+// final: the archive server uses it to refuse raw-serving a slot its
+// store knows is corrupt, a verdict retries cannot change (a repair is
+// picked up by the next fetch after the slot leaves the cache or a
+// Refresh drops it).
 func classifyRemoteStatus(url string, code int) error {
 	switch {
 	case code == http.StatusOK:
 		return nil
-	case code >= 500 || code == http.StatusTooManyRequests:
+	case code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests:
 		return &remoteTransient{&RemoteStatusError{URL: url, Code: code}}
 	default:
 		return &RemoteStatusError{URL: url, Code: code}
