@@ -213,17 +213,21 @@ func verifyArchive(dir string, logger *log.Logger) (map[toplist.Snapshot]bool, e
 	if err != nil {
 		return nil, err
 	}
-	corrupt := store.Verify()
-	if len(corrupt) == 0 {
-		logger.Printf("verify: %s clean", dir)
+	rep := store.VerifyReport()
+	if rep.DecodeOnly > 0 {
+		logger.Printf("verify: %d snapshots have no persisted hash (decode check only; a recollection rewrite upgrades them)", rep.DecodeOnly)
+	}
+	if len(rep.Corrupt) == 0 {
+		logger.Printf("verify: %s clean (%d hash-verified, %d decode-only)", dir, rep.HashVerified, rep.DecodeOnly)
 		return nil, nil
 	}
-	recollect := make(map[toplist.Snapshot]bool, len(corrupt))
-	for _, s := range corrupt {
+	recollect := make(map[toplist.Snapshot]bool, len(rep.Corrupt))
+	for _, s := range rep.Corrupt {
 		logger.Printf("verify: corrupt snapshot %s %s", s.Provider, s.Day)
 		recollect[s] = true
 	}
-	logger.Printf("verify: %d corrupt snapshots in %s (will recollect)", len(corrupt), dir)
+	logger.Printf("verify: %d corrupt snapshots in %s (%d hash-verified, %d decode-only; will recollect)",
+		len(rep.Corrupt), dir, rep.HashVerified, rep.DecodeOnly)
 	return recollect, nil
 }
 

@@ -23,6 +23,11 @@
 // durable archive previously saved by `toplists -save` (or any
 // toplist.DiskStore producer) and serves it straight from disk.
 //
+// With -serve-pack, the daemon serves a packed single-file archive
+// (written by `toplists pack`) the same way — snapshots are read
+// lazily out of the pack and each blob is verified against its
+// directory hash before it is served.
+//
 // With -serve-archive, the daemon additionally mounts the structured
 // archive wire API (internal/archived) under /archive/v1 beside the
 // provider-style routes, so remote consumers can reopen the served
@@ -35,7 +40,7 @@
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
 //	         [-workers N] [-live] [-live-interval 2s] [-archive DIR]
-//	         [-serve-archive]
+//	         [-serve-pack FILE] [-serve-archive]
 package main
 
 import (
@@ -54,6 +59,7 @@ import (
 	"repro/internal/archived"
 	"repro/internal/core"
 	"repro/internal/listserv"
+	"repro/internal/pack"
 	"repro/internal/population"
 	"repro/internal/toplist"
 )
@@ -75,12 +81,16 @@ func run(args []string, out *os.File) error {
 	live := fs.Bool("live", false, "stream days out of the engine as they are generated")
 	liveInterval := fs.Duration("live-interval", 2*time.Second, "publication pacing in -live mode")
 	archiveDir := fs.String("archive", "", "serve a saved archive from this directory (no simulation)")
+	servePack := fs.String("serve-pack", "", "serve a packed archive file (no simulation)")
 	serveArchive := fs.Bool("serve-archive", false, "also mount the archive wire API under "+toplist.RemoteAPIPrefix)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *archiveDir != "" && *live {
-		return fmt.Errorf("-archive and -live are mutually exclusive")
+	if *archiveDir != "" && *servePack != "" {
+		return fmt.Errorf("-archive and -serve-pack are mutually exclusive")
+	}
+	if (*archiveDir != "" || *servePack != "") && *live {
+		return fmt.Errorf("-live cannot serve a saved archive")
 	}
 
 	scale := core.TestScale()
@@ -108,7 +118,8 @@ func run(args []string, out *os.File) error {
 		liveRun func()
 		simDays int
 	)
-	if *archiveDir != "" {
+	switch {
+	case *archiveDir != "":
 		// Serve a durable archive straight from disk — no world, no
 		// engine, no resimulation.
 		store, err := toplist.OpenArchive(*archiveDir)
@@ -122,7 +133,19 @@ func run(args []string, out *os.File) error {
 		source = store
 		log.Printf("archive %s ready: %d providers x %d days (served from disk)",
 			*archiveDir, len(store.Providers()), store.Days())
-	} else {
+	case *servePack != "":
+		// Serve a packed single-file archive: the same Source contract,
+		// read lazily out of one file.
+		p, err := pack.OpenFile(*servePack)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		handler = listserv.NewServer(p)
+		source = p
+		log.Printf("pack %s ready: %d providers x %d days, %d snapshots (served from one file, %d bytes)",
+			*servePack, len(p.Providers()), p.Days(), p.Snapshots(), p.Size())
+	default:
 		log.Printf("building world at scale %q (seed %d)...", *scaleName, *seed)
 		world, eng, err := core.NewEngine(scale)
 		if err != nil {

@@ -20,6 +20,15 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-notaflag"}, nil); err == nil {
 		t.Fatal("unknown flag should fail")
 	}
+	if err := run([]string{"-archive", "x", "-serve-pack", "y"}, nil); err == nil {
+		t.Fatal("-archive with -serve-pack should fail")
+	}
+	if err := run([]string{"-serve-pack", "y", "-live"}, nil); err == nil {
+		t.Fatal("-serve-pack with -live should fail")
+	}
+	if err := run([]string{"-serve-pack", "/does/not/exist.pack", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("missing pack file should fail")
+	}
 }
 
 func TestLiveSinkStreamsAndPublishes(t *testing.T) {

@@ -12,6 +12,8 @@
 //	toplists rank <domain>... [flags]     # track domains' ranks (Table 4 style)
 //	toplists gen -out DIR [flags]         # write rank,domain CSVs
 //	toplists verify -archive DIR          # integrity-sweep a saved archive
+//	toplists pack -archive DIR -out FILE  # pack a saved archive into one file
+//	toplists unpack -in FILE -archive DIR # restore a packed archive to a directory
 //
 // Flags:
 //
@@ -21,12 +23,18 @@
 //	-save DIR             persist the simulated archive to DIR while running
 //	-archive DIR          serve from the archive saved at DIR (no resimulation;
 //	                      -scale/-seed/-days must match the saving run)
+//
+// Exit status: 0 on success, 2 for unknown commands or bad flags (with
+// the failing subcommand's usage on stderr), 1 for operational
+// failures (corrupt archives, I/O errors, failed experiments).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,23 +52,71 @@ func main() {
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "toplists:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
+// usages maps each subcommand to its one-line synopsis, printed when
+// that subcommand's invocation is malformed.
+var usages = map[string]string{
+	"list":       "toplists list",
+	"experiment": "toplists experiment <id>... [flags]",
+	"all":        "toplists all [flags]",
+	"figures":    "toplists figures -out DIR [flags]",
+	"rank":       "toplists rank <domain>... [flags]",
+	"gen":        "toplists gen -out DIR [flags]",
+	"verify":     "toplists verify -archive DIR",
+	"pack":       "toplists pack -archive DIR -out FILE",
+	"unpack":     "toplists unpack -in FILE -archive DIR",
+}
+
+// usageError is an invocation mistake — unknown command, bad flags,
+// missing arguments — as opposed to an operational failure. main
+// prints it and exits 2; everything else exits 1, so scripts can tell
+// "you called it wrong" from "it ran and failed".
+type usageError struct {
+	msg   string // what was wrong, "" for a bare synopsis
+	usage string // the failing subcommand's synopsis
+}
+
+func (e *usageError) Error() string {
+	if e.msg == "" {
+		return "usage: " + e.usage
+	}
+	return e.msg + "\nusage: " + e.usage
+}
+
+// badUsage builds the usageError for cmd, with an optional reason.
+func badUsage(cmd, format string, a ...any) *usageError {
+	u, ok := usages[cmd]
+	if !ok {
+		u = "toplists <list|experiment|all|figures|rank|gen|verify|pack|unpack> [flags]"
+	}
+	return &usageError{msg: fmt.Sprintf(format, a...), usage: u}
+}
+
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: toplists <list|experiment|all|figures|rank|gen|verify> [flags]")
+		return badUsage("", "")
 	}
 	cmd, rest := args[0], args[1:]
+	if _, ok := usages[cmd]; !ok {
+		return badUsage("", "unknown command %q", cmd)
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are reported through usageError
 	scaleName := fs.String("scale", "test", "simulation scale: test or default")
 	seed := fs.Uint64("seed", 1, "root seed")
 	days := fs.Int("days", 0, "override the simulated window length (days)")
-	outDir := fs.String("out", "snapshots", "output directory for gen")
+	outDir := fs.String("out", "", "output directory (gen, figures) or file (pack)")
 	saveDir := fs.String("save", "", "persist the simulated archive to this directory")
 	archiveDir := fs.String("archive", "", "serve from a saved archive instead of simulating")
+	inFile := fs.String("in", "", "packed archive file to unpack")
 
 	// For `experiment` and `rank`, positional arguments come before
 	// the flags; they share a single simulation.
@@ -72,22 +128,37 @@ func run(ctx context.Context, args []string) error {
 		}
 		if len(positional) == 0 {
 			if cmd == "rank" {
-				return fmt.Errorf("usage: toplists rank <domain>... [flags]")
+				return badUsage(cmd, "at least one domain is required")
 			}
-			return fmt.Errorf("usage: toplists experiment <id>... [flags]; IDs: %v", toplists.ExperimentIDs())
+			return badUsage(cmd, "at least one experiment ID is required; IDs: %v", toplists.ExperimentIDs())
 		}
 	}
 	if err := fs.Parse(rest); err != nil {
-		return err
+		return badUsage(cmd, "%v", err)
 	}
 
-	// verify needs no lab (and must not: the point is to inspect the
-	// archive as it is on disk, not to require matching -scale flags).
-	if cmd == "verify" {
+	// The archive-maintenance commands need no lab (and must not: the
+	// point is to inspect or repackage the archive as it is on disk,
+	// not to require matching -scale flags).
+	switch cmd {
+	case "verify":
 		if *archiveDir == "" {
-			return fmt.Errorf("usage: toplists verify -archive DIR")
+			return badUsage(cmd, "-archive is required")
 		}
 		return verifyArchive(*archiveDir)
+	case "pack":
+		if *archiveDir == "" || *outDir == "" {
+			return badUsage(cmd, "-archive and -out are required")
+		}
+		return packArchive(*archiveDir, *outDir)
+	case "unpack":
+		if *inFile == "" || *archiveDir == "" {
+			return badUsage(cmd, "-in and -archive are required")
+		}
+		return unpackArchive(*inFile, *archiveDir)
+	}
+	if *outDir == "" {
+		*outDir = "snapshots"
 	}
 
 	scale, err := pickScale(*scaleName, *seed, *days)
@@ -134,7 +205,8 @@ func run(ctx context.Context, args []string) error {
 	case "gen":
 		return generate(lab, *outDir)
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		// Unreachable: cmd was validated against usages above.
+		return badUsage("", "unknown command %q", cmd)
 	}
 }
 
@@ -148,18 +220,84 @@ func verifyArchive(dir string) error {
 	if err != nil {
 		return err
 	}
-	corrupt := store.Verify()
-	for _, s := range corrupt {
+	rep := store.VerifyReport()
+	for _, s := range rep.Corrupt {
 		fmt.Printf("corrupt: %s %s\n", s.Provider, s.Day)
 	}
 	if missing := store.Missing(); len(missing) > 0 {
 		fmt.Printf("note: %d snapshots missing (never written)\n", len(missing))
 	}
-	if len(corrupt) > 0 {
-		return fmt.Errorf("%d corrupt snapshots in %s", len(corrupt), dir)
+	if rep.DecodeOnly > 0 {
+		fmt.Printf("note: %d snapshots have no persisted hash (pre-hash store; decode check only — rewrite to upgrade)\n", rep.DecodeOnly)
 	}
-	fmt.Printf("%s: %d providers, %d days, all stored snapshots verified\n",
-		dir, len(store.Providers()), store.Days())
+	if len(rep.Corrupt) > 0 {
+		return fmt.Errorf("%d corrupt snapshots in %s", len(rep.Corrupt), dir)
+	}
+	fmt.Printf("%s: %d providers, %d days, %d hash-verified, %d decode-only snapshots\n",
+		dir, len(store.Providers()), store.Days(), rep.HashVerified, rep.DecodeOnly)
+	return nil
+}
+
+// packArchive packs the saved archive at dir into the single file at
+// out — the portable, range-servable form of the same snapshots.
+func packArchive(dir, out string) error {
+	store, err := toplists.OpenArchive(dir)
+	if err != nil {
+		return err
+	}
+	if err := toplists.WritePack(out, store); err != nil {
+		return err
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %s: %d providers, %d days -> %s (%d bytes)\n",
+		dir, len(store.Providers()), store.Days(), out, info.Size())
+	return nil
+}
+
+// unpackArchive restores a packed archive into a DiskStore directory.
+// Snapshots are copied as raw documents (PutRaw), so the restored
+// per-slot files and manifest hashes are byte-identical to the store
+// the pack was written from.
+func unpackArchive(in, dir string) error {
+	p, err := toplists.OpenPack(in)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	store, err := toplists.CreateArchive(dir, p.First(), p.Last())
+	if err != nil {
+		return err
+	}
+	if name := p.Scale(); name != "" {
+		if err := store.SetScale(name); err != nil {
+			return err
+		}
+	}
+	if expected := p.Expected(); len(expected) > 0 {
+		if err := store.Expect(expected...); err != nil {
+			return err
+		}
+	}
+	count := 0
+	for _, prov := range p.Providers() {
+		for d := p.First(); d <= p.Last(); d++ {
+			raw, err := p.GetRaw(prov, d)
+			if err != nil {
+				return fmt.Errorf("unpack %s %s: %w", prov, d, err)
+			}
+			if raw == nil {
+				continue
+			}
+			if err := store.PutRaw(prov, d, raw.Data); err != nil {
+				return fmt.Errorf("unpack %s %s: %w", prov, d, err)
+			}
+			count++
+		}
+	}
+	fmt.Printf("unpacked %s: %d snapshots -> %s\n", in, count, dir)
 	return nil
 }
 

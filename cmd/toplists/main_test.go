@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,17 +33,124 @@ func TestPickScale(t *testing.T) {
 }
 
 func TestRunUsageErrors(t *testing.T) {
-	if err := run(context.Background(), nil); err == nil {
-		t.Fatal("no args should fail")
+	// Invocation mistakes must be usageErrors (exit 2, with the failing
+	// subcommand's synopsis); operational failures must not be.
+	usage := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"unknown command", []string{"frobnicate"}},
+		{"experiment without id", []string{"experiment"}},
+		{"rank without domain", []string{"rank"}},
+		{"undefined flag", []string{"list", "-frobnicate"}},
+		{"verify without -archive", []string{"verify"}},
+		{"pack without flags", []string{"pack"}},
+		{"unpack without flags", []string{"unpack"}},
 	}
-	if err := run(context.Background(), []string{"frobnicate"}); err == nil {
-		t.Fatal("unknown command should fail")
+	for _, tc := range usage {
+		err := run(context.Background(), tc.args)
+		if err == nil {
+			t.Fatalf("%s should fail", tc.name)
+		}
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%s: %v is not a usageError", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "usage:") {
+			t.Fatalf("%s: %q does not print usage", tc.name, err)
+		}
 	}
-	if err := run(context.Background(), []string{"experiment"}); err == nil {
-		t.Fatal("experiment without id should fail")
+	// A well-formed invocation that fails operationally is not a usage
+	// error: scripts must be able to tell the two apart.
+	err := run(context.Background(), []string{"verify", "-archive", filepath.Join(t.TempDir(), "nope")})
+	if err == nil {
+		t.Fatal("verify over a missing dir should fail")
 	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("operational failure %v misclassified as usage error", err)
+	}
+	// -scale validation happens after flag parsing, inside the lab
+	// machinery — operational, not usage.
 	if err := run(context.Background(), []string{"list", "-scale", "bogus"}); err == nil {
 		t.Fatal("bogus scale should fail")
+	}
+}
+
+// TestPackUnpackSubcommands drives pack → unpack end to end through
+// run(): the restored archive must hold byte-identical snapshot files
+// and the same manifest hashes as the original.
+func TestPackUnpackSubcommands(t *testing.T) {
+	ctx := context.Background()
+	src := filepath.Join(t.TempDir(), "src")
+	ds, err := toplist.CreateDiskStore(src, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetScale("test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Expect("alexa", "umbrella"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"alexa", "umbrella"} {
+		for d := toplist.Day(0); d <= 2; d++ {
+			if err := ds.Put(p, d, toplist.New([]string{p + "-a.com", p + "-b.org"})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	packFile := filepath.Join(t.TempDir(), "src.pack")
+	if err := run(ctx, []string{"pack", "-archive", src, "-out", packFile}); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "dst")
+	if err := run(ctx, []string{"unpack", "-in", packFile, "-archive", dst}); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := toplist.OpenArchive(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Scale() != "test" {
+		t.Fatalf("restored scale %q", restored.Scale())
+	}
+	if want, got := ds.Expected(), restored.Expected(); len(got) != len(want) {
+		t.Fatalf("restored expected %v, want %v", got, want)
+	}
+	for _, p := range []string{"alexa", "umbrella"} {
+		for d := toplist.Day(0); d <= 2; d++ {
+			orig, err := os.ReadFile(filepath.Join(src, p, d.String()+".csv.gz"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := os.ReadFile(filepath.Join(dst, p, d.String()+".csv.gz"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(orig) != string(back) {
+				t.Fatalf("%s %s: restored file is not byte-identical", p, d)
+			}
+			if ds.RawHash(p, d) == "" || ds.RawHash(p, d) != restored.RawHash(p, d) {
+				t.Fatalf("%s %s: manifest hash %q != %q", p, d, restored.RawHash(p, d), ds.RawHash(p, d))
+			}
+		}
+	}
+	if err := run(ctx, []string{"verify", "-archive", dst}); err != nil {
+		t.Fatalf("verify over restored archive: %v", err)
+	}
+
+	// Packing a missing archive is operational (exit 1), not usage.
+	err = run(ctx, []string{"pack", "-archive", filepath.Join(src, "nope"), "-out", packFile + "2"})
+	if err == nil {
+		t.Fatal("pack over a missing archive should fail")
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("operational pack failure %v misclassified as usage error", err)
 	}
 }
 

@@ -1,0 +1,114 @@
+// Packed: publish an archive as one static file. Simulate the
+// ecosystem once persisting to a durable archive, pack it into a
+// single file, then read that file back two ways — from local disk,
+// and over HTTP Range requests from a plain static file server that
+// knows nothing about archives — and rerun an experiment against
+// each. No resimulation, no unpacking, byte-identical output.
+//
+// This is the distribution story: `toplists pack` turns the JOINT
+// dataset into something any object store or web host can serve, and
+// toplists.OpenPackURL turns any URL of it back into a full
+// toplists.Source.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	scale := toplists.TestScale()
+	scale.Population.Days = 21
+	scale.BurnInDays = 30
+
+	work := filepath.Join(os.TempDir(), fmt.Sprintf("toplists-packed-%d", os.Getpid()))
+	defer os.RemoveAll(work)
+	dir := filepath.Join(work, "joint")
+	packPath := filepath.Join(work, "joint.pack")
+
+	// Pass 1: simulate, teeing every snapshot into the durable store,
+	// and run the experiment for the reference output.
+	simLab := toplists.NewLab(
+		toplists.WithScale(scale),
+		toplists.WithArchiveDir(dir))
+	want, err := simLab.Run(ctx, "table5")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pack the archive into one file — what `toplists pack` does.
+	store, err := toplists.OpenArchive(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := toplists.WritePack(packPath, store); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(packPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packed %d providers x %d days into %s (%d bytes)\n",
+		len(store.Providers()), store.Days(), filepath.Base(packPath), info.Size())
+
+	// Read path 1: the packed file from local disk.
+	local, err := toplists.OpenPack(packPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer local.Close()
+	localRes, err := toplists.NewLab(
+		toplists.WithScale(scale),
+		toplists.WithSource(local)).Run(ctx, "table5")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read path 2: the same file behind a dumb static file server.
+	// http.FileServer just answers byte-range requests; every
+	// archive-aware thing happens client-side.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.FileServer(http.Dir(work))}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+	url := "http://" + ln.Addr().String() + "/joint.pack"
+	fmt.Printf("serving the pack as a static file at %s\n", url)
+
+	start := time.Now()
+	remote, err := toplists.OpenPackURL(ctx, url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened remote pack: scale %q, %d providers x %d days, %d snapshots\n",
+		remote.Scale(), len(remote.Providers()), remote.Days(), remote.Snapshots())
+	remoteRes, err := toplists.NewLab(
+		toplists.WithScale(scale),
+		toplists.WithSource(remote)).Run(ctx, "table5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(remoteRes.Render())
+	fmt.Printf("\nrange-read rerun took %v\n", time.Since(start).Round(time.Millisecond))
+
+	if want.Render() == localRes.Render() && want.Render() == remoteRes.Render() {
+		fmt.Println("outputs are byte-identical: one static file is a full archive backend.")
+	} else {
+		log.Fatal("outputs differ — the pack backend is broken")
+	}
+}

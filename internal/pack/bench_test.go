@@ -1,0 +1,136 @@
+package pack
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/archived"
+	"repro/internal/toplist"
+)
+
+// BenchmarkPackServe pins the claim the pack backend makes: a packed
+// archive served through archived is in the same performance class as
+// the DiskStore it was packed from, because both hand the server the
+// same raw gzip documents. Variants:
+//
+//   - pack/hot:  packed file behind archived, blob cache warm — the
+//     steady state of a daemon on -serve-pack.
+//   - pack/cold: packed file, effectively disabled blob cache — every
+//     request is a ReaderAt slice + hash check.
+//   - disk/hot:  the same data as a DiskStore, blob cache warm — the
+//     baseline archived already gates in BenchmarkArchiveServe.
+//   - disk/cold: DiskStore, cold blob cache — per-request file read +
+//     hash check, the apples-to-apples cold comparison.
+//
+// The hot variants should be near-identical (both serve from the blob
+// cache); the cold variants bound the pack's per-request overhead
+// (one pread from a single file vs one open+read of a per-slot file).
+func BenchmarkPackServe(b *testing.B) {
+	dir := b.TempDir()
+	store := benchStore(b, dir)
+	packPath := packStore(b, store)
+
+	for _, v := range []struct {
+		name string
+		src  func(b *testing.B) toplist.Source
+		opts []archived.Option
+	}{
+		{"pack/hot", func(b *testing.B) toplist.Source { return benchOpenPack(b, packPath) }, nil},
+		{"pack/cold", func(b *testing.B) toplist.Source { return benchOpenPack(b, packPath) }, []archived.Option{archived.WithBlobCache(1)}},
+		{"disk/hot", func(b *testing.B) toplist.Source { return benchReopen(b, dir) }, nil},
+		{"disk/cold", func(b *testing.B) toplist.Source { return benchReopen(b, dir) }, []archived.Option{archived.WithBlobCache(1)}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			ts := httptest.NewServer(archived.NewServer(v.src(b), v.opts...))
+			defer ts.Close()
+			paths := benchPaths(ts, store)
+			client := ts.Client()
+			for _, p := range paths { // warm caches and keepalives
+				benchFetch(b, client, p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchFetch(b, client, paths[i%len(paths)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+		})
+	}
+}
+
+// benchStore builds the serving corpus: 2 providers × 8 days × 1000
+// names, the same shape BenchmarkArchiveServe uses.
+func benchStore(b *testing.B, dir string) *toplist.DiskStore {
+	b.Helper()
+	const days, listSize = 8, 1000
+	store, err := toplist.CreateDiskStore(dir, 0, days-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, listSize)
+	for _, p := range []string{"alexa", "umbrella"} {
+		for d := 0; d < days; d++ {
+			for i := range names {
+				names[i] = fmt.Sprintf("%s-%d-site-%04d.example.com", p, d, i)
+			}
+			if err := store.Put(p, toplist.Day(d), toplist.New(names)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return store
+}
+
+func benchOpenPack(b *testing.B, path string) *Pack {
+	b.Helper()
+	p, err := OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	return p
+}
+
+func benchReopen(b *testing.B, dir string) *toplist.DiskStore {
+	b.Helper()
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+func benchPaths(ts *httptest.Server, src toplist.Source) []string {
+	var paths []string
+	for _, p := range src.Providers() {
+		for d := src.First(); d <= src.Last(); d++ {
+			if src.Get(p, d) != nil {
+				paths = append(paths, ts.URL+toplist.RemoteSnapshotPath(p, d))
+			}
+		}
+	}
+	return paths
+}
+
+func benchFetch(b *testing.B, c *http.Client, url string) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := c.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,170 @@
+// Package pack implements the packed archive format: a whole
+// multi-provider snapshot archive — the paper's JOINT dataset — as one
+// immutable file, readable through the same toplist.Source contract as
+// every other backend.
+//
+// A DiskStore keeps one gzip CSV per (provider, day); at production
+// horizons that is tens of thousands of files (a 10-year, 20-provider
+// ecosystem is ~73k), which filesystems, copies, and object stores all
+// handle badly. A pack file concatenates exactly those per-snapshot
+// documents into a single blob and appends a central directory that
+// doubles as the manifest, so the archive ships, replicates, and
+// verifies as one object:
+//
+//	offset 0        header   8-byte magic, format version baked in
+//	                blobs    per-(provider,day) gzip CSV snapshot
+//	                         documents, byte-identical to what a
+//	                         DiskStore stores and the wire API serves,
+//	                         concatenated in directory order
+//	size-40-dirLen  dir      JSON central directory: scale, day range,
+//	                         provider order, and one
+//	                         offset/length/content-hash record per slot
+//	size-40         footer   8-byte magic + directory offset, length,
+//	                         and content hash (sha256/128)
+//
+// Because every slot record carries the same content hash a DiskStore
+// manifest persists, a reader can verify any byte range it fetches
+// without trusting the transport — which is what makes the format
+// servable over dumb blob storage: pack.Open reads it from any
+// io.ReaderAt (a local file, mmap, a test buffer), and pack.OpenURL
+// reads it over plain HTTP Range requests from any static file server.
+// The directory is parsed eagerly; snapshot blobs are read lazily,
+// verified against their directory hash, and decoded through a bounded
+// LRU cache — the zip-VFS serving idea applied to snapshot archives.
+//
+// pack.Write builds the file from any toplist.Source (raw byte fast
+// path when the source is a toplist.RawSource); `toplists pack` /
+// `toplists unpack` round-trip a DiskStore through it byte-identically,
+// and `toplistd -serve-pack` serves one over the archive wire API
+// without unpacking.
+package pack
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/toplist"
+)
+
+// packMagic opens every pack file. The final byte is the format
+// version: a reader that does not recognise it must refuse the file
+// outright rather than guess at the layout.
+var packMagic = [8]byte{'T', 'L', 'P', 'A', 'C', 'K', 0, formatVersion}
+
+// footerMagic opens the fixed-size footer at the end of the file — the
+// trailer a reader locates first, since only the end of a pack file is
+// at a known offset.
+var footerMagic = [8]byte{'T', 'L', 'P', 'K', 'D', 'I', 'R', formatVersion}
+
+// formatVersion is the pack layout this build reads and writes.
+const formatVersion = 1
+
+// headerSize is the fixed prefix before the first blob.
+const headerSize = 8
+
+// footerSize is the fixed trailer: footerMagic, directory offset
+// (uint64 LE), directory length (uint64 LE), and the first 16 bytes of
+// the directory's SHA-256.
+const footerSize = 8 + 8 + 8 + 16
+
+// directoryVersion is the central-directory document version, checked
+// independently of the container magic (the JSON can evolve without
+// the byte layout changing).
+const directoryVersion = 1
+
+// ErrNotPack reports that the bytes handed to Open are not a pack file
+// this build understands — wrong magic, impossible geometry, or a
+// corrupt or unparseable central directory.
+var ErrNotPack = errors.New("pack: not a packed archive (or unsupported version)")
+
+// directory is the central directory at the tail of a pack file: the
+// archive manifest (scale, day range, provider order, expected
+// provider set) plus one locator record per stored snapshot. It is the
+// single source of truth a reader parses eagerly; everything else in
+// the file is reached lazily through it.
+type directory struct {
+	Version   int      `json:"version"`
+	Scale     string   `json:"scale,omitempty"`
+	FirstDay  string   `json:"first_day"`
+	LastDay   string   `json:"last_day"`
+	Providers []string `json:"providers"`          // insertion order
+	Expected  []string `json:"expected,omitempty"` // providers Complete requires
+	Snapshots []record `json:"snapshots"`
+}
+
+// record locates and authenticates one stored snapshot blob.
+type record struct {
+	Provider string `json:"provider"`
+	Day      string `json:"day"`
+	Offset   int64  `json:"offset"`
+	Length   int64  `json:"length"`
+	// Hash is toplist.ContentHash of the blob bytes — the same value a
+	// DiskStore manifest persists for the same document, and the wire
+	// ETag an archive server derives from it. Every read of the blob is
+	// checked against it.
+	Hash string `json:"hash"`
+}
+
+// encodeFooter renders the fixed trailer for a directory written at
+// dirOff covering dirLen bytes whose SHA-256 starts with dirHash.
+func encodeFooter(dirOff, dirLen int64, dirHash [16]byte) []byte {
+	buf := make([]byte, footerSize)
+	copy(buf, footerMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:], uint64(dirOff))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(dirLen))
+	copy(buf[24:], dirHash[:])
+	return buf
+}
+
+// parseFooter validates the trailer bytes and returns the directory
+// geometry. size is the whole file length, used to bound-check the
+// claimed offsets before anything is allocated or fetched — a corrupt
+// or hostile footer must fail here, cleanly, not via a huge allocation
+// or an out-of-range read.
+func parseFooter(buf []byte, size int64) (dirOff, dirLen int64, dirHash [16]byte, err error) {
+	if len(buf) != footerSize || !bytes.Equal(buf[:8], footerMagic[:]) {
+		return 0, 0, dirHash, fmt.Errorf("%w: bad footer", ErrNotPack)
+	}
+	off := binary.LittleEndian.Uint64(buf[8:])
+	n := binary.LittleEndian.Uint64(buf[16:])
+	// The directory must sit strictly between the header and the
+	// footer, and end exactly where the footer begins: uint64 arithmetic
+	// first, so overflowing values cannot sneak past the int64 casts.
+	if off < headerSize || n > uint64(size) || off > uint64(size) || off+n != uint64(size)-footerSize {
+		return 0, 0, dirHash, fmt.Errorf("%w: footer claims impossible directory geometry", ErrNotPack)
+	}
+	copy(dirHash[:], buf[24:])
+	return int64(off), int64(n), dirHash, nil
+}
+
+// parseDirectory authenticates and decodes the central directory,
+// returning it plus the parsed day range.
+func parseDirectory(raw []byte, wantHash [16]byte) (*directory, toplist.Day, toplist.Day, error) {
+	sum := sha256.Sum256(raw)
+	if !bytes.Equal(sum[:16], wantHash[:]) {
+		return nil, 0, 0, fmt.Errorf("%w: central directory does not match footer hash", ErrNotPack)
+	}
+	var dir directory
+	if err := json.Unmarshal(raw, &dir); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: central directory: %v", ErrNotPack, err)
+	}
+	if dir.Version != directoryVersion {
+		return nil, 0, 0, fmt.Errorf("%w: directory version %d (this build reads %d)", ErrNotPack, dir.Version, directoryVersion)
+	}
+	first, err := toplist.ParseDay(dir.FirstDay)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: bad first_day: %v", ErrNotPack, err)
+	}
+	last, err := toplist.ParseDay(dir.LastDay)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: bad last_day: %v", ErrNotPack, err)
+	}
+	if last < first {
+		return nil, 0, 0, fmt.Errorf("%w: last_day before first_day", ErrNotPack)
+	}
+	return &dir, first, last, nil
+}

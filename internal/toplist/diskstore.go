@@ -569,12 +569,42 @@ func (ds *DiskStore) memoizeCorrupt(key storeKey, hashWas string) {
 // decoded fine, or already known corrupt — are not re-read. Returns
 // the resulting Corrupt() listing.
 func (ds *DiskStore) Verify() []Snapshot {
+	return ds.VerifyReport().Corrupt
+}
+
+// VerifyReport is what a Verify sweep found, split by how much each
+// slot could be checked. A v1 store upgraded in place has no persisted
+// hashes, so its slots can only be decode-checked — operators deciding
+// whether raw serving is fully guarded need that count, not just the
+// corruption listing.
+type VerifyReport struct {
+	// HashVerified counts healthy slots checked against their persisted
+	// content hash (and decoded).
+	HashVerified int
+	// DecodeOnly counts healthy slots with no persisted hash — written
+	// before hashes existed — where only the gunzip+parse check could
+	// run. A rewrite (Put) upgrades them.
+	DecodeOnly int
+	// Corrupt lists the slots that failed either check, in Corrupt()
+	// order.
+	Corrupt []Snapshot
+}
+
+// VerifyReport runs the Verify sweep and reports what it could check:
+// hash-verified slots, decode-only (hashless v1-upgrade) slots, and
+// the corrupt listing. Verify() is this, keeping only the listing.
+func (ds *DiskStore) VerifyReport() VerifyReport {
 	ds.mu.RLock()
 	var slots []storeKey
+	hashed := make(map[storeKey]bool)
 	for _, p := range ds.man.Providers {
 		for i, present := range ds.present[p] {
 			if present {
-				slots = append(slots, storeKey{p, ds.first + Day(i)})
+				key := storeKey{p, ds.first + Day(i)}
+				slots = append(slots, key)
+				if ds.man.Hashes[p][key.day.String()] != "" {
+					hashed[key] = true
+				}
 			}
 		}
 	}
@@ -582,7 +612,21 @@ func (ds *DiskStore) Verify() []Snapshot {
 	for _, key := range slots {
 		ds.verifySlot(key)
 	}
-	return ds.Corrupt()
+	rep := VerifyReport{Corrupt: ds.Corrupt()}
+	bad := make(map[storeKey]bool, len(rep.Corrupt))
+	for _, s := range rep.Corrupt {
+		bad[storeKey{s.Provider, s.Day}] = true
+	}
+	for _, key := range slots {
+		switch {
+		case bad[key]:
+		case hashed[key]:
+			rep.HashVerified++
+		default:
+			rep.DecodeOnly++
+		}
+	}
+	return rep
 }
 
 // verifySlot checks one present snapshot and memoizes a failure; see

@@ -812,3 +812,62 @@ func TestOpenArchiveV1ManifestUpgrade(t *testing.T) {
 		t.Fatal("upgrade changed the wrong slots' hashes")
 	}
 }
+
+// TestVerifyReportCounts: the sweep's report splits healthy slots into
+// hash-verified and decode-only (hashless v1-upgrade) counts, excludes
+// corrupt slots from both, and Verify() stays the report's corrupt
+// listing.
+func TestVerifyReportCounts(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := CreateDiskStore(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := Day(0); d <= 2; d++ {
+		if err := ds.Put("alexa", d, New([]string{"a.com", "b.org"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strip day 0's hash from the manifest — the post-v1-upgrade state:
+	// present, decodable, but nothing to hash-check against.
+	manPath := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	hashes := fields["hashes"].(map[string]any)["alexa"].(map[string]any)
+	delete(hashes, Day(0).String())
+	stripped, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Rot day 2's file behind the store's back.
+	if err := os.WriteFile(filepath.Join(dir, "alexa", Day(2).String()+".csv.gz"), []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ds.VerifyReport()
+	if rep.HashVerified != 1 {
+		t.Fatalf("HashVerified = %d, want 1", rep.HashVerified)
+	}
+	if rep.DecodeOnly != 1 {
+		t.Fatalf("DecodeOnly = %d, want 1", rep.DecodeOnly)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0].Day != 2 {
+		t.Fatalf("Corrupt = %v, want alexa day 2", rep.Corrupt)
+	}
+	if got := ds.Verify(); len(got) != 1 || got[0] != rep.Corrupt[0] {
+		t.Fatalf("Verify() = %v, want the report's corrupt listing", got)
+	}
+}

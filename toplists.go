@@ -69,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/pack"
 	"repro/internal/providers"
 	"repro/internal/toplist"
 )
@@ -166,6 +167,40 @@ func OpenRemote(ctx context.Context, baseURL string, opts ...RemoteOption) (*Rem
 // handler.
 func ArchiveHandler(src Source) http.Handler {
 	return archived.NewServer(src)
+}
+
+// Pack is a packed archive: every snapshot of a DiskStore-style
+// archive in one file, read lazily through any io.ReaderAt — a local
+// file (OpenPack) or a static file server via HTTP Range requests
+// (OpenPackURL). It implements Source, so labs, analyses, and
+// ArchiveHandler serve from it unchanged and byte-identically.
+type Pack = pack.Pack
+
+// PackOption configures pack readers (decode cache size, HTTP client,
+// retry and chunking knobs for the Range backend).
+type PackOption = pack.Option
+
+// WritePack packs the archive src into a single file at path: gzip
+// snapshot documents back to back, indexed by a trailing directory of
+// per-slot offsets and content hashes. Stores that persist hashes
+// (DiskStore) are packed without re-encoding, and the write refuses
+// bytes that do not match their persisted hash. The file is written
+// atomically (temp + rename).
+func WritePack(path string, src Source) error { return pack.Write(path, src) }
+
+// OpenPack opens the packed archive file at path as a Source. The
+// directory is read eagerly (and checked against its hash); snapshots
+// are read lazily and every blob is verified against its directory
+// hash before it is served.
+func OpenPack(path string, opts ...PackOption) (*Pack, error) {
+	return pack.OpenFile(path, opts...)
+}
+
+// OpenPackURL opens a packed archive served by any static file server
+// at url, reading it through HTTP Range requests — no archive-aware
+// code on the remote side — with the retry discipline of OpenRemote.
+func OpenPackURL(ctx context.Context, url string, opts ...PackOption) (*Pack, error) {
+	return pack.OpenURL(ctx, url, opts...)
 }
 
 // Option configures the v2 entry points (Simulate, Stream, NewLab).
