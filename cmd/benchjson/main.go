@@ -20,6 +20,14 @@
 // nonzero if any metric regressed by more than -max-regress (a
 // fraction; default 0.30, generous enough to absorb shared-runner
 // noise). Improvements never fail the diff.
+//
+// -rename from=to (with -diff) renames the new artifact's benchmark
+// `from` to `to` before joining, dropping any entry already named
+// `to`. That turns the diff into a same-run A/B gate: comparing an
+// artifact against itself with "wrapped-variant=baseline" pins the
+// wrapped variant's overhead against the baseline measured in the same
+// run, immune to cross-machine noise. Names are matched after suffix
+// normalisation.
 package main
 
 import (
@@ -54,6 +62,8 @@ type document struct {
 func main() {
 	diffMode := flag.Bool("diff", false, "compare two benchmark artifacts instead of converting")
 	maxRegress := flag.Float64("max-regress", 0.30, "fractional regression tolerated per metric in -diff mode")
+	rename := flag.String("rename", "", "from=to: rename a benchmark in the new artifact before joining (-diff mode)")
+	metric := flag.String("metric", "", "compare only this metric, e.g. req/sec (-diff mode; default all)")
 	flag.Parse()
 
 	if *diffMode {
@@ -71,7 +81,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		regressions := diff(os.Stdout, old, cur, *maxRegress)
+		if *rename != "" {
+			from, to, ok := strings.Cut(*rename, "=")
+			if !ok || from == "" || to == "" {
+				fmt.Fprintln(os.Stderr, "benchjson: -rename wants from=to")
+				os.Exit(2)
+			}
+			if !renameResults(cur, from, to) {
+				fmt.Fprintf(os.Stderr, "benchjson: -rename: no benchmark %q in new artifact\n", from)
+				os.Exit(2)
+			}
+		}
+		regressions := diff(os.Stdout, old, cur, *maxRegress, *metric)
 		if regressions > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n", regressions, *maxRegress*100)
 			os.Exit(1)
@@ -118,6 +139,26 @@ func normalize(name string) string {
 	return procSuffix.ReplaceAllString(name, "")
 }
 
+// renameResults renames benchmarks matching from (normalised) to `to`
+// in doc, dropping entries already carrying the target name so the
+// renamed ones join cleanly. Reports whether anything matched.
+func renameResults(doc *document, from, to string) bool {
+	kept := doc.Results[:0]
+	renamed := false
+	for _, r := range doc.Results {
+		switch normalize(r.Name) {
+		case to:
+			continue // displaced by the renamed entry
+		case from:
+			r.Name = to
+			renamed = true
+		}
+		kept = append(kept, r)
+	}
+	doc.Results = kept
+	return renamed
+}
+
 // diffMetric describes one compared metric: its key in the Metrics map
 // and whether larger values are better.
 var diffMetrics = []struct {
@@ -133,8 +174,11 @@ var diffMetrics = []struct {
 // diff compares the common benchmarks of two artifacts and returns the
 // number of metrics regressed beyond maxRegress. Benchmarks or metrics
 // present on only one side are reported but never fail the diff — a
-// renamed variant should not brick CI.
-func diff(w io.Writer, old, cur *document, maxRegress float64) int {
+// renamed variant should not brick CI. A non-empty only restricts the
+// comparison to that one metric (the -metric flag): an A/B gate like
+// the middleware-overhead check cares about req/sec alone, where the
+// variants legitimately differ on allocation behavior.
+func diff(w io.Writer, old, cur *document, maxRegress float64, only string) int {
 	newByName := make(map[string]result, len(cur.Results))
 	for _, r := range cur.Results {
 		newByName[normalize(r.Name)] = r
@@ -150,6 +194,9 @@ func diff(w io.Writer, old, cur *document, maxRegress float64) int {
 			continue
 		}
 		for _, m := range diffMetrics {
+			if only != "" && m.key != only {
+				continue
+			}
 			ov, oOK := o.Metrics[m.key]
 			nv, nOK := n.Metrics[m.key]
 			if oOK != nOK {

@@ -36,7 +36,7 @@ func TestDiffPassesWithinThreshold(t *testing.T) {
 	cur := mkDoc(128, 18e6, 1900)
 	cur.Results[0].Name = "BenchmarkEngine/pipelined-4-4" // different runner class
 	var sb strings.Builder
-	if n := diff(&sb, old, cur, 0.30); n != 0 {
+	if n := diff(&sb, old, cur, 0.30, ""); n != 0 {
 		t.Fatalf("diff flagged %d regressions within threshold:\n%s", n, sb.String())
 	}
 }
@@ -45,7 +45,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	old := mkDoc(160, 15e6, 1800)
 	cur := mkDoc(100, 25e6, 6000) // all three metrics past 30%
 	var sb strings.Builder
-	if n := diff(&sb, old, cur, 0.30); n != 3 {
+	if n := diff(&sb, old, cur, 0.30, ""); n != 3 {
 		t.Fatalf("diff flagged %d regressions, want 3:\n%s", n, sb.String())
 	}
 }
@@ -54,7 +54,7 @@ func TestDiffImprovementsNeverFail(t *testing.T) {
 	old := mkDoc(160, 15e6, 1800)
 	cur := mkDoc(400, 4e6, 300) // large improvements everywhere
 	var sb strings.Builder
-	if n := diff(&sb, old, cur, 0.30); n != 0 {
+	if n := diff(&sb, old, cur, 0.30, ""); n != 0 {
 		t.Fatalf("diff flagged %d improvements as regressions:\n%s", n, sb.String())
 	}
 }
@@ -63,7 +63,7 @@ func TestDiffSkipsMissingBenchmarks(t *testing.T) {
 	old := mkDoc(160, 15e6, 1800)
 	cur := &document{Results: []result{{Name: "BenchmarkEngine/renamed-2", Metrics: map[string]float64{"days/sec": 1}}}}
 	var sb strings.Builder
-	if n := diff(&sb, old, cur, 0.30); n != 0 {
+	if n := diff(&sb, old, cur, 0.30, ""); n != 0 {
 		t.Fatalf("missing counterpart must skip, not fail: %d", n)
 	}
 	if !strings.Contains(sb.String(), "only in old artifact") {
@@ -104,11 +104,52 @@ func TestDiffReportsMissingMetrics(t *testing.T) {
 	delete(cur.Results[0].Metrics, "B/op")
 	delete(cur.Results[0].Metrics, "allocs/op")
 	var sb strings.Builder
-	if n := diff(&sb, old, cur, 0.30); n != 0 {
+	if n := diff(&sb, old, cur, 0.30, ""); n != 0 {
 		t.Fatalf("missing metrics must skip, not fail: %d\n%s", n, sb.String())
 	}
 	out := sb.String()
 	if !strings.Contains(out, "B/op") || !strings.Contains(out, "missing from new artifact") {
 		t.Fatalf("missing-metric not reported:\n%s", out)
+	}
+}
+
+// TestRenameResults: -rename turns the diff into a same-run A/B gate —
+// the wrapped variant takes the baseline's name (displacing the
+// baseline entry in the new artifact) and is compared against the
+// baseline measured in the old artifact.
+func TestRenameResults(t *testing.T) {
+	mk := func(hot, wrapped float64) *document {
+		return &document{Results: []result{
+			{Name: "BenchmarkServe/raw/hot-4", Metrics: map[string]float64{"req/sec": hot}},
+			{Name: "BenchmarkServe/raw/middleware-4", Metrics: map[string]float64{"req/sec": wrapped}},
+		}}
+	}
+
+	cur := mk(1000, 970) // 3% overhead
+	if !renameResults(cur, "BenchmarkServe/raw/middleware", "BenchmarkServe/raw/hot") {
+		t.Fatal("rename matched nothing")
+	}
+	if len(cur.Results) != 1 || normalize(cur.Results[0].Name) != "BenchmarkServe/raw/hot" {
+		t.Fatalf("rename left %+v", cur.Results)
+	}
+	if cur.Results[0].Metrics["req/sec"] != 970 {
+		t.Fatal("rename kept the displaced baseline instead of the wrapped variant")
+	}
+	var sb strings.Builder
+	if n := diff(&sb, mk(1000, 970), cur, 0.05, "req/sec"); n != 0 {
+		t.Fatalf("3%% overhead flagged at a 5%% gate:\n%s", sb.String())
+	}
+
+	// 8% overhead fails the same gate.
+	cur = mk(1000, 920)
+	renameResults(cur, "BenchmarkServe/raw/middleware", "BenchmarkServe/raw/hot")
+	sb.Reset()
+	if n := diff(&sb, mk(1000, 920), cur, 0.05, "req/sec"); n != 1 {
+		t.Fatalf("8%% overhead passed a 5%% gate (%d):\n%s", n, sb.String())
+	}
+
+	// Unknown source name reports failure.
+	if renameResults(mk(1, 1), "BenchmarkServe/nope", "BenchmarkServe/raw/hot") {
+		t.Fatal("rename of a missing benchmark reported success")
 	}
 }

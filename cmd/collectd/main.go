@@ -20,10 +20,15 @@
 // are logged and recollected from the publisher or the peer, so a
 // damaged archive heals instead of silently serving bad slots.
 //
+// With -metrics-addr, the collector serves the shared /metrics
+// exposition (internal/serve) on a second listener: collection passes,
+// snapshots stored, gaps observed, and gaps filled from the peer, so a
+// collector fleet is observable the same way the publishers are.
+//
 // Usage:
 //
 //	collectd -url http://host:8080 -out archive [-once] [-interval 1h]
-//	         [-peer http://other:8080] [-verify]
+//	         [-peer http://other:8080] [-verify] [-metrics-addr :9090]
 package main
 
 import (
@@ -32,13 +37,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 	"time"
 
 	"repro/internal/listserv"
+	"repro/internal/serve"
 	"repro/internal/toplist"
 )
 
@@ -57,13 +62,41 @@ func run(args []string, logw io.Writer) error {
 	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
 	peer := fs.String("peer", "", "archive wire API base URL to fill publication gaps from")
 	verify := fs.Bool("verify", false, "integrity-sweep the existing archive before collecting")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(logw, "collectd: ", log.LstdFlags)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := serve.SignalContext(context.Background())
 	defer stop()
+
+	m := serve.NewMetrics()
+	st := &stats{
+		collected: m.Counter("collectd_snapshots_collected_total", "Snapshots fetched from the publisher and stored."),
+		gaps:      m.Counter("collectd_gaps_observed_total", "Publisher 404s recorded as publication gaps."),
+		gapFills:  m.Counter("collectd_gap_fills_total", "Gaps filled from the peer archive."),
+	}
+	passes := m.Counter("collectd_passes_total", "Collection passes completed.")
+	failures := m.Counter("collectd_pass_failures_total", "Collection passes that failed.")
+
+	var daemonErr chan error
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", m.Handler())
+		d := &serve.Daemon{
+			Addr:    *metricsAddr,
+			Handler: serve.Chain(mux, m.Instrument(serve.RouteLabel), serve.Recover(logger, m)),
+			Logger:  logger,
+		}
+		addr, err := d.Listen()
+		if err != nil {
+			return err
+		}
+		logger.Printf("metrics on http://%s/metrics", addr)
+		daemonErr = make(chan error, 1)
+		go func() { daemonErr <- d.Run(ctx) }()
+	}
 
 	var recollect map[toplist.Snapshot]bool
 	if *verify {
@@ -73,28 +106,40 @@ func run(args []string, logw io.Writer) error {
 		}
 	}
 	client := listserv.NewClient(*url, listserv.WithFormat(listserv.FormatZip))
-
-	if _, err := collectOnce(ctx, client, *outDir, *peer, recollect, logger); err != nil {
-		return err
-	}
-	if *once {
+	pass := func(ctx context.Context, recollect map[toplist.Snapshot]bool) error {
+		_, err := collectOnce(ctx, client, *outDir, *peer, recollect, logger, st)
+		if err != nil {
+			failures.Add(1)
+			return err
+		}
+		passes.Add(1)
 		return nil
 	}
-	t := time.NewTicker(*interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			logger.Print("stopping")
-			return nil
-		case <-t.C:
-			if _, err := collectOnce(ctx, client, *outDir, *peer, nil, logger); err != nil {
-				// A failed pass is not fatal in follow mode: the next
-				// tick retries, like a cron-driven collector.
-				logger.Printf("pass failed: %v", err)
+
+	err := pass(ctx, recollect)
+	if err == nil && !*once {
+		// A failed pass is not fatal in follow mode: the next tick
+		// retries, like a cron-driven collector.
+		serve.Poll(ctx, *interval, func(ctx context.Context) {
+			if perr := pass(ctx, nil); perr != nil {
+				logger.Printf("pass failed: %v", perr)
 			}
+		})
+		logger.Print("stopping")
+	}
+	if daemonErr != nil {
+		stop() // -once: release the metrics daemon too
+		if derr := <-daemonErr; derr != nil && err == nil {
+			err = derr
 		}
 	}
+	return err
+}
+
+// stats are the collector's domain counters on /metrics. A nil *stats
+// (tests calling collectOnce directly) counts nothing.
+type stats struct {
+	collected, gaps, gapFills *serve.Counter
 }
 
 // collectOnce downloads every published snapshot not yet on disk and
@@ -107,7 +152,7 @@ func run(args []string, logw io.Writer) error {
 // another's archive. Slots in recollect are refetched even though the
 // store already has them: that is how a -verify sweep's corrupt
 // findings get repaired (Put over a corrupt slot heals it).
-func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, recollect map[toplist.Snapshot]bool, logger *log.Logger) (int, error) {
+func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, recollect map[toplist.Snapshot]bool, logger *log.Logger, st *stats) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
 		return 0, err
@@ -149,9 +194,16 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL s
 			written++
 		}
 	}
+	if st != nil {
+		st.collected.Add(int64(written))
+		st.gaps.Add(int64(len(gaps)))
+	}
 	if len(gaps) > 0 && peerURL != "" {
 		n, err := fillFromPeer(ctx, peerURL, store, gaps, logger)
 		written += n
+		if st != nil {
+			st.gapFills.Add(int64(n))
+		}
 		if err != nil {
 			// Peer trouble never fails the pass: the publisher's data
 			// is safely stored, and the next pass retries the gaps.

@@ -5,10 +5,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/archived"
 	"repro/internal/engine"
@@ -87,7 +93,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
 
-	n, err := collectOnce(ctx, client, dir, "", nil, quiet())
+	n, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +101,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 		t.Fatalf("wrote %d, want 2", n)
 	}
 	// Re-running collects nothing new.
-	n, err = collectOnce(ctx, client, dir, "", nil, quiet())
+	n, err = collectOnce(ctx, client, dir, "", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +110,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	}
 	// Publisher advances two days; the collector catches up.
 	gk.Advance(2)
-	n, err = collectOnce(ctx, client, dir, "", nil, quiet())
+	n, err = collectOnce(ctx, client, dir, "", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +142,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 func TestCollectedSnapshotsRoundTrip(t *testing.T) {
 	ts, arch, _ := publisher(t, 1)
 	dir := t.TempDir()
-	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet()); err != nil {
+	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet(), nil); err != nil {
 		t.Fatal(err)
 	}
 	store, err := toplist.OpenArchive(dir)
@@ -163,7 +169,7 @@ func TestCollectOnceRecordsGapsWithoutFailing(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet())
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +188,87 @@ func TestRunOnceMode(t *testing.T) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.csv.gz"))
 	if len(matches) == 0 {
 		t.Fatal("once mode wrote nothing")
+	}
+}
+
+// lockedBuffer lets the metrics test read run's log output while run
+// is still writing to it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestRunServesMetrics: with -metrics-addr the collector exposes its
+// pass/snapshot counters on a second listener while following.
+func TestRunServesMetrics(t *testing.T) {
+	ts, _, _ := publisher(t, 2)
+	dir := t.TempDir()
+	var buf lockedBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-url", ts.URL, "-out", dir,
+			"-interval", "1h", "-metrics-addr", "127.0.0.1:0"}, &buf)
+	}()
+
+	// The daemon logs its bound address; wait for it.
+	re := regexp.MustCompile(`metrics on (http://[^/\s]+/metrics)`)
+	var metricsURL string
+	deadline := time.Now().Add(10 * time.Second)
+	for metricsURL == "" && time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			metricsURL = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if metricsURL == "" {
+		t.Fatalf("metrics address never logged:\n%s", buf.String())
+	}
+
+	// The first pass runs concurrently; wait for its counters to land.
+	var body string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(metricsURL)
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			if strings.Contains(body, "collectd_passes_total 1") {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(body, "collectd_passes_total 1") {
+		t.Fatalf("pass counter missing from exposition:\n%s", body)
+	}
+	if !strings.Contains(body, "collectd_snapshots_collected_total") {
+		t.Fatalf("snapshot counter missing from exposition:\n%s", body)
+	}
+
+	// SIGTERM stops the follow loop and the metrics daemon cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop on SIGTERM")
 	}
 }
 
@@ -214,7 +301,7 @@ func TestCollectOnceFillsGapsFromPeer(t *testing.T) {
 	defer peer.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, nil, quiet())
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +334,7 @@ func TestCollectOnceSurvivesDeadPeer(t *testing.T) {
 
 	dir := t.TempDir()
 	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir,
-		"http://127.0.0.1:1", nil, quiet())
+		"http://127.0.0.1:1", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +352,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
-	if _, err := collectOnce(ctx, client, dir, "", nil, quiet()); err != nil {
+	if _, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Rot one collected snapshot on disk.
@@ -282,7 +369,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 		t.Fatalf("verify sweep found %v, want {%v}", recollect, want)
 	}
 	// Without the recollect set the slot is skipped as present...
-	n, err := collectOnce(ctx, client, dir, "", nil, quiet())
+	n, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +377,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 		t.Fatalf("pass without recollect wrote %d, want 0", n)
 	}
 	// ...with it, the corrupt slot is refetched and healed.
-	n, err = collectOnce(ctx, client, dir, "", recollect, quiet())
+	n, err = collectOnce(ctx, client, dir, "", recollect, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,35 +12,45 @@
 // -live-interval): nothing is visible at startup, each finished day is
 // published the moment its snapshots exist, and a Mirror pointed at
 // the daemon experiences a real longitudinal collection against a
-// still-running simulation. The engine's day pipeline keeps working
-// while publication paces: when EndDay waits on the interval ticker,
-// the next day ranks and the one after steps, bounded at one day per
-// stage — so each tick publishes a day that is typically already
-// generated, and a cancelled daemon stops the engine at the next stage
-// boundary rather than simulating unpublishable days.
+// still-running simulation.
 //
 // With -archive, no simulation runs at all: the daemon reopens a
 // durable archive previously saved by `toplists -save` (or any
-// toplist.DiskStore producer) and serves it straight from disk.
-//
-// With -serve-pack, the daemon serves a packed single-file archive
-// (written by `toplists pack`) the same way — snapshots are read
-// lazily out of the pack and each blob is verified against its
-// directory hash before it is served.
+// toplist.DiskStore producer) and serves it straight from disk. With
+// -serve-pack, it serves a packed single-file archive (written by
+// `toplists pack`) the same way.
 //
 // With -serve-archive, the daemon additionally mounts the structured
 // archive wire API (internal/archived) under /archive/v1 beside the
 // provider-style routes, so remote consumers can reopen the served
-// archive as a toplist.Source with toplist.OpenRemote and run analyses
-// against it without any local copy. In -live mode the wire API sees
-// the same day-by-day visibility as the CSV routes: days appear in its
-// manifest as they are published.
+// archive as a toplist.Source with toplist.OpenRemote.
+//
+// Every mode runs on the shared serving core (internal/serve):
+//
+//   - /metrics exposes per-route request counts, latency histograms,
+//     bytes served, an in-flight gauge, and the load-shed counter in
+//     Prometheus text format.
+//   - -limit bounds concurrent requests; excess load is shed with
+//     503 + Retry-After instead of queueing.
+//   - In -archive and -serve-pack modes the served source is held in a
+//     serve.SwappableSource: SIGHUP — or, with -reload-poll, a change
+//     to the archive's mtime — reopens the store and swaps it in with
+//     zero dropped requests (in-flight reads finish on the old
+//     generation). Reload a regrown archive or a repacked file without
+//     restarting the daemon.
+//   - Shutdown is graceful: SIGINT/SIGTERM stop accepting connections,
+//     in-flight requests drain (bounded by a deadline), then the
+//     process exits.
 //
 // Usage:
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
 //	         [-workers N] [-live] [-live-interval 2s] [-archive DIR]
-//	         [-serve-pack FILE] [-serve-archive]
+//	         [-serve-pack FILE] [-serve-archive] [-limit N]
+//	         [-reload-poll D] [-access-log=false]
+//
+// Exit status: 0 on success, 2 for invocation errors (unknown flags,
+// bad flag combos — usage is printed), 1 for operational failures.
 package main
 
 import (
@@ -48,12 +58,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
+	"path/filepath"
 	"time"
 
 	"repro/internal/archived"
@@ -61,18 +70,60 @@ import (
 	"repro/internal/listserv"
 	"repro/internal/pack"
 	"repro/internal/population"
+	"repro/internal/serve"
 	"repro/internal/toplist"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "toplistd:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+const usage = `usage: toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
+                [-workers N] [-live] [-live-interval 2s] [-archive DIR]
+                [-serve-pack FILE] [-serve-archive] [-limit N]
+                [-reload-poll D] [-access-log=false]`
+
+// usageError is an invocation mistake — unknown flags, bad flag combos
+// — as opposed to an operational failure. main prints it with the
+// usage synopsis and exits 2; everything else exits 1, so scripts and
+// process supervisors can tell "you called it wrong" from "it ran and
+// failed" (the same split cmd/toplists has).
+type usageError struct {
+	msg string
+}
+
+func (e *usageError) Error() string { return e.msg + "\n" + usage }
+
+func badUsage(format string, a ...any) *usageError {
+	return &usageError{msg: fmt.Sprintf(format, a...)}
+}
+
+// config is the parsed, validated flag set.
+type config struct {
+	addr         string
+	scale        core.Scale
+	live         bool
+	liveInterval time.Duration
+	archiveDir   string
+	servePack    string
+	serveArchive bool
+	limit        int
+	reloadPoll   time.Duration
+	accessLog    bool
+}
+
+// parseFlags parses and cross-validates the invocation. Every error it
+// returns is a usageError.
+func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("toplistd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are reported through usageError
 	addr := fs.String("addr", ":8080", "listen address")
 	scaleName := fs.String("scale", "test", "simulation scale: test or default")
 	seed := fs.Uint64("seed", 1, "root seed")
@@ -83,14 +134,29 @@ func run(args []string, out *os.File) error {
 	archiveDir := fs.String("archive", "", "serve a saved archive from this directory (no simulation)")
 	servePack := fs.String("serve-pack", "", "serve a packed archive file (no simulation)")
 	serveArchive := fs.Bool("serve-archive", false, "also mount the archive wire API under "+toplist.RemoteAPIPrefix)
+	limit := fs.Int("limit", 1024, "max concurrent requests before shedding with 503 (0 = unlimited)")
+	reloadPoll := fs.Duration("reload-poll", 0, "watch the served archive for changes and hot-reload (0 = SIGHUP only)")
+	accessLog := fs.Bool("access-log", true, "log one line per request")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, badUsage("%v", err)
+	}
+	if fs.NArg() > 0 {
+		return nil, badUsage("unexpected argument %q", fs.Arg(0))
 	}
 	if *archiveDir != "" && *servePack != "" {
-		return fmt.Errorf("-archive and -serve-pack are mutually exclusive")
+		return nil, badUsage("-archive and -serve-pack are mutually exclusive")
 	}
 	if (*archiveDir != "" || *servePack != "") && *live {
-		return fmt.Errorf("-live cannot serve a saved archive")
+		return nil, badUsage("-live cannot serve a saved archive")
+	}
+	if *reloadPoll < 0 {
+		return nil, badUsage("-reload-poll must be >= 0")
+	}
+	if *reloadPoll > 0 && *archiveDir == "" && *servePack == "" {
+		return nil, badUsage("-reload-poll needs -archive or -serve-pack (a simulated source has nothing to reload)")
+	}
+	if *limit < 0 {
+		return nil, badUsage("-limit must be >= 0")
 	}
 
 	scale := core.TestScale()
@@ -99,7 +165,7 @@ func run(args []string, out *os.File) error {
 	case "default":
 		scale = core.DefaultScale()
 	default:
-		return fmt.Errorf("unknown scale %q (want test or default)", *scaleName)
+		return nil, badUsage("unknown scale %q (want test or default)", *scaleName)
 	}
 	scale.Population.Seed = *seed
 	scale.Workers = *workers
@@ -107,131 +173,210 @@ func run(args []string, out *os.File) error {
 		scale.Population.Days = *days
 	}
 
-	log.SetOutput(out)
+	return &config{
+		addr:         *addr,
+		scale:        scale,
+		live:         *live,
+		liveInterval: *liveInterval,
+		archiveDir:   *archiveDir,
+		servePack:    *servePack,
+		serveArchive: *serveArchive,
+		limit:        *limit,
+		reloadPoll:   *reloadPoll,
+		accessLog:    *accessLog,
+	}, nil
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+// composition is the assembled serving surface: one mux behind the
+// standard middleware chain, plus the lifecycle hooks the daemon runs
+// (live generation, reload).
+type composition struct {
+	handler    http.Handler
+	metrics    *serve.Metrics
+	source     toplist.Source // what -serve-archive exposes
+	background []func(context.Context)
+	reload     func() error           // nil when the mode has nothing to reload
+	stamp      func() (string, error) // fingerprint for -reload-poll
+	closeFn    func() error           // releases the current backend on exit
+}
 
-	var (
-		handler *listserv.Server
-		source  toplist.Source // what -serve-archive exposes
-		liveRun func()
-		simDays int
-	)
+func (c *composition) close() error {
+	if c.closeFn != nil {
+		return c.closeFn()
+	}
+	return nil
+}
+
+// build assembles the serving composition for cfg: source per mode,
+// both route families on one mux, /metrics, and the middleware chain.
+func build(ctx context.Context, cfg *config, logger *log.Logger) (*composition, error) {
+	comp := &composition{metrics: serve.NewMetrics()}
+	mux := http.NewServeMux()
+	reloads := comp.metrics.Counter("toplistd_reloads_total", "Successful hot reloads of the served source.")
+
 	switch {
-	case *archiveDir != "":
+	case cfg.archiveDir != "":
 		// Serve a durable archive straight from disk — no world, no
-		// engine, no resimulation.
-		store, err := toplist.OpenArchive(*archiveDir)
+		// engine, no resimulation. The store sits in a swappable holder
+		// so a reload can reopen a regrown archive in place.
+		store, err := toplist.OpenArchive(cfg.archiveDir)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if missing := store.Missing(); len(missing) > 0 {
-			log.Printf("warning: archive %s has %d missing snapshots", *archiveDir, len(missing))
+			logger.Printf("warning: archive %s has %d missing snapshots", cfg.archiveDir, len(missing))
 		}
-		handler = listserv.NewServer(store)
-		source = store
-		log.Printf("archive %s ready: %d providers x %d days (served from disk)",
-			*archiveDir, len(store.Providers()), store.Days())
-	case *servePack != "":
+		swap := serve.NewSwappableSource(store)
+		gk := listserv.NewGatekeeper(swap, store.Last())
+		listserv.NewServerAt(gk, listserv.WithMux(mux))
+		comp.source = swap
+		comp.stamp = serve.FileStamp(filepath.Join(cfg.archiveDir, "manifest.json"))
+		comp.reload = func() error {
+			next, err := toplist.OpenArchive(cfg.archiveDir)
+			if err != nil {
+				return err
+			}
+			swap.Swap(next)
+			gk.Advance(next.Last())
+			reloads.Add(1)
+			logger.Printf("archive %s reloaded: %d providers x %d days",
+				cfg.archiveDir, len(next.Providers()), next.Days())
+			return nil
+		}
+		logger.Printf("archive %s ready: %d providers x %d days (served from disk)",
+			cfg.archiveDir, len(store.Providers()), store.Days())
+
+	case cfg.servePack != "":
 		// Serve a packed single-file archive: the same Source contract,
-		// read lazily out of one file.
-		p, err := pack.OpenFile(*servePack)
+		// read lazily out of one file. A reload reopens the file (a
+		// repack writes a new inode via rename) and swaps it in; the
+		// old pack is left to in-flight readers and reclaimed when the
+		// last reference is dropped.
+		p, err := pack.OpenFile(cfg.servePack)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		defer p.Close()
-		handler = listserv.NewServer(p)
-		source = p
-		log.Printf("pack %s ready: %d providers x %d days, %d snapshots (served from one file, %d bytes)",
-			*servePack, len(p.Providers()), p.Days(), p.Snapshots(), p.Size())
+		swap := serve.NewSwappableSource(p)
+		gk := listserv.NewGatekeeper(swap, p.Last())
+		listserv.NewServerAt(gk, listserv.WithMux(mux))
+		comp.source = swap
+		comp.stamp = serve.FileStamp(cfg.servePack)
+		comp.reload = func() error {
+			next, err := pack.OpenFile(cfg.servePack)
+			if err != nil {
+				return err
+			}
+			swap.Swap(next)
+			gk.Advance(next.Last())
+			reloads.Add(1)
+			logger.Printf("pack %s reloaded: %d providers x %d days, %d snapshots",
+				cfg.servePack, len(next.Providers()), next.Days(), next.Snapshots())
+			return nil
+		}
+		comp.closeFn = func() error {
+			if cl, ok := swap.Load().(io.Closer); ok {
+				return cl.Close()
+			}
+			return nil
+		}
+		logger.Printf("pack %s ready: %d providers x %d days, %d snapshots (served from one file, %d bytes)",
+			cfg.servePack, len(p.Providers()), p.Days(), p.Snapshots(), p.Size())
+
 	default:
-		log.Printf("building world at scale %q (seed %d)...", *scaleName, *seed)
-		world, eng, err := core.NewEngine(scale)
+		logger.Printf("building world at scale %q (seed %d)...", cfg.scale.Name, cfg.scale.Population.Seed)
+		world, eng, err := core.NewEngine(cfg.scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		simDays = scale.Population.Days
+		simDays := cfg.scale.Population.Days
 		arch := toplist.NewArchive(0, toplist.Day(simDays-1))
 		arch.Expect(eng.Providers()...)
 
 		// In live mode nothing is visible yet and days stream in as the
 		// engine produces them; otherwise materialise everything first.
 		gk := listserv.NewGatekeeper(arch, -1)
-		if !*live {
+		if !cfg.live {
 			if err := eng.Run(ctx, simDays, arch); err != nil {
-				return err
+				return nil, err
 			}
 			if missing := arch.Missing(); len(missing) > 0 {
-				return fmt.Errorf("engine left %d snapshots missing", len(missing))
+				return nil, fmt.Errorf("engine left %d snapshots missing", len(missing))
 			}
 			gk.Advance(arch.Last())
-			log.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
+			logger.Printf("archive ready: %d providers x %d days", len(arch.Providers()), arch.Days())
 		} else {
-			liveRun = func() {
-				sink := newLiveSink(ctx, gk, *liveInterval)
+			comp.background = append(comp.background, func(ctx context.Context) {
+				sink := newLiveSink(ctx, gk, cfg.liveInterval, logger)
 				defer sink.stop()
 				if err := eng.Run(ctx, simDays, sink); err != nil && ctx.Err() == nil {
-					log.Printf("live generation failed: %v", err)
+					logger.Printf("live generation failed: %v", err)
 					return
 				}
-				log.Printf("live generation complete: %d days published", simDays)
-			}
+				logger.Printf("live generation complete: %d days published", simDays)
+			})
 		}
-		handler = listserv.NewServerAt(gk).WithZones(worldZones{world})
+		listserv.NewServerAt(gk, listserv.WithMux(mux)).WithZones(worldZones{world})
 		// The wire API sees exactly what the CSV routes see: in live
 		// mode the gatekeeper's visibility frontier, otherwise the
 		// fully materialised archive.
-		source = gk.View()
+		comp.source = gk.View()
 	}
 
-	var root http.Handler = handler
-	if *serveArchive {
-		root = withArchiveAPI(handler, source)
-		log.Printf("archive wire API mounted at %s", toplist.RemoteAPIPrefix)
+	if cfg.serveArchive {
+		archived.NewServer(comp.source, archived.WithMux(mux))
+		logger.Printf("archive wire API mounted at %s", toplist.RemoteAPIPrefix)
 	}
+	mux.Handle("GET /metrics", comp.metrics.Handler())
 
-	srv := &http.Server{
-		Handler:           root,
-		ReadHeaderTimeout: 10 * time.Second,
+	var accessLogger *log.Logger
+	if cfg.accessLog {
+		accessLogger = logger
 	}
+	comp.handler = serve.Chain(mux,
+		comp.metrics.Instrument(serve.RouteLabel),
+		serve.AccessLog(accessLogger),
+		serve.Limit(cfg.limit, comp.metrics),
+		serve.Recover(logger, comp.metrics),
+	)
+	return comp, nil
+}
 
-	ln, err := net.Listen("tcp", *addr)
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on http://%s/v1/index", ln.Addr())
-
-	if liveRun != nil {
-		go liveRun()
+	if out == nil {
+		out = io.Discard
 	}
+	logger := log.New(out, "", log.LstdFlags)
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
 
-	select {
-	case err := <-errc:
-		if errors.Is(err, http.ErrServerClosed) {
-			return nil
-		}
+	comp, err := build(ctx, cfg, logger)
+	if err != nil {
 		return err
-	case <-ctx.Done():
-		log.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutdownCtx)
 	}
-}
+	defer comp.close()
 
-// withArchiveAPI mounts the structured archive wire API
-// (internal/archived, under /archive/v1) beside the provider-style
-// publication routes, so one daemon serves both humans-and-mirrors CSV
-// downloads and archive-to-archive replication.
-func withArchiveAPI(h http.Handler, src toplist.Source) http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle(toplist.RemoteAPIPrefix+"/", archived.NewServer(src))
-	mux.Handle("/", h)
-	return mux
+	background := comp.background
+	if comp.reload != nil {
+		background = append(background, serve.Reloader(cfg.reloadPoll, comp.stamp, comp.reload, logger))
+	}
+
+	daemon := &serve.Daemon{
+		Addr:       cfg.addr,
+		Handler:    comp.handler,
+		Logger:     logger,
+		Background: background,
+	}
+	addr, err := daemon.Listen()
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving on http://%s/v1/index", addr)
+	return daemon.Run(ctx)
 }
 
 // worldZones publishes the simulated world's day-0 com/net/org zone
@@ -256,10 +401,11 @@ type liveSink struct {
 	ctx    context.Context
 	gk     *listserv.Gatekeeper
 	ticker *time.Ticker
+	logger *log.Logger
 }
 
-func newLiveSink(ctx context.Context, gk *listserv.Gatekeeper, interval time.Duration) *liveSink {
-	return &liveSink{ctx: ctx, gk: gk, ticker: time.NewTicker(interval)}
+func newLiveSink(ctx context.Context, gk *listserv.Gatekeeper, interval time.Duration, logger *log.Logger) *liveSink {
+	return &liveSink{ctx: ctx, gk: gk, ticker: time.NewTicker(interval), logger: logger}
 }
 
 func (s *liveSink) stop() { s.ticker.Stop() }
@@ -278,6 +424,6 @@ func (s *liveSink) EndDay(day toplist.Day) error {
 	case <-s.ticker.C:
 	}
 	s.gk.Advance(day)
-	log.Printf("published day %v", day)
+	s.logger.Printf("published day %v", day)
 	return nil
 }

@@ -2,7 +2,14 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,24 +17,58 @@ import (
 	"repro/internal/toplist"
 )
 
-func TestRunFlagErrors(t *testing.T) {
-	if err := run([]string{"-scale", "bogus"}, nil); err == nil {
-		t.Fatal("bogus scale should fail")
+func discard() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestErrorClasses: invocation mistakes are usageErrors (main exits 2),
+// operational failures are plain errors (main exits 1).
+func TestErrorClasses(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		wantUsage bool
+	}{
+		{"unknown flag", []string{"-notaflag"}, true},
+		{"positional arg", []string{"stray"}, true},
+		{"bogus scale", []string{"-scale", "bogus"}, true},
+		{"archive and pack", []string{"-archive", "x", "-serve-pack", "y"}, true},
+		{"archive and live", []string{"-archive", "x", "-live"}, true},
+		{"pack and live", []string{"-serve-pack", "y", "-live"}, true},
+		{"reload-poll without source", []string{"-reload-poll", "1s"}, true},
+		{"negative reload-poll", []string{"-archive", "x", "-reload-poll", "-1s"}, true},
+		{"negative limit", []string{"-limit", "-1"}, true},
+		{"missing pack file", []string{"-serve-pack", "/does/not/exist.pack", "-addr", "127.0.0.1:0"}, false},
+		{"missing archive dir", []string{"-archive", "/does/not/exist", "-addr", "127.0.0.1:0"}, false},
 	}
-	if err := run([]string{"-addr", "256.0.0.1:http:nope"}, nil); err == nil {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, nil)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var ue *usageError
+			if got := errors.As(err, &ue); got != tc.wantUsage {
+				t.Fatalf("usageError = %v (err %v), want %v", got, err, tc.wantUsage)
+			}
+		})
+	}
+}
+
+func TestRunBadListenAddrIsOperational(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("alexa", 0, toplist.New([]string{"a.com"})); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-archive", dir, "-addr", "256.0.0.1:http:nope"}, nil)
+	if err == nil {
 		t.Fatal("bad address should fail")
 	}
-	if err := run([]string{"-notaflag"}, nil); err == nil {
-		t.Fatal("unknown flag should fail")
-	}
-	if err := run([]string{"-archive", "x", "-serve-pack", "y"}, nil); err == nil {
-		t.Fatal("-archive with -serve-pack should fail")
-	}
-	if err := run([]string{"-serve-pack", "y", "-live"}, nil); err == nil {
-		t.Fatal("-serve-pack with -live should fail")
-	}
-	if err := run([]string{"-serve-pack", "/does/not/exist.pack", "-addr", "127.0.0.1:0"}, nil); err == nil {
-		t.Fatal("missing pack file should fail")
+	var ue *usageError
+	if errors.As(err, &ue) {
+		t.Fatalf("listen failure classified as usage error: %v", err)
 	}
 }
 
@@ -37,7 +78,7 @@ func TestLiveSinkStreamsAndPublishes(t *testing.T) {
 	gk := listserv.NewGatekeeper(arch, -1)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	sink := newLiveSink(ctx, gk, time.Millisecond)
+	sink := newLiveSink(ctx, gk, time.Millisecond, discard())
 	defer sink.stop()
 	for d := toplist.Day(0); d <= 3; d++ {
 		if err := sink.Put("alexa", d, toplist.New([]string{"a.com"})); err != nil {
@@ -64,7 +105,7 @@ func TestLiveSinkStopsOnCancel(t *testing.T) {
 	gk := listserv.NewGatekeeper(arch, -1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	sink := newLiveSink(ctx, gk, time.Hour)
+	sink := newLiveSink(ctx, gk, time.Hour, discard())
 	defer sink.stop()
 	done := make(chan error, 1)
 	go func() { done <- sink.EndDay(0) }()
@@ -78,18 +119,40 @@ func TestLiveSinkStopsOnCancel(t *testing.T) {
 	}
 }
 
-// TestArchiveAPIMountsBesideCSVRoutes: with -serve-archive both
-// surfaces share one daemon — the provider-style CSV routes keep
-// working and the wire API serves the same source to OpenRemote.
-func TestArchiveAPIMountsBesideCSVRoutes(t *testing.T) {
-	arch := toplist.NewArchive(0, 1)
-	for d := toplist.Day(0); d <= 1; d++ {
-		if err := arch.Put("alexa", d, toplist.New([]string{"a.com", "b.org"})); err != nil {
+// buildArchive creates a small on-disk archive and returns the open
+// writer handle (for regrowing it mid-test) and its directory.
+func buildArchive(t *testing.T, last toplist.Day) (*toplist.DiskStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := toplist.Day(0); d <= last; d++ {
+		names := []string{fmt.Sprintf("day%d.com", d), "stable.org", "example.net"}
+		if err := ds.Put("alexa", d, toplist.New(names)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	root := withArchiveAPI(listserv.NewServer(arch), arch)
-	ts := httptest.NewServer(root)
+	return ds, dir
+}
+
+// TestArchiveAPIMountsBesideCSVRoutes: with -serve-archive both
+// surfaces share one daemon — the provider-style CSV routes keep
+// working, the wire API serves the same source to OpenRemote, and
+// /metrics reports the traffic.
+func TestArchiveAPIMountsBesideCSVRoutes(t *testing.T) {
+	_, dir := buildArchive(t, 1)
+	cfg, err := parseFlags([]string{"-archive", dir, "-serve-archive", "-access-log=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := build(context.Background(), cfg, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.close()
+	ts := httptest.NewServer(comp.handler)
 	defer ts.Close()
 
 	// Provider-style route still answers.
@@ -110,8 +173,230 @@ func TestArchiveAPIMountsBesideCSVRoutes(t *testing.T) {
 		t.Fatalf("remote days = %d, want 2", remote.Days())
 	}
 	got := remote.Get("alexa", 1)
-	want := arch.Get("alexa", 1)
-	if got == nil || got.Len() != want.Len() || got.Name(1) != want.Name(1) {
-		t.Fatalf("remote snapshot = %v, want %v", got, want)
+	if got == nil || got.Len() != 3 || got.Name(2) != "stable.org" {
+		t.Fatalf("remote snapshot = %v", got)
+	}
+
+	// The middleware saw all of it.
+	if n := comp.metrics.RequestCount("/v1/index"); n == 0 {
+		t.Fatal("metrics recorded no /v1/index requests")
+	}
+	if n := comp.metrics.RequestCount("/archive/v1/snapshots"); n == 0 {
+		t.Fatal("metrics recorded no wire-API snapshot requests")
+	}
+}
+
+func get(t *testing.T, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHotSwapUnderLoad is the swap-under-load guarantee: while readers
+// hammer both the CSV routes and the wire API through a real socket,
+// the on-disk archive is regrown and hot-reloaded repeatedly. No
+// request may fail, no body may be torn, and a day-0 snapshot must be
+// byte-identical before, during, and after every swap.
+func TestHotSwapUnderLoad(t *testing.T) {
+	writer, dir := buildArchive(t, 1)
+	cfg, err := parseFlags([]string{"-archive", dir, "-serve-archive", "-access-log=false", "-limit", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := build(context.Background(), cfg, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.close()
+	ts := httptest.NewServer(comp.handler)
+	defer ts.Close()
+	client := ts.Client()
+
+	urls := []string{
+		ts.URL + "/v1/index",
+		ts.URL + "/v1/alexa/2017-06-06/top-1m.csv",
+		ts.URL + "/v1/alexa/2017-06-06/top-1m.csv.gz",
+		ts.URL + toplist.RemoteAPIPrefix + "/snapshots/alexa/" + toplist.Day(0).String(),
+		ts.URL + toplist.RemoteManifestPath(),
+		ts.URL + "/metrics",
+	}
+	// Day 0 is never touched by the regrow, so its bytes must be stable
+	// across every swap. (/v1/index and the manifest legitimately change.)
+	stable := map[string][]byte{}
+	for _, u := range urls[1:4] {
+		status, body := get(t, client, u)
+		if status != http.StatusOK {
+			t.Fatalf("GET %s = %d", u, status)
+		}
+		stable[u] = body
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var requests atomic.Int64
+	errc := make(chan string, 1)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for n := 0; ctx.Err() == nil; n++ {
+				u := urls[(worker+n)%len(urls)]
+				resp, err := client.Get(u)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					failures.Add(1)
+					select {
+					case errc <- fmt.Sprintf("GET %s: %v", u, err):
+					default:
+					}
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				msg := ""
+				switch {
+				case err != nil:
+					msg = fmt.Sprintf("GET %s read: %v", u, err)
+				case resp.StatusCode >= 500:
+					msg = fmt.Sprintf("GET %s = %d during swap", u, resp.StatusCode)
+				default:
+					if want, ok := stable[u]; ok && string(body) != string(want) {
+						msg = fmt.Sprintf("GET %s: torn/stale body (%d bytes, want %d)", u, len(body), len(want))
+					}
+				}
+				if msg != "" {
+					failures.Add(1)
+					select {
+					case errc <- msg:
+					default:
+					}
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Regrow the archive on disk and hot-swap it in, repeatedly, while
+	// the readers run.
+	const swaps = 10
+	for i := 1; i <= swaps; i++ {
+		day := toplist.Day(1 + i)
+		if err := writer.ExtendTo(day); err != nil {
+			t.Fatal(err)
+		}
+		if err := writer.Put("alexa", day, toplist.New([]string{fmt.Sprintf("day%d.com", day), "stable.org"})); err != nil {
+			t.Fatal(err)
+		}
+		if err := comp.reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d reader failures, first: %s", n, <-errc)
+	}
+	if requests.Load() == 0 {
+		t.Fatal("hammer made no requests")
+	}
+
+	// The reload was observable: the CSV index and the wire API both see
+	// the regrown window.
+	idx, err := listserv.NewClient(ts.URL).Index(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + swaps; idx.Days != want {
+		t.Fatalf("index days after reloads = %d, want %d", idx.Days, want)
+	}
+	status, body := get(t, client, ts.URL+toplist.RemoteAPIPrefix+"/snapshots/alexa/"+toplist.Day(1+swaps).String())
+	if status != http.StatusOK {
+		t.Fatalf("new day over wire API = %d (%s)", status, body)
+	}
+	if n := comp.metrics.RequestCount("/v1/snapshot"); n == 0 {
+		t.Fatal("metrics recorded no snapshot requests")
+	}
+}
+
+// TestLoadShedding: a saturated limiter sheds with 503 + Retry-After
+// and counts it, instead of queueing without bound. The single slot is
+// held deterministically: the first request's body is far larger than
+// the socket buffers and the client refuses to read it, so its handler
+// blocks mid-write while the second request arrives.
+func TestLoadShedding(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 300_000)
+	for i := range names {
+		names[i] = fmt.Sprintf("filler-%06d.example.com", i)
+	}
+	if err := ds.Put("alexa", 0, toplist.New(names)); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseFlags([]string{"-archive", dir, "-access-log=false", "-limit", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := build(context.Background(), cfg, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp.close()
+	ts := httptest.NewServer(comp.handler)
+	defer ts.Close()
+
+	// Occupy the only slot: ~8MB of CSV cannot fit in kernel buffers,
+	// so the handler stays blocked in Write until we read the body.
+	slow, err := ts.Client().Get(ts.URL + "/v1/alexa/2017-06-06/top-1m.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Body.Close()
+	if slow.StatusCode != http.StatusOK {
+		t.Fatalf("slot-holding request = %d", slow.StatusCode)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated limiter returned %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if comp.metrics.ShedCount() == 0 {
+		t.Fatal("shed counter did not move")
+	}
+
+	// Draining the slot readmits traffic.
+	if _, err := io.Copy(io.Discard, slow.Body); err != nil {
+		t.Fatal(err)
+	}
+	slow.Body.Close()
+	status, _ := get(t, ts.Client(), ts.URL+"/v1/index")
+	if status != http.StatusOK {
+		t.Fatalf("after drain: %d, want 200", status)
 	}
 }

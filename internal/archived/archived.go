@@ -51,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	servecore "repro/internal/serve"
 	"repro/internal/toplist"
 )
 
@@ -78,7 +79,6 @@ type scaler interface {
 // blob it ever served.
 type Server struct {
 	src toplist.Source
-	raw toplist.RawSource // non-nil when src supports the fast path (and it is not disabled)
 	mux *http.ServeMux
 
 	noRaw bool // WithoutRawFastPath
@@ -87,6 +87,21 @@ type Server struct {
 	blobs    map[blobKey]*blobEntry
 	order    *list.List // LRU: front = most recent; values are blobKey
 	capacity int
+}
+
+// view resolves the source this request is served from — a stable
+// per-request snapshot when src is a serve.SwappableSource — and its
+// raw fast path (nil when the snapshot is not a RawSource, or the fast
+// path is disabled). Resolving once per request means a hot swap
+// landing mid-request cannot tear it: the manifest's day range, the
+// blob bytes, and the ETag all come from one archive generation.
+func (s *Server) view() (toplist.Source, toplist.RawSource) {
+	src := servecore.Snapshot(s.src)
+	if s.noRaw {
+		return src, nil
+	}
+	raw, _ := src.(toplist.RawSource)
+	return src, raw
 }
 
 type blobKey struct {
@@ -138,6 +153,13 @@ func WithoutRawFastPath() Option {
 	return func(s *Server) { s.noRaw = true }
 }
 
+// WithMux registers the wire-API routes on an injected mux instead of
+// a private one, so a daemon can compose this API, the provider-style
+// CSV routes, and /metrics on one mux behind one middleware chain.
+func WithMux(mux *http.ServeMux) Option {
+	return func(s *Server) { s.mux = mux }
+}
+
 // NewServer builds the handler serving src under
 // toplist.RemoteAPIPrefix. Mount it at the host root (the prefix is
 // part of every route), beside other handlers if desired — cmd/toplistd
@@ -147,7 +169,6 @@ func WithoutRawFastPath() Option {
 func NewServer(src toplist.Source, opts ...Option) *Server {
 	s := &Server{
 		src:      src,
-		mux:      http.NewServeMux(),
 		blobs:    make(map[blobKey]*blobEntry),
 		order:    list.New(),
 		capacity: 256,
@@ -155,10 +176,8 @@ func NewServer(src toplist.Source, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	if !s.noRaw {
-		if rs, ok := src.(toplist.RawSource); ok {
-			s.raw = rs
-		}
+	if s.mux == nil {
+		s.mux = http.NewServeMux()
 	}
 	s.mux.HandleFunc("GET "+toplist.RemoteManifestPath(), s.handleManifest)
 	s.mux.HandleFunc("GET "+toplist.RemoteDaysPath(), s.handleDays)
@@ -176,15 +195,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // read once, so the document is self-consistent even when an Advance
 // or ExtendTo lands mid-build.
 func (s *Server) Manifest() toplist.RemoteManifest {
-	first, last := s.src.First(), s.src.Last()
+	src, _ := s.view()
+	first, last := src.First(), src.Last()
 	man := toplist.RemoteManifest{
 		Version:   toplist.RemoteAPIVersion,
 		FirstDay:  first.String(),
 		LastDay:   last.String(),
 		Days:      toplist.DayCount(first, last),
-		Providers: s.src.Providers(),
+		Providers: src.Providers(),
 	}
-	if sc, ok := s.src.(scaler); ok {
+	if sc, ok := src.(scaler); ok {
 		man.Scale = sc.Scale()
 	}
 	if man.Providers == nil {
@@ -215,8 +235,9 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
+	src, _ := s.view()
 	days := []string{}
-	first, last := s.src.First(), s.src.Last()
+	first, last := src.First(), src.Last()
 	for d := first; d <= last; d++ {
 		days = append(days, d.String())
 	}
@@ -224,7 +245,8 @@ func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
-	providers := s.src.Providers()
+	src, _ := s.view()
+	providers := src.Providers()
 	if providers == nil {
 		providers = []string{}
 	}
@@ -238,13 +260,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad date: "+r.PathValue("day"), http.StatusBadRequest)
 		return
 	}
+	src, raw := s.view()
 	// Raw fast path: the store has the wire bytes and their persisted
 	// hash — serve a verbatim copy, no decode, no encode. The hash
 	// probe is what routes: "" means absent or written before hashes
 	// existed, both of which the decode path below answers.
-	if s.raw != nil {
-		if hash := s.raw.RawHash(provider, day); hash != "" {
-			b, err := s.rawBlobFor(provider, day, hash)
+	if raw != nil {
+		if hash := raw.RawHash(provider, day); hash != "" {
+			b, err := s.rawBlobFor(raw, provider, day, hash)
 			switch {
 			case err == nil:
 				s.serveBlob(w, r, day, b)
@@ -267,7 +290,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	list := s.src.Get(provider, day)
+	list := src.Get(provider, day)
 	if list == nil {
 		// Absent and corrupt are the same status on this path:
 		// Source.Get is nil for both, and the client memoizes the nil
@@ -315,7 +338,7 @@ var errRawRaced = errors.New("archived: raw read raced a store write")
 // read error — including the store refusing a corrupt slot — is not
 // memoized here (the store memoizes its own verdicts, so re-probes are
 // cheap and a repair is picked up immediately).
-func (s *Server) rawBlobFor(provider string, day toplist.Day, hash string) (*blobEntry, error) {
+func (s *Server) rawBlobFor(rs toplist.RawSource, provider string, day toplist.Day, hash string) (*blobEntry, error) {
 	key := blobKey{provider, day}
 	s.mu.Lock()
 	if e, ok := s.blobs[key]; ok && e.hash == hash {
@@ -327,7 +350,7 @@ func (s *Server) rawBlobFor(provider string, day toplist.Day, hash string) (*blo
 	e := s.installLocked(key, &blobEntry{hash: hash, ready: make(chan struct{})})
 	s.mu.Unlock()
 
-	raw, err := s.raw.GetRaw(provider, day)
+	raw, err := rs.GetRaw(provider, day)
 	if err == nil && raw == nil {
 		err = errRawRaced
 	}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	servecore "repro/internal/serve"
 	"repro/internal/toplist"
 )
 
@@ -26,23 +27,37 @@ import (
 //     over the decoded list (DiskStore decode cache is warm — this is
 //     the encoder cost alone, the exact work the raw path deletes).
 //   - raw/parallel: fast path, hot cache, concurrent readers.
+//   - raw/middleware: raw/hot behind the full production middleware
+//     chain (metrics, access log, limiter, recovery) — CI diffs it
+//     against raw/hot to gate the chain's overhead at <5% req/sec.
 //
 // The acceptance bar is raw ≥ 2x req/sec and ≤ 1/4 B/op of encode on
 // warm DiskStore-backed serving — compare the cold variants, where
 // each request does per-request work on both paths; the hot variants
 // both serve from the blob cache and differ little by construction.
 func BenchmarkArchiveServe(b *testing.B) {
+	middleware := func(h http.Handler) http.Handler {
+		m := servecore.NewMetrics()
+		return servecore.Chain(h,
+			m.Instrument(servecore.RouteLabel),
+			servecore.AccessLog(nil),
+			servecore.Limit(1024, m),
+			servecore.Recover(nil, m),
+		)
+	}
 	for _, v := range []struct {
 		name string
 		opts []Option
+		wrap func(http.Handler) http.Handler
 	}{
-		{"raw/hot", nil},
-		{"raw/cold", []Option{WithBlobCache(1)}},
-		{"encode/hot", []Option{WithoutRawFastPath()}},
-		{"encode/cold", []Option{WithoutRawFastPath(), WithBlobCache(1)}},
+		{"raw/hot", nil, nil},
+		{"raw/cold", []Option{WithBlobCache(1)}, nil},
+		{"encode/hot", []Option{WithoutRawFastPath()}, nil},
+		{"encode/cold", []Option{WithoutRawFastPath(), WithBlobCache(1)}, nil},
+		{"raw/middleware", nil, middleware},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			ts, paths := benchServer(b, v.opts)
+			ts, paths := benchServer(b, v.opts, v.wrap)
 			client, fetch := benchFetcher(b, ts)
 			warmServe(b, client, fetch, paths)
 			b.ReportAllocs()
@@ -55,7 +70,7 @@ func BenchmarkArchiveServe(b *testing.B) {
 		})
 	}
 	b.Run("raw/parallel", func(b *testing.B) {
-		ts, paths := benchServer(b, nil)
+		ts, paths := benchServer(b, nil, nil)
 		client, fetch := benchFetcher(b, ts)
 		warmServe(b, client, fetch, paths)
 		b.ReportAllocs()
@@ -73,9 +88,9 @@ func BenchmarkArchiveServe(b *testing.B) {
 }
 
 // benchServer builds a cold-reopened DiskStore (2 providers × 8 days ×
-// 1000 names) and serves it; returns the server and every snapshot
-// URL.
-func benchServer(b *testing.B, opts []Option) (*httptest.Server, []string) {
+// 1000 names) and serves it — optionally behind a middleware wrap —
+// and returns the server plus every snapshot URL.
+func benchServer(b *testing.B, opts []Option, wrap func(http.Handler) http.Handler) (*httptest.Server, []string) {
 	b.Helper()
 	const days, listSize = 8, 1000
 	providers := []string{"alexa", "umbrella"}
@@ -100,7 +115,11 @@ func benchServer(b *testing.B, opts []Option) (*httptest.Server, []string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ts := httptest.NewServer(NewServer(store, opts...))
+	var handler http.Handler = NewServer(store, opts...)
+	if wrap != nil {
+		handler = wrap(handler)
+	}
+	ts := httptest.NewServer(handler)
 	b.Cleanup(ts.Close)
 	var paths []string
 	for _, p := range providers {

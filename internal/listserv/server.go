@@ -20,6 +20,7 @@ import (
 	"archive/zip"
 	"bytes"
 	"compress/gzip"
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -30,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/toplist"
 )
 
@@ -96,20 +98,31 @@ type Index struct {
 // the snapshot's publication instant, so conditional requests and
 // range requests behave like a static-file host — which is what the
 // real providers use.
+//
+// Encoded snapshot documents are kept in a bounded single-flight LRU
+// (WithBlobCache) keyed by (provider, day, format) and validated by
+// the identity of the immutable list they encode — so a hot-swapped
+// Source (serve.SwappableSource) or a repairing DiskStore Put yields a
+// different list pointer, misses, and is re-encoded instead of served
+// stale.
 type Server struct {
 	archive *Gatekeeper
 	mux     *http.ServeMux
 
-	mu    sync.Mutex
-	cache map[blobKey]blob
+	mu       sync.Mutex
+	cache    map[blobKey]*blobEntry
+	order    *list.List // LRU: front = most recent; values are blobKey
+	capacity int
 }
 
 // Gatekeeper mediates read access to an archive source, so a Server
 // can also publish a still-growing collection: visibility limits which
 // days readers see, mimicking a provider that publishes one file per
 // day. The source may be any toplist.Source — an in-memory Archive, a
-// DiskStore reopened from a previous run, or a store still being
-// written.
+// DiskStore reopened from a previous run, a store still being written,
+// or a serve.SwappableSource so the served archive can be hot-swapped;
+// every read resolves a per-call snapshot of the source, so a swap
+// never tears a read.
 type Gatekeeper struct {
 	mu      sync.RWMutex
 	archive toplist.Source
@@ -170,47 +183,50 @@ func (v gateView) Get(provider string, day toplist.Day) *toplist.List {
 	return v.g.get(provider, day)
 }
 
-func (v gateView) First() toplist.Day { return v.g.archive.First() }
+func (v gateView) First() toplist.Day { return serve.Snapshot(v.g.archive).First() }
 
 // Last returns the newest published day, clamped to the backing
 // archive's range. Before the first Advance it sits below First —
 // callers observe an empty (zero-day) source, and toplist.Remote
 // handles that range explicitly.
 func (v gateView) Last() toplist.Day {
+	src := serve.Snapshot(v.g.archive)
 	v.g.mu.RLock()
 	defer v.g.mu.RUnlock()
 	last := v.g.visible
-	if last > v.g.archive.Last() {
-		last = v.g.archive.Last()
+	if last > src.Last() {
+		last = src.Last()
 	}
 	return last
 }
 
 func (v gateView) Days() int { return toplist.DayCount(v.First(), v.Last()) }
 
-func (v gateView) Providers() []string { return v.g.archive.Providers() }
+func (v gateView) Providers() []string { return serve.Snapshot(v.g.archive).Providers() }
 
 func (g *Gatekeeper) get(provider string, day toplist.Day) *toplist.List {
+	src := serve.Snapshot(g.archive)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if day > g.visible {
 		return nil
 	}
-	return g.archive.Get(provider, day)
+	return src.Get(provider, day)
 }
 
 func (g *Gatekeeper) index() Index {
+	src := serve.Snapshot(g.archive)
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	last := g.visible
-	if last > g.archive.Last() {
-		last = g.archive.Last()
+	if last > src.Last() {
+		last = src.Last()
 	}
 	return Index{
-		Providers: toplist.SortedProviders(g.archive),
-		FirstDay:  g.archive.First().String(),
+		Providers: toplist.SortedProviders(src),
+		FirstDay:  src.First().String(),
 		LastDay:   last.String(),
-		Days:      int(last-g.archive.First()) + 1,
+		Days:      int(last-src.First()) + 1,
 	}
 }
 
@@ -225,18 +241,67 @@ type blob struct {
 	etag string
 }
 
+// blobEntry is one encoded snapshot document slot: filled once outside
+// the lock, waited on by concurrent requests for the same document
+// (single-flight), validated against the immutable list it encodes so
+// a swapped or repaired slot misses instead of serving stale bytes.
+type blobEntry struct {
+	list  *toplist.List // the list these bytes encode — the cache validator
+	ready chan struct{} // closed once data/etag (or err) are final
+	data  []byte
+	etag  string
+	err   error
+	elem  *list.Element
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMux registers the server's routes on an injected mux instead of
+// a private one, so a daemon can compose the CSV publication routes,
+// the archive wire API, and /metrics on one mux behind one middleware
+// chain. The server still implements http.Handler (serving the same
+// mux) either way.
+func WithMux(mux *http.ServeMux) Option {
+	return func(s *Server) { s.mux = mux }
+}
+
+// WithBlobCache bounds the encoded-document LRU to n entries (default
+// 256). Each entry holds one encoded snapshot document; the bound is
+// what keeps a long-running publisher's memory at the readers' working
+// set rather than every document it ever served.
+func WithBlobCache(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.capacity = n
+		}
+	}
+}
+
 // NewServer publishes every day of the archive source immediately —
-// hand it an in-memory Archive or a toplist.DiskStore reopened from
-// disk; the HTTP surface is identical either way.
-func NewServer(archive toplist.Source) *Server {
-	return NewServerAt(NewGatekeeper(archive, archive.Last()))
+// hand it an in-memory Archive, a toplist.DiskStore reopened from
+// disk, or a serve.SwappableSource holding either; the HTTP surface is
+// identical either way.
+func NewServer(archive toplist.Source, opts ...Option) *Server {
+	return NewServerAt(NewGatekeeper(archive, archive.Last()), opts...)
 }
 
 // NewServerAt publishes through a Gatekeeper, letting the caller
 // control day-by-day visibility (see Mirror tests for the live-
 // collection scenario).
-func NewServerAt(g *Gatekeeper) *Server {
-	s := &Server{archive: g, mux: http.NewServeMux(), cache: make(map[blobKey]blob)}
+func NewServerAt(g *Gatekeeper, opts ...Option) *Server {
+	s := &Server{
+		archive:  g,
+		cache:    make(map[blobKey]*blobEntry),
+		order:    list.New(),
+		capacity: 256,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.mux == nil {
+		s.mux = http.NewServeMux()
+	}
 	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
 	s.mux.HandleFunc("GET /v1/{provider}/{day}/{file}", s.handleSnapshot)
 	return s
@@ -304,24 +369,61 @@ func parseFileName(name string) (Format, bool) {
 	}
 }
 
-func (s *Server) blobFor(provider string, day toplist.Day, format Format, list *toplist.List) (blob, error) {
+// blobFor returns the encoded document for l, reusing the cached
+// encoding only while the source still serves the same immutable list
+// for the slot — a hot swap or repairing Put yields a new list, so the
+// stale entry is replaced, never served. Encodes are single-flight:
+// concurrent cold requests for one document share one Encode pass.
+func (s *Server) blobFor(provider string, day toplist.Day, format Format, l *toplist.List) (*blobEntry, error) {
 	key := blobKey{provider, day, format}
 	s.mu.Lock()
-	b, ok := s.cache[key]
-	s.mu.Unlock()
-	if ok {
-		return b, nil
+	if e, ok := s.cache[key]; ok && e.list == l {
+		s.order.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		// Encode failures are not memoized: the failing entry was
+		// dropped and the next request retries.
+		return e, e.err
 	}
-	data, err := Encode(list, format)
+	e := &blobEntry{list: l, ready: make(chan struct{})}
+	if old, ok := s.cache[key]; ok {
+		s.order.Remove(old.elem)
+	}
+	e.elem = s.order.PushFront(key)
+	s.cache[key] = e
+	for len(s.cache) > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		evict := back.Value.(blobKey)
+		s.order.Remove(back)
+		delete(s.cache, evict)
+	}
+	s.mu.Unlock()
+
+	data, err := Encode(l, format)
 	if err != nil {
-		return blob{}, err
+		e.err = err
+		s.dropEntry(key, e)
+		close(e.ready)
+		return nil, err
 	}
 	sum := sha256.Sum256(data)
-	b = blob{data: data, etag: `"` + hex.EncodeToString(sum[:16]) + `"`}
+	e.data, e.etag = data, `"`+hex.EncodeToString(sum[:16])+`"`
+	close(e.ready)
+	return e, nil
+}
+
+// dropEntry removes e from the cache after a failed fill, if it is
+// still the entry for key (eviction or replacement may have raced).
+func (s *Server) dropEntry(key blobKey, e *blobEntry) {
 	s.mu.Lock()
-	s.cache[key] = b
+	if cur, ok := s.cache[key]; ok && cur == e {
+		delete(s.cache, key)
+		s.order.Remove(e.elem)
+	}
 	s.mu.Unlock()
-	return b, nil
 }
 
 // Encode serialises a list in the given publication format.

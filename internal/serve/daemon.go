@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Daemon is the shared HTTP-daemon lifecycle: listen, serve, and on
+// context cancellation drain gracefully — in-flight requests complete
+// (bounded by ShutdownTimeout), new connections are refused, and only
+// then does Run return. Background tasks (live generation, reload
+// watchers, collection loops) run beside the server and are cancelled
+// and awaited as part of shutdown. cmd/toplistd and cmd/collectd both
+// run on it instead of wiring listeners and signal handling by hand.
+type Daemon struct {
+	// Addr is the listen address, ":8080" style. Ignored once Listen
+	// was called explicitly.
+	Addr string
+	// Handler serves every request (typically a Chain around a mux).
+	Handler http.Handler
+	// Logger receives lifecycle messages; nil silences them.
+	Logger *log.Logger
+	// ShutdownTimeout bounds the graceful drain (default 5s); when it
+	// expires remaining connections are hard-closed.
+	ShutdownTimeout time.Duration
+	// ReadHeaderTimeout guards against slowloris clients (default 10s).
+	ReadHeaderTimeout time.Duration
+	// Background tasks run for the daemon's lifetime; they must return
+	// promptly when their context is cancelled, and Run waits for them.
+	Background []func(context.Context)
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Listen binds the daemon's listener (idempotent), so callers can
+// learn the bound address — ":0" tests, "serving on ..." logs —
+// before Run.
+func (d *Daemon) Listen() (net.Addr, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln == nil {
+		ln, err := net.Listen("tcp", d.Addr)
+		if err != nil {
+			return nil, err
+		}
+		d.ln = ln
+	}
+	return d.ln.Addr(), nil
+}
+
+// Run serves until ctx is cancelled or the listener fails, then drains
+// and returns. A clean drain returns nil; exceeding ShutdownTimeout
+// returns the drain error after hard-closing the remaining
+// connections.
+func (d *Daemon) Run(ctx context.Context) error {
+	if _, err := d.Listen(); err != nil {
+		return err
+	}
+	readHeader := d.ReadHeaderTimeout
+	if readHeader == 0 {
+		readHeader = 10 * time.Second
+	}
+	srv := &http.Server{Handler: d.Handler, ReadHeaderTimeout: readHeader}
+
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	defer bgCancel()
+	var wg sync.WaitGroup
+	for _, bg := range d.Background {
+		wg.Add(1)
+		go func(fn func(context.Context)) {
+			defer wg.Done()
+			fn(bgCtx)
+		}(bg)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(d.ln) }()
+
+	select {
+	case err := <-errc:
+		bgCancel()
+		wg.Wait()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		d.logf("shutting down")
+		timeout := d.ShutdownTimeout
+		if timeout == 0 {
+			timeout = 5 * time.Second
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		if err != nil {
+			srv.Close()
+			err = fmt.Errorf("serve: drain deadline exceeded: %w", err)
+		}
+		bgCancel()
+		wg.Wait()
+		return err
+	}
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logger != nil {
+		d.Logger.Printf(format, args...)
+	}
+}
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM — the
+// stop-signal wiring shared by the daemons.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Poll invokes fn every interval until ctx is cancelled — the follow
+// loop shared by cmd/collectd and any other tick-driven task. fn is
+// responsible for its own error handling; Poll just paces.
+func Poll(ctx context.Context, interval time.Duration, fn func(context.Context)) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fn(ctx)
+		}
+	}
+}
+
+// Reloader returns a Daemon background task that invokes reload on
+// SIGHUP and — when poll > 0 — whenever stamp's value changes (an
+// mtime/size fingerprint of the served archive, checked every poll).
+// The signal is armed immediately, before the task runs, so a HUP
+// delivered between construction and Run is not lost. Reload failures
+// are logged and the previous source keeps serving; a poll-triggered
+// reload only advances the remembered stamp when the reload succeeds,
+// so a transiently failing reload is retried on the next tick.
+func Reloader(poll time.Duration, stamp func() (string, error), reload func() error, logger *log.Logger) func(context.Context) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	logf := func(format string, args ...any) {
+		if logger != nil {
+			logger.Printf(format, args...)
+		}
+	}
+	return func(ctx context.Context) {
+		defer signal.Stop(hup)
+		last := ""
+		if stamp != nil {
+			if s, err := stamp(); err == nil {
+				last = s
+			}
+		}
+		var tick <-chan time.Time
+		if poll > 0 && stamp != nil {
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if err := reload(); err != nil {
+					logf("reload (SIGHUP) failed, keeping current source: %v", err)
+					continue
+				}
+				if stamp != nil {
+					if s, err := stamp(); err == nil {
+						last = s
+					}
+				}
+				logf("reloaded on SIGHUP")
+			case <-tick:
+				s, err := stamp()
+				if err != nil || s == last {
+					continue
+				}
+				if err := reload(); err != nil {
+					logf("reload (poll) failed, keeping current source: %v", err)
+					continue
+				}
+				last = s
+				logf("reloaded: source changed on disk")
+			}
+		}
+	}
+}
+
+// FileStamp returns a stamp function for Reloader fingerprinting the
+// file at path by modification time and size.
+func FileStamp(path string) func() (string, error) {
+	return func() (string, error) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d:%d", fi.ModTime().UnixNano(), fi.Size()), nil
+	}
+}

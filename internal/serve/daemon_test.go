@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonDrainsInFlight is the graceful-shutdown contract: when the
+// context is cancelled, a request already being served completes with
+// its full body, new connections are refused, background tasks are
+// cancelled and awaited, and Run returns nil.
+func TestDaemonDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var bgStopped atomic.Bool
+	d := &Daemon{
+		Addr: "127.0.0.1:0",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/slow" {
+				io.WriteString(w, "ok")
+				return
+			}
+			close(entered)
+			<-release
+			io.WriteString(w, "drained-ok")
+		}),
+		ShutdownTimeout: 5 * time.Second,
+		Background: []func(context.Context){
+			func(ctx context.Context) { <-ctx.Done(); bgStopped.Store(true) },
+		},
+	}
+	addr, err := d.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		reqDone <- result{body: body, err: err}
+	}()
+
+	<-entered // the request is in the handler
+	cancel()  // begin shutdown while it is in flight
+
+	// Give Shutdown a moment to close the listener, then verify new
+	// connections are refused while the old request still drains.
+	var refused bool
+	for i := 0; i < 100; i++ {
+		_, err := http.Get(base + "/new")
+		if err != nil {
+			refused = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections still accepted during drain")
+	}
+
+	close(release)
+	res := <-reqDone
+	if res.err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", res.err)
+	}
+	if string(res.body) != "drained-ok" {
+		t.Fatalf("in-flight body = %q, want %q", res.body, "drained-ok")
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("clean drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+	if !bgStopped.Load() {
+		t.Fatal("background task was not cancelled and awaited")
+	}
+}
+
+func TestDaemonDrainDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	d := &Daemon{
+		Addr: "127.0.0.1:0",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+		}),
+		ShutdownTimeout: 50 * time.Millisecond,
+	}
+	addr, err := d.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+	go http.Get("http://" + addr.String() + "/stuck")
+	<-entered
+	cancel()
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("exceeding the drain deadline must report an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung past the drain deadline")
+	}
+}
+
+func TestPollPacesAndStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ticks atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Poll(ctx, time.Millisecond, func(context.Context) {
+			if ticks.Add(1) == 3 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Poll did not stop on cancellation")
+	}
+	if ticks.Load() < 3 {
+		t.Fatalf("ticks = %d, want >= 3", ticks.Load())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestReloaderSIGHUP(t *testing.T) {
+	var reloads atomic.Int64
+	task := Reloader(0, nil, func() error { reloads.Add(1); return nil }, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); task(ctx) }()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return reloads.Load() == 1 }, "SIGHUP did not trigger a reload")
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Reloader did not stop on cancellation")
+	}
+}
+
+// TestReloaderSIGHUPBeforeRun: the signal is armed at construction, so
+// a HUP delivered before the task starts is neither fatal nor lost.
+func TestReloaderSIGHUPBeforeRun(t *testing.T) {
+	var reloads atomic.Int64
+	task := Reloader(0, nil, func() error { reloads.Add(1); return nil }, nil)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // would kill the process if unarmed
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go task(ctx)
+	waitFor(t, 5*time.Second, func() bool { return reloads.Load() == 1 }, "pre-run SIGHUP was lost")
+}
+
+func TestReloaderPollsStamp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var reloads atomic.Int64
+	failNext := atomic.Bool{}
+	task := Reloader(2*time.Millisecond, FileStamp(path), func() error {
+		if failNext.Load() {
+			return fmt.Errorf("transient")
+		}
+		reloads.Add(1)
+		return nil
+	}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go task(ctx)
+
+	// Unchanged file: no reloads.
+	time.Sleep(30 * time.Millisecond)
+	if reloads.Load() != 0 {
+		t.Fatalf("reloaded %d times with an unchanged stamp", reloads.Load())
+	}
+
+	// Change the file: one reload (the stamp is remembered after success).
+	if err := os.WriteFile(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return reloads.Load() >= 1 }, "stamp change did not trigger a reload")
+
+	// A failing reload is retried on subsequent ticks until it succeeds:
+	// the stamp only advances on success.
+	failNext.Store(true)
+	if err := os.WriteFile(path, []byte("v3-even-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	before := reloads.Load()
+	failNext.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return reloads.Load() > before }, "failed reload was not retried")
+}
+
+func TestFileStamp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if _, err := FileStamp(path)(); err == nil {
+		t.Fatal("stamp of a missing file should error")
+	}
+	if err := os.WriteFile(path, []byte("aa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := FileStamp(path)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("bbb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FileStamp(path)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatalf("stamp did not change with the file: %q", s1)
+	}
+}

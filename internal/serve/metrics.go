@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the serving-side counters every daemon exposes at
+// /metrics: per-route request counts by status class, per-route
+// latency histograms, bytes served, an in-flight gauge, the load-shed
+// counter, recovered panics, and any daemon-specific counters
+// (Counter). The exposition is the Prometheus text format, hand-rolled
+// so the repository stays dependency-free; any Prometheus-compatible
+// scraper (or curl) reads it.
+//
+// All updates are atomic; Observe and the middleware are safe for
+// concurrent use and cheap enough for the raw serving fast path (the
+// archived benchmark gates the whole chain at <5% req/sec).
+type Metrics struct {
+	mu     sync.RWMutex
+	routes map[string]*routeStats
+	extra  []*Counter
+
+	inFlight atomic.Int64
+	shed     atomic.Int64
+	panics   atomic.Int64
+}
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache-hit microseconds to pathological multi-second requests.
+var latencyBuckets = [nBuckets]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+const nBuckets = 12
+
+// routeStats is one route's counters. Buckets are per-bucket counts;
+// the cumulative sums Prometheus wants are computed at render time.
+type routeStats struct {
+	byClass [6]atomic.Int64 // index status/100; 0 = unclassifiable
+	bytes   atomic.Int64
+	buckets [nBuckets + 1]atomic.Int64 // +1: +Inf
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Counter is a named monotonic counter rendered on /metrics beside the
+// HTTP series — the hook daemons use for domain counters (snapshots
+// collected, gaps filled, reloads).
+type Counter struct {
+	name string
+	help string
+	n    atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]*routeStats)}
+}
+
+// Counter registers (or returns the existing) named counter.
+func (m *Metrics) Counter(name, help string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.extra {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name, help: help}
+	m.extra = append(m.extra, c)
+	return c
+}
+
+// Shed counts one load-shed request (the Limit middleware calls it).
+func (m *Metrics) Shed() { m.shed.Add(1) }
+
+// ShedCount returns how many requests were shed.
+func (m *Metrics) ShedCount() int64 { return m.shed.Load() }
+
+// InFlight returns the number of requests currently being served.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// Observe records one served request.
+func (m *Metrics) Observe(route string, status int, bytes int64, d time.Duration) {
+	rs := m.route(route)
+	class := status / 100
+	if class < 0 || class >= len(rs.byClass) {
+		class = 0
+	}
+	rs.byClass[class].Add(1)
+	rs.bytes.Add(bytes)
+	rs.count.Add(1)
+	rs.sumNs.Add(int64(d))
+	sec := d.Seconds()
+	for i, bound := range latencyBuckets {
+		if sec <= bound {
+			rs.buckets[i].Add(1)
+			return
+		}
+	}
+	rs.buckets[nBuckets].Add(1)
+}
+
+// RequestCount returns the total requests observed for route (all
+// status classes) — the counter the operational smoke tests assert on.
+func (m *Metrics) RequestCount(route string) int64 {
+	m.mu.RLock()
+	rs, ok := m.routes[route]
+	m.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return rs.count.Load()
+}
+
+func (m *Metrics) route(route string) *routeStats {
+	m.mu.RLock()
+	rs, ok := m.routes[route]
+	m.mu.RUnlock()
+	if ok {
+		return rs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rs, ok = m.routes[route]; ok {
+		return rs
+	}
+	rs = &routeStats{}
+	m.routes[route] = rs
+	return rs
+}
+
+// Handler serves the registry in Prometheus text exposition format.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Write(m.render())
+	})
+}
+
+// render produces the exposition document. Routes are sorted so the
+// output is deterministic (tests and diff-based scrapes rely on it).
+func (m *Metrics) render() []byte {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	extra := m.extra
+	sort.Strings(names)
+	routes := make([]*routeStats, len(names))
+	for i, name := range names {
+		routes[i] = m.routes[name]
+	}
+	m.mu.RUnlock()
+
+	var b []byte
+	b = append(b, "# HELP http_requests_total Requests served, by route and status class.\n"...)
+	b = append(b, "# TYPE http_requests_total counter\n"...)
+	classes := [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, name := range names {
+		for class, label := range classes {
+			if n := routes[i].byClass[class].Load(); n > 0 {
+				b = fmt.Appendf(b, "http_requests_total{route=%q,class=%q} %d\n", name, label, n)
+			}
+		}
+	}
+	b = append(b, "# HELP http_response_bytes_total Response body bytes written, by route.\n"...)
+	b = append(b, "# TYPE http_response_bytes_total counter\n"...)
+	for i, name := range names {
+		b = fmt.Appendf(b, "http_response_bytes_total{route=%q} %d\n", name, routes[i].bytes.Load())
+	}
+	b = append(b, "# HELP http_request_duration_seconds Request latency, by route.\n"...)
+	b = append(b, "# TYPE http_request_duration_seconds histogram\n"...)
+	for i, name := range names {
+		cum := int64(0)
+		for j, bound := range latencyBuckets {
+			cum += routes[i].buckets[j].Load()
+			b = fmt.Appendf(b, "http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += routes[i].buckets[nBuckets].Load()
+		b = fmt.Appendf(b, "http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", name, cum)
+		b = fmt.Appendf(b, "http_request_duration_seconds_sum{route=%q} %g\n",
+			name, float64(routes[i].sumNs.Load())/1e9)
+		b = fmt.Appendf(b, "http_request_duration_seconds_count{route=%q} %d\n", name, routes[i].count.Load())
+	}
+	b = append(b, "# HELP http_in_flight_requests Requests currently being served.\n"...)
+	b = append(b, "# TYPE http_in_flight_requests gauge\n"...)
+	b = fmt.Appendf(b, "http_in_flight_requests %d\n", m.inFlight.Load())
+	b = append(b, "# HELP http_requests_shed_total Requests refused by the concurrency limiter.\n"...)
+	b = append(b, "# TYPE http_requests_shed_total counter\n"...)
+	b = fmt.Appendf(b, "http_requests_shed_total %d\n", m.shed.Load())
+	b = append(b, "# HELP http_panics_recovered_total Handler panics converted to 500s.\n"...)
+	b = append(b, "# TYPE http_panics_recovered_total counter\n"...)
+	b = fmt.Appendf(b, "http_panics_recovered_total %d\n", m.panics.Load())
+	for _, c := range extra {
+		if c.help != "" {
+			b = fmt.Appendf(b, "# HELP %s %s\n", c.name, c.help)
+		}
+		b = fmt.Appendf(b, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.n.Load())
+	}
+	return b
+}

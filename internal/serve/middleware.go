@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/toplist"
+)
+
+// Middleware wraps an http.Handler with one serving concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mw to h with mw[0] outermost. The daemons compose the
+// standard stack as
+//
+//	Chain(mux,
+//	    metrics.Instrument(RouteLabel), // outermost: counts everything, sheds included
+//	    AccessLog(logger),              // logs everything, sheds included
+//	    Limit(n, metrics),              // sheds before any handler work
+//	    Recover(logger, metrics))       // innermost: a panicking handler still yields a 500
+//
+// so the metrics and the access log observe shed requests, and the
+// limiter bounds only real handler work.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// RouteLabel normalises a request path to its route — the label
+// cardinality /metrics series are keyed by. Snapshot routes collapse
+// over provider and day (one series per route, not per blob).
+func RouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/metrics" || p == "/v1/index":
+		return p
+	case strings.HasPrefix(p, "/v1/zones/"):
+		return "/v1/zones"
+	case strings.HasPrefix(p, toplist.RemoteAPIPrefix+"/snapshots/"):
+		return toplist.RemoteAPIPrefix + "/snapshots"
+	case p == toplist.RemoteManifestPath() || p == toplist.RemoteDaysPath() || p == toplist.RemoteProvidersPath():
+		return p
+	case strings.HasPrefix(p, "/v1/"):
+		return "/v1/snapshot"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the status code and body size a handler
+// produced, for the metrics and access-log middleware. Flush is passed
+// through so streaming handlers keep working behind the chain.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Instrument returns the middleware feeding m: per-route request
+// counters by status class, latency histograms, response bytes, and
+// the in-flight gauge. label maps a request to its route series (use
+// RouteLabel unless the mux has custom routes).
+func (m *Metrics) Instrument(label func(*http.Request) string) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			m.inFlight.Add(1)
+			defer m.inFlight.Add(-1)
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			m.Observe(label(r), sw.code(), sw.bytes, time.Since(start))
+		})
+	}
+}
+
+// AccessLog returns a middleware writing one line per request:
+// method, path, status, body bytes, and wall time. A nil logger
+// disables it (the middleware becomes a no-op), so benchmarks and
+// tests can run the production chain silently.
+func AccessLog(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		if logger == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.code(), sw.bytes, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// Limit returns a concurrency limiter with load shedding: at most n
+// requests run concurrently; a request arriving with all n slots taken
+// is refused immediately with 503 + Retry-After rather than queued —
+// under overload a bounded daemon stays responsive for the requests it
+// does admit instead of letting every request time out together. Shed
+// requests are counted on m (which may be nil). n <= 0 disables the
+// limit.
+func Limit(n int, m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		if n <= 0 {
+			return next
+		}
+		sem := make(chan struct{}, n)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				if m != nil {
+					m.Shed()
+				}
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+			}
+		})
+	}
+}
+
+// Recover returns a middleware converting handler panics into 500s:
+// the daemon keeps serving, the panic is logged and counted, and the
+// connection-abort sentinel (http.ErrAbortHandler) keeps its contract
+// of killing just the connection. m and logger may be nil.
+func Recover(logger *log.Logger, m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				if m != nil {
+					m.panics.Add(1)
+				}
+				if logger != nil {
+					logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				}
+				// Best effort: if the handler already wrote headers this
+				// is a no-op superfluous-WriteHeader, and the truncated
+				// body is the client's signal.
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/toplist"
+)
+
+func TestRouteLabel(t *testing.T) {
+	cases := []struct {
+		path, want string
+	}{
+		{"/metrics", "/metrics"},
+		{"/v1/index", "/v1/index"},
+		{"/v1/zones/com.zone", "/v1/zones"},
+		{"/v1/alexa/2017-06-06/top-1m.csv", "/v1/snapshot"},
+		{"/v1/alexa/latest/top-1m.csv.gz", "/v1/snapshot"},
+		{toplist.RemoteManifestPath(), toplist.RemoteManifestPath()},
+		{toplist.RemoteDaysPath(), toplist.RemoteDaysPath()},
+		{toplist.RemoteProvidersPath(), toplist.RemoteProvidersPath()},
+		{toplist.RemoteAPIPrefix + "/snapshots/alexa/2017-06-06", toplist.RemoteAPIPrefix + "/snapshots"},
+		{"/favicon.ico", "other"},
+		{"/", "other"},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest("GET", tc.path, nil)
+		if got := RouteLabel(r); got != tc.want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestInstrumentObservesRequests(t *testing.T) {
+	m := NewMetrics()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, "nope")
+	}), m.Instrument(RouteLabel))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/index", nil))
+
+	if n := m.RequestCount("/v1/index"); n != 1 {
+		t.Fatalf("RequestCount = %d, want 1", n)
+	}
+	text := string(m.render())
+	for _, want := range []string{
+		`http_requests_total{route="/v1/index",class="4xx"} 1`,
+		`http_response_bytes_total{route="/v1/index"} 4`,
+		`http_request_duration_seconds_count{route="/v1/index"} 1`,
+		`http_request_duration_seconds_bucket{route="/v1/index",le="+Inf"} 1`,
+		"http_in_flight_requests 0",
+		"http_requests_shed_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsHandlerAndCounter(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("toplistd_reloads_total", "Successful hot reloads.")
+	c.Add(3)
+	if m.Counter("toplistd_reloads_total", "dup") != c {
+		t.Fatal("re-registering a counter must return the existing one")
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter value = %d", c.Value())
+	}
+
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "toplistd_reloads_total 3") {
+		t.Fatalf("exposition missing custom counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestLimitSheds pins the shedding contract with a deterministically
+// blocked slot: while one request is parked in the handler, the next
+// is refused with 503 + Retry-After and counted; a freed slot admits
+// traffic again.
+func TestLimitSheds(t *testing.T) {
+	m := NewMetrics()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/block" {
+			close(entered)
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	}), Limit(1, m))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/block", nil))
+	}()
+	<-entered
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fast", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated limiter = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if m.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", m.ShedCount())
+	}
+
+	close(release)
+	wg.Wait()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fast", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after drain = %d, want 200", rec.Code)
+	}
+}
+
+func TestLimitDisabled(t *testing.T) {
+	h := Limit(0, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("disabled limiter must pass through, got %d", rec.Code)
+	}
+}
+
+func TestRecoverConvertsPanics(t *testing.T) {
+	m := NewMetrics()
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(log.New(&buf, "", 0), m))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/index", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	if m.panics.Load() != 1 {
+		t.Fatalf("panic counter = %d", m.panics.Load())
+	}
+	if !strings.Contains(buf.String(), "boom") {
+		t.Fatalf("panic not logged: %q", buf.String())
+	}
+}
+
+func TestRecoverPropagatesAbortHandler(t *testing.T) {
+	h := Recover(nil, nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler must propagate through Recover")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	t.Fatal("unreachable")
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}), AccessLog(log.New(&buf, "", 0)))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/index", nil))
+	line := buf.String()
+	if !strings.Contains(line, "GET /v1/index 200 5B") {
+		t.Fatalf("access log line = %q", line)
+	}
+
+	// nil logger: the middleware is a structural no-op.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := AccessLog(nil)(inner); got == nil {
+		t.Fatal("nil-logger AccessLog returned nil handler")
+	}
+}
+
+func TestObserveBucketsLatency(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/v1/index", 200, 10, 3*time.Millisecond)   // 0.005 bucket
+	m.Observe("/v1/index", 200, 10, 10*time.Second)       // +Inf
+	m.Observe("/v1/index", 200, 10, 100*time.Microsecond) // first bucket
+	text := string(m.render())
+	for _, want := range []string{
+		`http_request_duration_seconds_bucket{route="/v1/index",le="0.0005"} 1`,
+		`http_request_duration_seconds_bucket{route="/v1/index",le="0.005"} 2`,
+		`http_request_duration_seconds_bucket{route="/v1/index",le="2.5"} 2`,
+		`http_request_duration_seconds_bucket{route="/v1/index",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package serve is the shared serving core under every HTTP surface
+// of the reproduction: the provider-style CSV publication routes
+// (internal/listserv), the archive wire API (internal/archived), and
+// the daemons composing them (cmd/toplistd, cmd/collectd).
+//
+// It owns three things the surfaces previously each reinvented or
+// lacked:
+//
+//   - SwappableSource: an atomically hot-swappable toplist.Source
+//     holder, so a daemon can reload a regrown archive or a repacked
+//     file without dropping in-flight requests. Handlers take a
+//     per-request snapshot (Snapshot), so one request observes one
+//     archive even while operators swap underneath it.
+//
+//   - A composable middleware chain (Chain, Metrics.Instrument,
+//     AccessLog, Limit, Recover) applied uniformly to every mux:
+//     per-route request counters, latency and response-size
+//     histograms, an in-flight gauge and shed counter exposed in
+//     Prometheus text format at /metrics (Metrics.Handler — no
+//     dependencies, hand-rolled exposition), access logging, panic
+//     recovery, and a concurrency limiter that sheds load with 503 +
+//     Retry-After once the in-flight bound is hit.
+//
+//   - Daemon: the shared listener / graceful-shutdown / drain
+//     lifecycle (context cancel → Shutdown with deadline → hard
+//     close) plus the signal plumbing (SignalContext, Reloader, Poll)
+//     both daemons previously wired by hand.
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/toplist"
+)
+
+// SwappableSource holds the currently-served toplist.Source behind an
+// atomic pointer, so operators can replace it (SIGHUP, a reload
+// watcher, an admin action) while requests are in flight. It
+// implements toplist.Source and toplist.RawSource by delegating to the
+// current holder per call; handlers that touch the source more than
+// once per request should resolve Snapshot once instead, so the whole
+// request is answered from one archive generation.
+//
+// The old source is not closed on swap — in-flight requests may still
+// be reading from it. Backends whose resources need reclaiming (a
+// pack's file handle) are released when the last reference is dropped;
+// swaps are operator-paced, so at most a handful of generations are
+// ever live at once.
+type SwappableSource struct {
+	cur atomic.Pointer[sourceBox]
+}
+
+// sourceBox gives the interface value a stable concrete type for
+// atomic.Pointer.
+type sourceBox struct {
+	src toplist.Source
+}
+
+// NewSwappableSource starts the holder serving src.
+func NewSwappableSource(src toplist.Source) *SwappableSource {
+	s := &SwappableSource{}
+	s.cur.Store(&sourceBox{src: src})
+	return s
+}
+
+// Load returns the currently-served source.
+func (s *SwappableSource) Load() toplist.Source { return s.cur.Load().src }
+
+// Swap atomically replaces the served source and returns the previous
+// one. Requests that already resolved a Snapshot keep reading the
+// previous source; new requests see next.
+func (s *SwappableSource) Swap(next toplist.Source) (prev toplist.Source) {
+	return s.cur.Swap(&sourceBox{src: next}).src
+}
+
+// Snapshot resolves the source a request should be served from: the
+// current holder of a SwappableSource, or src itself when it is not
+// swappable. Handlers call it once at the top of a request so every
+// read within the request hits one archive generation — the
+// wire-manifest day range, the blob bytes, and the ETag all agree even
+// when a swap lands mid-request.
+func Snapshot(src toplist.Source) toplist.Source {
+	if sw, ok := src.(*SwappableSource); ok {
+		return sw.Load()
+	}
+	return src
+}
+
+// Get implements toplist.Source.
+func (s *SwappableSource) Get(provider string, day toplist.Day) *toplist.List {
+	return s.Load().Get(provider, day)
+}
+
+// First implements toplist.Source.
+func (s *SwappableSource) First() toplist.Day { return s.Load().First() }
+
+// Last implements toplist.Source.
+func (s *SwappableSource) Last() toplist.Day { return s.Load().Last() }
+
+// Days implements toplist.Source.
+func (s *SwappableSource) Days() int { return s.Load().Days() }
+
+// Providers implements toplist.Source.
+func (s *SwappableSource) Providers() []string { return s.Load().Providers() }
+
+// RawHash implements toplist.RawSource when the current source does;
+// otherwise it reports "" ("no raw bytes"), routing readers to the
+// decode path — the contract RawSource already defines for hashless
+// slots.
+func (s *SwappableSource) RawHash(provider string, day toplist.Day) string {
+	if rs, ok := s.Load().(toplist.RawSource); ok {
+		return rs.RawHash(provider, day)
+	}
+	return ""
+}
+
+// GetRaw implements toplist.RawSource; for a non-raw current source it
+// returns (nil, nil) — "fall back to the decode path".
+func (s *SwappableSource) GetRaw(provider string, day toplist.Day) (*toplist.RawSnapshot, error) {
+	if rs, ok := s.Load().(toplist.RawSource); ok {
+		return rs.GetRaw(provider, day)
+	}
+	return nil, nil
+}
+
+// Scale passes through the producing-scale name stores persist in
+// their manifests (DiskStore, Pack), so a wire manifest served through
+// a swappable holder still reports it.
+func (s *SwappableSource) Scale() string {
+	if sc, ok := s.Load().(interface{ Scale() string }); ok {
+		return sc.Scale()
+	}
+	return ""
+}

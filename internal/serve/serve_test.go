@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/toplist"
+)
+
+// rawArchive wraps an in-memory Archive with a RawSource face and a
+// scale name, to exercise the holder's interface pass-through.
+type rawArchive struct {
+	*toplist.Archive
+	raw   map[string]*toplist.RawSnapshot
+	scale string
+}
+
+func (a *rawArchive) RawHash(provider string, day toplist.Day) string {
+	if rs, ok := a.raw[key(provider, day)]; ok {
+		return rs.Hash
+	}
+	return ""
+}
+
+func (a *rawArchive) GetRaw(provider string, day toplist.Day) (*toplist.RawSnapshot, error) {
+	return a.raw[key(provider, day)], nil
+}
+
+func (a *rawArchive) Scale() string { return a.scale }
+
+func key(provider string, day toplist.Day) string {
+	return provider + "/" + day.String()
+}
+
+func newArchive(t *testing.T, provider string, last toplist.Day, names ...string) *toplist.Archive {
+	t.Helper()
+	arch := toplist.NewArchive(0, last)
+	for d := toplist.Day(0); d <= last; d++ {
+		if err := arch.Put(provider, d, toplist.New(names)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return arch
+}
+
+func TestSwappableSourceDelegatesAndSwaps(t *testing.T) {
+	first := newArchive(t, "alexa", 1, "a.com", "b.org")
+	second := newArchive(t, "umbrella", 4, "c.net")
+
+	sw := NewSwappableSource(first)
+	if sw.Last() != 1 || sw.Days() != 2 || len(sw.Providers()) != 1 || sw.Providers()[0] != "alexa" {
+		t.Fatalf("holder does not mirror first source: last=%v days=%d providers=%v",
+			sw.Last(), sw.Days(), sw.Providers())
+	}
+	if l := sw.Get("alexa", 0); l == nil || l.Len() != 2 {
+		t.Fatalf("Get through holder = %v", l)
+	}
+
+	prev := sw.Swap(second)
+	if prev != toplist.Source(first) {
+		t.Fatal("Swap did not return the previous source")
+	}
+	if sw.Last() != 4 || sw.Providers()[0] != "umbrella" {
+		t.Fatalf("holder does not mirror swapped source: last=%v providers=%v", sw.Last(), sw.Providers())
+	}
+	// The previous generation still answers for whoever holds it.
+	if l := prev.Get("alexa", 1); l == nil || l.Len() != 2 {
+		t.Fatal("previous source unusable after swap")
+	}
+}
+
+func TestSnapshotPinsOneGeneration(t *testing.T) {
+	first := newArchive(t, "alexa", 1, "a.com")
+	second := newArchive(t, "alexa", 9, "a.com")
+	sw := NewSwappableSource(first)
+
+	snap := Snapshot(sw)
+	sw.Swap(second)
+	// The snapshot still reads the generation it resolved; the holder
+	// reads the new one.
+	if snap.Last() != 1 {
+		t.Fatalf("snapshot drifted to new generation: Last=%v", snap.Last())
+	}
+	if sw.Last() != 9 {
+		t.Fatalf("holder did not advance: Last=%v", sw.Last())
+	}
+
+	// Snapshot of a plain source is the source itself.
+	if Snapshot(first) != toplist.Source(first) {
+		t.Fatal("Snapshot of a plain source must be identity")
+	}
+}
+
+func TestSwappableSourceRawDegradation(t *testing.T) {
+	plain := newArchive(t, "alexa", 0, "a.com")
+	raw := &rawArchive{
+		Archive: newArchive(t, "alexa", 0, "a.com"),
+		raw: map[string]*toplist.RawSnapshot{
+			key("alexa", 0): {Data: []byte("gz"), Hash: "abc123"},
+		},
+		scale: "test",
+	}
+
+	sw := NewSwappableSource(plain)
+	// A non-raw current source degrades per the RawSource contract:
+	// hashless slot, nil raw bytes, no error.
+	if h := sw.RawHash("alexa", 0); h != "" {
+		t.Fatalf("RawHash over plain source = %q, want empty", h)
+	}
+	if rs, err := sw.GetRaw("alexa", 0); rs != nil || err != nil {
+		t.Fatalf("GetRaw over plain source = %v, %v; want nil, nil", rs, err)
+	}
+	if sc := sw.Scale(); sc != "" {
+		t.Fatalf("Scale over plain source = %q, want empty", sc)
+	}
+
+	sw.Swap(raw)
+	if h := sw.RawHash("alexa", 0); h != "abc123" {
+		t.Fatalf("RawHash over raw source = %q", h)
+	}
+	rs, err := sw.GetRaw("alexa", 0)
+	if err != nil || rs == nil || string(rs.Data) != "gz" {
+		t.Fatalf("GetRaw over raw source = %v, %v", rs, err)
+	}
+	if sc := sw.Scale(); sc != "test" {
+		t.Fatalf("Scale over raw source = %q", sc)
+	}
+}

@@ -1,0 +1,69 @@
+package toplists
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/toplist"
+)
+
+// TestFacadeServingCore pins the serving-core facade: a SwappableSource
+// behind ArchiveHandler and the full middleware chain serves the
+// archive wire API, /metrics counts the traffic, and a Swap changes
+// what subsequent requests read without rebuilding the handler.
+func TestFacadeServingCore(t *testing.T) {
+	build := func(name string) Source {
+		arch := toplist.NewArchive(0, 0)
+		if err := arch.Put("alexa", 0, toplist.New([]string{name, "b.org"})); err != nil {
+			t.Fatal(err)
+		}
+		return arch
+	}
+
+	swap := NewSwappableSource(build("first.com"))
+	m := NewMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", m.Handler())
+	mux.Handle("/", ArchiveHandler(swap))
+	handler := ChainMiddleware(mux,
+		m.Instrument(RouteLabel),
+		AccessLog(nil),
+		LimitRequests(16, m),
+		RecoverPanics(nil, m),
+	)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	path := toplist.RemoteSnapshotPath("alexa", 0)
+	if body := get(path); !strings.Contains(body, "first.com") {
+		t.Fatalf("pre-swap snapshot missing first.com: %q", body)
+	}
+	swap.Swap(build("second.com"))
+	if body := get(path); !strings.Contains(body, "second.com") {
+		t.Fatalf("post-swap snapshot still serving the old generation: %q", body)
+	}
+	exposition := get("/metrics")
+	if !strings.Contains(exposition, "http_requests_total") {
+		t.Fatalf("metrics exposition missing request counter:\n%s", exposition)
+	}
+}

@@ -63,6 +63,7 @@ package toplists
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 
 	"repro/internal/archived"
@@ -71,6 +72,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pack"
 	"repro/internal/providers"
+	"repro/internal/serve"
 	"repro/internal/toplist"
 )
 
@@ -167,6 +169,75 @@ func OpenRemote(ctx context.Context, baseURL string, opts ...RemoteOption) (*Rem
 // handler.
 func ArchiveHandler(src Source) http.Handler {
 	return archived.NewServer(src)
+}
+
+// SwappableSource is a Source holder whose backing Source can be
+// replaced atomically while servers keep reading — the hot-reload
+// primitive behind `toplistd`'s SIGHUP/-reload-poll handling. It
+// implements Source (and passes through the raw fast-path contract
+// when the current Source supports it), so it drops in anywhere a
+// Source is accepted; handlers that resolve it through
+// serve.Snapshot pin one generation per request.
+type SwappableSource = serve.SwappableSource
+
+// NewSwappableSource wraps src in an atomically swappable holder.
+// Swap in a freshly opened archive after external repair or growth:
+//
+//	swap := toplists.NewSwappableSource(src)
+//	handler := toplists.ArchiveHandler(swap)
+//	...
+//	next, err := toplists.OpenArchive(dir) // reopened, repaired, grown
+//	if err != nil { ... }
+//	swap.Swap(next)                        // in-flight requests unaffected
+func NewSwappableSource(src Source) *SwappableSource {
+	return serve.NewSwappableSource(src)
+}
+
+// Metrics is the serving core's metrics registry: per-route request
+// counters, latency histograms, and operational gauges rendered in
+// Prometheus text exposition format by its Handler. `toplistd` and
+// `collectd -metrics-addr` expose one at /metrics.
+type Metrics = serve.Metrics
+
+// NewMetrics returns an empty metrics registry. Mount its Handler and
+// wrap application handlers with its Instrument middleware:
+//
+//	m := toplists.NewMetrics()
+//	mux.Handle("GET /metrics", m.Handler())
+//	handler := toplists.ChainMiddleware(mux, m.Instrument(toplists.RouteLabel))
+func NewMetrics() *Metrics { return serve.NewMetrics() }
+
+// Middleware is a composable http.Handler wrapper; see
+// ChainMiddleware.
+type Middleware = serve.Middleware
+
+// ChainMiddleware wraps h in mw, first middleware outermost — the
+// composition `toplistd` runs in production (instrumentation, access
+// log, load shedding, panic recovery, from Metrics.Instrument,
+// AccessLog, LimitRequests, and RecoverPanics).
+func ChainMiddleware(h http.Handler, mw ...Middleware) http.Handler {
+	return serve.Chain(h, mw...)
+}
+
+// RouteLabel maps a request to a low-cardinality route label for
+// Metrics.Instrument: list-serving and archive-API paths collapse to
+// one label per route shape, everything else to "other".
+func RouteLabel(r *http.Request) string { return serve.RouteLabel(r) }
+
+// AccessLog logs one line per request (method, path, status, bytes,
+// duration) to logger; a nil logger disables it at zero cost.
+func AccessLog(logger *log.Logger) Middleware { return serve.AccessLog(logger) }
+
+// LimitRequests caps concurrent in-flight requests at n; excess
+// requests are shed immediately with 503 + Retry-After instead of
+// queueing. n <= 0 disables the limiter. A non-nil m counts sheds.
+func LimitRequests(n int, m *Metrics) Middleware { return serve.Limit(n, m) }
+
+// RecoverPanics converts handler panics into 500s (except
+// http.ErrAbortHandler, which propagates), logging the stack to
+// logger and counting recoveries in m; both may be nil.
+func RecoverPanics(logger *log.Logger, m *Metrics) Middleware {
+	return serve.Recover(logger, m)
 }
 
 // Pack is a packed archive: every snapshot of a DiskStore-style
