@@ -8,12 +8,15 @@
 // resimulation. Run it with -interval to keep following a live
 // publisher, or -once for a single catch-up pass.
 //
-// With -peer, days the publisher has not published (gaps — the
-// longitudinal reality the paper's §4 collection fought) are fetched
-// from a second archive server speaking the structured wire API
-// (cmd/toplistd -serve-archive), so a fleet of collectors can mirror
-// each other's archives and converge on a complete dataset even when
-// none of them observed every publication window.
+// With -peer (repeatable), days the publisher has not published (gaps
+// — the longitudinal reality the paper's §4 collection fought) are
+// fetched from peer archive servers speaking the structured wire API
+// (cmd/toplistd -serve-archive, cmd/mirrord), so a fleet of collectors
+// can mirror each other's archives and converge on a complete dataset
+// even when none of them observed every publication window. Peers ride
+// the fleet peer-set machinery: health tracked, tried healthiest
+// first, backed off with jitter when they fail — a dead peer never
+// stalls a pass.
 //
 // With -verify, the existing archive is integrity-swept
 // (toplist.DiskStore.Verify) before the first pass: corrupt snapshots
@@ -28,7 +31,7 @@
 // Usage:
 //
 //	collectd -url http://host:8080 -out archive [-once] [-interval 1h]
-//	         [-peer http://other:8080] [-verify] [-metrics-addr :9090]
+//	         [-peer http://other:8080 ...] [-verify] [-metrics-addr :9090]
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/listserv"
 	"repro/internal/serve"
 	"repro/internal/toplist"
@@ -60,13 +64,22 @@ func run(args []string, logw io.Writer) error {
 	outDir := fs.String("out", "archive", "archive directory (toplist.DiskStore layout)")
 	once := fs.Bool("once", false, "catch up and exit instead of following")
 	interval := fs.Duration("interval", time.Hour, "poll interval in follow mode")
-	peer := fs.String("peer", "", "archive wire API base URL to fill publication gaps from")
+	var peerURLs peerList
+	fs.Var(&peerURLs, "peer", "archive wire API base URL to fill publication gaps from (repeatable)")
 	verify := fs.Bool("verify", false, "integrity-sweep the existing archive before collecting")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := log.New(logw, "collectd: ", log.LstdFlags)
+
+	var peers *fleet.PeerSet
+	if len(peerURLs) > 0 {
+		var perr error
+		if peers, perr = fleet.NewPeerSet(peerURLs); perr != nil {
+			return perr
+		}
+	}
 
 	ctx, stop := serve.SignalContext(context.Background())
 	defer stop()
@@ -107,7 +120,7 @@ func run(args []string, logw io.Writer) error {
 	}
 	client := listserv.NewClient(*url, listserv.WithFormat(listserv.FormatZip))
 	pass := func(ctx context.Context, recollect map[toplist.Snapshot]bool) error {
-		_, err := collectOnce(ctx, client, *outDir, *peer, recollect, logger, st)
+		_, err := collectOnce(ctx, client, *outDir, peers, recollect, logger, st)
 		if err != nil {
 			failures.Add(1)
 			return err
@@ -142,17 +155,27 @@ type stats struct {
 	collected, gaps, gapFills *serve.Counter
 }
 
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return fmt.Sprint([]string(*p)) }
+
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
 // collectOnce downloads every published snapshot not yet on disk and
 // returns how many it wrote. Because a live publisher streams days out
 // of a still-running simulation, each pass picks up exactly the days
 // published since the last one; the store's covered range extends as
 // the publisher's index advances. Days the publisher 404s are recorded
-// as gaps and — when peerURL names an archive wire API — fetched from
-// the peer afterwards, so one collector's outage window heals from
-// another's archive. Slots in recollect are refetched even though the
-// store already has them: that is how a -verify sweep's corrupt
+// as gaps and — when a peer set is given — fetched from the healthiest
+// peer holding them afterwards, so one collector's outage window heals
+// from another's archive. Slots in recollect are refetched even though
+// the store already has them: that is how a -verify sweep's corrupt
 // findings get repaired (Put over a corrupt slot heals it).
-func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL string, recollect map[toplist.Snapshot]bool, logger *log.Logger, st *stats) (int, error) {
+func collectOnce(ctx context.Context, client *listserv.Client, outDir string, peers *fleet.PeerSet, recollect map[toplist.Snapshot]bool, logger *log.Logger, st *stats) (int, error) {
 	idx, err := client.Index(ctx)
 	if err != nil {
 		return 0, err
@@ -198,8 +221,8 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL s
 		st.collected.Add(int64(written))
 		st.gaps.Add(int64(len(gaps)))
 	}
-	if len(gaps) > 0 && peerURL != "" {
-		n, err := fillFromPeer(ctx, peerURL, store, gaps, logger)
+	if len(gaps) > 0 && peers != nil {
+		n, err := fillFromPeers(ctx, peers, store, gaps, logger)
 		written += n
 		if st != nil {
 			st.gapFills.Add(int64(n))
@@ -207,7 +230,7 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL s
 		if err != nil {
 			// Peer trouble never fails the pass: the publisher's data
 			// is safely stored, and the next pass retries the gaps.
-			logger.Printf("peer %s: %v", peerURL, err)
+			logger.Printf("peer fill: %v", err)
 		}
 	}
 	if written > 0 {
@@ -216,33 +239,32 @@ func collectOnce(ctx context.Context, client *listserv.Client, outDir, peerURL s
 	return written, nil
 }
 
-// fillFromPeer fetches publication gaps from a peer archive server
-// (the structured wire API cmd/toplistd -serve-archive mounts) and
-// returns how many it stored. The peer's manifest is fetched fresh per
-// pass, so a peer that is itself still collecting contributes whatever
-// it has so far; gaps the peer is also missing stay gaps.
-func fillFromPeer(ctx context.Context, peerURL string, store *toplist.DiskStore, gaps []toplist.Snapshot, logger *log.Logger) (int, error) {
-	peer, err := toplist.OpenRemote(ctx, peerURL)
-	if err != nil {
-		return 0, err
-	}
+// fillFromPeers fetches publication gaps from the peer set (archive
+// servers speaking the structured wire API) and returns how many it
+// stored. Peer manifests are revalidated once per pass — conditional
+// GETs, 304 when nothing changed — so a peer that is itself still
+// collecting contributes whatever it has so far, and each gap fails
+// over to the healthiest peer holding it; gaps every peer is also
+// missing stay gaps.
+func fillFromPeers(ctx context.Context, peers *fleet.PeerSet, store *toplist.DiskStore, gaps []toplist.Snapshot, logger *log.Logger) (int, error) {
+	peers.Revalidate(ctx)
 	filled := 0
 	for _, gap := range gaps {
 		// A gap fill is a byte copy, not a decode+re-encode round trip:
 		// the peer's compressed wire document goes straight to disk via
 		// PutRaw, which validates it by decoding once before writing —
 		// the only CSV parse in the whole replication path.
-		raw, err := peer.GetRawContext(ctx, gap.Provider, gap.Day)
+		raw, p, err := peers.FetchRaw(ctx, gap.Provider, gap.Day, "")
 		if err != nil {
 			return filled, err
 		}
 		if raw == nil {
-			continue // the peer has the same gap (or a corrupt copy)
+			continue // every reachable peer has the same gap (or a corrupt copy)
 		}
 		if err := store.PutRaw(gap.Provider, gap.Day, raw.Data); err != nil {
 			return filled, err
 		}
-		logger.Printf("gap filled from peer: %s %s", gap.Provider, gap.Day)
+		logger.Printf("gap filled from peer %s: %s %s", p.URL(), gap.Provider, gap.Day)
 		filled++
 	}
 	return filled, nil

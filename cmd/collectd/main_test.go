@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/archived"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/listserv"
 	"repro/internal/population"
 	"repro/internal/providers"
@@ -43,6 +44,18 @@ func publisher(t *testing.T, days int) (*httptest.Server, *toplist.Archive, *lis
 }
 
 func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// peerSet builds a gap-fill peer set with a small retry budget so
+// dead-peer tests fail over fast.
+func peerSet(t *testing.T, urls ...string) *fleet.PeerSet {
+	t.Helper()
+	ps, err := fleet.NewPeerSet(urls,
+		fleet.WithPeerRemoteOptions(toplist.WithRemoteMaxAttempts(2), toplist.WithRemoteBaseBackoff(time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
 
 // TestStoreStreamsFromEngine produces the collector's on-disk archive
 // straight from the simulation engine — no HTTP hop — by handing the
@@ -93,7 +106,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
 
-	n, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil)
+	n, err := collectOnce(ctx, client, dir, nil, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +114,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 		t.Fatalf("wrote %d, want 2", n)
 	}
 	// Re-running collects nothing new.
-	n, err = collectOnce(ctx, client, dir, "", nil, quiet(), nil)
+	n, err = collectOnce(ctx, client, dir, nil, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +123,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 	}
 	// Publisher advances two days; the collector catches up.
 	gk.Advance(2)
-	n, err = collectOnce(ctx, client, dir, "", nil, quiet(), nil)
+	n, err = collectOnce(ctx, client, dir, nil, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +155,7 @@ func TestCollectOnceWritesAndSkipsExisting(t *testing.T) {
 func TestCollectedSnapshotsRoundTrip(t *testing.T) {
 	ts, arch, _ := publisher(t, 1)
 	dir := t.TempDir()
-	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet(), nil); err != nil {
+	if _, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, nil, nil, quiet(), nil); err != nil {
 		t.Fatal(err)
 	}
 	store, err := toplist.OpenArchive(dir)
@@ -169,7 +182,7 @@ func TestCollectOnceRecordsGapsWithoutFailing(t *testing.T) {
 	defer ts.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, "", nil, quiet(), nil)
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, nil, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +314,7 @@ func TestCollectOnceFillsGapsFromPeer(t *testing.T) {
 	defer peer.Close()
 
 	dir := t.TempDir()
-	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peer.URL, nil, quiet(), nil)
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, peerSet(t, peer.URL), nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +347,7 @@ func TestCollectOnceSurvivesDeadPeer(t *testing.T) {
 
 	dir := t.TempDir()
 	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir,
-		"http://127.0.0.1:1", nil, quiet(), nil)
+		peerSet(t, "http://127.0.0.1:1"), nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +365,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	client := listserv.NewClient(ts.URL)
 	ctx := context.Background()
-	if _, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil); err != nil {
+	if _, err := collectOnce(ctx, client, dir, nil, nil, quiet(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Rot one collected snapshot on disk.
@@ -369,7 +382,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 		t.Fatalf("verify sweep found %v, want {%v}", recollect, want)
 	}
 	// Without the recollect set the slot is skipped as present...
-	n, err := collectOnce(ctx, client, dir, "", nil, quiet(), nil)
+	n, err := collectOnce(ctx, client, dir, nil, nil, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +390,7 @@ func TestVerifyRecollectsCorruptSnapshots(t *testing.T) {
 		t.Fatalf("pass without recollect wrote %d, want 0", n)
 	}
 	// ...with it, the corrupt slot is refetched and healed.
-	n, err = collectOnce(ctx, client, dir, "", recollect, quiet(), nil)
+	n, err = collectOnce(ctx, client, dir, nil, recollect, quiet(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,5 +434,43 @@ func TestRunOnceWithVerify(t *testing.T) {
 	}
 	if c := store.Verify(); len(c) != 0 {
 		t.Fatalf("still corrupt after -verify run: %v", c)
+	}
+}
+
+// TestCollectOnceFailsOverAcrossPeers: with several -peer URLs, a dead
+// first peer is skipped (and backed off) and the gap is filled from
+// the live one — the fleet peer-set machinery under the collector.
+func TestCollectOnceFailsOverAcrossPeers(t *testing.T) {
+	// Publisher misses umbrella day 1.
+	arch := toplist.NewArchive(0, 1)
+	arch.Put("alexa", 0, toplist.New([]string{"a.com"}))    //nolint:errcheck
+	arch.Put("alexa", 1, toplist.New([]string{"a2.com"}))   //nolint:errcheck
+	arch.Put("umbrella", 0, toplist.New([]string{"u.com"})) //nolint:errcheck
+	ts := httptest.NewServer(listserv.NewServer(arch))
+	defer ts.Close()
+
+	peerArch := toplist.NewArchive(0, 1)
+	peerArch.Put("umbrella", 1, toplist.New([]string{"u2.com"})) //nolint:errcheck
+	peer := httptest.NewServer(archived.NewServer(peerArch))
+	defer peer.Close()
+
+	ps := peerSet(t, "http://127.0.0.1:1", peer.URL)
+	dir := t.TempDir()
+	n, err := collectOnce(context.Background(), listserv.NewClient(ts.URL), dir, ps, nil, quiet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 3 from the publisher + 1 gap failed over to the live peer
+		t.Fatalf("wrote %d, want 4", n)
+	}
+	store, err := toplist.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Get("umbrella", 1); got == nil || got.Name(1) != "u2.com" {
+		t.Fatalf("peer-filled snapshot = %v", got)
+	}
+	if ps.Peers()[0].Failures() == 0 {
+		t.Fatal("dead peer should have been marked unhealthy")
 	}
 }

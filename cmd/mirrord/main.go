@@ -1,0 +1,240 @@
+// Command mirrord is a self-healing archive mirror: it keeps a local
+// durable archive (toplist.DiskStore) continuously replicated from one
+// or more peer archive servers speaking the versioned /archive/v1 wire
+// API (cmd/toplistd -serve-archive, cmd/mirrord itself, or anything
+// mounting internal/archived), and serves the same wire API over its
+// own copy — so mirrors chain into a fleet where every node replicates
+// from every other and any node can die or rot without data loss.
+//
+// Replication is conditional and byte-oriented: each sync round costs
+// one If-None-Match manifest GET per peer — answered 304 in steady
+// state, because the manifest ETag covers a fingerprint of every
+// stored slot — and only a changed manifest triggers a walk that
+// byte-copies missing snapshots (GetRaw → PutRaw; no CSV is decoded
+// beyond PutRaw's single write-validation pass). Peers are health
+// tracked: a dead or flapping peer enters jittered exponential backoff
+// and the round simply proceeds with the others.
+//
+// With -verify-every, the local archive is periodically integrity
+// swept (DiskStore.Verify); slots that fail — bit rot, truncation,
+// external modification — are removed from the mirror's has-view and
+// re-fetched from the healthiest peer holding a copy with the locally
+// persisted content hash, so on-disk corruption heals from the fleet
+// automatically.
+//
+// A missing local archive is bootstrapped from the first reachable
+// peer's manifest (range, scale, expected providers), retrying until
+// one answers — so an entire fleet can be started in any order.
+//
+// /metrics exposes the serving-core series plus the fleet counters
+// (slots copied, manifest 304s, peer failures, corrupt slots healed,
+// rounds, sweeps) and a per-peer replication-lag gauge.
+//
+// Usage:
+//
+//	mirrord -archive DIR -peer URL [-peer URL ...] [-addr :8801]
+//	        [-sync-every 30s] [-verify-every 10m] [-once]
+//	        [-limit N] [-access-log=false]
+//
+// Exit status: 0 on success, 2 for invocation errors, 1 for
+// operational failures.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/archived"
+	"repro/internal/fleet"
+	"repro/internal/serve"
+	"repro/internal/toplist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mirrord:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: mirrord -archive DIR -peer URL [-peer URL ...] [-addr :8801]
+               [-sync-every 30s] [-verify-every 10m] [-once]
+               [-limit N] [-access-log=false]`
+
+// usageError is an invocation mistake, printed with the synopsis and
+// exited 2 — the same "called wrong" vs "ran and failed" split the
+// other commands make.
+type usageError struct {
+	msg string
+}
+
+func (e *usageError) Error() string { return e.msg + "\n" + usage }
+
+func badUsage(format string, a ...any) *usageError {
+	return &usageError{msg: fmt.Sprintf(format, a...)}
+}
+
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return fmt.Sprint([]string(*p)) }
+
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+type config struct {
+	archiveDir  string
+	peers       []string
+	addr        string
+	syncEvery   time.Duration
+	verifyEvery time.Duration
+	once        bool
+	limit       int
+	accessLog   bool
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("mirrord", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	archiveDir := fs.String("archive", "", "local archive directory (created from a peer when absent)")
+	var peers peerList
+	fs.Var(&peers, "peer", "peer archive wire API base URL (repeatable)")
+	addr := fs.String("addr", ":8801", "listen address for the local wire API and /metrics")
+	syncEvery := fs.Duration("sync-every", 30*time.Second, "replication round interval")
+	verifyEvery := fs.Duration("verify-every", 10*time.Minute, "local integrity-sweep interval (0 = disabled)")
+	once := fs.Bool("once", false, "one sync round (after a sweep) and exit; no server")
+	limit := fs.Int("limit", 1024, "max concurrent requests before shedding with 503 (0 = unlimited)")
+	accessLog := fs.Bool("access-log", true, "log one line per request")
+	if err := fs.Parse(args); err != nil {
+		return nil, badUsage("%v", err)
+	}
+	if fs.NArg() > 0 {
+		return nil, badUsage("unexpected argument %q", fs.Arg(0))
+	}
+	if *archiveDir == "" {
+		return nil, badUsage("-archive is required")
+	}
+	if len(peers) == 0 {
+		return nil, badUsage("at least one -peer is required")
+	}
+	if *syncEvery <= 0 {
+		return nil, badUsage("-sync-every must be > 0")
+	}
+	if *verifyEvery < 0 {
+		return nil, badUsage("-verify-every must be >= 0")
+	}
+	if *limit < 0 {
+		return nil, badUsage("-limit must be >= 0")
+	}
+	return &config{
+		archiveDir:  *archiveDir,
+		peers:       peers,
+		addr:        *addr,
+		syncEvery:   *syncEvery,
+		verifyEvery: *verifyEvery,
+		once:        *once,
+		limit:       *limit,
+		accessLog:   *accessLog,
+	}, nil
+}
+
+func run(args []string, logw io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logger := log.New(logw, "mirrord: ", log.LstdFlags)
+
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+
+	peers, err := fleet.NewPeerSet(cfg.peers)
+	if err != nil {
+		return err
+	}
+	store, err := bootstrapWithRetry(ctx, cfg.archiveDir, peers, logger)
+	if err != nil {
+		return err
+	}
+	logger.Printf("archive %s: %d providers x %d days", cfg.archiveDir, len(store.Providers()), store.Days())
+
+	metrics := serve.NewMetrics()
+	mirror := fleet.NewMirror(store, peers,
+		fleet.WithMirrorLogger(logger),
+		fleet.WithMirrorMetrics(metrics))
+
+	if cfg.once {
+		if cfg.verifyEvery > 0 {
+			mirror.VerifySweep()
+		}
+		mirror.SyncOnce(ctx)
+		logger.Printf("once: copied=%d healed=%d 304s=%d peer-failures=%d",
+			mirror.Copied(), mirror.Healed(), mirror.NotModified(), mirror.PeerFailures())
+		return ctx.Err()
+	}
+
+	mux := http.NewServeMux()
+	archived.NewServer(store, archived.WithMux(mux))
+	mux.Handle("GET /metrics", metrics.Handler())
+	var accessLogger *log.Logger
+	if cfg.accessLog {
+		accessLogger = logger
+	}
+	daemon := &serve.Daemon{
+		Addr: cfg.addr,
+		Handler: serve.Chain(mux,
+			metrics.Instrument(serve.RouteLabel),
+			serve.AccessLog(accessLogger),
+			serve.Limit(cfg.limit, metrics),
+			serve.Recover(logger, metrics),
+		),
+		Logger:     logger,
+		Background: mirror.Loops(cfg.syncEvery, cfg.verifyEvery),
+	}
+	addr, err := daemon.Listen()
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %s on http://%s (syncing %d peers every %s)",
+		toplist.RemoteAPIPrefix, addr, len(peers.Peers()), cfg.syncEvery)
+	return daemon.Run(ctx)
+}
+
+// bootstrapWithRetry opens (or creates from a peer) the local archive,
+// retrying while no peer is reachable — fleets start in any order, and
+// a mirror whose peers are still booting must wait, not die.
+func bootstrapWithRetry(ctx context.Context, dir string, peers *fleet.PeerSet, logger *log.Logger) (*toplist.DiskStore, error) {
+	for wait := time.Second; ; {
+		store, err := fleet.Bootstrap(ctx, dir, peers)
+		if err == nil {
+			return store, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		logger.Printf("bootstrap: %v (retrying in %s)", err, wait)
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, err
+		case <-t.C:
+		}
+		if wait < 10*time.Second {
+			wait *= 2
+		}
+	}
+}

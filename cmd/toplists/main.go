@@ -12,6 +12,7 @@
 //	toplists rank <domain>... [flags]     # track domains' ranks (Table 4 style)
 //	toplists gen -out DIR [flags]         # write rank,domain CSVs
 //	toplists verify -archive DIR          # integrity-sweep a saved archive
+//	toplists verify -pack FILE            # integrity-sweep a packed archive
 //	toplists pack -archive DIR -out FILE  # pack a saved archive into one file
 //	toplists unpack -in FILE -archive DIR # restore a packed archive to a directory
 //
@@ -69,7 +70,7 @@ var usages = map[string]string{
 	"figures":    "toplists figures -out DIR [flags]",
 	"rank":       "toplists rank <domain>... [flags]",
 	"gen":        "toplists gen -out DIR [flags]",
-	"verify":     "toplists verify -archive DIR",
+	"verify":     "toplists verify -archive DIR | -pack FILE",
 	"pack":       "toplists pack -archive DIR -out FILE",
 	"unpack":     "toplists unpack -in FILE -archive DIR",
 }
@@ -117,6 +118,7 @@ func run(ctx context.Context, args []string) error {
 	saveDir := fs.String("save", "", "persist the simulated archive to this directory")
 	archiveDir := fs.String("archive", "", "serve from a saved archive instead of simulating")
 	inFile := fs.String("in", "", "packed archive file to unpack")
+	packFile := fs.String("pack", "", "packed archive file to verify")
 
 	// For `experiment` and `rank`, positional arguments come before
 	// the flags; they share a single simulation.
@@ -142,8 +144,11 @@ func run(ctx context.Context, args []string) error {
 	// not to require matching -scale flags).
 	switch cmd {
 	case "verify":
-		if *archiveDir == "" {
-			return badUsage(cmd, "-archive is required")
+		if (*archiveDir == "") == (*packFile == "") {
+			return badUsage(cmd, "exactly one of -archive or -pack is required")
+		}
+		if *packFile != "" {
+			return verifyPack(*packFile)
 		}
 		return verifyArchive(*archiveDir)
 	case "pack":
@@ -235,6 +240,33 @@ func verifyArchive(dir string) error {
 	}
 	fmt.Printf("%s: %d providers, %d days, %d hash-verified, %d decode-only snapshots\n",
 		dir, len(store.Providers()), store.Days(), rep.HashVerified, rep.DecodeOnly)
+	return nil
+}
+
+// verifyPack is verifyArchive for packed single-file archives: every
+// blob is read back through its directory entry and checked (hash
+// first, then a full decode). Packed slots always carry per-slot
+// hashes — Write refuses anything else — so the decode-only count is
+// structurally zero and is reported as such for symmetry with the
+// -archive report.
+func verifyPack(file string) error {
+	p, err := toplists.OpenPack(file)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	corrupt, err := p.Verify()
+	if err != nil {
+		return err
+	}
+	for _, s := range corrupt {
+		fmt.Printf("corrupt: %s %s\n", s.Provider, s.Day)
+	}
+	if len(corrupt) > 0 {
+		return fmt.Errorf("%d corrupt snapshots in %s", len(corrupt), file)
+	}
+	fmt.Printf("%s: %d providers, %d days, %d hash-verified, 0 decode-only snapshots\n",
+		file, len(p.Providers()), p.Days(), p.Snapshots())
 	return nil
 }
 

@@ -345,3 +345,48 @@ func TestVerifySubcommand(t *testing.T) {
 		t.Fatal("verify over a non-archive dir should fail")
 	}
 }
+
+// TestVerifyPackSubcommand drives `toplists verify -pack` over a
+// healthy packed archive, a tampered one, and bad usage.
+func TestVerifyPackSubcommand(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ds, err := toplist.CreateDiskStore(dir, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := toplist.Day(0); d <= 1; d++ {
+		if err := ds.Put("alexa", d, toplist.New([]string{"a.com", "b.org"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	file := filepath.Join(t.TempDir(), "archive.pack")
+	if err := run(ctx, []string{"pack", "-archive", dir, "-out", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"verify", "-pack", file}); err != nil {
+		t.Fatalf("verify over healthy pack: %v", err)
+	}
+
+	// Flip one byte inside a blob region (past the header) so exactly
+	// the damaged slot fails its directory-hash check.
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xff
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(ctx, []string{"verify", "-pack", file})
+	if err == nil {
+		t.Fatal("verify over tampered pack returned nil")
+	}
+
+	if err := run(ctx, []string{"verify", "-pack", file, "-archive", dir}); err == nil {
+		t.Fatal("verify with both -pack and -archive should be a usage error")
+	}
+	if err := run(ctx, []string{"verify", "-pack", filepath.Join(dir, "nope.pack")}); err == nil {
+		t.Fatal("verify over a missing pack should fail")
+	}
+}

@@ -62,6 +62,19 @@ type scaler interface {
 	Scale() string
 }
 
+// slotLister is implemented by sources that can enumerate their stored
+// slots and per-slot content hashes without I/O (toplist.DiskStore and
+// pack.Pack both can). It is what lets the wire manifest carry the
+// Snapshots count and the Content fingerprint — the fields that make
+// the manifest ETag change whenever any slot is filled or repaired, so
+// a mirror's conditional revalidation is a sound "anything to copy?"
+// probe. Sources without it (in-memory archives, gatekept live views)
+// simply omit the fields.
+type slotLister interface {
+	Has(provider string, day toplist.Day) bool
+	RawHash(provider string, day toplist.Day) string
+}
+
 // Server publishes a toplist.Source over the archive wire API. It
 // implements http.Handler and is safe for concurrent use.
 //
@@ -207,10 +220,43 @@ func (s *Server) Manifest() toplist.RemoteManifest {
 	if sc, ok := src.(scaler); ok {
 		man.Scale = sc.Scale()
 	}
+	if sl, ok := src.(slotLister); ok {
+		man.Snapshots, man.Content = fingerprintSlots(sl, man.Providers, first, last)
+	}
 	if man.Providers == nil {
 		man.Providers = []string{}
 	}
 	return man
+}
+
+// fingerprintSlots walks every stored slot and condenses (provider,
+// day, hash) triples into a content fingerprint, plus the slot count.
+// The walk is pure map/bitmap probes — no file or network I/O — so
+// rebuilding it per manifest request stays cheap; an archive that
+// changes in any way (slot added, slot repaired to different bytes)
+// yields a different fingerprint and therefore a different manifest
+// ETag.
+func fingerprintSlots(sl slotLister, providers []string, first, last toplist.Day) (int, string) {
+	var buf bytes.Buffer
+	count := 0
+	for _, p := range providers {
+		for d := first; d <= last; d++ {
+			if !sl.Has(p, d) {
+				continue
+			}
+			count++
+			buf.WriteString(p)
+			buf.WriteByte('/')
+			buf.WriteString(d.String())
+			buf.WriteByte('/')
+			buf.WriteString(sl.RawHash(p, d))
+			buf.WriteByte('\n')
+		}
+	}
+	if count == 0 {
+		return 0, ""
+	}
+	return count, toplist.ContentHash(buf.Bytes())
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
@@ -319,6 +365,14 @@ func (s *Server) serveBlob(w http.ResponseWriter, r *http.Request, day toplist.D
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 	w.Header().Set("Content-Encoding", "gzip")
 	w.Header().Set("ETag", b.etag)
+	// Snapshot documents are immutable in the only sense that matters
+	// to a cache: a (provider, day) slot's bytes are produced by a
+	// deterministic encoder, so they only ever change when a repair
+	// restores the identical document. Caches and mirrors may pin them
+	// for as long as they like — it is the manifest, which must always
+	// revalidate (Cache-Control: no-cache there), that says whether
+	// anything changed.
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
 	w.Header().Set("X-Toplist-Day", day.String())
 	// Same publication instant the provider-style routes use: 00:00 UTC
 	// of the day after the data day.

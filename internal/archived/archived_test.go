@@ -763,3 +763,109 @@ func TestCorruptSlotRefusal(t *testing.T) {
 		t.Fatalf("healthy slot status %d after corrupt refusal", ok.StatusCode)
 	}
 }
+
+// TestManifestRevalidation pins the replication hook: the manifest
+// carries a content fingerprint over every stored slot, so its ETag —
+// and therefore Remote.Revalidate's changed verdict — reacts to slot
+// fills and repairs inside an unchanged day range, not just to range
+// growth. Steady state is a 304 and changed == false.
+func TestManifestRevalidation(t *testing.T) {
+	ds, _ := cleanStore(t)
+	ts, _ := serve(t, ds)
+	ctx := context.Background()
+	rem, err := toplist.OpenRemote(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem.Snapshots() != 2 {
+		t.Fatalf("manifest reports %d snapshots, want 2", rem.Snapshots())
+	}
+	fp := rem.ContentFingerprint()
+	if fp == "" {
+		t.Fatal("manifest reports no content fingerprint over a DiskStore")
+	}
+
+	// Nothing changed: revalidation is a 304 and reports unchanged.
+	for i := 0; i < 2; i++ {
+		changed, err := rem.Revalidate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Fatalf("revalidate %d over an unchanged archive reported changed", i)
+		}
+	}
+
+	// A new provider's slot fills INSIDE the existing day range: first
+	// and last days are untouched, yet the manifest must change.
+	if err := ds.Put("umbrella", 0, toplist.New([]string{"filled.com"})); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := rem.Revalidate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("mid-range slot fill did not change the manifest")
+	}
+	if rem.Snapshots() != 3 {
+		t.Fatalf("manifest reports %d snapshots after fill, want 3", rem.Snapshots())
+	}
+	fp2 := rem.ContentFingerprint()
+	if fp2 == fp {
+		t.Fatal("content fingerprint unchanged by a slot fill")
+	}
+
+	// A repair that rewrites a slot to different bytes: same count,
+	// same range, different fingerprint.
+	if err := ds.Put("alexa", 0, toplist.New([]string{"repaired.net"})); err != nil {
+		t.Fatal(err)
+	}
+	if changed, err = rem.Revalidate(ctx); err != nil || !changed {
+		t.Fatalf("slot repair: changed=%v err=%v, want true nil", changed, err)
+	}
+	if rem.Snapshots() != 3 {
+		t.Fatalf("manifest reports %d snapshots after repair, want 3", rem.Snapshots())
+	}
+	if rem.ContentFingerprint() == fp2 {
+		t.Fatal("content fingerprint unchanged by a slot repair")
+	}
+
+	// And the steady state re-establishes.
+	if changed, err = rem.Revalidate(ctx); err != nil || changed {
+		t.Fatalf("post-repair steady state: changed=%v err=%v, want false nil", changed, err)
+	}
+}
+
+// TestCacheControlHeaders pins the caching contract mirrors depend on:
+// the manifest must always revalidate (no-cache — a pinned manifest
+// would blind a mirror to every change), while snapshot documents are
+// immutable-cacheable (their bytes are deterministic and
+// content-hash-validated).
+func TestCacheControlHeaders(t *testing.T) {
+	ds, _ := cleanStore(t)
+	ts := serveOpts(t, ds)
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{toplist.RemoteManifestPath(), "no-cache"},
+		{toplist.RemoteDaysPath(), "no-cache"},
+		{toplist.RemoteProvidersPath(), "no-cache"},
+		{toplist.RemoteSnapshotPath("alexa", 0), "public, max-age=31536000, immutable"},
+	} {
+		resp, _ := fetchStored(t, ts, tc.path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Cache-Control"); got != tc.want {
+			t.Fatalf("%s: Cache-Control %q, want %q", tc.path, got, tc.want)
+		}
+	}
+	// The encode fallback serves the same snapshot caching contract.
+	resp, _ := fetchStored(t, serveOpts(t, ds, WithoutRawFastPath()),
+		toplist.RemoteSnapshotPath("alexa", 0), "")
+	if got := resp.Header.Get("Cache-Control"); got != "public, max-age=31536000, immutable" {
+		t.Fatalf("encode path snapshot Cache-Control %q", got)
+	}
+}

@@ -274,3 +274,47 @@ func TestFileStamp(t *testing.T) {
 		t.Fatalf("stamp did not change with the file: %q", s1)
 	}
 }
+
+// TestReloaderFileVanishesMidPoll pins the disappearing-backend
+// contract: while the watched file is gone the stamp probe errors on
+// every tick — no reload may fire and the remembered stamp must not
+// advance — and once the file reappears (with a different fingerprint)
+// the very next tick reloads. An operator mv-ing a new archive into
+// place (a brief window with no file at the path) must cost at most a
+// skipped tick, never a wedged reloader.
+func TestReloaderFileVanishesMidPoll(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "archive.pack")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var reloads atomic.Int64
+	task := Reloader(2*time.Millisecond, FileStamp(path), func() error {
+		reloads.Add(1)
+		return nil
+	}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go task(ctx)
+
+	// The file disappears mid-poll: every stamp probe errors. Nothing
+	// may reload, and — critically — the remembered stamp stays at the
+	// pre-removal value instead of advancing to an error sentinel.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := reloads.Load(); n != 0 {
+		t.Fatalf("reloaded %d times while the watched file was absent", n)
+	}
+
+	// It reappears with new content: the stamp differs from the
+	// remembered pre-removal value, so the next tick reloads.
+	if err := os.WriteFile(path, []byte("v2-reappeared"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return reloads.Load() >= 1 },
+		"reload did not fire after the watched file reappeared")
+}

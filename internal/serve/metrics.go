@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ type Metrics struct {
 	mu     sync.RWMutex
 	routes map[string]*routeStats
 	extra  []*Counter
+	gauges []*Gauge
 
 	inFlight atomic.Int64
 	shed     atomic.Int64
@@ -64,6 +66,29 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge is a named instantaneous value rendered on /metrics beside the
+// counters — the hook daemons use for state that moves both ways
+// (per-peer replication lag, consecutive peer failures, queue depths).
+//
+// Counter and Gauge names may carry a Prometheus label suffix
+// (`fleet_peer_lag_days{peer="http://other:8801"}`): the exposition
+// groups all series sharing the base name under one HELP/TYPE header,
+// so per-peer series render as one labelled metric family.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (gauges go both ways).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{routes: make(map[string]*routeStats)}
@@ -81,6 +106,20 @@ func (m *Metrics) Counter(name, help string) *Counter {
 	c := &Counter{name: name, help: help}
 	m.extra = append(m.extra, c)
 	return c
+}
+
+// Gauge registers (or returns the existing) named gauge.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.gauges {
+		if g.name == name {
+			return g
+		}
+	}
+	g := &Gauge{name: name, help: help}
+	m.gauges = append(m.gauges, g)
+	return g
 }
 
 // Shed counts one load-shed request (the Limit middleware calls it).
@@ -160,6 +199,7 @@ func (m *Metrics) render() []byte {
 		names = append(names, name)
 	}
 	extra := m.extra
+	gauges := m.gauges
 	sort.Strings(names)
 	routes := make([]*routeStats, len(names))
 	for i, name := range names {
@@ -207,11 +247,52 @@ func (m *Metrics) render() []byte {
 	b = append(b, "# HELP http_panics_recovered_total Handler panics converted to 500s.\n"...)
 	b = append(b, "# TYPE http_panics_recovered_total counter\n"...)
 	b = fmt.Appendf(b, "http_panics_recovered_total %d\n", m.panics.Load())
+	scalars := make([]scalarSeries, 0, len(extra)+len(gauges))
 	for _, c := range extra {
-		if c.help != "" {
-			b = fmt.Appendf(b, "# HELP %s %s\n", c.name, c.help)
+		scalars = append(scalars, scalarSeries{c.name, c.help, "counter", c.n.Load()})
+	}
+	for _, g := range gauges {
+		scalars = append(scalars, scalarSeries{g.name, g.help, "gauge", g.v.Load()})
+	}
+	return appendScalars(b, scalars)
+}
+
+// scalarSeries is one registered Counter or Gauge flattened for
+// rendering.
+type scalarSeries struct {
+	name  string // may carry a {label="..."} suffix
+	help  string
+	typ   string
+	value int64
+}
+
+// appendScalars renders registered counters and gauges, grouping
+// series that share a base metric name (the part before any label
+// suffix) under a single HELP/TYPE header, in first-registration
+// order — the Prometheus text format requires one header per family
+// even when a family has many labelled series.
+func appendScalars(b []byte, series []scalarSeries) []byte {
+	order := make([]string, 0, len(series))
+	groups := make(map[string][]scalarSeries, len(series))
+	for _, s := range series {
+		base := s.name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
 		}
-		b = fmt.Appendf(b, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.n.Load())
+		if _, ok := groups[base]; !ok {
+			order = append(order, base)
+		}
+		groups[base] = append(groups[base], s)
+	}
+	for _, base := range order {
+		g := groups[base]
+		if g[0].help != "" {
+			b = fmt.Appendf(b, "# HELP %s %s\n", base, g[0].help)
+		}
+		b = fmt.Appendf(b, "# TYPE %s %s\n", base, g[0].typ)
+		for _, s := range g {
+			b = fmt.Appendf(b, "%s %d\n", s.name, s.value)
+		}
 	}
 	return b
 }

@@ -212,3 +212,45 @@ func TestObserveBucketsLatency(t *testing.T) {
 		}
 	}
 }
+
+// TestGaugeRenderingGroupsLabelledSeries: gauges render with TYPE
+// gauge, move both ways, and series sharing a base metric name (the
+// per-peer labelled form the fleet daemons register) are grouped under
+// a single HELP/TYPE header — the Prometheus text format requires one
+// header per family.
+func TestGaugeRenderingGroupsLabelledSeries(t *testing.T) {
+	m := NewMetrics()
+	g0 := m.Gauge(`fleet_peer_lag_days{peer="http://a:1"}`, "Days the peer trails the local archive.")
+	g1 := m.Gauge(`fleet_peer_lag_days{peer="http://b:2"}`, "Days the peer trails the local archive.")
+	g0.Set(3)
+	g1.Add(5)
+	g1.Add(-1)
+	if g1.Value() != 4 {
+		t.Fatalf("gauge arithmetic: %d, want 4", g1.Value())
+	}
+	if again := m.Gauge(`fleet_peer_lag_days{peer="http://a:1"}`, ""); again != g0 {
+		t.Fatal("re-registering a gauge name did not return the existing gauge")
+	}
+
+	text := string(m.render())
+	if got := strings.Count(text, "# TYPE fleet_peer_lag_days gauge"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for the family, got %d in:\n%s", got, text)
+	}
+	if got := strings.Count(text, "# HELP fleet_peer_lag_days "); got != 1 {
+		t.Fatalf("want exactly one HELP header for the family, got %d in:\n%s", got, text)
+	}
+	for _, line := range []string{
+		`fleet_peer_lag_days{peer="http://a:1"} 3`,
+		`fleet_peer_lag_days{peer="http://b:2"} 4`,
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+	// Unlabelled counters keep their plain rendering beside gauges.
+	m.Counter("fleet_rounds_total", "Sync rounds completed.").Add(2)
+	text = string(m.render())
+	if !strings.Contains(text, "# TYPE fleet_rounds_total counter\nfleet_rounds_total 2\n") {
+		t.Fatalf("plain counter rendering changed:\n%s", text)
+	}
+}

@@ -81,6 +81,17 @@ func RemoteSnapshotPath(provider string, day Day) string {
 // a served archive: the protocol version, the producing scale (when
 // recorded), the covered day range, and the provider set. It is the
 // wire analog of a DiskStore's manifest.json.
+//
+// Snapshots and Content are the replication extension (both optional —
+// older servers omit them): the count of stored snapshot documents and
+// a fingerprint over every stored slot's content hash. They exist so
+// the manifest document — and therefore its ETag — changes whenever
+// ANY slot changes, not just when the day range or provider set grows:
+// a gap filled or a corrupt slot repaired mid-range alters the
+// fingerprint even though first/last days stay put. That is what makes
+// conditional revalidation (Revalidate) a sound "anything to copy?"
+// probe for mirrors: a 304 genuinely means byte-for-byte nothing
+// changed.
 type RemoteManifest struct {
 	Version   int      `json:"version"`
 	Scale     string   `json:"scale,omitempty"`
@@ -88,6 +99,14 @@ type RemoteManifest struct {
 	LastDay   string   `json:"last_day"`
 	Days      int      `json:"days"`
 	Providers []string `json:"providers"` // insertion order
+	// Snapshots counts the snapshot documents the server currently
+	// stores (0 when the source cannot enumerate them cheaply).
+	Snapshots int `json:"snapshots,omitempty"`
+	// Content fingerprints the stored snapshot set: a content hash over
+	// every slot's (provider, day, hash) triple, empty when the source
+	// cannot enumerate per-slot hashes. Two archives with equal
+	// fingerprints hold byte-identical snapshot sets.
+	Content string `json:"content,omitempty"`
 }
 
 // Remote is a Source served over HTTP by an archive server
@@ -125,7 +144,10 @@ type Remote struct {
 	sleep       func(context.Context, time.Duration) error
 
 	mu        sync.Mutex
-	synced    bool // first manifest fetch folded in
+	synced    bool   // first manifest fetch folded in
+	manETag   string // ETag of the last manifest fetched (Revalidate sends it back)
+	snapshots int    // stored-snapshot count from the last manifest (0 when not reported)
+	content   string // snapshot-set fingerprint from the last manifest ("" when not reported)
 	first     Day
 	last      Day
 	scale     string
@@ -295,17 +317,56 @@ func OpenRemote(ctx context.Context, baseURL string, opts ...RemoteOption) (*Rem
 // readable; cached present snapshots are immutable and survive.
 // Transient transport failures are retried like any other fetch.
 func (r *Remote) Refresh(ctx context.Context) error {
+	_, err := r.revalidate(ctx, false)
+	return err
+}
+
+// Revalidate is the conditional Refresh: the manifest is requested
+// with If-None-Match carrying the ETag of the last manifest this
+// client folded in, and a 304 answer — the server's document is
+// byte-identical, so (given a server reporting the Content
+// fingerprint) nothing about the archive changed — returns (false,
+// nil) without touching any client state and without transferring a
+// body. A 200 folds the new manifest in exactly as Refresh would
+// (range growth, new providers, memoized-nil slots forgotten) and
+// returns (true, nil). Mirrors poll with this: steady state costs one
+// conditional GET per peer per round, nothing more.
+//
+// Servers that send no manifest ETag degrade gracefully: every
+// Revalidate behaves like Refresh and reports changed.
+func (r *Remote) Revalidate(ctx context.Context) (changed bool, err error) {
+	return r.revalidate(ctx, true)
+}
+
+// revalidate is the shared Refresh/Revalidate implementation; when
+// conditional is false the If-None-Match header is never sent, so the
+// fetch is unconditional and always folds in (Refresh's historical
+// "assume changed" semantics, which consumers rely on to drop
+// memoized-nil slots).
+func (r *Remote) revalidate(ctx context.Context, conditional bool) (bool, error) {
+	r.mu.Lock()
+	etag := r.manETag
+	r.mu.Unlock()
 	var man RemoteManifest
+	var newTag string
+	unchanged := false
 	err := r.retry(ctx, func() error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+RemoteManifestPath(), nil)
 		if err != nil {
 			return err
+		}
+		if conditional && etag != "" {
+			req.Header.Set("If-None-Match", etag)
 		}
 		resp, err := r.httpc.Do(req)
 		if err != nil {
 			return &remoteTransient{err}
 		}
 		defer drainBody(resp.Body)
+		if conditional && etag != "" && resp.StatusCode == http.StatusNotModified {
+			unchanged = true
+			return nil
+		}
 		if err := classifyRemoteStatus(req.URL.String(), resp.StatusCode); err != nil {
 			return err
 		}
@@ -313,26 +374,30 @@ func (r *Remote) Refresh(ctx context.Context) error {
 		if err != nil {
 			return &remoteTransient{err}
 		}
-		man = RemoteManifest{}
+		man, unchanged = RemoteManifest{}, false
 		if err := json.Unmarshal(raw, &man); err != nil {
 			return fmt.Errorf("toplist: remote manifest: %w", err)
 		}
+		newTag = resp.Header.Get("ETag")
 		return nil
 	})
 	if err != nil {
-		return err
+		return false, err
+	}
+	if unchanged {
+		return false, nil
 	}
 	if man.Version != RemoteAPIVersion {
-		return fmt.Errorf("toplist: remote archive speaks protocol version %d (this build speaks %d); refusing to half-open it",
+		return false, fmt.Errorf("toplist: remote archive speaks protocol version %d (this build speaks %d); refusing to half-open it",
 			man.Version, RemoteAPIVersion)
 	}
 	first, err := ParseDay(man.FirstDay)
 	if err != nil {
-		return fmt.Errorf("toplist: remote manifest: bad first_day: %w", err)
+		return false, fmt.Errorf("toplist: remote manifest: bad first_day: %w", err)
 	}
 	last, err := ParseDay(man.LastDay)
 	if err != nil {
-		return fmt.Errorf("toplist: remote manifest: bad last_day: %w", err)
+		return false, fmt.Errorf("toplist: remote manifest: bad last_day: %w", err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -351,6 +416,9 @@ func (r *Remote) Refresh(ctx context.Context) error {
 		}
 	}
 	r.scale = man.Scale
+	r.manETag = newTag
+	r.snapshots = man.Snapshots
+	r.content = man.Content
 	for _, p := range man.Providers {
 		if !r.known[p] {
 			r.known[p] = true
@@ -374,7 +442,26 @@ func (r *Remote) Refresh(ctx context.Context) error {
 		default:
 		}
 	}
-	return nil
+	return true, nil
+}
+
+// Snapshots returns the stored-snapshot count the server's manifest
+// last reported (0 when the server does not report one — older servers,
+// or sources that cannot enumerate slots cheaply).
+func (r *Remote) Snapshots() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshots
+}
+
+// ContentFingerprint returns the snapshot-set fingerprint the server's
+// manifest last reported ("" when not reported). Two archives with
+// equal fingerprints hold byte-identical snapshot sets — the
+// convergence check the fleet tooling polls.
+func (r *Remote) ContentFingerprint() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.content
 }
 
 // BaseURL returns the archive server's root URL.

@@ -1,0 +1,135 @@
+#!/bin/sh
+# Chaos smoke test for the self-healing archive fleet (internal/fleet,
+# cmd/mirrord): boot a 3-node fleet from the real binaries — toplistd
+# serving a seed archive, two mirrord processes peered with the seed
+# and with each other — wait for convergence, then kill -9 the seed
+# and corrupt a snapshot on one mirror's disk. The survivors must fail
+# over, heal the corruption from each other, report 304-only
+# steady-state rounds, and render table5 byte-identically to the
+# pre-chaos original. Run from the repository root:
+# sh scripts/fleet-chaos.sh
+set -eu
+
+addr_a="127.0.0.1:18601"
+addr_b="127.0.0.1:18602"
+addr_c="127.0.0.1:18603"
+url_a="http://$addr_a"
+url_b="http://$addr_b"
+url_c="http://$addr_c"
+workdir="$(mktemp -d)"
+pid_a=""
+pid_b=""
+pid_c=""
+cleanup() {
+    for p in "$pid_a" "$pid_b" "$pid_c"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> seeding node A's archive and rendering the reference table5"
+go run ./cmd/toplists rank example.com -scale test -days 8 \
+    -save "$workdir/a" >/dev/null
+go run ./cmd/toplists experiment table5 -scale test -days 8 \
+    -archive "$workdir/a" >"$workdir/ref.txt"
+
+echo "==> building toplistd and mirrord"
+go build -o "$workdir/toplistd" ./cmd/toplistd
+go build -o "$workdir/mirrord" ./cmd/mirrord
+
+echo "==> starting the 3-node fleet"
+"$workdir/toplistd" -addr "$addr_a" -archive "$workdir/a" \
+    -serve-archive -access-log=false >"$workdir/a.log" 2>&1 &
+pid_a=$!
+"$workdir/mirrord" -addr "$addr_b" -archive "$workdir/b" \
+    -peer "$url_a" -peer "$url_c" \
+    -sync-every 200ms -verify-every 500ms -access-log=false \
+    >"$workdir/b.log" 2>&1 &
+pid_b=$!
+"$workdir/mirrord" -addr "$addr_c" -archive "$workdir/c" \
+    -peer "$url_a" -peer "$url_b" \
+    -sync-every 200ms -verify-every 500ms -access-log=false \
+    >"$workdir/c.log" 2>&1 &
+pid_c=$!
+
+manifest_content() { # manifest_content <base-url>
+    curl -fs "$1/archive/v1/manifest" 2>/dev/null \
+        | tr ',' '\n' | sed -n 's/.*"content":"\([^"]*\)".*/\1/p'
+}
+
+metric() { # metric <base-url> <series> — value, or empty
+    curl -fs "$1/metrics" 2>/dev/null | awk -v s="$2" '$1 == s {print $2; exit}'
+}
+
+wait_for() { # wait_for <what> <seconds> <cmd...>
+    what="$1"; tries="$2"; shift 2
+    i=0
+    while [ "$i" -lt "$tries" ]; do
+        if "$@"; then return 0; fi
+        sleep 1
+        i=$((i + 1))
+    done
+    echo "FAIL: timed out waiting for $what" >&2
+    for log in "$workdir"/a.log "$workdir"/b.log "$workdir"/c.log; do
+        echo "--- $log ---" >&2
+        tail -n 20 "$log" >&2 || true
+    done
+    exit 1
+}
+
+converged() {
+    want="$(manifest_content "$url_a")"
+    [ -n "$want" ] || return 1
+    [ "$(manifest_content "$url_b")" = "$want" ] || return 1
+    [ "$(manifest_content "$url_c")" = "$want" ] || return 1
+}
+echo "==> waiting for B and C to replicate the seed"
+wait_for "fleet convergence" 60 converged
+echo "    all three manifests fingerprint-identical"
+
+echo "==> chaos: kill -9 node A, corrupt a snapshot on node B's disk"
+kill -9 "$pid_a"
+pid_a=""
+slot="$(ls "$workdir"/b/alexa/*.csv.gz | head -n 1)"
+printf 'rotten bytes' >"$slot"
+
+healed() {
+    h="$(metric "$url_b" fleet_corrupt_healed_total)"
+    [ -n "$h" ] && [ "$h" -ge 1 ]
+}
+wait_for "node B to heal the corrupted slot" 60 healed
+echo "    fleet_corrupt_healed_total=$(metric "$url_b" fleet_corrupt_healed_total)"
+
+echo "==> survivors reconverge without the seed"
+reconverged() {
+    want="$(manifest_content "$url_b")"
+    [ -n "$want" ] && [ "$(manifest_content "$url_c")" = "$want" ]
+}
+wait_for "survivor reconvergence" 60 reconverged
+
+echo "==> steady state is conditional: 304s observed, peer failures counted"
+nm="$(metric "$url_b" fleet_manifest_304_total)"
+if [ -z "$nm" ] || [ "$nm" -lt 1 ]; then
+    echo "FAIL: fleet_manifest_304_total is ${nm:-absent} on node B" >&2
+    exit 1
+fi
+pf="$(metric "$url_b" fleet_peer_failures_total)"
+if [ -z "$pf" ] || [ "$pf" -lt 1 ]; then
+    echo "FAIL: node A was killed but fleet_peer_failures_total is ${pf:-absent}" >&2
+    exit 1
+fi
+echo "    304s=$nm peer-failures=$pf"
+
+echo "==> both survivors render table5 byte-identically to the original"
+for node in b c; do
+    go run ./cmd/toplists experiment table5 -scale test -days 8 \
+        -archive "$workdir/$node" >"$workdir/$node.txt"
+    if ! diff -q "$workdir/ref.txt" "$workdir/$node.txt" >/dev/null; then
+        echo "FAIL: node $node renders a different table5" >&2
+        diff "$workdir/ref.txt" "$workdir/$node.txt" >&2 || true
+        exit 1
+    fi
+done
+
+echo "PASS: fleet chaos"

@@ -65,11 +65,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"repro/internal/archived"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/pack"
 	"repro/internal/providers"
 	"repro/internal/serve"
@@ -238,6 +240,69 @@ func LimitRequests(n int, m *Metrics) Middleware { return serve.Limit(n, m) }
 // logger and counting recoveries in m; both may be nil.
 func RecoverPanics(logger *log.Logger, m *Metrics) Middleware {
 	return serve.Recover(logger, m)
+}
+
+// Peer is one archive server in a replication fleet, with its health
+// state: consecutive failures and the jittered-backoff deadline before
+// it is tried again.
+type Peer = fleet.Peer
+
+// PeerSet is a fixed set of archive-server peers with per-peer health
+// tracking, healthiest-first failover ordering, and hash-aware
+// snapshot fetching — the multi-peer machinery behind cmd/mirrord and
+// cmd/collectd's repeatable -peer flag.
+type PeerSet = fleet.PeerSet
+
+// PeerOption configures NewPeerSet (backoff window, wire-client
+// options).
+type PeerOption = fleet.PeerOption
+
+// NewPeerSet builds a peer set over the given archive-server base URLs
+// (duplicates dropped; at least one required).
+func NewPeerSet(urls []string, opts ...PeerOption) (*PeerSet, error) {
+	return fleet.NewPeerSet(urls, opts...)
+}
+
+// WithPeerBackoff sets the failing-peer backoff window: ~base after
+// the first failure, doubling per consecutive failure up to max.
+func WithPeerBackoff(base, max time.Duration) PeerOption {
+	return fleet.WithPeerBackoff(base, max)
+}
+
+// WithPeerRemoteOptions passes opts to every wire client the peer set
+// opens.
+func WithPeerRemoteOptions(opts ...RemoteOption) PeerOption {
+	return fleet.WithPeerRemoteOptions(opts...)
+}
+
+// Mirror continuously replicates a local archive from a PeerSet over
+// the wire API: conditional manifest revalidation (304s in steady
+// state), raw byte copies for missing slots, and healing of locally
+// corrupt slots from the healthiest peer holding a hash-matching copy.
+// cmd/mirrord wraps one in a daemon; embedders drive SyncOnce /
+// VerifySweep / Loops directly.
+type Mirror = fleet.Mirror
+
+// MirrorOption configures NewMirror (logger, metrics registry).
+type MirrorOption = fleet.MirrorOption
+
+// NewMirror builds a mirror replicating store from peers.
+func NewMirror(store *DiskStore, peers *PeerSet, opts ...MirrorOption) *Mirror {
+	return fleet.NewMirror(store, peers, opts...)
+}
+
+// WithMirrorLogger sets the mirror's logger (default: silent).
+func WithMirrorLogger(l *log.Logger) MirrorOption { return fleet.WithMirrorLogger(l) }
+
+// WithMirrorMetrics registers the mirror's counters and per-peer lag
+// gauges on reg (a shared /metrics registry) instead of a private one.
+func WithMirrorMetrics(reg *Metrics) MirrorOption { return fleet.WithMirrorMetrics(reg) }
+
+// BootstrapArchive opens the archive at dir, creating it from the
+// first reachable peer's manifest (range, scale, expected providers)
+// when none exists yet — how a brand-new mirror node joins a fleet.
+func BootstrapArchive(ctx context.Context, dir string, peers *PeerSet) (*DiskStore, error) {
+	return fleet.Bootstrap(ctx, dir, peers)
 }
 
 // Pack is a packed archive: every snapshot of a DiskStore-style
