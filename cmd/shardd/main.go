@@ -1,0 +1,148 @@
+// Command shardd is a simulation shard worker: it holds a slice of the
+// per-domain provider state and serves the versioned /shard/v1 wire API
+// that a coordinator (`toplistd -shard-worker`, or anything driving
+// internal/shard.Coordinator) farms day-stepping out to. A worker is
+// stateless across runs: the coordinator opens a session describing the
+// job (population config, generator options, traffic-model fingerprint)
+// and the shard bounds, seeds the session with the current EMA state,
+// then steps it one day at a time, each step returning the shard's
+// partial sums as a content-hashed binary frame.
+//
+// Determinism is the point: a worker computes exactly the arithmetic the
+// in-process generator would, in the same order, over the same shard
+// boundaries, so the coordinator's merged archive is bitwise identical
+// to a local run no matter how many workers serve it — and a worker
+// that dies mid-run is replaceable by any other, reseeded from the
+// coordinator's merged state.
+//
+// Built worlds are cached (keyed by population config) up to
+// -max-worlds, so coordinators re-running the same scale skip the
+// world-build cost; sessions pin their model, so cache eviction never
+// breaks a run in flight.
+//
+// /metrics exposes the serving-core series plus the shard counters
+// (sessions opened, days stepped, frames rejected).
+//
+// Usage:
+//
+//	shardd [-addr :8090] [-max-worlds 4] [-limit N] [-access-log=false]
+//
+// Exit status: 0 on success, 2 for invocation errors, 1 for
+// operational failures.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: shardd [-addr :8090] [-max-worlds 4] [-limit N] [-access-log=false]`
+
+// usageError is an invocation mistake, printed with the synopsis and
+// exited 2 — the same "called wrong" vs "ran and failed" split the
+// other commands make.
+type usageError struct {
+	msg string
+}
+
+func (e *usageError) Error() string { return e.msg + "\n" + usage }
+
+func badUsage(format string, a ...any) *usageError {
+	return &usageError{msg: fmt.Sprintf(format, a...)}
+}
+
+type config struct {
+	addr      string
+	maxWorlds int
+	limit     int
+	accessLog bool
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", ":8090", "listen address for the shard wire API and /metrics")
+	maxWorlds := fs.Int("max-worlds", 4, "max built worlds cached across jobs")
+	limit := fs.Int("limit", 1024, "max concurrent requests before shedding with 503 (0 = unlimited)")
+	accessLog := fs.Bool("access-log", true, "log one line per request")
+	if err := fs.Parse(args); err != nil {
+		return nil, badUsage("%v", err)
+	}
+	if fs.NArg() > 0 {
+		return nil, badUsage("unexpected argument %q", fs.Arg(0))
+	}
+	if *maxWorlds < 1 {
+		return nil, badUsage("-max-worlds must be >= 1")
+	}
+	if *limit < 0 {
+		return nil, badUsage("-limit must be >= 0")
+	}
+	return &config{
+		addr:      *addr,
+		maxWorlds: *maxWorlds,
+		limit:     *limit,
+		accessLog: *accessLog,
+	}, nil
+}
+
+func run(args []string, logw io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logger := log.New(logw, "shardd: ", log.LstdFlags)
+
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+
+	metrics := serve.NewMetrics()
+	worker := shard.NewWorker(
+		shard.WithWorkerLogger(logger),
+		shard.WithWorkerMetrics(metrics),
+		shard.WithMaxWorlds(cfg.maxWorlds))
+
+	mux := http.NewServeMux()
+	worker.Mount(mux)
+	mux.Handle("GET /metrics", metrics.Handler())
+	var accessLogger *log.Logger
+	if cfg.accessLog {
+		accessLogger = logger
+	}
+	daemon := &serve.Daemon{
+		Addr: cfg.addr,
+		Handler: serve.Chain(mux,
+			metrics.Instrument(serve.RouteLabel),
+			serve.AccessLog(accessLogger),
+			serve.Limit(cfg.limit, metrics),
+			serve.Recover(logger, metrics),
+		),
+		Logger: logger,
+	}
+	addr, err := daemon.Listen()
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %s on http://%s (max %d cached worlds)",
+		shard.APIPrefix, addr, cfg.maxWorlds)
+	return daemon.Run(ctx)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad max-worlds", []string{"-max-worlds", "0"}},
+		{"bad limit", []string{"-limit", "-1"}},
+		{"positional", []string{"extra"}},
+		{"unknown flag", []string{"-nope"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			var ue *usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("want usageError, got %v", err)
+			}
+		})
+	}
+}
+
+func TestFlagDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8090" || cfg.maxWorlds != 4 || cfg.limit != 1024 || !cfg.accessLog {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}

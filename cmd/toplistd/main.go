@@ -25,6 +25,14 @@
 // provider-style routes, so remote consumers can reopen the served
 // archive as a toplist.Source with toplist.OpenRemote.
 //
+// With one or more -shard-worker URLs (shardd daemons), the per-day
+// simulation stepping is farmed out across those workers over the
+// /shard/v1 wire API and merged back bitwise-identically to a local
+// run — including across worker deaths, whose shards are reseeded on
+// the survivors mid-day. The shard_* counters and per-worker lag
+// gauges land on this daemon's /metrics. Simulation modes only
+// (incompatible with -archive and -serve-pack).
+//
 // Every mode runs on the shared serving core (internal/serve):
 //
 //   - /metrics exposes per-route request counts, latency histograms,
@@ -46,8 +54,8 @@
 //
 //	toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
 //	         [-workers N] [-live] [-live-interval 2s] [-archive DIR]
-//	         [-serve-pack FILE] [-serve-archive] [-limit N]
-//	         [-reload-poll D] [-access-log=false]
+//	         [-serve-pack FILE] [-serve-archive] [-shard-worker URL ...]
+//	         [-limit N] [-reload-poll D] [-access-log=false]
 //
 // Exit status: 0 on success, 2 for invocation errors (unknown flags,
 // bad flag combos — usage is printed), 1 for operational failures.
@@ -67,10 +75,12 @@ import (
 
 	"repro/internal/archived"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/listserv"
 	"repro/internal/pack"
 	"repro/internal/population"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/toplist"
 )
 
@@ -87,8 +97,8 @@ func main() {
 
 const usage = `usage: toplistd [-addr :8080] [-scale test|default] [-seed N] [-days N]
                 [-workers N] [-live] [-live-interval 2s] [-archive DIR]
-                [-serve-pack FILE] [-serve-archive] [-limit N]
-                [-reload-poll D] [-access-log=false]`
+                [-serve-pack FILE] [-serve-archive] [-shard-worker URL ...]
+                [-limit N] [-reload-poll D] [-access-log=false]`
 
 // usageError is an invocation mistake — unknown flags, bad flag combos
 // — as opposed to an operational failure. main prints it with the
@@ -105,6 +115,16 @@ func badUsage(format string, a ...any) *usageError {
 	return &usageError{msg: fmt.Sprintf(format, a...)}
 }
 
+// workerList collects repeated -shard-worker flags.
+type workerList []string
+
+func (w *workerList) String() string { return fmt.Sprint([]string(*w)) }
+
+func (w *workerList) Set(v string) error {
+	*w = append(*w, v)
+	return nil
+}
+
 // config is the parsed, validated flag set.
 type config struct {
 	addr         string
@@ -114,6 +134,7 @@ type config struct {
 	archiveDir   string
 	servePack    string
 	serveArchive bool
+	shardWorkers []string
 	limit        int
 	reloadPoll   time.Duration
 	accessLog    bool
@@ -134,6 +155,8 @@ func parseFlags(args []string) (*config, error) {
 	archiveDir := fs.String("archive", "", "serve a saved archive from this directory (no simulation)")
 	servePack := fs.String("serve-pack", "", "serve a packed archive file (no simulation)")
 	serveArchive := fs.Bool("serve-archive", false, "also mount the archive wire API under "+toplist.RemoteAPIPrefix)
+	var shardWorkers workerList
+	fs.Var(&shardWorkers, "shard-worker", "shard worker (shardd) base URL to distribute generation across (repeatable)")
 	limit := fs.Int("limit", 1024, "max concurrent requests before shedding with 503 (0 = unlimited)")
 	reloadPoll := fs.Duration("reload-poll", 0, "watch the served archive for changes and hot-reload (0 = SIGHUP only)")
 	accessLog := fs.Bool("access-log", true, "log one line per request")
@@ -148,6 +171,9 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if (*archiveDir != "" || *servePack != "") && *live {
 		return nil, badUsage("-live cannot serve a saved archive")
+	}
+	if (*archiveDir != "" || *servePack != "") && len(shardWorkers) > 0 {
+		return nil, badUsage("-shard-worker distributes simulation; it cannot serve a saved archive")
 	}
 	if *reloadPoll < 0 {
 		return nil, badUsage("-reload-poll must be >= 0")
@@ -181,6 +207,7 @@ func parseFlags(args []string) (*config, error) {
 		archiveDir:   *archiveDir,
 		servePack:    *servePack,
 		serveArchive: *serveArchive,
+		shardWorkers: shardWorkers,
 		limit:        *limit,
 		reloadPoll:   *reloadPoll,
 		accessLog:    *accessLog,
@@ -284,9 +311,29 @@ func build(ctx context.Context, cfg *config, logger *log.Logger) (*composition, 
 
 	default:
 		logger.Printf("building world at scale %q (seed %d)...", cfg.scale.Name, cfg.scale.Population.Seed)
-		world, eng, err := core.NewEngine(cfg.scale)
-		if err != nil {
-			return nil, err
+		var (
+			world *population.World
+			eng   *engine.Engine
+			err   error
+		)
+		if len(cfg.shardWorkers) > 0 {
+			// Distributed generation: per-day stepping runs on the shard
+			// workers, merged back through a coordinator whose counters
+			// and per-worker lag gauges land on this daemon's /metrics.
+			var coord *shard.Coordinator
+			world, eng, coord, err = core.NewDistributedEngine(cfg.scale, cfg.shardWorkers,
+				shard.WithCoordinatorLogger(logger),
+				shard.WithCoordinatorMetrics(comp.metrics))
+			if err != nil {
+				return nil, err
+			}
+			comp.closeFn = func() error { coord.Close(); return nil }
+			logger.Printf("distributing generation across %d shard workers", len(cfg.shardWorkers))
+		} else {
+			world, eng, err = core.NewEngine(cfg.scale)
+			if err != nil {
+				return nil, err
+			}
 		}
 		simDays := cfg.scale.Population.Days
 		arch := toplist.NewArchive(0, toplist.Day(simDays-1))

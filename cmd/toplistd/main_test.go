@@ -33,6 +33,8 @@ func TestErrorClasses(t *testing.T) {
 		{"archive and pack", []string{"-archive", "x", "-serve-pack", "y"}, true},
 		{"archive and live", []string{"-archive", "x", "-live"}, true},
 		{"pack and live", []string{"-serve-pack", "y", "-live"}, true},
+		{"archive and shard-worker", []string{"-archive", "x", "-shard-worker", "http://w:1"}, true},
+		{"pack and shard-worker", []string{"-serve-pack", "y", "-shard-worker", "http://w:1"}, true},
 		{"reload-poll without source", []string{"-reload-poll", "1s"}, true},
 		{"negative reload-poll", []string{"-archive", "x", "-reload-poll", "-1s"}, true},
 		{"negative limit", []string{"-limit", "-1"}, true},

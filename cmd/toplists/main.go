@@ -24,6 +24,8 @@
 //	-save DIR             persist the simulated archive to DIR while running
 //	-archive DIR          serve from the archive saved at DIR (no resimulation;
 //	                      -scale/-seed/-days must match the saving run)
+//	-remote URL           serve from an archive server's wire API (toplistd
+//	                      -serve-archive, mirrord; same matching rules)
 //
 // Exit status: 0 on success, 2 for unknown commands or bad flags (with
 // the failing subcommand's usage on stderr), 1 for operational
@@ -117,6 +119,7 @@ func run(ctx context.Context, args []string) error {
 	outDir := fs.String("out", "", "output directory (gen, figures) or file (pack)")
 	saveDir := fs.String("save", "", "persist the simulated archive to this directory")
 	archiveDir := fs.String("archive", "", "serve from a saved archive instead of simulating")
+	remoteURL := fs.String("remote", "", "serve from an archive server's wire API instead of simulating")
 	inFile := fs.String("in", "", "packed archive file to unpack")
 	packFile := fs.String("pack", "", "packed archive file to verify")
 
@@ -170,7 +173,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	lab, err := newLab(scale, *archiveDir, *saveDir)
+	lab, err := newLab(ctx, scale, *archiveDir, *remoteURL, *saveDir)
 	if err != nil {
 		return err
 	}
@@ -333,12 +336,19 @@ func unpackArchive(in, dir string) error {
 	return nil
 }
 
-// newLab assembles the lab from the flag triple: archive (resume from
-// disk, no resimulation), save (simulate and persist), or plain
+// newLab assembles the lab from the flag set: archive (resume from
+// disk, no resimulation), remote (resume from an archive server's wire
+// API, no resimulation), save (simulate and persist), or plain
 // in-memory simulation.
-func newLab(scale toplists.Scale, archiveDir, saveDir string) (*toplists.Lab, error) {
-	if archiveDir != "" && saveDir != "" {
-		return nil, fmt.Errorf("-archive and -save are mutually exclusive")
+func newLab(ctx context.Context, scale toplists.Scale, archiveDir, remoteURL, saveDir string) (*toplists.Lab, error) {
+	sources := 0
+	for _, s := range []string{archiveDir, remoteURL, saveDir} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("-archive, -remote, and -save are mutually exclusive")
 	}
 	opts := []toplists.Option{toplists.WithScale(scale)}
 	switch {
@@ -349,6 +359,17 @@ func newLab(scale toplists.Scale, archiveDir, saveDir string) (*toplists.Lab, er
 		}
 		if name := src.Scale(); name != "" && name != scale.Name {
 			return nil, fmt.Errorf("archive %s was saved at scale %q, flags select %q", archiveDir, name, scale.Name)
+		}
+		opts = append(opts, toplists.WithSource(src))
+	case remoteURL != "":
+		src, err := toplists.OpenRemote(ctx, remoteURL)
+		if err != nil {
+			return nil, err
+		}
+		// Remote manifests may predate scale stamping; only a non-empty
+		// advertised scale can contradict the flags.
+		if name := src.Scale(); name != "" && name != scale.Name {
+			return nil, fmt.Errorf("archive at %s was saved at scale %q, flags select %q", remoteURL, name, scale.Name)
 		}
 		opts = append(opts, toplists.WithSource(src))
 	case saveDir != "":

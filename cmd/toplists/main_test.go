@@ -3,11 +3,13 @@ package main
 import (
 	"context"
 	"errors"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/simnet"
 	"repro/internal/toplist"
 )
@@ -171,7 +173,7 @@ func TestGenerateWritesSnapshots(t *testing.T) {
 	scale.Population.BirthsPerDay = 10
 	scale.ListSize = 200
 	scale.HeadSize = 20
-	lab, err := newLab(scale, "", "")
+	lab, err := newLab(context.Background(), scale, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +228,7 @@ func TestFiguresWritesSVGs(t *testing.T) {
 	scale.Population.BirthsPerDay = 10
 	scale.ListSize = 200
 	scale.HeadSize = 20
-	lab, err := newLab(scale, "", "")
+	lab, err := newLab(context.Background(), scale, "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestSaveThenArchiveRoundTrip(t *testing.T) {
 	scale.HeadSize = 20
 
 	dir := filepath.Join(t.TempDir(), "joint")
-	saving, err := newLab(scale, "", dir)
+	saving, err := newLab(context.Background(), scale, "", "", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +289,7 @@ func TestSaveThenArchiveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resumed, err := newLab(scale, dir, "")
+	resumed, err := newLab(context.Background(), scale, dir, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,13 +301,39 @@ func TestSaveThenArchiveRoundTrip(t *testing.T) {
 		t.Fatalf("archived rerun differs:\n%s\nvs\n%s", want.Render(), got.Render())
 	}
 
-	if _, err := newLab(scale, dir, dir); err == nil {
+	if _, err := newLab(context.Background(), scale, dir, "", dir); err == nil {
 		t.Fatal("-archive with -save should fail")
 	}
 	other := scale
 	other.Name = "default"
-	if _, err := newLab(other, dir, ""); err == nil {
+	if _, err := newLab(context.Background(), other, dir, "", ""); err == nil {
 		t.Fatal("scale mismatch against the manifest should fail")
+	}
+
+	// -remote: the same archive served over the wire API regenerates
+	// the identical experiment, and the exclusivity/scale checks hold.
+	store, err := toplists.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(toplists.ArchiveHandler(store))
+	defer srv.Close()
+	remote, err := newLab(context.Background(), scale, "", srv.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgot, err := remote.Run(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Render() != rgot.Render() {
+		t.Fatalf("remote rerun differs:\n%s\nvs\n%s", want.Render(), rgot.Render())
+	}
+	if _, err := newLab(context.Background(), scale, dir, srv.URL, ""); err == nil {
+		t.Fatal("-archive with -remote should fail")
+	}
+	if _, err := newLab(context.Background(), other, "", srv.URL, ""); err == nil {
+		t.Fatal("scale mismatch against the remote manifest should fail")
 	}
 }
 

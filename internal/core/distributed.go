@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/analysis"
+	"repro/internal/engine"
+	"repro/internal/measure"
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/shard"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// distributedParts builds the full distributed-generation stack for a
+// scale: world, model, generator options, coordinator over workerURLs,
+// and an engine whose StepDay runs through it.
+func distributedParts(s Scale, workerURLs []string, opts []shard.CoordinatorOption) (
+	*population.World, *traffic.Model, providers.Options, *engine.Engine, *shard.Coordinator, error,
+) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, providers.Options{}, nil, nil, err
+	}
+	w, err := population.Build(s.Population)
+	if err != nil {
+		return nil, nil, providers.Options{}, nil, nil, err
+	}
+	m := traffic.NewModel(w)
+	genOpts := providers.DefaultOptions(s.Population.Days, s.ListSize)
+	genOpts.BurnInDays = s.BurnInDays
+	g, err := providers.NewGenerator(m, genOpts)
+	if err != nil {
+		return nil, nil, providers.Options{}, nil, nil, err
+	}
+	coord, err := shard.NewCoordinator(g, shard.JobFor(s.Population, genOpts, m), workerURLs, opts...)
+	if err != nil {
+		return nil, nil, providers.Options{}, nil, nil, err
+	}
+	eng := engine.New(g, engine.Config{Workers: s.Workers, Remote: coord})
+	return w, m, genOpts, eng, coord, nil
+}
+
+// NewDistributedEngine is NewEngine with the per-day stepping farmed
+// out to shard workers at workerURLs (cmd/shardd instances): the
+// returned engine drives the same rank/emit machinery, but every
+// StepDay runs remotely through the returned coordinator and merges
+// back bitwise-identically to a local run. Callers must Close the
+// coordinator when the run ends.
+func NewDistributedEngine(s Scale, workerURLs []string, opts ...shard.CoordinatorOption) (*population.World, *engine.Engine, *shard.Coordinator, error) {
+	w, _, _, eng, coord, err := distributedParts(s, workerURLs, opts)
+	return w, eng, coord, err
+}
+
+// RunDistributed is RunContext with generation distributed across the
+// shard workers at workerURLs. The resulting Study is indistinguishable
+// from a local run's — TestDistributedEquivalence pins the archives
+// byte-identical — only the wall-clock location of the per-domain math
+// changes.
+func RunDistributed(ctx context.Context, s Scale, tee toplist.SnapshotSink, workerURLs []string, opts ...shard.CoordinatorOption) (*Study, error) {
+	w, m, genOpts, eng, coord, err := distributedParts(s, workerURLs, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	days := s.Population.Days
+	arch := toplist.NewArchive(0, toplist.Day(days-1))
+	arch.Expect(eng.Providers()...)
+	if err := eng.Run(ctx, days, engine.Tee(arch, tee)); err != nil {
+		return nil, err
+	}
+	return &Study{
+		Scale:    s,
+		Opts:     genOpts,
+		World:    w,
+		Model:    m,
+		Archive:  arch,
+		Analysis: analysis.NewContext(w, arch),
+		Campaign: measure.NewCampaign(w),
+	}, nil
+}

@@ -50,6 +50,21 @@ type Config struct {
 	// Workers is the parallelism level: 1 runs the legacy serial
 	// reference path, anything < 1 means GOMAXPROCS.
 	Workers int
+	// Remote, when set, replaces the in-process Generator.StepDay with a
+	// distributed stepper (shard.Coordinator): each day's per-domain
+	// stepping runs on shard workers and is merged back before the rank
+	// stage freezes the day. The rank/emit pipeline is unchanged — a
+	// remote day merges into exactly the state a local step would have
+	// produced — so Remote composes with any Workers setting.
+	Remote RemoteStepper
+}
+
+// RemoteStepper steps the engine's generator to a day through external
+// workers, leaving the generator in the same state Generator.StepDay
+// would. Implemented by shard.Coordinator; defined here so the engine
+// does not import the shard transport.
+type RemoteStepper interface {
+	StepDay(ctx context.Context, day int) error
 }
 
 // SnapshotSink is re-exported from toplist for callers wiring sinks to
@@ -150,6 +165,18 @@ func New(g *providers.Generator, cfg Config) *Engine {
 	return &Engine{g: g, cfg: cfg}
 }
 
+// stepDay advances the generator to day d — in process, or through the
+// configured RemoteStepper. Either way the generator ends the call in
+// the identical state, which is what lets the distributed mode ride the
+// serial and pipelined day loops unchanged.
+func (e *Engine) stepDay(ctx context.Context, d, workers int) error {
+	if e.cfg.Remote != nil {
+		return e.cfg.Remote.StepDay(ctx, d)
+	}
+	e.g.StepDay(d, workers)
+	return nil
+}
+
 // Providers returns the provider names the engine emits, in the fixed
 // output order — what an archive sink should Expect.
 func (e *Engine) Providers() []string { return e.g.EnabledProviders() }
@@ -191,7 +218,9 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		g.StepDay(d, burnW)
+		if err := e.stepDay(ctx, d, burnW); err != nil {
+			return err
+		}
 	}
 	emit := func(day toplist.Day, batch []toplist.Snapshot) error {
 		if err := ctx.Err(); err != nil {
@@ -214,7 +243,9 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 				return err
 			}
 			t0 := time.Now()
-			g.StepDay(d, 1)
+			if err := e.stepDay(ctx, d, 1); err != nil {
+				return err
+			}
 			t1 := time.Now()
 			snaps := g.Snapshots(toplist.Day(d), 1)
 			st.StepTime += t1.Sub(t0)
@@ -331,7 +362,14 @@ func (e *Engine) Run(ctx context.Context, days int, sink SnapshotSink) error {
 				float64(stepCost.Load()), float64(rankCost.Load()))
 			rankShare.Store(int32(rankW))
 			t0 := time.Now()
-			g.StepDay(d, stepW)
+			if err := e.stepDay(pctx, d, stepW); err != nil {
+				if pctx.Err() != nil {
+					// Another stage already failed (or the parent was
+					// cancelled); let that error own the run.
+					return nil
+				}
+				return err
+			}
 			dur := time.Since(t0)
 			stepWall.Add(int64(dur))
 			ewma(&stepCost, int64(dur)*int64(stepW))

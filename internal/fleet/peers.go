@@ -74,6 +74,16 @@ func (p *Peer) Remote(ctx context.Context) (*toplist.Remote, error) {
 // (base<<(failures-1), capped, ±50% decorrelation — the same shape the
 // wire client uses between retries, applied here between whole
 // conversations).
+// MarkFailed records an externally observed failure against the peer,
+// advancing its backoff exactly as the set's own fetch path would. The
+// shard coordinator uses it to fold worker-RPC outcomes into the same
+// health state that drives healthiest-first assignment.
+func (p *Peer) MarkFailed() { p.fail() }
+
+// MarkOK records an externally observed success, clearing the peer's
+// failure count and backoff window. Counterpart of MarkFailed.
+func (p *Peer) MarkOK() { p.ok() }
+
 func (p *Peer) fail() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -33,6 +33,28 @@ func Shard(workers, n, i int) (lo, hi int) {
 	return lo, hi
 }
 
+// Shards returns every Shard boundary as [lo, hi) pairs, in shard
+// order, dropping empty shards (workers > n). Distributed generation
+// uses it to enumerate the shard plan once: the boundaries are the same
+// pure function of (workers, n) the in-process engine shards by, which
+// is what keeps a distributed run byte-identical to a local one.
+func Shards(workers, n int) [][2]int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	for i := 0; i < workers; i++ {
+		lo, hi := Shard(workers, n, i)
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
 // For splits [0, n) into at most workers contiguous shards and runs fn
 // on each concurrently, returning when all shards are done. With
 // workers <= 1 (or n too small to split) fn runs inline over the whole

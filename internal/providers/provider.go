@@ -580,6 +580,14 @@ func (r *dnsRanker) step(day, workers int) {
 		})
 	}
 	r.ema.Flip()
+	r.stepExtras(day)
+	r.started = true
+}
+
+// stepExtras advances the injected names' EMA one day; split out of step
+// so the distributed merge path (Generator.MergeDay) can run the
+// coordinator-owned extras update without touching the per-record state.
+func (r *dnsRanker) stepExtras(day int) {
 	a := r.opts.UmbrellaAlpha
 	// Injected names: anything not injected today decays toward zero.
 	var today map[string]traffic.Injection
@@ -604,7 +612,6 @@ func (r *dnsRanker) step(day, workers int) {
 		}
 		r.extra[name] = (1-a)*r.extra[name] + a*score
 	}
-	r.started = true
 }
 
 // stepRange fills signal and advances the EMA over records [lo, hi) —

@@ -1,0 +1,248 @@
+package providers
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/population"
+	"repro/internal/toplist"
+	"repro/internal/traffic"
+)
+
+// shardTestOptions exercises every code path the distributed split must
+// reproduce: all three providers, the Alexa alpha change mid-run, and
+// injectors on each provider (extras stay coordinator-owned in
+// MergeDay, so this proves workers really don't need them).
+func shardTestOptions(days int) Options {
+	opts := DefaultOptions(days, 400)
+	opts.BurnInDays = 15
+	opts.AlexaChangeDay = days / 2
+	inj := traffic.NewInjector()
+	webInj := traffic.NewInjector()
+	linkInj := traffic.NewInjector()
+	for d := 0; d < days; d++ {
+		inj.Add("injected-dns.example", d, 5000, 90000)
+		webInj.Add("injected-web.example", d, 20000, 60000)
+		linkInj.Add("injected-link.example", d, 3000, 0)
+	}
+	opts.Injector = inj
+	opts.AlexaInjector = webInj
+	opts.MajesticInjector = linkInj
+	return opts
+}
+
+// stepDistributed advances gen to day d through K shard steppers and
+// MergeDay — the in-process skeleton of what Coordinator/Worker do over
+// HTTP.
+func stepDistributed(t *testing.T, g *Generator, steppers []*ShardStepper, d int) {
+	t.Helper()
+	for _, s := range steppers {
+		s.Step(d)
+	}
+	err := g.MergeDay(d, func(provider string, dst []float64) error {
+		for _, s := range steppers {
+			lo, hi := s.Bounds()
+			part := s.Partial(provider)
+			if part == nil {
+				return fmt.Errorf("no partial for %s", provider)
+			}
+			copy(dst[lo:hi], part)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkFronts(t *testing.T, ref, dist *Generator, d int) {
+	t.Helper()
+	for _, p := range ref.EnabledProviders() {
+		if !SameBits(ref.FrontValues(p), dist.FrontValues(p)) {
+			t.Fatalf("day %d: %s front values diverge from serial reference", d, p)
+		}
+	}
+}
+
+// TestShardStepperEquivalence proves the provider-layer distributed
+// contract: K shard steppers merged through MergeDay produce, day by
+// day, exactly the floating-point bits of the serial Generator.StepDay
+// — through burn-in, the Alexa regime change, and injections — and the
+// published lists match entry for entry.
+func TestShardStepperEquivalence(t *testing.T) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	days := 8
+	opts := shardTestOptions(days)
+	n := w.Len()
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			ref, err := NewGenerator(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := NewGenerator(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var steppers []*ShardStepper
+			for _, b := range parallel.Shards(k, n) {
+				s, err := NewShardStepper(m, opts, b[0], b[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				steppers = append(steppers, s)
+			}
+			for d := -opts.BurnInDays; d < days; d++ {
+				ref.StepDay(d, 1)
+				stepDistributed(t, dist, steppers, d)
+				checkFronts(t, ref, dist, d)
+				if d >= 0 {
+					rs := ref.Snapshots(toplist.Day(d), 1)
+					ds := dist.Snapshots(toplist.Day(d), 1)
+					for i := range rs {
+						rn, dn := rs[i].List.Names(), ds[i].List.Names()
+						if len(rn) != len(dn) {
+							t.Fatalf("day %d %s: list lengths differ", d, rs[i].Provider)
+						}
+						for j := range rn {
+							if rn[j] != dn[j] {
+								t.Fatalf("day %d %s rank %d: %q vs %q", d, rs[i].Provider, j, rn[j], dn[j])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardStepperSeedResume proves reassignment-resume: killing a
+// stepper mid-run and rebuilding its replacement from the coordinator's
+// merged front state (Seed + SetState) continues bit-identically — the
+// property the Coordinator's mid-day worker failover rests on.
+func TestShardStepperSeedResume(t *testing.T) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	days := 8
+	opts := shardTestOptions(days)
+	n := w.Len()
+
+	ref, err := NewGenerator(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := NewGenerator(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := parallel.Shards(2, n)
+	steppers := make([]*ShardStepper, len(bounds))
+	for i, b := range bounds {
+		s, err := NewShardStepper(m, opts, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		steppers[i] = s
+	}
+	killAt := 3 // a post-burn-in day, mid-run
+	merged := 0
+	for d := -opts.BurnInDays; d < days; d++ {
+		if d == killAt {
+			// "Worker 1 died": rebuild its shard from coordinator state,
+			// exactly as Coordinator.seedFrame does over the wire.
+			lo, hi := bounds[1][0], bounds[1][1]
+			repl, err := NewShardStepper(m, opts, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range opts.EnabledProviders() {
+				if err := repl.Seed(p, dist.FrontValues(p)[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			repl.SetState(d-1, merged > 0)
+			steppers[1] = repl
+		}
+		ref.StepDay(d, 1)
+		stepDistributed(t, dist, steppers, d)
+		merged++
+		checkFronts(t, ref, dist, d)
+	}
+}
+
+func TestShardStepperValidation(t *testing.T) {
+	w, err := population.Build(population.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w)
+	opts := DefaultOptions(10, 400)
+	n := w.Len()
+	if _, err := NewShardStepper(m, opts, -1, 5); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := NewShardStepper(m, opts, 0, n+1); err == nil {
+		t.Fatal("hi beyond world accepted")
+	}
+	if _, err := NewShardStepper(m, opts, 5, 4); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	s, err := NewShardStepper(m, opts, 0, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seed(Alexa, make([]float64, 3)); err == nil {
+		t.Fatal("wrong-length seed accepted")
+	}
+	if err := s.Seed("nosuch", make([]float64, n/2)); err == nil {
+		t.Fatal("unknown provider seed accepted")
+	}
+	if got := s.Partial("nosuch"); got != nil {
+		t.Fatal("partial for unknown provider")
+	}
+	lo, hi := s.Bounds()
+	if lo != 0 || hi != n/2 {
+		t.Fatalf("bounds (%d, %d)", lo, hi)
+	}
+}
+
+func TestSameBits(t *testing.T) {
+	if !SameBits([]float64{1, 0}, []float64{1, 0}) {
+		t.Fatal("identical slices differ")
+	}
+	if SameBits([]float64{1}, []float64{1, 2}) {
+		t.Fatal("length mismatch equal")
+	}
+	if SameBits([]float64{0}, []float64{math.Copysign(0, -1)}) {
+		t.Fatal("+0 and -0 should differ bitwise")
+	}
+}
+
+func TestShardsHelper(t *testing.T) {
+	got := parallel.Shards(3, 10)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("shards: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if s := parallel.Shards(8, 3); len(s) != 3 {
+		t.Fatalf("over-sharded: %v", s)
+	}
+	if s := parallel.Shards(2, 0); len(s) != 0 {
+		t.Fatalf("empty range: %v", s)
+	}
+}

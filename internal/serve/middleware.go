@@ -46,6 +46,16 @@ func RouteLabel(r *http.Request) string {
 		return p
 	case strings.HasPrefix(p, "/v1/"):
 		return "/v1/snapshot"
+	case strings.HasPrefix(p, "/shard/v1/"):
+		// Shard worker API (internal/shard mounts it; the literal prefix
+		// avoids a serve → shard import cycle). Collapse per-session and
+		// per-day paths onto the operation segment so label cardinality
+		// stays bounded: /shard/v1/step/<session>/<day> → /shard/v1/step.
+		rest := strings.TrimPrefix(p, "/shard/v1/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		return "/shard/v1/" + rest
 	default:
 		return "other"
 	}

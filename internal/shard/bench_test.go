@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardMerge measures the coordinator-side cost of one merged
+// day as a function of shard count: decoding every shard's frame
+// (hash verification included) and copying the values into the
+// full-length destination — the distributed path's per-day overhead on
+// top of the workers' compute. The values are synthetic and fixed, so
+// the work is identical across shard counts; what varies is framing
+// overhead per shard. days/sec here is merge throughput alone, not
+// end-to-end generation.
+func BenchmarkShardMerge(b *testing.B) {
+	const n = 120_000
+	providerNames := []string{"alexa", "umbrella", "majestic"}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// Pre-encode each shard's frame once; the benchmark body is
+			// the coordinator's steady-state work (decode + merge), not
+			// the worker's encode.
+			var frames [][]byte
+			for i := 0; i < shards; i++ {
+				lo, hi := shardBounds(shards, n, i)
+				f := &Frame{Day: 1, Lo: lo, Hi: hi, Started: true}
+				for _, p := range providerNames {
+					vals := make([]float64, hi-lo)
+					for j := range vals {
+						vals[j] = float64(lo+j) * 1.000001
+					}
+					f.Fields = append(f.Fields, Field{Provider: p, Values: vals})
+				}
+				enc, err := f.Encode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames = append(frames, enc)
+			}
+			dst := map[string][]float64{}
+			for _, p := range providerNames {
+				dst[p] = make([]float64, n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, enc := range frames {
+					f, err := Decode(enc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, fd := range f.Fields {
+						copy(dst[fd.Provider][f.Lo:f.Hi], fd.Values)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "days/sec")
+		})
+	}
+}

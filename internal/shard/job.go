@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/traffic"
+)
+
+// Job is the complete, self-contained description of a generation run a
+// worker needs to participate: the world configuration (a worker
+// rebuilds the identical world deterministically from it — worlds are
+// never shipped over the wire), the generator options that shape every
+// EMA update, and the coordinator's traffic-model parameter fingerprint
+// so silent calibration skew between builds becomes an explicit open
+// refusal instead of a wrong archive.
+//
+// Injectors are deliberately absent: injections only ever touch the
+// coordinator-owned per-name extra maps (see Generator.MergeDay), so
+// workers compute injection-free per-record state regardless of what
+// the coordinator layers on top.
+type Job struct {
+	// Protocol pins the /shard/v1 protocol version; a worker refuses a
+	// job from a different one.
+	Protocol int `json:"protocol"`
+	// Population rebuilds the world.
+	Population population.Config `json:"population"`
+
+	// Generator options (the providers.Options scalars, minus injectors).
+	ListSize              int      `json:"list_size"`
+	BurnInDays            int      `json:"burn_in_days"`
+	AlexaChangeDay        int      `json:"alexa_change_day"`
+	AlexaAlphaPre         float64  `json:"alexa_alpha_pre"`
+	AlexaAlphaPost        float64  `json:"alexa_alpha_post"`
+	UmbrellaAlpha         float64  `json:"umbrella_alpha"`
+	MajesticAlpha         float64  `json:"majestic_alpha"`
+	UmbrellaVolumeRanking bool     `json:"umbrella_volume_ranking"`
+	Enabled               []string `json:"enabled,omitempty"`
+
+	// Model is the coordinator's traffic.Model.Fingerprint(); the worker
+	// compares it against the model it builds from Population.
+	Model string `json:"model"`
+}
+
+// JobFor derives the job describing a run of the given world config,
+// options, and model.
+func JobFor(pop population.Config, opts providers.Options, m *traffic.Model) Job {
+	return Job{
+		Protocol:              ProtocolVersion,
+		Population:            pop,
+		ListSize:              opts.ListSize,
+		BurnInDays:            opts.BurnInDays,
+		AlexaChangeDay:        opts.AlexaChangeDay,
+		AlexaAlphaPre:         opts.AlexaAlphaPre,
+		AlexaAlphaPost:        opts.AlexaAlphaPost,
+		UmbrellaAlpha:         opts.UmbrellaAlpha,
+		MajesticAlpha:         opts.MajesticAlpha,
+		UmbrellaVolumeRanking: opts.UmbrellaVolumeRanking,
+		Enabled:               opts.Enabled,
+		Model:                 m.Fingerprint(),
+	}
+}
+
+// Options reconstructs the worker-side generator options. No injectors,
+// by design.
+func (j Job) Options() providers.Options {
+	return providers.Options{
+		ListSize:              j.ListSize,
+		BurnInDays:            j.BurnInDays,
+		AlexaChangeDay:        j.AlexaChangeDay,
+		AlexaAlphaPre:         j.AlexaAlphaPre,
+		AlexaAlphaPost:        j.AlexaAlphaPost,
+		UmbrellaAlpha:         j.UmbrellaAlpha,
+		MajesticAlpha:         j.MajesticAlpha,
+		UmbrellaVolumeRanking: j.UmbrellaVolumeRanking,
+		Enabled:               j.Enabled,
+	}
+}
+
+// Validate reports whether the job is internally consistent and at this
+// protocol version.
+func (j Job) Validate() error {
+	if j.Protocol != ProtocolVersion {
+		return fmt.Errorf("shard: job protocol %d, worker speaks %d", j.Protocol, ProtocolVersion)
+	}
+	if err := j.Population.Validate(); err != nil {
+		return err
+	}
+	if err := j.Options().Validate(); err != nil {
+		return err
+	}
+	if j.Model == "" {
+		return fmt.Errorf("shard: job missing model fingerprint")
+	}
+	return nil
+}
+
+// Fingerprint is a stable content hash of the whole job; workers key
+// sessions and world caches by it.
+func (j Job) Fingerprint() string {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// Job is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,236 @@
+// Package shard implements distributed archive generation: a
+// coordinator splits each simulated day's per-domain EMA stepping into
+// contiguous shards, farms them to worker processes over the versioned
+// /shard/v1 HTTP API, and merges the partial results into its local
+// Generator bitwise-identically to an in-process run.
+//
+// The determinism contract is inherited, not invented: shard boundaries
+// are parallel.Shard of (shards, n) — a pure function — and the worker
+// runs providers.ShardStepper, whose arithmetic mirrors the in-process
+// rankers expression for expression. The wire format below moves those
+// float64 slices without reinterpretation (Float64bits, little-endian),
+// so a distributed archive hashes equal to the Workers=1 serial
+// reference. TestDistributedEquivalence at the repo root pins exactly
+// that, including across a mid-run worker kill.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format of one partial-result frame (all integers little-endian):
+//
+//	magic    [8]byte  "TLSHRD1\n"
+//	flags    uint32   bit 0: started (state follows a stepped/seeded day)
+//	nfields  uint32
+//	day      int64    the day the values represent (negative = burn-in)
+//	lo, hi   uint64   record range [lo, hi) the values cover
+//	fields × nfields:
+//	  nameLen uint32
+//	  name    [nameLen]byte   provider name, 1..64 bytes
+//	  values  [(hi-lo)*8]byte Float64bits of the shard's EMA state
+//	  sum     [16]byte        sha256(name ‖ values)[:16]
+//	frame sum [16]byte        sha256(all preceding bytes)[:16]
+//
+// Everything is length-prefixed and bound-checked before allocation;
+// the two hash layers make a bit flip in any field (or in the header)
+// a typed ErrFrameHash instead of silently corrupted simulation state.
+// Encoding is canonical: any frame Decode accepts re-encodes to the
+// identical bytes, a property FuzzShardWireFormat hammers on.
+
+const (
+	frameMagic = "TLSHRD1\n"
+
+	flagStarted = 1 << 0
+
+	// maxFields bounds decoder allocation; the generator has three
+	// providers, so anything past a small constant is garbage input.
+	maxFields = 16
+	// maxNameLen bounds provider-name allocation.
+	maxNameLen = 64
+	// maxSpan bounds hi-lo so a forged header cannot demand a huge
+	// values allocation before any content hash is checked.
+	maxSpan = 1 << 28
+
+	hashLen   = 16
+	headerLen = len(frameMagic) + 4 + 4 + 8 + 8 + 8
+)
+
+// ErrBadFrame is wrapped by every structural decode error: truncated
+// input, bad magic, out-of-range lengths, trailing bytes.
+var ErrBadFrame = errors.New("shard: malformed frame")
+
+// ErrFrameHash is wrapped when structure parses but a content hash
+// (per-field or whole-frame) does not match — corruption in transit.
+var ErrFrameHash = errors.New("shard: frame hash mismatch")
+
+// Field is one provider's partial EMA state within a frame.
+type Field struct {
+	Provider string
+	Values   []float64
+}
+
+// Frame is one shard's partial result for one day: the EMA state of
+// records [Lo, Hi) for each enabled provider after stepping Day.
+type Frame struct {
+	Day     int
+	Lo, Hi  int
+	Started bool
+	Fields  []Field
+}
+
+// span returns the per-field value count.
+func (f *Frame) span() int { return f.Hi - f.Lo }
+
+// Field returns the named field's values, or nil.
+func (f *Frame) Field(provider string) []float64 {
+	for i := range f.Fields {
+		if f.Fields[i].Provider == provider {
+			return f.Fields[i].Values
+		}
+	}
+	return nil
+}
+
+// validate checks the frame's own invariants before encoding.
+func (f *Frame) validate() error {
+	if f.Lo < 0 || f.Hi < f.Lo || f.Hi-f.Lo > maxSpan {
+		return fmt.Errorf("%w: range [%d, %d)", ErrBadFrame, f.Lo, f.Hi)
+	}
+	if len(f.Fields) == 0 || len(f.Fields) > maxFields {
+		return fmt.Errorf("%w: %d fields", ErrBadFrame, len(f.Fields))
+	}
+	for i := range f.Fields {
+		fd := &f.Fields[i]
+		if len(fd.Provider) == 0 || len(fd.Provider) > maxNameLen {
+			return fmt.Errorf("%w: field %d name length %d", ErrBadFrame, i, len(fd.Provider))
+		}
+		if len(fd.Values) != f.span() {
+			return fmt.Errorf("%w: field %q has %d values, header says %d",
+				ErrBadFrame, fd.Provider, len(fd.Values), f.span())
+		}
+	}
+	return nil
+}
+
+// Encode serializes the frame in canonical form.
+func (f *Frame) Encode() ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	span := f.span()
+	size := headerLen
+	for i := range f.Fields {
+		size += 4 + len(f.Fields[i].Provider) + span*8 + hashLen
+	}
+	size += hashLen
+	out := make([]byte, 0, size)
+
+	out = append(out, frameMagic...)
+	var flags uint32
+	if f.Started {
+		flags |= flagStarted
+	}
+	out = binary.LittleEndian.AppendUint32(out, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Fields)))
+	out = binary.LittleEndian.AppendUint64(out, uint64(f.Day))
+	out = binary.LittleEndian.AppendUint64(out, uint64(f.Lo))
+	out = binary.LittleEndian.AppendUint64(out, uint64(f.Hi))
+
+	for i := range f.Fields {
+		fd := &f.Fields[i]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(fd.Provider)))
+		fieldStart := len(out)
+		out = append(out, fd.Provider...)
+		for _, v := range fd.Values {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		sum := sha256.Sum256(out[fieldStart:])
+		out = append(out, sum[:hashLen]...)
+	}
+	sum := sha256.Sum256(out)
+	out = append(out, sum[:hashLen]...)
+	return out, nil
+}
+
+// Decode parses and verifies a frame. Errors wrap ErrBadFrame
+// (structure) or ErrFrameHash (content); arbitrary input never panics
+// and never allocates more than the input length implies.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < headerLen+hashLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(b))
+	}
+	if string(b[:len(frameMagic)]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	// Whole-frame hash first: it covers everything, so any later parse
+	// of hash-valid bytes is parsing exactly what the encoder produced.
+	body, tail := b[:len(b)-hashLen], b[len(b)-hashLen:]
+	sum := sha256.Sum256(body)
+	if string(sum[:hashLen]) != string(tail) {
+		return nil, fmt.Errorf("%w: frame sum", ErrFrameHash)
+	}
+
+	off := len(frameMagic)
+	flags := binary.LittleEndian.Uint32(b[off:])
+	nfields := binary.LittleEndian.Uint32(b[off+4:])
+	day := int64(binary.LittleEndian.Uint64(b[off+8:]))
+	lo := binary.LittleEndian.Uint64(b[off+16:])
+	hi := binary.LittleEndian.Uint64(b[off+24:])
+	off = headerLen
+
+	if flags&^uint32(flagStarted) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadFrame, flags)
+	}
+	if nfields == 0 || nfields > maxFields {
+		return nil, fmt.Errorf("%w: %d fields", ErrBadFrame, nfields)
+	}
+	if hi < lo || hi-lo > maxSpan || hi > 1<<62 {
+		return nil, fmt.Errorf("%w: range [%d, %d)", ErrBadFrame, lo, hi)
+	}
+	span := int(hi - lo)
+
+	f := &Frame{
+		Day:     int(day),
+		Lo:      int(lo),
+		Hi:      int(hi),
+		Started: flags&flagStarted != 0,
+		Fields:  make([]Field, 0, nfields),
+	}
+	for i := 0; i < int(nfields); i++ {
+		if len(body)-off < 4 {
+			return nil, fmt.Errorf("%w: truncated field %d", ErrBadFrame, i)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if nameLen == 0 || nameLen > maxNameLen {
+			return nil, fmt.Errorf("%w: field %d name length %d", ErrBadFrame, i, nameLen)
+		}
+		need := nameLen + span*8 + hashLen
+		if len(body)-off < need {
+			return nil, fmt.Errorf("%w: truncated field %d", ErrBadFrame, i)
+		}
+		fieldStart := off
+		name := string(b[off : off+nameLen])
+		off += nameLen
+		vals := make([]float64, span)
+		for j := range vals {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+		fsum := sha256.Sum256(b[fieldStart:off])
+		if string(fsum[:hashLen]) != string(b[off:off+hashLen]) {
+			return nil, fmt.Errorf("%w: field %q", ErrFrameHash, name)
+		}
+		off += hashLen
+		f.Fields = append(f.Fields, Field{Provider: name, Values: vals})
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(body)-off)
+	}
+	return f, nil
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzShardWireFormat drives arbitrary bytes through the partial-sum
+// frame decoder. The contract under fuzzing:
+//
+//   - never panic, never over-allocate beyond what the input length
+//     implies (the decoder validates every length against the buffer
+//     before allocating);
+//   - every rejection is a typed error wrapping ErrBadFrame or
+//     ErrFrameHash;
+//   - every accepted frame is canonical: re-encoding it reproduces the
+//     input bytes exactly (so there are no two wire spellings of the
+//     same partial result, and a replayed frame hashes identically).
+func FuzzShardWireFormat(f *testing.F) {
+	// Valid frames of a few shapes.
+	for _, fr := range []*Frame{
+		{Day: 0, Lo: 0, Hi: 1, Fields: []Field{{Provider: "alexa", Values: []float64{1}}}},
+		{Day: -120, Lo: 3, Hi: 6, Started: true, Fields: []Field{
+			{Provider: "alexa", Values: []float64{1, 2, 3}},
+			{Provider: "umbrella", Values: []float64{math.Inf(-1), 0, 5e-324}},
+			{Provider: "majestic", Values: []float64{-0.0, math.MaxFloat64, 1}},
+		}},
+		{Day: 9, Lo: 5, Hi: 5, Started: true, Fields: []Field{{Provider: "x", Values: nil}}},
+	} {
+		b, err := fr.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Structural corruption seeds: bad magic, truncated header, huge
+	// counts, trailing garbage.
+	valid, _ := testFrameFuzz().Encode()
+	f.Add([]byte{})
+	f.Add([]byte(frameMagic))
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen+hashLen))
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(bytes.Clone(valid), 0xaa))
+	mut := bytes.Clone(valid)
+	mut[9] ^= 0xff // flags
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameHash) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical: %d in, %d out", len(data), len(re))
+		}
+	})
+}
+
+func testFrameFuzz() *Frame {
+	return &Frame{Day: 3, Lo: 0, Hi: 2, Started: true, Fields: []Field{
+		{Provider: "alexa", Values: []float64{1, 2}},
+	}}
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func testFrame() *Frame {
+	return &Frame{
+		Day:     7,
+		Lo:      10,
+		Hi:      14,
+		Started: true,
+		Fields: []Field{
+			{Provider: "alexa", Values: []float64{1.5, -2.25, 0, 1e300}},
+			{Provider: "umbrella", Values: []float64{math.Inf(1), math.SmallestNonzeroFloat64, -0.0, 42}},
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	f := testFrame()
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Day != f.Day || got.Lo != f.Lo || got.Hi != f.Hi || got.Started != f.Started {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Fields) != len(f.Fields) {
+		t.Fatalf("%d fields", len(got.Fields))
+	}
+	for i := range f.Fields {
+		if got.Fields[i].Provider != f.Fields[i].Provider {
+			t.Fatalf("field %d name %q", i, got.Fields[i].Provider)
+		}
+		for j := range f.Fields[i].Values {
+			if math.Float64bits(got.Fields[i].Values[j]) != math.Float64bits(f.Fields[i].Values[j]) {
+				t.Fatalf("field %d value %d not bitwise identical", i, j)
+			}
+		}
+	}
+	// Canonical: re-encoding the decoded frame reproduces the bytes.
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestWireNegativeDay(t *testing.T) {
+	f := testFrame()
+	f.Day = -42 // burn-in days are negative
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Day != -42 {
+		t.Fatalf("day %d", got.Day)
+	}
+}
+
+func TestWireCorruption(t *testing.T) {
+	f := testFrame()
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at every position: every mutation must fail with a
+	// typed error (structure or hash), never decode successfully —
+	// there is no byte in the frame whose corruption is survivable.
+	for i := range b {
+		mut := bytes.Clone(b)
+		mut[i] ^= 0x40
+		got, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully: %+v", i, got)
+		}
+		if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameHash) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", i, err)
+		}
+	}
+	// Truncations at every length.
+	for n := 0; n < len(b); n++ {
+		if _, err := Decode(b[:n]); !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameHash) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(bytes.Clone(b), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestWireEncodeValidation(t *testing.T) {
+	bad := testFrame()
+	bad.Fields[0].Values = bad.Fields[0].Values[:2] // wrong span
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("span mismatch: %v", err)
+	}
+	bad = testFrame()
+	bad.Fields = nil
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("no fields: %v", err)
+	}
+	bad = testFrame()
+	bad.Fields[0].Provider = ""
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty name: %v", err)
+	}
+	bad = testFrame()
+	bad.Lo, bad.Hi = 5, 4
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("inverted range: %v", err)
+	}
+}
+
+func TestWireFieldLookup(t *testing.T) {
+	f := testFrame()
+	if f.Field("alexa") == nil || f.Field("umbrella") == nil {
+		t.Fatal("present field not found")
+	}
+	if f.Field("majestic") != nil {
+		t.Fatal("absent field found")
+	}
+}

@@ -1,0 +1,368 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/serve"
+	"repro/internal/traffic"
+)
+
+// Protocol constants for the /shard/v1 worker API. Same idiom as
+// /archive/v1: the version lives in the path, a worker refuses jobs
+// from a different protocol, and every partial-result payload is
+// content-hashed (see wire.go).
+const (
+	// ProtocolVersion is the wire protocol generation; bump on any
+	// incompatible change to the job spec, routes, or frame format.
+	ProtocolVersion = 1
+	// APIPrefix is the path prefix every worker route lives under.
+	APIPrefix = "/shard/v1"
+)
+
+// maxRequestBody caps how much of a frame-carrying HTTP body either
+// side will buffer. A frame for the default experiment scale (250k
+// records, one shard, three providers) is ~6 MB; 1 GiB leaves room for
+// populations two orders of magnitude larger while still bounding a
+// hostile Content-Length.
+const maxRequestBody int64 = 1 << 30
+
+// session is one shard assignment: a stepper plus replay state.
+type session struct {
+	mu      sync.Mutex
+	stepper *providers.ShardStepper
+	seeded  bool
+	// last successfully stepped day and its encoded frame, kept for
+	// idempotent replay: a coordinator that timed out waiting for a
+	// step response retries it, and must get the same bytes back
+	// instead of double-stepping the shard.
+	lastDay   int
+	lastFrame []byte
+}
+
+// world is a cached deterministic rebuild, keyed by population config.
+type world struct {
+	key   string
+	model *traffic.Model
+}
+
+// Worker executes shard assignments for coordinators: it rebuilds the
+// world described by a job, steps a providers.ShardStepper per session,
+// and serves partial-result frames. All state is in-memory; a worker
+// that restarts simply loses its sessions and the coordinator reseeds
+// elsewhere (that failover is what TestDistributedEquivalence and
+// scripts/shard-chaos.sh kill workers to prove).
+type Worker struct {
+	logger    *log.Logger
+	maxWorlds int
+
+	mu       sync.Mutex
+	worlds   []*world // FIFO cache, newest last
+	sessions map[string]*session
+	nextID   uint64
+
+	// metrics; registered on a private throwaway registry unless
+	// WithWorkerMetrics points them at the daemon's.
+	sessionsOpened *serve.Counter
+	daysStepped    *serve.Counter
+	framesRejected *serve.Counter
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithWorkerLogger routes worker logs (default: discarded).
+func WithWorkerLogger(l *log.Logger) WorkerOption {
+	return func(w *Worker) { w.logger = l }
+}
+
+// WithWorkerMetrics registers the worker's counters on m:
+// shard_sessions_opened_total, shard_days_stepped_total, and
+// shard_frames_rejected_total.
+func WithWorkerMetrics(m *serve.Metrics) WorkerOption {
+	return func(w *Worker) {
+		w.sessionsOpened = m.Counter("shard_sessions_opened_total",
+			"Shard sessions opened by coordinators.")
+		w.daysStepped = m.Counter("shard_days_stepped_total",
+			"Shard-days stepped across all sessions.")
+		w.framesRejected = m.Counter("shard_frames_rejected_total",
+			"Seed frames rejected (malformed, hash mismatch, or out of protocol).")
+	}
+}
+
+// WithMaxWorlds bounds the worker's world cache (default 4). Each
+// cached world holds a full population + model; sessions keep their
+// model alive regardless of eviction, so shrinking the cache is always
+// safe.
+func WithMaxWorlds(n int) WorkerOption {
+	return func(w *Worker) {
+		if n > 0 {
+			w.maxWorlds = n
+		}
+	}
+}
+
+// NewWorker returns an idle worker.
+func NewWorker(opts ...WorkerOption) *Worker {
+	w := &Worker{
+		logger:    log.New(io.Discard, "", 0),
+		maxWorlds: 4,
+		sessions:  make(map[string]*session),
+	}
+	WithWorkerMetrics(serve.NewMetrics())(w)
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Mount registers the /shard/v1 routes on mux.
+func (w *Worker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET "+APIPrefix+"/manifest", w.handleManifest)
+	mux.HandleFunc("POST "+APIPrefix+"/open", w.handleOpen)
+	mux.HandleFunc("POST "+APIPrefix+"/seed/{session}", w.handleSeed)
+	mux.HandleFunc("POST "+APIPrefix+"/step/{session}/{day}", w.handleStep)
+	mux.HandleFunc("DELETE "+APIPrefix+"/session/{session}", w.handleClose)
+}
+
+// modelFor returns the cached model for cfg, building (and caching) it
+// on miss. Builds run outside the lock would be nicer, but worlds are
+// only built once per job spec and coordinators open sessions
+// sequentially per worker, so the simple critical section wins.
+func (w *Worker) modelFor(cfg population.Config) (*traffic.Model, error) {
+	key := fingerprintJSON(cfg)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, cached := range w.worlds {
+		if cached.key == key {
+			return cached.model, nil
+		}
+	}
+	pop, err := population.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := traffic.NewModel(pop)
+	w.worlds = append(w.worlds, &world{key: key, model: m})
+	if len(w.worlds) > w.maxWorlds {
+		w.worlds = w.worlds[1:]
+	}
+	return m, nil
+}
+
+func fingerprintJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// OpenRequest is the POST /shard/v1/open body.
+type OpenRequest struct {
+	Job   Job `json:"job"`
+	Shard struct {
+		Index int `json:"index"`
+		Count int `json:"count"`
+	} `json:"shard"`
+}
+
+// OpenResponse is the open reply: the session ID to step against and
+// the record range the shard covers (informative — the coordinator
+// computed the same boundaries from the same pure function).
+type OpenResponse struct {
+	Session string `json:"session"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+}
+
+// ManifestResponse describes the worker for health checks.
+type ManifestResponse struct {
+	Protocol int `json:"protocol"`
+	Sessions int `json:"sessions"`
+}
+
+func (w *Worker) handleManifest(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	n := len(w.sessions)
+	w.mu.Unlock()
+	writeJSON(rw, ManifestResponse{Protocol: ProtocolVersion, Sessions: n})
+}
+
+func (w *Worker) handleOpen(rw http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(rw, "bad open request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := req.Job.Validate(); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := w.modelFor(req.Job.Population)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if got := m.Fingerprint(); got != req.Job.Model {
+		// The worker's build produces different model parameters than
+		// the coordinator's: stepping would yield a silently different
+		// archive, so refuse loudly instead.
+		http.Error(rw, fmt.Sprintf("shard: model fingerprint mismatch: worker %s, job %s", got, req.Job.Model),
+			http.StatusBadRequest)
+		return
+	}
+	count, index := req.Shard.Count, req.Shard.Index
+	if count < 1 || index < 0 || index >= count {
+		http.Error(rw, fmt.Sprintf("shard: bad shard %d/%d", index, count), http.StatusBadRequest)
+		return
+	}
+	n := m.W.Len()
+	lo, hi := shardBounds(count, n, index)
+	stepper, err := providers.NewShardStepper(m, req.Job.Options(), lo, hi)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	w.nextID++
+	id := fmt.Sprintf("s%d", w.nextID)
+	w.sessions[id] = &session{stepper: stepper}
+	w.mu.Unlock()
+	w.sessionsOpened.Add(1)
+	w.logger.Printf("shard: opened session %s shard %d/%d [%d, %d)", id, index, count, lo, hi)
+	writeJSON(rw, OpenResponse{Session: id, Lo: lo, Hi: hi})
+}
+
+func (w *Worker) session(rw http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("session")
+	w.mu.Lock()
+	s := w.sessions[id]
+	w.mu.Unlock()
+	if s == nil {
+		http.Error(rw, "shard: no such session "+id, http.StatusNotFound)
+	}
+	return s
+}
+
+func (w *Worker) handleSeed(rw http.ResponseWriter, r *http.Request) {
+	s := w.session(rw, r)
+	if s == nil {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		http.Error(rw, "shard: reading seed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > maxRequestBody {
+		http.Error(rw, "shard: seed frame too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	frame, err := Decode(body)
+	if err != nil {
+		w.framesRejected.Add(1)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo, hi := s.stepper.Bounds()
+	if frame.Lo != lo || frame.Hi != hi {
+		w.framesRejected.Add(1)
+		http.Error(rw, fmt.Sprintf("shard: seed range [%d, %d), session holds [%d, %d)",
+			frame.Lo, frame.Hi, lo, hi), http.StatusBadRequest)
+		return
+	}
+	for _, fd := range frame.Fields {
+		if err := s.stepper.Seed(fd.Provider, fd.Values); err != nil {
+			w.framesRejected.Add(1)
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	s.stepper.SetState(frame.Day, frame.Started)
+	s.seeded = true
+	s.lastDay = frame.Day
+	s.lastFrame = nil
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
+	s := w.session(rw, r)
+	if s == nil {
+		return
+	}
+	day, err := strconv.Atoi(r.PathValue("day"))
+	if err != nil {
+		http.Error(rw, "shard: bad day: "+r.PathValue("day"), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.seeded {
+		http.Error(rw, "shard: session not seeded", http.StatusConflict)
+		return
+	}
+	if day == s.lastDay && s.lastFrame != nil {
+		// Idempotent replay: the coordinator lost our response and
+		// retried. Return the cached bytes — never re-step.
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Write(s.lastFrame)
+		return
+	}
+	if day != s.lastDay+1 {
+		http.Error(rw, fmt.Sprintf("shard: out-of-order step: want day %d, got %d", s.lastDay+1, day),
+			http.StatusConflict)
+		return
+	}
+	s.stepper.Step(day)
+	lo, hi := s.stepper.Bounds()
+	frame := &Frame{Day: day, Lo: lo, Hi: hi, Started: true}
+	for _, p := range s.stepper.Providers() {
+		frame.Fields = append(frame.Fields, Field{Provider: p, Values: s.stepper.Partial(p)})
+	}
+	out, err := frame.Encode()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.lastDay = day
+	s.lastFrame = out
+	w.daysStepped.Add(1)
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(out)
+}
+
+func (w *Worker) handleClose(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("session")
+	w.mu.Lock()
+	_, ok := w.sessions[id]
+	delete(w.sessions, id)
+	w.mu.Unlock()
+	if !ok {
+		http.Error(rw, "shard: no such session "+id, http.StatusNotFound)
+		return
+	}
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v) //nolint:errcheck // best-effort response write
+}
+
+// shardBounds is parallel.Shard under a local name: the coordinator
+// and worker both call the same pure function, so the shard plan is
+// shared by construction rather than negotiated.
+func shardBounds(count, n, index int) (lo, hi int) {
+	return parallel.Shard(count, n, index)
+}

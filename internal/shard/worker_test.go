@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/providers"
+	"repro/internal/serve"
+	"repro/internal/traffic"
+)
+
+// shardTestConfig is a deliberately tiny world: shard tests exercise
+// protocol and failover machinery, not simulation scale.
+func shardTestConfig() population.Config {
+	c := population.TestConfig()
+	c.Days = 10
+	c.Sites = 2000
+	c.BirthsPerDay = 20
+	c.SmallASes = 50
+	return c
+}
+
+var (
+	testWorldOnce sync.Once
+	testWorldMdl  *traffic.Model
+)
+
+func testModel(t testing.TB) *traffic.Model {
+	t.Helper()
+	testWorldOnce.Do(func() {
+		w, err := population.Build(shardTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		testWorldMdl = traffic.NewModel(w)
+	})
+	return testWorldMdl
+}
+
+func testOpts() providers.Options {
+	opts := providers.DefaultOptions(10, 50)
+	opts.BurnInDays = 3
+	return opts
+}
+
+func testJob(t testing.TB) Job {
+	return JobFor(shardTestConfig(), testOpts(), testModel(t))
+}
+
+// newTestWorker boots a worker behind a real HTTP socket.
+func newTestWorker(t *testing.T, opts ...WorkerOption) (*Worker, *httptest.Server) {
+	t.Helper()
+	w := NewWorker(opts...)
+	mux := http.NewServeMux()
+	w.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return w, srv
+}
+
+func openSession(t *testing.T, srv *httptest.Server, job Job, index, count int) OpenResponse {
+	t.Helper()
+	var req OpenRequest
+	req.Job = job
+	req.Shard.Index = index
+	req.Shard.Count = count
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+APIPrefix+"/open", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open: status %d", resp.StatusCode)
+	}
+	var open OpenResponse
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	return open
+}
+
+func postFrame(t *testing.T, url string, frame *Frame) *http.Response {
+	t.Helper()
+	b, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func zeroSeed(job Job, lo, hi, day int, started bool) *Frame {
+	f := &Frame{Day: day, Lo: lo, Hi: hi, Started: started}
+	for _, p := range job.Options().EnabledProviders() {
+		f.Fields = append(f.Fields, Field{Provider: p, Values: make([]float64, hi-lo)})
+	}
+	return f
+}
+
+func stepHTTP(t *testing.T, srv *httptest.Server, session string, day int) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s%s/step/%s/%d", srv.URL, APIPrefix, session, day), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp, buf.Bytes()
+}
+
+func TestWorkerSessionLifecycle(t *testing.T) {
+	m := testModel(t)
+	job := testJob(t)
+	_, srv := newTestWorker(t)
+
+	open := openSession(t, srv, job, 0, 2)
+	if open.Session == "" || open.Lo != 0 || open.Hi >= m.W.Len() {
+		t.Fatalf("open: %+v", open)
+	}
+
+	// Stepping before seeding is a 409.
+	resp, _ := stepHTTP(t, srv, open.Session, -job.BurnInDays)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unseeded step: status %d", resp.StatusCode)
+	}
+
+	seed := zeroSeed(job, open.Lo, open.Hi, -job.BurnInDays-1, false)
+	sresp := postFrame(t, srv.URL+APIPrefix+"/seed/"+open.Session, seed)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("seed: status %d", sresp.StatusCode)
+	}
+
+	// Step the whole run; frames must match an in-process stepper fed
+	// identically.
+	ref, err := providers.NewShardStepper(m, job.Options(), open.Lo, open.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := -job.BurnInDays; d < 3; d++ {
+		resp, body := stepHTTP(t, srv, open.Session, d)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step day %d: status %d", d, resp.StatusCode)
+		}
+		frame, err := Decode(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Step(d)
+		for _, p := range ref.Providers() {
+			if !providers.SameBits(frame.Field(p), ref.Partial(p)) {
+				t.Fatalf("day %d provider %s differs from in-process stepper", d, p)
+			}
+		}
+		// Idempotent replay: the same day again returns identical bytes.
+		resp2, body2 := stepHTTP(t, srv, open.Session, d)
+		if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, body2) {
+			t.Fatalf("day %d replay: status %d, identical %v", d, resp2.StatusCode, bytes.Equal(body, body2))
+		}
+	}
+
+	// Out-of-order step is a 409.
+	resp, _ = stepHTTP(t, srv, open.Session, 7)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("out-of-order step: status %d", resp.StatusCode)
+	}
+
+	// Close, then everything 404s.
+	req, _ := http.NewRequest("DELETE", srv.URL+APIPrefix+"/session/"+open.Session, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close: status %d", dresp.StatusCode)
+	}
+	resp, _ = stepHTTP(t, srv, open.Session, 3)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("step after close: status %d", resp.StatusCode)
+	}
+}
+
+func TestWorkerRefusals(t *testing.T) {
+	job := testJob(t)
+	w, srv := newTestWorker(t)
+
+	post := func(req OpenRequest) int {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+APIPrefix+"/open", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	var req OpenRequest
+	req.Job = job
+	req.Shard.Count = 1
+
+	bad := req
+	bad.Job.Protocol = ProtocolVersion + 1
+	if code := post(bad); code != http.StatusBadRequest {
+		t.Fatalf("wrong protocol: status %d", code)
+	}
+	bad = req
+	bad.Job.Model = "0000000000000000"
+	if code := post(bad); code != http.StatusBadRequest {
+		t.Fatalf("model mismatch: status %d", code)
+	}
+	bad = req
+	bad.Shard.Index = 5
+	bad.Shard.Count = 2
+	if code := post(bad); code != http.StatusBadRequest {
+		t.Fatalf("bad shard index: status %d", code)
+	}
+	bad = req
+	bad.Job.UmbrellaAlpha = 40 // invalid options
+	if code := post(bad); code != http.StatusBadRequest {
+		t.Fatalf("invalid options: status %d", code)
+	}
+
+	// Malformed and wrong-range seed frames are rejected and counted.
+	open := openSession(t, srv, job, 0, 2)
+	resp, err := http.Post(srv.URL+APIPrefix+"/seed/"+open.Session, "application/octet-stream",
+		bytes.NewReader([]byte("not a frame")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage seed: status %d", resp.StatusCode)
+	}
+	wrong := zeroSeed(job, open.Lo+1, open.Hi, -1, false)
+	resp = postFrame(t, srv.URL+APIPrefix+"/seed/"+open.Session, wrong)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-range seed: status %d", resp.StatusCode)
+	}
+	if got := w.framesRejected.Value(); got != 2 {
+		t.Fatalf("frames_rejected = %d, want 2", got)
+	}
+}
+
+func TestWorkerManifestAndMetrics(t *testing.T) {
+	job := testJob(t)
+	reg := serve.NewMetrics()
+	w, srv := newTestWorker(t, WithWorkerMetrics(reg), WithMaxWorlds(1))
+	_ = w
+
+	openSession(t, srv, job, 0, 1)
+	resp, err := http.Get(srv.URL + APIPrefix + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var man ManifestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Protocol != ProtocolVersion || man.Sessions != 1 {
+		t.Fatalf("manifest: %+v", man)
+	}
+	if w.sessionsOpened.Value() != 1 {
+		t.Fatalf("sessions_opened = %d", w.sessionsOpened.Value())
+	}
+}
+
+func TestWorkerWorldCacheEviction(t *testing.T) {
+	// maxWorlds=1 with two different populations: the second evicts the
+	// first, yet sessions opened against the first keep working (they
+	// hold the model pointer).
+	w, srv := newTestWorker(t, WithMaxWorlds(1))
+
+	jobA := testJob(t)
+	openA := openSession(t, srv, jobA, 0, 1)
+
+	cfgB := shardTestConfig()
+	cfgB.Sites = 2500
+	popB, err := population.Build(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB := JobFor(cfgB, testOpts(), traffic.NewModel(popB))
+	openSession(t, srv, jobB, 0, 1)
+
+	if len(w.worlds) != 1 {
+		t.Fatalf("world cache holds %d entries", len(w.worlds))
+	}
+	// Session A still steps fine.
+	seed := zeroSeed(jobA, openA.Lo, openA.Hi, -jobA.BurnInDays-1, false)
+	resp := postFrame(t, srv.URL+APIPrefix+"/seed/"+openA.Session, seed)
+	resp.Body.Close()
+	sresp, _ := stepHTTP(t, srv, openA.Session, -jobA.BurnInDays)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("step after eviction: status %d", sresp.StatusCode)
+	}
+}

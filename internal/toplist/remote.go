@@ -774,12 +774,21 @@ func classifyRemoteStatus(url string, code int) error {
 	switch {
 	case code == http.StatusOK:
 		return nil
-	case code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests:
+	case TransientStatus(code):
 		return &remoteTransient{&RemoteStatusError{URL: url, Code: code}}
 	default:
 		return &RemoteStatusError{URL: url, Code: code}
 	}
+}
+
+// TransientStatus reports whether an HTTP status is worth retrying
+// under this package's classification: 502/503/504 and 429 — server or
+// gateway trouble a retry can outlive. Exported so other versioned HTTP
+// clients in the repo (the shard coordinator's /shard/v1 client) apply
+// the identical transient/final split instead of drifting their own.
+func TransientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests
 }
 
 // retry runs op, retrying transient failures with jittered exponential

@@ -1,0 +1,36 @@
+package traffic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a stable hash of the model's scalar parameters —
+// everything that, together with the world, determines every signal
+// value SignalRange can produce. Distributed generation pins it in the
+// shard job spec: a worker rebuilds the model from the same world
+// config and refuses the job if its parameter fingerprint differs,
+// turning silent calibration skew between coordinator and worker
+// builds into an explicit protocol error.
+//
+// DisableKernel is deliberately excluded: the kernel and the reference
+// path are bitwise identical (the equivalence tests pin that), so the
+// flag changes wall-clock, never bytes.
+func (m *Model) Fingerprint() string {
+	params := []float64{
+		m.SigmaWeb, m.SigmaDNS, m.SigmaLinkWeekly, m.SigmaLinkDaily,
+		m.WeekendExpWeb, m.WeekendExpDNS,
+		m.DeadDNSFactor, m.UniqueClientScale,
+		m.WebCountScale, m.DNSCountScale, m.LinkCountScale, m.CountSigma,
+		m.PanelVisitorScale, m.BacklinkSubnetScale,
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

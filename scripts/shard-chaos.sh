@@ -1,0 +1,110 @@
+#!/bin/sh
+# Chaos smoke test for distributed generation (internal/shard,
+# cmd/shardd, toplistd -shard-worker): render a local-run table5
+# reference, then boot the real binaries — two shardd workers and a
+# live toplistd distributing its per-day stepping across them — and
+# kill -9 one worker after the first days publish. The run must
+# complete anyway (the dead worker's shard is reseeded on the
+# survivor), the coordinator's reassignment counter must move, and
+# table5 rendered from the distributed archive over the wire API must
+# be byte-identical to the local reference. Run from the repository
+# root: sh scripts/shard-chaos.sh
+set -eu
+
+days=8
+addr_d="127.0.0.1:18611"
+addr_a="127.0.0.1:18612"
+addr_b="127.0.0.1:18613"
+url_d="http://$addr_d"
+url_a="http://$addr_a"
+url_b="http://$addr_b"
+workdir="$(mktemp -d)"
+pid_d=""
+pid_a=""
+pid_b=""
+cleanup() {
+    for p in "$pid_d" "$pid_a" "$pid_b"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> rendering the local-run table5 reference"
+go run ./cmd/toplists experiment table5 -scale test -days "$days" \
+    >"$workdir/ref.txt"
+
+echo "==> building toplistd and shardd"
+go build -o "$workdir/toplistd" ./cmd/toplistd
+go build -o "$workdir/shardd" ./cmd/shardd
+
+echo "==> starting two shard workers and a distributing toplistd"
+"$workdir/shardd" -addr "$addr_a" -access-log=false \
+    >"$workdir/a.log" 2>&1 &
+pid_a=$!
+"$workdir/shardd" -addr "$addr_b" -access-log=false \
+    >"$workdir/b.log" 2>&1 &
+pid_b=$!
+"$workdir/toplistd" -addr "$addr_d" -scale test -days "$days" \
+    -live -live-interval 250ms -serve-archive \
+    -shard-worker "$url_a" -shard-worker "$url_b" -access-log=false \
+    >"$workdir/d.log" 2>&1 &
+pid_d=$!
+
+metric() { # metric <base-url> <series> — value, or empty
+    curl -fs "$1/metrics" 2>/dev/null | awk -v s="$2" '$1 == s {print $2; exit}'
+}
+
+wait_for() { # wait_for <what> <seconds> <cmd...>
+    what="$1"; tries="$2"; shift 2
+    i=0
+    while [ "$i" -lt "$tries" ]; do
+        if "$@"; then return 0; fi
+        sleep 1
+        i=$((i + 1))
+    done
+    echo "FAIL: timed out waiting for $what" >&2
+    for log in "$workdir"/d.log "$workdir"/a.log "$workdir"/b.log; do
+        echo "--- $log ---" >&2
+        tail -n 20 "$log" >&2 || true
+    done
+    exit 1
+}
+
+published() { # published <n> — at least n days visible to readers
+    n="$(grep -c 'published day' "$workdir/d.log" 2>/dev/null || true)"
+    [ -n "$n" ] && [ "$n" -ge "$1" ]
+}
+
+echo "==> waiting for the first days to publish (both workers alive)"
+wait_for "2 published days" 120 published 2
+echo "    workers stepped: A=$(metric "$url_a" shard_days_stepped_total) B=$(metric "$url_b" shard_days_stepped_total)"
+
+echo "==> chaos: kill -9 worker B mid-run"
+kill -9 "$pid_b"
+pid_b=""
+
+complete() {
+    grep -q 'live generation complete' "$workdir/d.log" 2>/dev/null
+}
+wait_for "the distributed run to complete on the survivor" 120 complete
+
+reassigned="$(metric "$url_d" shard_reassigned_total)"
+if [ -z "$reassigned" ] || [ "$reassigned" -lt 1 ]; then
+    echo "FAIL: worker B was killed but shard_reassigned_total is ${reassigned:-absent}" >&2
+    tail -n 20 "$workdir/d.log" >&2 || true
+    exit 1
+fi
+failures="$(metric "$url_d" shard_worker_failures_total)"
+echo "    reassigned=$reassigned worker-failures=${failures:-0}"
+
+echo "==> table5 from the distributed archive matches the local reference"
+go run ./cmd/toplists experiment table5 -scale test -days "$days" \
+    -remote "$url_d" >"$workdir/dist.txt"
+if ! diff -q "$workdir/ref.txt" "$workdir/dist.txt" >/dev/null; then
+    echo "FAIL: distributed run renders a different table5" >&2
+    diff "$workdir/ref.txt" "$workdir/dist.txt" >&2 || true
+    exit 1
+fi
+
+echo "PASS: shard chaos"

@@ -343,12 +343,13 @@ func OpenPackURL(ctx context.Context, url string, opts ...PackOption) (*Pack, er
 type Option func(*config)
 
 type config struct {
-	scale      Scale
-	scaleSet   bool
-	workers    int
-	workersSet bool
-	archiveDir string
-	source     Source
+	scale         Scale
+	scaleSet      bool
+	workers       int
+	workersSet    bool
+	archiveDir    string
+	source        Source
+	remoteWorkers []string
 }
 
 // WithScale selects the simulation scale (DefaultScale when omitted).
@@ -387,6 +388,18 @@ func WithSource(src Source) Option {
 	return func(c *config) { c.source = src }
 }
 
+// WithRemoteWorkers distributes the per-day simulation stepping across
+// the shard workers (`shardd` daemons) at the given base URLs: a
+// coordinator splits each day's per-domain computation into shards,
+// farms them out over the /shard/v1 wire API, and merges the partial
+// results — byte-identically to a local run, including across worker
+// failures (dead workers' shards are reseeded on survivors mid-day).
+// Composes with WithWorkers (which keeps tuning the local rank/emit
+// pipeline) and WithArchiveDir; mutually exclusive with WithSource.
+func WithRemoteWorkers(urls ...string) Option {
+	return func(c *config) { c.remoteWorkers = append(c.remoteWorkers, urls...) }
+}
+
 func buildConfig(opts []Option) (config, error) {
 	c := config{scale: DefaultScale()}
 	for _, o := range opts {
@@ -397,6 +410,9 @@ func buildConfig(opts []Option) (config, error) {
 	}
 	if c.source != nil && c.archiveDir != "" {
 		return c, fmt.Errorf("toplists: WithSource and WithArchiveDir are mutually exclusive (nothing is generated from a source)")
+	}
+	if c.source != nil && len(c.remoteWorkers) > 0 {
+		return c, fmt.Errorf("toplists: WithSource and WithRemoteWorkers are mutually exclusive (nothing is generated from a source)")
 	}
 	return c, nil
 }
@@ -443,6 +459,9 @@ func Simulate(ctx context.Context, opts ...Option) (*Study, error) {
 		}
 		tee = store
 	}
+	if len(c.remoteWorkers) > 0 {
+		return core.RunDistributed(ctx, c.scale, tee, c.remoteWorkers)
+	}
 	return core.RunContext(ctx, c.scale, tee)
 }
 
@@ -462,9 +481,20 @@ func Stream(ctx context.Context, sink SnapshotSink, opts ...Option) error {
 	if c.source != nil {
 		return fmt.Errorf("toplists: Stream simulates; it cannot run from WithSource")
 	}
-	_, eng, err := core.NewEngine(c.scale)
-	if err != nil {
-		return err
+	var eng *engine.Engine
+	if len(c.remoteWorkers) > 0 {
+		_, deng, coord, derr := core.NewDistributedEngine(c.scale, c.remoteWorkers)
+		if derr != nil {
+			return derr
+		}
+		defer coord.Close()
+		eng = deng
+	} else {
+		_, leng, lerr := core.NewEngine(c.scale)
+		if lerr != nil {
+			return lerr
+		}
+		eng = leng
 	}
 	if c.archiveDir != "" {
 		store, err := newArchiveStore(c)
@@ -494,6 +524,12 @@ type Lab struct {
 // when given — and is shared by all experiments.
 func NewLab(opts ...Option) *Lab {
 	c, err := buildConfig(opts)
+	if err == nil && len(c.remoteWorkers) > 0 {
+		// The lab's study materialises lazily, possibly long after the
+		// caller's worker fleet is gone; run Simulate(WithRemoteWorkers)
+		// eagerly and hand the study to the lab via WithSource instead.
+		err = fmt.Errorf("toplists: NewLab does not support WithRemoteWorkers; Simulate first, then NewLab(WithSource(study.Archive))")
+	}
 	if err != nil {
 		// Surface the configuration error through the lazy study,
 		// where every Lab method can report it.
